@@ -1,0 +1,283 @@
+//! The optimal online adversary `A*` of paper Figure 4 (Section 6.5).
+//!
+//! `A*` scans the characteristic string left to right, maintaining a
+//! closed fork. Adversarial symbols leave the fork untouched (banking
+//! reserve); honest symbols trigger one or two **conservative extensions**
+//! — a zero-reach tine is padded with exactly `gap` withheld adversarial
+//! blocks and capped with the new honest vertex at depth `height + 1`
+//! (Definition 15), so the new tine has reach exactly 0 (Fact 5).
+//!
+//! The subtle part is *which* tine to extend. Following Figure 4:
+//!
+//! * if a single zero-reach tine exists, extend it;
+//! * otherwise pick the zero-reach tine `z₁` that diverges **earliest**
+//!   from some maximum-reach tine `r₁` (minimising `ℓ(r₁ ∩ z₁)`);
+//! * on a multiply honest symbol with `ρ(F) = 0`, extend *both* `z₁` and
+//!   `r₁`, freezing the earliest possible divergence into two tied chains.
+//!
+//! The result is a **canonical fork** (Theorem 6): it attains the maximum
+//! relative margin `µ_x(y)` of Theorem 5's recurrence for *every* prefix
+//! decomposition `w = xy` simultaneously. [`is_canonical`] checks exactly
+//! this, giving the library an end-to-end cross-validation between the
+//! game-theoretic and the algebraic views.
+
+use multihonest_chars::{CharString, Symbol};
+use multihonest_fork::{Fork, ReachAnalysis, VertexId};
+use multihonest_margin::recurrence;
+
+/// The optimal online adversary `A*` (paper Figure 4).
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_adversary::{is_canonical, OptimalAdversary};
+///
+/// let w = "hAhAhHAAH".parse()?;
+/// let fork = OptimalAdversary::build(&w);
+/// assert!(fork.validate().is_ok());
+/// assert!(is_canonical(&fork));
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimalAdversary;
+
+impl OptimalAdversary {
+    /// Builds the canonical fork for `w`.
+    pub fn build(w: &CharString) -> Fork {
+        let mut fork = Fork::trivial();
+        for (_, sym) in w.iter_slots() {
+            Self::step(&mut fork, sym);
+        }
+        fork
+    }
+
+    /// Extends a canonical fork for some prefix `w` into one for `w·b`.
+    ///
+    /// The fork must have been produced by [`OptimalAdversary`] (or be the
+    /// trivial fork); the method appends `b` to the fork's string and
+    /// performs `A*`'s move.
+    pub fn step(fork: &mut Fork, b: Symbol) {
+        if b == Symbol::Adversarial {
+            fork.push_symbol(b);
+            return;
+        }
+        // Analyse reach with respect to the current prefix.
+        let (rho, zero, max_reach, gaps) = {
+            let ra = ReachAnalysis::new(fork);
+            let rho = ra.rho();
+            let zero: Vec<VertexId> = ra.tines_with_reach(0);
+            let max_reach: Vec<VertexId> = ra.tines_with_reach(rho);
+            let gaps: Vec<i64> = fork.vertices().map(|v| ra.gap(v)).collect();
+            (rho, zero, max_reach, gaps)
+        };
+        let rho_positive = rho >= 1;
+        let selection: Vec<VertexId> = if zero.is_empty() {
+            // No zero-reach tine (possible after a surplus of adversarial
+            // slots): extend a maximum-reach tine — the prefix-aware
+            // fallback of footnote 4.
+            vec![max_reach[0]]
+        } else {
+            let (r1, z1) = earliest_diverging_pair(fork, &max_reach, &zero);
+            if b == Symbol::UniqueHonest || rho_positive {
+                vec![z1]
+            } else {
+                // ρ(F) = 0 and b = H: freeze the earliest divergence into
+                // two tied zero-reach chains. When the zero-reach tine is
+                // unique (r1 = z1), extend it TWICE — Figure 4's literal
+                // "|Z| = 1 ⇒ single extension" shortcut would fail to be
+                // canonical already on w = "H" (µ_ε(H) = 0 needs two
+                // concurrent leaders); Proposition 2's proof confirms two
+                // extensions are intended whenever ρ = µ-candidate = 0.
+                vec![z1, r1]
+            }
+        };
+        fork.push_symbol(b);
+        let new_label = fork.string().len();
+        for tip in selection {
+            conservative_extend(fork, tip, gaps[tip.index()], new_label);
+        }
+    }
+}
+
+/// Finds `(r₁, z₁) ∈ R × Z` minimising `ℓ(r₁ ∩ z₁)`.
+///
+/// Distinct pairs always weakly beat equal pairs (`ℓ(r ∩ z) ≤ ℓ(z)` since
+/// the last common vertex is an ancestor of `z`), so an equal pair is
+/// returned only when `R × Z` contains no distinct pair — i.e. when both
+/// sets are the same singleton.
+fn earliest_diverging_pair(
+    fork: &Fork,
+    max_reach: &[VertexId],
+    zero: &[VertexId],
+) -> (VertexId, VertexId) {
+    let mut best: Option<(usize, VertexId, VertexId)> = None;
+    for &r in max_reach {
+        for &z in zero {
+            if r == z {
+                continue;
+            }
+            let l = fork.label(fork.last_common_vertex(r, z));
+            if best.is_none_or(|(bl, _, _)| l < bl) {
+                best = Some((l, r, z));
+            }
+        }
+    }
+    match best {
+        Some((_, r1, z1)) => (r1, z1),
+        // R and Z are the same singleton {z}: the "pair" is (z, z).
+        None => (zero[0], zero[0]),
+    }
+}
+
+/// Conservatively extends the tine ending at `tip`: adds `gap` adversarial
+/// vertices (consuming the latest available adversarial slots after
+/// `ℓ(tip)`) and one honest vertex labelled `new_label` on top, reaching
+/// depth `height + 1`.
+fn conservative_extend(fork: &mut Fork, tip: VertexId, gap: i64, new_label: usize) {
+    let mut labels = Vec::with_capacity(gap as usize);
+    // Latest `gap` adversarial slots strictly after ℓ(tip), before
+    // new_label.
+    let mut t = new_label - 1;
+    while labels.len() < gap as usize {
+        assert!(
+            t > fork.label(tip),
+            "zero-reach tine must have reserve ≥ gap (Fact 5)"
+        );
+        if fork.string().get(t).is_adversarial() {
+            labels.push(t);
+        }
+        t -= 1;
+    }
+    labels.reverse();
+    let mut cur = tip;
+    for l in labels {
+        cur = fork.push_vertex(cur, l);
+    }
+    fork.push_vertex(cur, new_label);
+}
+
+/// Verifies that a closed fork is **canonical** (paper Definition 19):
+/// `ρ(F) = ρ(w)` and `µ_x(F) = µ_x(y)` for every decomposition `w = xy`,
+/// where the right-hand sides are computed by the Theorem 5 recurrences.
+pub fn is_canonical(fork: &Fork) -> bool {
+    if !fork.is_closed() {
+        return false;
+    }
+    let w = fork.string();
+    let ra = ReachAnalysis::new(fork);
+    if ra.rho() != recurrence::rho(w) {
+        return false;
+    }
+    let definitional = ra.relative_margins();
+    (0..=w.len()).all(|cut| definitional[cut] == recurrence::relative_margin(w, cut))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_catalan::exhaustive_strings;
+    use multihonest_chars::BernoulliCondition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn builds_valid_closed_forks() {
+        for s in ["", "h", "A", "H", "hAhAhA", "hAhAhHAAH", "AAAAhh", "HHHHH"] {
+            let fork = OptimalAdversary::build(&w(s));
+            assert!(fork.validate().is_ok(), "invalid fork for {s:?}");
+            assert!(fork.is_closed(), "open fork for {s:?}");
+        }
+    }
+
+    #[test]
+    fn canonical_on_all_strings_up_to_length_8() {
+        // Theorem 6, verified exhaustively: 3^8 = 6561 strings.
+        for n in 0..=8 {
+            for s in exhaustive_strings(n) {
+                let fork = OptimalAdversary::build(&s);
+                assert!(is_canonical(&fork), "A* fork not canonical for {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_on_random_longer_strings() {
+        let cond = BernoulliCondition::new(0.1, 0.3).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let s = cond.sample(&mut rng, 40);
+            let fork = OptimalAdversary::build(&s);
+            assert!(is_canonical(&fork), "A* fork not canonical for {s}");
+        }
+    }
+
+    #[test]
+    fn incremental_steps_match_batch_build() {
+        let s = w("hAHAhHA");
+        let batch = OptimalAdversary::build(&s);
+        let mut inc = Fork::trivial();
+        for &sym in s.symbols() {
+            OptimalAdversary::step(&mut inc, sym);
+        }
+        assert_eq!(batch, inc);
+    }
+
+    #[test]
+    fn balanced_fork_realised_on_figure2_string() {
+        // µ_ε(hAhAhA) ≥ 0, so the canonical fork must witness an
+        // ε-balanced fork after trimming to equal lengths — at minimum the
+        // final margins must match the recurrence.
+        let s = w("hAhAhA");
+        let fork = OptimalAdversary::build(&s);
+        let ra = ReachAnalysis::new(&fork);
+        assert_eq!(ra.relative_margin(0), recurrence::relative_margin(&s, 0));
+        assert!(ra.relative_margin(0) >= 0);
+    }
+
+    #[test]
+    fn multi_honest_double_extension_freezes_divergence() {
+        // On w = H with ρ = µ = 0, the two concurrent honest leaders give
+        // the adversary two tied chains for free: A* extends the root
+        // twice, and µ_ε(H) = 0 is witnessed by the two slot-1 vertices.
+        let fork = OptimalAdversary::build(&w("H"));
+        assert_eq!(fork.vertex_count(), 3);
+        assert_eq!(fork.vertices_with_label(1).len(), 2);
+        assert!(is_canonical(&fork));
+        // On HH both branches advance in lockstep: 5 vertices, margin 0.
+        let fork = OptimalAdversary::build(&w("HH"));
+        assert_eq!(fork.vertex_count(), 5);
+        assert_eq!(fork.max_length_tines().len(), 2);
+        assert!(is_canonical(&fork));
+        // But a uniquely honest slot collapses the tie: the h of "Hh" must
+        // extend one branch only (F3 allows exactly one slot-2 vertex).
+        let fork = OptimalAdversary::build(&w("Hh"));
+        assert_eq!(fork.vertices_with_label(2).len(), 1);
+        assert!(is_canonical(&fork));
+    }
+
+    #[test]
+    fn adversarial_reserve_is_materialised_on_demand() {
+        // w = hAAh: the final h extends the maximum-reach tine v1 (no
+        // zero-reach tine exists after two A's); no adversarial vertices
+        // are needed because v1 is already at maximum length.
+        let s = w("hAAh");
+        let fork = OptimalAdversary::build(&s);
+        assert!(is_canonical(&fork));
+        assert_eq!(fork.vertex_count(), 3); // root, v1, v4
+        // w = hAh: when the final h arrives, the root is the unique
+        // zero-reach tine with gap 1; the conservative extension must
+        // materialise one withheld adversarial block (label 2) beneath the
+        // new honest vertex — exactly the µ_ε(hAh) = 0 witness fork
+        // (root→1 and root→2→3, the latter of maximum length).
+        let s = w("hAh");
+        let fork = OptimalAdversary::build(&s);
+        assert!(is_canonical(&fork));
+        let adversarial = fork.vertices().filter(|v| !fork.is_honest(*v)).count();
+        assert_eq!(adversarial, 1, "conservative extension must consume reserve");
+        assert_eq!(fork.vertex_count(), 4);
+    }
+}

@@ -1,0 +1,316 @@
+//! The `(D, T; s, k)`-settlement game of paper Section 2.2.
+//!
+//! The challenger plays the honest side mechanically: at each honest slot
+//! it adds the required vertices at the end of maximum-length paths. All
+//! discretion — tie-breaking among maximum-length paths, the number `k` of
+//! honest vertices at a multiply honest slot, adversarial-slot moves and
+//! post-slot augmentations — belongs to the [`GameAdversary`].
+
+use multihonest_chars::{CharString, Symbol};
+use multihonest_fork::{Fork, VertexId};
+use rand::Rng;
+
+/// The adversary interface of the settlement game.
+///
+/// Implementations must respect two rules, enforced by the challenger with
+/// panics (they are programming errors, not recoverable conditions):
+///
+/// * [`choose_honest_parent`](Self::choose_honest_parent) must return a
+///   vertex of maximum depth (honest players extend maximum-length
+///   chains; the adversary only breaks ties);
+/// * [`augment`](Self::augment) may mutate the fork arbitrarily but must
+///   leave it a valid fork for the current prefix (axioms (F1)–(F4)), and
+///   may only add vertices (forks grow monotonically: `F_{t−1} ⊑ F_t`).
+pub trait GameAdversary {
+    /// How many honest vertices to create for the multiply honest `slot`
+    /// (must be ≥ 1). The default treats `H` like `h`.
+    fn multi_honest_count(&mut self, fork: &Fork, slot: usize) -> usize {
+        let _ = (fork, slot);
+        1
+    }
+
+    /// Chooses which maximum-length tine the `index`-th honest vertex of
+    /// `slot` extends. `candidates` are the endpoints of all maximum-length
+    /// tines.
+    fn choose_honest_parent(
+        &mut self,
+        fork: &Fork,
+        slot: usize,
+        index: usize,
+        candidates: &[VertexId],
+    ) -> VertexId;
+
+    /// Called after every slot (honest or adversarial): the adversarial
+    /// augmentation step 3(c) of the game. The default does nothing.
+    fn augment(&mut self, fork: &mut Fork, slot: usize) {
+        let _ = (fork, slot);
+    }
+}
+
+/// The do-nothing adversary: breaks ties towards the first candidate,
+/// requests a single vertex per `H` slot, never augments. Against it the
+/// honest chain grows linearly.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopAdversary;
+
+impl GameAdversary for NoopAdversary {
+    fn choose_honest_parent(
+        &mut self,
+        _fork: &Fork,
+        _slot: usize,
+        _index: usize,
+        candidates: &[VertexId],
+    ) -> VertexId {
+        candidates[0]
+    }
+}
+
+/// A randomised adversary: random tie-breaking, random `H` multiplicities
+/// in `1..=2`, and random withholding-style augmentations (it occasionally
+/// plants adversarial vertices on shorter tines). Useful for fuzzing the
+/// game engine; it is far from optimal.
+#[derive(Debug)]
+pub struct RandomAdversary<R> {
+    rng: R,
+    /// Probability of planting an adversarial vertex at each adversarial
+    /// slot.
+    pub plant_probability: f64,
+}
+
+impl<R: Rng> RandomAdversary<R> {
+    /// Creates the adversary with the given randomness source.
+    pub fn new(rng: R) -> RandomAdversary<R> {
+        RandomAdversary { rng, plant_probability: 0.8 }
+    }
+}
+
+impl<R: Rng> GameAdversary for RandomAdversary<R> {
+    fn multi_honest_count(&mut self, _fork: &Fork, _slot: usize) -> usize {
+        self.rng.gen_range(1..=2)
+    }
+
+    fn choose_honest_parent(
+        &mut self,
+        _fork: &Fork,
+        _slot: usize,
+        _index: usize,
+        candidates: &[VertexId],
+    ) -> VertexId {
+        candidates[self.rng.gen_range(0..candidates.len())]
+    }
+
+    fn augment(&mut self, fork: &mut Fork, slot: usize) {
+        if fork.string().get(slot) != Symbol::Adversarial {
+            return;
+        }
+        if self.rng.gen::<f64>() >= self.plant_probability {
+            return;
+        }
+        let candidates: Vec<VertexId> =
+            fork.vertices().filter(|v| fork.label(*v) < slot).collect();
+        let parent = candidates[self.rng.gen_range(0..candidates.len())];
+        fork.push_vertex(parent, slot);
+    }
+}
+
+/// The settlement-game engine: mechanical challenger + pluggable adversary.
+#[derive(Debug)]
+pub struct SettlementGame {
+    w: CharString,
+}
+
+impl SettlementGame {
+    /// Creates a game over the characteristic string `w` (already drawn
+    /// from the leader-election distribution `D`).
+    pub fn new(w: CharString) -> SettlementGame {
+        SettlementGame { w }
+    }
+
+    /// The characteristic string in play.
+    pub fn string(&self) -> &CharString {
+        &self.w
+    }
+
+    /// Plays the game to completion and returns the final fork
+    /// `A_T ⊢ w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the adversary breaks the game rules (returns a non-maximal
+    /// parent, a zero multiplicity, or leaves the fork invalid after an
+    /// augmentation — the latter is checked in debug builds only, as full
+    /// validation is `O(V²)`).
+    pub fn play<A: GameAdversary>(&self, adversary: &mut A) -> Fork {
+        // The fork's string grows slot by slot so that the validity
+        // invariant (checked in debug builds after every augmentation)
+        // always refers to the prefix processed so far.
+        let mut fork = Fork::trivial();
+        for (slot, sym) in self.w.iter_slots() {
+            fork.push_symbol(sym);
+            match sym {
+                Symbol::UniqueHonest | Symbol::MultiHonest => {
+                    let count = if sym == Symbol::UniqueHonest {
+                        1
+                    } else {
+                        let c = adversary.multi_honest_count(&fork, slot);
+                        assert!(c >= 1, "H slot must receive at least one vertex");
+                        c
+                    };
+                    // Maximum-length paths of A_{t−1}: computed once —
+                    // all k vertices of this slot extend tines that were
+                    // maximal *before* the slot began.
+                    let height = fork.height();
+                    let candidates: Vec<VertexId> = fork
+                        .vertices()
+                        .filter(|v| fork.depth(*v) == height && fork.label(*v) < slot)
+                        .collect();
+                    for index in 0..count {
+                        let parent =
+                            adversary.choose_honest_parent(&fork, slot, index, &candidates);
+                        assert!(
+                            fork.depth(parent) == height && fork.label(parent) < slot,
+                            "honest vertices extend maximum-length tines only"
+                        );
+                        fork.push_vertex(parent, slot);
+                    }
+                }
+                Symbol::Adversarial => {}
+            }
+            adversary.augment(&mut fork, slot);
+            debug_assert!(fork.validate().is_ok(), "adversary corrupted the fork at slot {slot}");
+        }
+        fork
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_fork::balanced;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn noop_adversary_yields_single_chain() {
+        let game = SettlementGame::new(w("hhHhH"));
+        let fork = game.play(&mut NoopAdversary);
+        assert!(fork.validate().is_ok());
+        // One vertex per slot, all on one chain.
+        assert_eq!(fork.vertex_count(), 6);
+        assert_eq!(fork.height(), 5);
+        assert_eq!(fork.max_length_tines().len(), 1);
+        assert!(!balanced::is_balanced(&fork));
+    }
+
+    #[test]
+    fn adversarial_slots_without_augmentation_leave_no_trace() {
+        let game = SettlementGame::new(w("hAAh"));
+        let fork = game.play(&mut NoopAdversary);
+        assert_eq!(fork.vertex_count(), 3); // root + two honest vertices
+        assert_eq!(fork.height(), 2);
+    }
+
+    #[test]
+    fn random_adversary_produces_valid_forks() {
+        let mut adv = RandomAdversary::new(StdRng::seed_from_u64(5));
+        for s in ["hAhAhHAAH", "HHHHH", "AAAAh", "hHAhHAhA"] {
+            let game = SettlementGame::new(w(s));
+            let fork = game.play(&mut adv);
+            assert!(fork.validate().is_ok(), "invalid fork for {s}");
+        }
+    }
+
+    #[test]
+    fn multi_honest_multiplicity_respected() {
+        struct TwoPerH;
+        impl GameAdversary for TwoPerH {
+            fn multi_honest_count(&mut self, _f: &Fork, _s: usize) -> usize {
+                2
+            }
+            fn choose_honest_parent(
+                &mut self,
+                _f: &Fork,
+                _s: usize,
+                _i: usize,
+                c: &[VertexId],
+            ) -> VertexId {
+                c[0]
+            }
+        }
+        let fork = SettlementGame::new(w("hH")).play(&mut TwoPerH);
+        assert_eq!(fork.vertices_with_label(2).len(), 2);
+        assert!(fork.validate().is_ok());
+        // Both H vertices share the same (unique) max-length parent; they
+        // are concurrent and at equal depth.
+        let vs = fork.vertices_with_label(2);
+        assert_eq!(fork.depth(vs[0]), fork.depth(vs[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum-length tines")]
+    fn cheating_adversary_is_caught() {
+        struct Cheater;
+        impl GameAdversary for Cheater {
+            fn choose_honest_parent(
+                &mut self,
+                _f: &Fork,
+                _s: usize,
+                _i: usize,
+                _c: &[VertexId],
+            ) -> VertexId {
+                VertexId::ROOT // not maximal once the chain has grown
+            }
+        }
+        let _ = SettlementGame::new(w("hh")).play(&mut Cheater);
+    }
+
+    #[test]
+    fn withholding_adversary_can_balance_h_against_h() {
+        // A hand-written adversary realising Figure 2's balanced fork on
+        // w = hAhAhA: it plants adversarial blocks on the shorter branch so
+        // the two honest chains alternate in the lead.
+        struct Balancer;
+        impl GameAdversary for Balancer {
+            fn choose_honest_parent(
+                &mut self,
+                fork: &Fork,
+                _slot: usize,
+                _index: usize,
+                candidates: &[VertexId],
+            ) -> VertexId {
+                // Honest leaders are steered onto the adversary's own
+                // (adversarial-tipped) tine whenever it is tied for the
+                // lead, keeping the two branches separate.
+                *candidates
+                    .iter()
+                    .find(|v| !fork.is_honest(**v))
+                    .unwrap_or(&candidates[0])
+            }
+            fn augment(&mut self, fork: &mut Fork, slot: usize) {
+                if fork.string().get(slot) != Symbol::Adversarial {
+                    return;
+                }
+                // Prop up the trailing branch (the honest-tipped vertex one
+                // level below the top) with a withheld adversarial block.
+                let height = fork.height();
+                let trailing = fork
+                    .vertices()
+                    .find(|v| fork.depth(*v) + 1 == height && fork.label(*v) < slot);
+                if let Some(v) = trailing {
+                    fork.push_vertex(v, slot);
+                }
+            }
+        }
+        let fork = SettlementGame::new(w("hAhAhA")).play(&mut Balancer);
+        assert!(fork.validate().is_ok());
+        // The run reconstructs Figure 2: two disjoint maximum-length tines
+        // that disagree about slot 1.
+        assert_eq!(fork.vertex_count(), 7);
+        assert!(balanced::is_x_balanced(&fork, 0));
+        assert!(balanced::violates_settlement(&fork, 1));
+    }
+}

@@ -1,0 +1,242 @@
+//! Parallel Monte-Carlo estimation of settlement, UVP and Catalan
+//! statistics over sampled characteristic strings.
+//!
+//! Every estimator samples i.i.d. strings from a
+//! [`BernoulliCondition`] and evaluates a *deterministic* predicate from
+//! the sibling crates (margin recurrence, Catalan scan). The results come
+//! with Wilson confidence intervals so that the experiment harness can
+//! print honest error bars next to the exact DP values and the analytic
+//! bounds.
+
+use multihonest_catalan::CatalanAnalysis;
+use multihonest_chars::BernoulliCondition;
+use multihonest_margin::recurrence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A binomial estimate with Wilson confidence intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Number of trials in which the event occurred.
+    pub hits: u64,
+    /// Total number of trials.
+    pub trials: u64,
+}
+
+impl Estimate {
+    /// The point estimate `hits / trials`.
+    pub fn frequency(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / self.trials as f64
+    }
+
+    /// The Wilson score interval at `z` standard deviations (use
+    /// `z = 1.96` for 95%).
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.frequency();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+}
+
+/// Parallel Monte-Carlo driver over a Bernoulli condition.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::BernoulliCondition;
+/// use multihonest_adversary::MonteCarlo;
+///
+/// let cond = BernoulliCondition::new(0.4, 0.4)?;
+/// let mc = MonteCarlo::new(cond, 2_000, 42);
+/// let est = mc.settlement_violation(50, 10);
+/// assert!(est.frequency() < 0.5);
+/// # Ok::<(), multihonest_chars::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    cond: BernoulliCondition,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl MonteCarlo {
+    /// Creates a driver running `trials` samples with the given seed,
+    /// using all available parallelism.
+    pub fn new(cond: BernoulliCondition, trials: u64, seed: u64) -> MonteCarlo {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        MonteCarlo { cond, trials, seed, threads }
+    }
+
+    /// Overrides the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> MonteCarlo {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The condition being sampled.
+    pub fn condition(&self) -> BernoulliCondition {
+        self.cond
+    }
+
+    /// Runs `predicate` on `trials` sampled strings of length `len` and
+    /// counts hits. The predicate must be deterministic.
+    pub fn estimate<F>(&self, len: usize, predicate: F) -> Estimate
+    where
+        F: Fn(&multihonest_chars::CharString) -> bool + Sync,
+    {
+        let per = self.trials / self.threads as u64;
+        let extra = self.trials % self.threads as u64;
+        let cond = self.cond;
+        let mut hits = 0u64;
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..self.threads {
+                let quota = per + u64::from((t as u64) < extra);
+                let seed = self.seed.wrapping_add(t as u64 + 1);
+                let predicate = &predicate;
+                handles.push(scope.spawn(move |_| {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut local = 0u64;
+                    for _ in 0..quota {
+                        let w = cond.sample(&mut rng, len);
+                        if predicate(&w) {
+                            local += 1;
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                hits += h.join().expect("worker panicked");
+            }
+        })
+        .expect("scope failed");
+        Estimate { hits, trials: self.trials }
+    }
+
+    /// Frequency of `µ_x(y) ≥ 0` at `|x| = prefix_len`, `|y| = k` — the
+    /// Monte-Carlo counterpart of
+    /// [`ExactSettlement::violation_probability`].
+    ///
+    /// [`ExactSettlement::violation_probability`]:
+    /// multihonest_margin::ExactSettlement::violation_probability
+    pub fn settlement_violation(&self, prefix_len: usize, k: usize) -> Estimate {
+        self.estimate(prefix_len + k, |w| {
+            recurrence::margin_trace(w, prefix_len)[k] >= 0
+        })
+    }
+
+    /// Frequency of a violation at **any** horizon in `k..=horizon`
+    /// (matching [`ExactSettlement::violation_by_horizon`]).
+    ///
+    /// [`ExactSettlement::violation_by_horizon`]:
+    /// multihonest_margin::ExactSettlement::violation_by_horizon
+    pub fn settlement_violation_by_horizon(
+        &self,
+        prefix_len: usize,
+        k: usize,
+        horizon: usize,
+    ) -> Estimate {
+        self.estimate(prefix_len + horizon, |w| {
+            recurrence::margin_trace(w, prefix_len)
+                .iter()
+                .enumerate()
+                .any(|(len, &m)| len >= k && m >= 0)
+        })
+    }
+
+    /// Frequency of the Bound-1 failure event: the window
+    /// `[start, start + k − 1]` of a length-`len` string contains **no
+    /// uniquely honest Catalan slot** (Catalan with respect to the whole
+    /// string).
+    pub fn no_unique_catalan_in_window(&self, len: usize, start: usize, k: usize) -> Estimate {
+        self.estimate(len, |w| {
+            CatalanAnalysis::new(w)
+                .first_uniquely_honest_catalan_in(start, start + k - 1)
+                .is_none()
+        })
+    }
+
+    /// Frequency of the Bound-2 failure event: the window contains no two
+    /// **consecutive** Catalan slots.
+    pub fn no_consecutive_catalan_in_window(&self, len: usize, start: usize, k: usize) -> Estimate {
+        self.estimate(len, |w| {
+            CatalanAnalysis::new(w)
+                .first_consecutive_catalan_in(start, start + k - 1)
+                .is_none()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_margin::ExactSettlement;
+
+    #[test]
+    fn wilson_interval_sanity() {
+        let e = Estimate { hits: 50, trials: 100 };
+        let (lo, hi) = e.wilson_interval(1.96);
+        assert!(lo < 0.5 && 0.5 < hi);
+        assert!(hi - lo < 0.25);
+        let empty = Estimate { hits: 0, trials: 0 };
+        assert_eq!(empty.wilson_interval(1.96), (0.0, 1.0));
+        assert_eq!(empty.frequency(), 0.0);
+    }
+
+    #[test]
+    fn estimate_is_deterministic_given_seed() {
+        let cond = BernoulliCondition::new(0.3, 0.4).unwrap();
+        let mc = MonteCarlo::new(cond, 1_000, 7).with_threads(2);
+        let a = mc.settlement_violation(20, 8);
+        let b = mc.settlement_violation(20, 8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn frequency_matches_exact_dp() {
+        let cond = BernoulliCondition::new(0.35, 0.4).unwrap();
+        let mc = MonteCarlo::new(cond, 30_000, 11);
+        let k = 10;
+        let prefix = 200;
+        let est = mc.settlement_violation(prefix, k);
+        let exact =
+            ExactSettlement::new(cond).violation_probabilities_finite_prefix(prefix, &[k])[0];
+        let (lo, hi) = est.wilson_interval(3.5);
+        assert!(
+            lo <= exact && exact <= hi,
+            "exact {exact} outside MC interval [{lo}, {hi}]"
+        );
+    }
+
+    #[test]
+    fn horizon_variant_at_least_pointwise() {
+        let cond = BernoulliCondition::new(0.3, 0.5).unwrap();
+        let mc = MonteCarlo::new(cond, 5_000, 13);
+        let point = mc.settlement_violation(50, 8).frequency();
+        let horizon = mc.settlement_violation_by_horizon(50, 8, 30).frequency();
+        assert!(horizon >= point - 0.02);
+    }
+
+    #[test]
+    fn catalan_window_events_shrink_with_k() {
+        let cond = BernoulliCondition::new(0.4, 0.55).unwrap();
+        let mc = MonteCarlo::new(cond, 4_000, 17);
+        let small = mc.no_unique_catalan_in_window(120, 40, 10).frequency();
+        let large = mc.no_unique_catalan_in_window(120, 40, 40).frequency();
+        assert!(large <= small + 0.02, "longer windows catch more Catalan slots");
+        let cons = mc.no_consecutive_catalan_in_window(120, 40, 40).frequency();
+        assert!(cons >= large - 0.02, "consecutive pairs are rarer than singles");
+    }
+}

@@ -1,0 +1,519 @@
+//! Bounds 1–3 of the paper, computable.
+//!
+//! * [`Bound1`] — `Pr[no uniquely honest Catalan slot in a k-window]`,
+//!   via the generating function `Ĉ(Z) = (q_h ε/q)·Z / (1 − F(Z))` with
+//!   `F = pZD + q_h Z·A(ZD) + q_H Z` (Section 5.1), corrected for a long
+//!   prefix by the stationary factor `X_∞(D(Z))`;
+//! * [`Bound2`] — `Pr[no two consecutive Catalan slots in a k-window]`,
+//!   via `M̂(Z) = εD / (1 − (1 − ε)Ê)` (Section 5.2);
+//! * [`Bound3`] — the ballot-walk tail for the Δ-synchronous reduction
+//!   (Section 8.2).
+//!
+//! Each bound offers two evaluation modes:
+//!
+//! * [`Bound1::tail_exact`] — near-exact tails by expanding the truncated
+//!   series (`O(k²)` per call, coefficients exact up to rounding);
+//! * [`Bound1::tail`] — a rigorous Chernoff-style upper bound
+//!   `min_z G(z)/z^k` over the convergence disc (`O(grid)` per call),
+//!   valid for every `k` — this is the bound the theorems quote, with the
+//!   `e^{−Θ(k)}` rate given by [`Bound1::rate`].
+
+use crate::series::Series;
+use crate::walks::{Bias, LnFactorials};
+use crate::ParameterError;
+
+/// Number of grid points used when minimising the Chernoff bound.
+const CHERNOFF_GRID: usize = 400;
+
+/// Bound 1 (Section 5.1): the rarity of uniquely honest Catalan slots.
+#[derive(Debug, Clone, Copy)]
+pub struct Bound1 {
+    bias: Bias,
+    q_h: f64,
+    q_hh: f64,
+}
+
+impl Bound1 {
+    /// Creates the bound for honest margin `ε ∈ (0, 1)` and uniquely
+    /// honest probability `q_h ∈ (0, (1 + ε)/2]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when parameters leave those ranges (`q_h = 0` makes
+    /// the bound vacuous: Theorem 1 requires uniquely honest slots).
+    pub fn new(epsilon: f64, q_h: f64) -> Result<Bound1, ParameterError> {
+        let bias = Bias::from_epsilon(epsilon)?;
+        if !(q_h > 0.0 && q_h <= bias.q() + 1e-12) {
+            return Err(ParameterError::new(format!(
+                "q_h = {q_h} not in (0, q = {}]",
+                bias.q()
+            )));
+        }
+        Ok(Bound1 { bias, q_h: q_h.min(bias.q()), q_hh: bias.q() - q_h.min(bias.q()) })
+    }
+
+    /// The underlying walk bias.
+    pub fn bias(&self) -> Bias {
+        self.bias
+    }
+
+    /// The series `A(Z·D(Z))` truncated to `terms`.
+    fn ascent_of_zd(&self, terms: usize) -> Series {
+        ascent_of_zd(&self.bias, terms)
+    }
+
+    /// The series `F(Z) = pZD(Z) + q_h Z·A(ZD(Z)) + q_H Z`.
+    pub fn f_series(&self, terms: usize) -> Series {
+        let d = self.bias.descent_series(terms);
+        let zd = shift(&d); // Z·D(Z)
+        let azd = self.ascent_of_zd(terms);
+        let zazd = shift(&azd); // Z·A(ZD)
+        zd.scale(self.bias.p())
+            .add(&zazd.scale(self.q_h))
+            .add(&Series::monomial(terms, 1, self.q_hh))
+    }
+
+    /// The dominating series `Ĉ(Z) = (q_h ε/q) Z / (1 − F(Z))`: a
+    /// probability generating function for (an upper bound on) the index
+    /// of the first uniquely honest Catalan slot.
+    pub fn c_hat_series(&self, terms: usize) -> Series {
+        let f = self.f_series(terms);
+        let numer = Series::monomial(terms, 1, self.q_h * self.bias.epsilon() / self.bias.q());
+        numer.div_one_minus(&f)
+    }
+
+    /// `C̃(Z) = X_∞(D(Z)) · Ĉ(Z)`: the long-prefix variant (Section 5.1,
+    /// Case 2), still a probability generating function.
+    pub fn c_tilde_series(&self, terms: usize) -> Series {
+        let c_hat = self.c_hat_series(terms);
+        let beta = self.bias.beta();
+        let beta_d = self.bias.descent_series(terms).scale(beta);
+        c_hat.scale(1.0 - beta).div_one_minus(&beta_d)
+    }
+
+    /// Near-exact tail `Pr[no uniquely honest Catalan slot in a window of
+    /// k slots]` (long-prefix variant) by series expansion. `O(k²)`.
+    pub fn tail_exact(&self, k: usize) -> f64 {
+        self.c_tilde_series(k + 1).tail_from(k, 1.0)
+    }
+
+    /// Closed-form `F(z)` for real `z`; `None` outside convergence.
+    pub fn f_eval(&self, z: f64) -> Option<f64> {
+        let d = self.bias.descent_eval(z)?;
+        let a_of = self.bias.ascent_eval(z * d)?;
+        Some(self.bias.p() * z * d + self.q_h * z * a_of + self.q_hh * z)
+    }
+
+    /// Closed-form `C̃(z)`; `None` outside convergence or where `F(z) ≥ 1`.
+    pub fn c_tilde_eval(&self, z: f64) -> Option<f64> {
+        let f = self.f_eval(z)?;
+        if f >= 1.0 {
+            return None;
+        }
+        let c_hat = (self.q_h * self.bias.epsilon() / self.bias.q()) * z / (1.0 - f);
+        let d = self.bias.descent_eval(z)?;
+        let beta = self.bias.beta();
+        if beta * d >= 1.0 {
+            return None;
+        }
+        Some((1.0 - beta) * c_hat / (1.0 - beta * d))
+    }
+
+    /// The radius of convergence `R = min(R₁, R₂)` where `R₁` bounds the
+    /// convergence of `A(ZD(Z))` and `R₂` solves `F(z) = 1` (Section 5.1).
+    pub fn radius(&self) -> f64 {
+        let r1 = self.bias.composite_radius();
+        // F is convex increasing on [1, R1); find R2 by bisection if F
+        // crosses 1 before R1.
+        let probe = |z: f64| self.f_eval(z);
+        match probe(r1 * (1.0 - 1e-9)) {
+            Some(f) if f < 1.0 => r1,
+            _ => {
+                let (mut lo, mut hi) = (1.0, r1);
+                for _ in 0..200 {
+                    let mid = 0.5 * (lo + hi);
+                    match probe(mid) {
+                        Some(f) if f < 1.0 => lo = mid,
+                        _ => hi = mid,
+                    }
+                }
+                lo
+            }
+        }
+    }
+
+    /// The asymptotic error exponent: `rate() = ln R`, so that
+    /// `tail(k) ≈ e^{−rate·k}` for large `k`. Strictly positive; matches
+    /// the paper's `Ω(min(ε³, ε² q_h))` scaling.
+    pub fn rate(&self) -> f64 {
+        self.radius().ln()
+    }
+
+    /// A rigorous upper bound on the tail at window length `k`:
+    /// `min_z C̃(z)/z^k` over a grid in `(1, R)`, clamped to `[0, 1]`.
+    pub fn tail(&self, k: usize) -> f64 {
+        chernoff_min(|z| self.c_tilde_eval(z), self.radius(), k)
+    }
+
+    /// A rigorous upper bound on `Σ_{r ≥ k} tail(r)` (used by the
+    /// common-prefix Theorem 8): `min_z C̃(z)·z^{−k}/(1 − 1/z)`.
+    pub fn tail_sum(&self, k: usize) -> f64 {
+        let radius = self.radius();
+        let mut best = f64::INFINITY;
+        for i in 1..CHERNOFF_GRID {
+            let z = 1.0 + (radius - 1.0) * i as f64 / CHERNOFF_GRID as f64;
+            if z <= 1.0 {
+                continue;
+            }
+            if let Some(g) = self.c_tilde_eval(z) {
+                let v = g * (-(k as f64) * z.ln()).exp() / (1.0 - 1.0 / z);
+                best = best.min(v);
+            }
+        }
+        best
+    }
+}
+
+/// Bound 2 (Section 5.2): the rarity of two consecutive Catalan slots
+/// (the consistent tie-breaking model, `p_h` may be 0).
+#[derive(Debug, Clone, Copy)]
+pub struct Bound2 {
+    bias: Bias,
+}
+
+impl Bound2 {
+    /// Creates the bound for honest margin `ε ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `ε ∉ (0, 1)`.
+    pub fn new(epsilon: f64) -> Result<Bound2, ParameterError> {
+        Ok(Bound2 { bias: Bias::from_epsilon(epsilon)? })
+    }
+
+    /// The underlying walk bias.
+    pub fn bias(&self) -> Bias {
+        self.bias
+    }
+
+    /// `Ê(Z) = pZD(Z) + qZ·A(ZD(Z))/A(1)`: the dominating epoch series.
+    pub fn epoch_series(&self, terms: usize) -> Series {
+        let d = self.bias.descent_series(terms);
+        let zd = shift(&d);
+        let azd = ascent_of_zd(&self.bias, terms);
+        let zazd = shift(&azd);
+        zd.scale(self.bias.p()).add(&zazd.scale(self.bias.q() / self.bias.ruin()))
+    }
+
+    /// `M̂(Z) = ε·D(Z) / (1 − (1 − ε)Ê(Z))`: a probability generating
+    /// function dominating the index of the first consecutive Catalan
+    /// pair.
+    pub fn m_hat_series(&self, terms: usize) -> Series {
+        let d = self.bias.descent_series(terms);
+        let e = self.epoch_series(terms).scale(1.0 - self.bias.epsilon());
+        d.scale(self.bias.epsilon()).div_one_minus(&e)
+    }
+
+    /// `M̃(Z) = X_∞(D(Z)) · M̂(Z)`: the long-prefix variant.
+    pub fn m_tilde_series(&self, terms: usize) -> Series {
+        let m_hat = self.m_hat_series(terms);
+        let beta_d = self.bias.descent_series(terms).scale(self.bias.beta());
+        m_hat.scale(1.0 - self.bias.beta()).div_one_minus(&beta_d)
+    }
+
+    /// Near-exact tail by series expansion (`O(k²)`).
+    pub fn tail_exact(&self, k: usize) -> f64 {
+        self.m_tilde_series(k + 1).tail_from(k, 1.0)
+    }
+
+    /// Closed-form `M̃(z)`; `None` outside convergence.
+    pub fn m_tilde_eval(&self, z: f64) -> Option<f64> {
+        let d = self.bias.descent_eval(z)?;
+        let a_of = self.bias.ascent_eval(z * d)?;
+        let e_hat = self.bias.p() * z * d + self.bias.q() * z * a_of / self.bias.ruin();
+        let denom = 1.0 - (1.0 - self.bias.epsilon()) * e_hat;
+        if denom <= 0.0 {
+            return None;
+        }
+        let m_hat = self.bias.epsilon() * d / denom;
+        let beta = self.bias.beta();
+        if beta * d >= 1.0 {
+            return None;
+        }
+        Some((1.0 - beta) * m_hat / (1.0 - beta * d))
+    }
+
+    /// The radius of convergence (Section 5.2 shows `(1 − ε)Ê(z) < 1`
+    /// throughout, so the radius is `R₁`).
+    pub fn radius(&self) -> f64 {
+        self.bias.composite_radius()
+    }
+
+    /// The asymptotic error exponent `ln R ≈ ε³/2` (Equation (11)).
+    pub fn rate(&self) -> f64 {
+        self.radius().ln()
+    }
+
+    /// Rigorous Chernoff tail at window length `k`.
+    pub fn tail(&self, k: usize) -> f64 {
+        chernoff_min(|z| self.m_tilde_eval(z), self.radius(), k)
+    }
+
+    /// Rigorous upper bound on `Σ_{r ≥ k} tail(r)` (for Theorem 8's
+    /// tie-breaking variant).
+    pub fn tail_sum(&self, k: usize) -> f64 {
+        let radius = self.radius();
+        let mut best = f64::INFINITY;
+        for i in 1..CHERNOFF_GRID {
+            let z = 1.0 + (radius - 1.0) * i as f64 / CHERNOFF_GRID as f64;
+            if let Some(g) = self.m_tilde_eval(z) {
+                if z > 1.0 {
+                    let v = g * (-(k as f64) * z.ln()).exp() / (1.0 - 1.0 / z);
+                    best = best.min(v);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Bound 3 (Section 8.2): after a Catalan slot `c`, the probability that
+/// the walk ever returns within `Δ` of its level at `c` once `k` further
+/// slots have elapsed — the extra tail the Δ-synchronous reduction pays.
+#[derive(Debug, Clone, Copy)]
+pub struct Bound3 {
+    bias: Bias,
+    delta: usize,
+}
+
+impl Bound3 {
+    /// Creates the bound for honest margin `ε` and delay `Δ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `ε ∉ (0, 1)`.
+    pub fn new(epsilon: f64, delta: usize) -> Result<Bound3, ParameterError> {
+        Ok(Bound3 { bias: Bias::from_epsilon(epsilon)?, delta })
+    }
+
+    /// `f(Δ, t) = Σ_{j ≤ Δ, j ≡ t (2)} C(t, (t+j)/2) p^{(t−j)/2} q^{(t+j)/2}`:
+    /// the probability that the ε-biased walk sits within `Δ` of its
+    /// starting level after `t` steps (on the favourable side).
+    pub fn step_mass(&self, t: usize) -> f64 {
+        let lf = LnFactorials::up_to(t);
+        self.step_mass_with(&lf, t)
+    }
+
+    fn step_mass_with(&self, lf: &LnFactorials, t: usize) -> f64 {
+        let ln_p = self.bias.p().ln();
+        let ln_q = self.bias.q().ln();
+        let mut acc = 0.0;
+        for j in 0..=self.delta.min(t) {
+            if !(t + j).is_multiple_of(2) {
+                continue;
+            }
+            let down = (t + j) / 2;
+            let up = t - down;
+            acc += (lf.ln_choose(t, down) + up as f64 * ln_p + down as f64 * ln_q).exp();
+        }
+        acc
+    }
+
+    /// The tail `Σ_{t ≥ k} f(Δ, t)`, truncated once increments become
+    /// negligible (the terms decay like `(1 − ε²)^{t/2}`), clamped to 1.
+    pub fn tail(&self, k: usize) -> f64 {
+        let eps = self.bias.epsilon();
+        // Terms shrink by ≈ √(1 − ε²) per step; run until the geometric
+        // remainder is below f64 resolution of the accumulated sum.
+        let ratio = (1.0 - eps * eps).sqrt();
+        let horizon = k + ((700.0 / -ratio.ln()).ceil() as usize).max(64);
+        let lf = LnFactorials::up_to(horizon);
+        let mut acc = 0.0;
+        for t in k..=horizon {
+            acc += self.step_mass_with(&lf, t);
+            if acc >= 1.0 {
+                return 1.0;
+            }
+        }
+        acc.min(1.0)
+    }
+}
+
+/// `Z · S(Z)`: shift a series by one degree.
+fn shift(s: &Series) -> Series {
+    let n = s.terms();
+    let mut c = Vec::with_capacity(n);
+    c.push(0.0);
+    c.extend((1..n).map(|t| s.coefficient(t - 1)));
+    Series::from_coefficients(c)
+}
+
+/// The composite `A(Z·D(Z))` as a series: `Σ_m a_{2m+1} (ZD)^{2m+1}`.
+fn ascent_of_zd(bias: &Bias, terms: usize) -> Series {
+    let a = bias.ascent_series(terms);
+    let d = bias.descent_series(terms);
+    let w = shift(&d); // Z·D — minimum degree 2
+    let w2 = w.mul(&w);
+    let mut power = w.clone(); // W^{2m+1}, starting at m = 0
+    let mut acc = Series::zeros(terms);
+    let mut m = 0usize;
+    loop {
+        let coeff = a.coefficient(2 * m + 1);
+        if 2 * (2 * m + 1) >= terms {
+            break;
+        }
+        if coeff != 0.0 {
+            acc = acc.add(&power.scale(coeff));
+        }
+        power = power.mul(&w2);
+        m += 1;
+    }
+    acc
+}
+
+/// `min_z g(z)/z^k` over a grid in `(1, radius)`, clamped to `[0, 1]`.
+fn chernoff_min<G: Fn(f64) -> Option<f64>>(g: G, radius: f64, k: usize) -> f64 {
+    let mut best = 1.0f64;
+    for i in 1..CHERNOFF_GRID {
+        let z = 1.0 + (radius - 1.0) * i as f64 / CHERNOFF_GRID as f64;
+        if z <= 1.0 {
+            continue;
+        }
+        if let Some(gz) = g(z) {
+            // g(z)·e^{−k ln z}: compute in log space to avoid underflow of
+            // z^{-k} for large k.
+            let v = gz * (-(k as f64) * z.ln()).exp();
+            best = best.min(v);
+        }
+    }
+    best.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_hat_is_probability_series() {
+        let b = Bound1::new(0.3, 0.4).unwrap();
+        let c = b.c_hat_series(3000);
+        let total = c.partial_sum(3000);
+        assert!((total - 1.0).abs() < 1e-5, "Ĉ(1) = {total}");
+        // All coefficients non-negative.
+        assert!(c.coefficients().iter().all(|&x| x >= -1e-15));
+    }
+
+    #[test]
+    fn c_tilde_is_probability_series() {
+        let b = Bound1::new(0.3, 0.4).unwrap();
+        let c = b.c_tilde_series(4000);
+        let total = c.partial_sum(4000);
+        assert!((total - 1.0).abs() < 1e-4, "C̃(1) = {total}");
+    }
+
+    #[test]
+    fn m_hat_is_probability_series() {
+        let b = Bound2::new(0.3).unwrap();
+        let m = b.m_hat_series(3000);
+        let total = m.partial_sum(3000);
+        assert!((total - 1.0).abs() < 1e-5, "M̂(1) = {total}");
+    }
+
+    #[test]
+    fn chernoff_dominates_series_tail() {
+        // The Chernoff bound must upper-bound the near-exact series tail.
+        let b = Bound1::new(0.2, 0.3).unwrap();
+        for k in [10, 50, 150] {
+            let exact = b.tail_exact(k);
+            let chern = b.tail(k);
+            assert!(
+                chern >= exact - 1e-12,
+                "k = {k}: chernoff {chern} < exact {exact}"
+            );
+        }
+        let b2 = Bound2::new(0.2).unwrap();
+        for k in [10, 50, 150] {
+            assert!(b2.tail(k) >= b2.tail_exact(k) - 1e-12, "k = {k}");
+        }
+    }
+
+    #[test]
+    fn tails_decay_exponentially() {
+        let b = Bound1::new(0.25, 0.3).unwrap();
+        let t100 = b.tail(100);
+        let t200 = b.tail(200);
+        let t400 = b.tail(400);
+        assert!(t200 < t100 && t400 < t200);
+        // Asymptotically the log-tail slope approaches −rate: at large k
+        // the measured slope must sit within [0.5, 1.0]·rate (the Chernoff
+        // constant C̃(z*) eats some of the exponent at finite k, never
+        // improves it).
+        let rate = b.rate();
+        let k = 4000.0;
+        let slope = -b.tail(4000).ln() / k;
+        assert!(slope <= rate + 1e-12, "slope {slope} exceeds rate {rate}");
+        assert!(slope >= 0.5 * rate, "slope {slope} too shallow vs rate {rate}");
+    }
+
+    #[test]
+    fn rate_scales_with_epsilon_and_qh() {
+        // Ω(min(ε³, ε²q_h)): rate grows with both parameters.
+        let base = Bound1::new(0.1, 0.2).unwrap().rate();
+        let more_eps = Bound1::new(0.2, 0.2).unwrap().rate();
+        let more_qh = Bound1::new(0.1, 0.4).unwrap().rate();
+        assert!(base > 0.0);
+        assert!(more_eps > base);
+        assert!(more_qh >= base);
+        // When q_h is tiny the rate collapses towards zero (ε²q_h regime).
+        let tiny = Bound1::new(0.1, 1e-4).unwrap().rate();
+        assert!(tiny < base / 2.0);
+    }
+
+    #[test]
+    fn bound2_rate_matches_eps_cubed_over_two() {
+        // Equation (5)/(11): ln R₁ = ε³/2 · (1 + O(ε)).
+        for eps in [0.05, 0.1, 0.2] {
+            let r = Bound2::new(eps).unwrap().rate();
+            let predicted = eps.powi(3) / 2.0;
+            assert!(
+                (r / predicted - 1.0).abs() < 0.35,
+                "eps = {eps}: rate {r} vs ε³/2 = {predicted}"
+            );
+        }
+    }
+
+    #[test]
+    fn bound1_recovers_bound2_regime_when_qh_saturates() {
+        // With q_h = q (no H slots), Bound 1's radius is the composite
+        // radius (the paper: recovers the bound of [4]).
+        let eps = 0.2;
+        let b = Bound1::new(eps, (1.0 + eps) / 2.0).unwrap();
+        let r1 = b.bias().composite_radius();
+        assert!((b.radius() - r1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound3_basics() {
+        let b = Bound3::new(0.3, 2).unwrap();
+        // f(Δ, 0) = 1 (the walk starts within Δ of itself, j = 0 term).
+        assert!((b.step_mass(0) - 1.0).abs() < 1e-12);
+        // Tail decreases in k and increases in Δ.
+        let t10 = b.tail(10);
+        let t40 = b.tail(40);
+        assert!(t40 < t10);
+        let wider = Bound3::new(0.3, 8).unwrap().tail(10);
+        assert!(wider >= t10);
+        // Larger ε decays faster.
+        let sharp = Bound3::new(0.5, 2).unwrap().tail(40);
+        assert!(sharp < t40);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Bound1::new(0.2, 0.0).is_err());
+        assert!(Bound1::new(0.2, 0.9).is_err());
+        assert!(Bound1::new(1.2, 0.1).is_err());
+        assert!(Bound2::new(0.0).is_err());
+        assert!(Bound3::new(2.0, 1).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! # multihonest-analytic
+//!
+//! The stochastic machinery of Sections 4, 5 and 8 of *Consistency of
+//! Proof-of-Stake Blockchains with Concurrent Honest Slot Leaders*
+//! (Kiayias, Quader, Russell; ICDCS 2020): generating functions for biased
+//! walks, the tail bounds on the rarity of Catalan slots (Bounds 1 and 2),
+//! the ballot-style bound for the Δ-synchronous reduction (Bound 3), and
+//! numeric evaluators for the headline consistency theorems
+//! (Theorems 1, 2, 7 and 8).
+//!
+//! The crate works with two complementary representations:
+//!
+//! * **truncated power series** ([`series::Series`]) — exact non-negative
+//!   coefficients of the descent/ascent generating functions `D(Z)`,
+//!   `A(Z)` and their composites `F(Z)`, `Ĉ(Z)`, `M̂(Z)` (Section 5),
+//!   giving near-exact tail probabilities for moderate horizons;
+//! * **closed-form real evaluation** ([`walks`]) — `D(z)`, `A(z)` as
+//!   algebraic functions of a real `z` inside the radius of convergence,
+//!   powering rigorous Chernoff-style tail bounds
+//!   `Pr[T ≥ k] ≤ G(z) / z^k` and the radius computations `R₁`, `R₂` that
+//!   yield the `e^{−Θ(k)}` rates.
+//!
+//! ## Example
+//!
+//! ```
+//! use multihonest_analytic::bounds::Bound1;
+//!
+//! // ε = 0.4 honest margin, uniquely honest slots with probability 0.3.
+//! let b = Bound1::new(0.4, 0.3)?;
+//! let p100 = b.tail(100);
+//! let p400 = b.tail(400);
+//! assert!(p400 < p100);          // exponential decay in k
+//! assert!(b.rate() > 0.0);       // strictly positive exponent
+//! # Ok::<(), multihonest_analytic::ParameterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod bounds;
+pub mod series;
+pub mod theorems;
+pub mod walks;
+
+pub use crate::bounds::{Bound1, Bound2, Bound3};
+pub use crate::theorems::{
+    cp_insecurity_bound, settlement_insecurity_bound, settlement_insecurity_bound_tiebreak,
+    theorem7_bound,
+};
+
+use std::fmt;
+
+/// Error for out-of-range analytic parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParameterError {
+    message: String,
+}
+
+impl ParameterError {
+    pub(crate) fn new(message: impl Into<String>) -> ParameterError {
+        ParameterError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParameterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid analytic parameter: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParameterError {}

@@ -1,0 +1,195 @@
+//! Truncated formal power series over `f64`.
+//!
+//! The generating functions of paper Section 5 have non-negative
+//! coefficients bounded by 1, so plain `f64` arithmetic with truncation at
+//! a fixed order is numerically benign: every operation used here
+//! (addition, multiplication, reciprocal of `1 − F` with `F(0) = 0`)
+//! produces coefficients that are exact up to rounding, with truncation
+//! only *discarding* high-order terms (never corrupting low-order ones).
+
+/// A power series `Σ c_t Z^t` truncated to a fixed number of terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    c: Vec<f64>,
+}
+
+impl Series {
+    /// The zero series with `terms` coefficients.
+    pub fn zeros(terms: usize) -> Series {
+        Series { c: vec![0.0; terms] }
+    }
+
+    /// A series from explicit coefficients.
+    pub fn from_coefficients(c: Vec<f64>) -> Series {
+        Series { c }
+    }
+
+    /// The monomial `a·Z^k`, truncated to `terms`.
+    pub fn monomial(terms: usize, k: usize, a: f64) -> Series {
+        let mut s = Series::zeros(terms);
+        if k < terms {
+            s.c[k] = a;
+        }
+        s
+    }
+
+    /// Number of retained terms.
+    pub fn terms(&self) -> usize {
+        self.c.len()
+    }
+
+    /// The coefficient of `Z^t` (0 beyond the truncation order).
+    pub fn coefficient(&self, t: usize) -> f64 {
+        self.c.get(t).copied().unwrap_or(0.0)
+    }
+
+    /// All coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// `self + other` (termwise; the result keeps `self`'s order).
+    pub fn add(&self, other: &Series) -> Series {
+        let mut c = self.c.clone();
+        for (i, x) in c.iter_mut().enumerate() {
+            *x += other.coefficient(i);
+        }
+        Series { c }
+    }
+
+    /// `a · self`.
+    pub fn scale(&self, a: f64) -> Series {
+        Series { c: self.c.iter().map(|x| x * a).collect() }
+    }
+
+    /// `self · other`, truncated to `self`'s order.
+    pub fn mul(&self, other: &Series) -> Series {
+        let n = self.c.len();
+        let mut c = vec![0.0; n];
+        for (i, &a) in self.c.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            for (j, &b) in other.c.iter().enumerate() {
+                if i + j >= n {
+                    break;
+                }
+                c[i + j] += a * b;
+            }
+        }
+        Series { c }
+    }
+
+    /// `self / (1 − f)` where `f(0) = 0`: the standard recursive series
+    /// division, exact term by term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` has a non-zero constant term.
+    pub fn div_one_minus(&self, f: &Series) -> Series {
+        assert!(
+            f.coefficient(0) == 0.0,
+            "div_one_minus requires f(0) = 0, got {}",
+            f.coefficient(0)
+        );
+        let n = self.c.len();
+        let mut c = vec![0.0; n];
+        for t in 0..n {
+            // c_t = self_t + Σ_{j=1..t} f_j · c_{t−j}
+            let mut acc = self.c[t];
+            for j in 1..=t {
+                let fj = f.coefficient(j);
+                if fj != 0.0 {
+                    acc += fj * c[t - j];
+                }
+            }
+            c[t] = acc;
+        }
+        Series { c }
+    }
+
+    /// The partial sum `Σ_{t < k} c_t` with Kahan compensation.
+    pub fn partial_sum(&self, k: usize) -> f64 {
+        let mut acc = 0.0;
+        let mut comp = 0.0;
+        for &x in self.c.iter().take(k) {
+            let y = x - comp;
+            let t = acc + y;
+            comp = (t - acc) - y;
+            acc = t;
+        }
+        acc
+    }
+
+    /// For a (sub-)probability series, `Σ_{t ≥ k} c_t` computed as
+    /// `total − partial_sum(k)`, clamped to `[0, 1]`. `total` defaults to
+    /// 1 for probability generating functions.
+    pub fn tail_from(&self, k: usize, total: f64) -> f64 {
+        (total - self.partial_sum(k)).clamp(0.0, 1.0)
+    }
+
+    /// Evaluates the truncated series at `z ≥ 0` (Horner).
+    pub fn eval(&self, z: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.c.iter().rev() {
+            acc = acc * z + c;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_matches_polynomial_arithmetic() {
+        // (1 + 2Z)(3 + Z + Z²) = 3 + 7Z + 3Z² + 2Z³
+        let a = Series::from_coefficients(vec![1.0, 2.0, 0.0, 0.0]);
+        let b = Series::from_coefficients(vec![3.0, 1.0, 1.0, 0.0]);
+        let c = a.mul(&b);
+        assert_eq!(c.coefficients(), &[3.0, 7.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        // g = a / (1−f)  ⇒  g · (1−f) = a.
+        let a = Series::from_coefficients(vec![0.5, 0.25, 0.0, 0.125, 0.0, 0.0]);
+        let f = Series::from_coefficients(vec![0.0, 0.5, 0.25, 0.0, 0.1, 0.0]);
+        let g = a.div_one_minus(&f);
+        let one_minus_f =
+            Series::from_coefficients(vec![1.0, -0.5, -0.25, 0.0, -0.1, 0.0]);
+        let back = g.mul(&one_minus_f);
+        for t in 0..6 {
+            assert!((back.coefficient(t) - a.coefficient(t)).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn geometric_series_via_division() {
+        // 1/(1−Z/2) = Σ (1/2)^t Z^t.
+        let one = Series::monomial(8, 0, 1.0);
+        let f = Series::monomial(8, 1, 0.5);
+        let g = one.div_one_minus(&f);
+        for t in 0..8 {
+            assert!((g.coefficient(t) - 0.5f64.powi(t as i32)).abs() < 1e-12);
+        }
+        assert!((g.eval(0.5) - (1.0 / (1.0 - 0.25))).abs() < 1e-2); // truncated
+    }
+
+    #[test]
+    fn partial_and_tail_sums() {
+        let s = Series::from_coefficients(vec![0.5, 0.25, 0.125, 0.0625]);
+        assert!((s.partial_sum(2) - 0.75).abs() < 1e-15);
+        assert!((s.tail_from(2, 1.0) - 0.25).abs() < 1e-15);
+        assert_eq!(s.tail_from(0, 1.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "f(0) = 0")]
+    fn division_requires_zero_constant_term() {
+        let a = Series::monomial(4, 0, 1.0);
+        let f = Series::monomial(4, 0, 0.5);
+        let _ = a.div_one_minus(&f);
+    }
+}

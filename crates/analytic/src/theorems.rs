@@ -1,0 +1,185 @@
+//! Numeric evaluators for the paper's headline theorems.
+//!
+//! Each function returns a **rigorous upper bound** on the corresponding
+//! insecurity probability, computed through the Catalan-slot tail bounds
+//! of [`crate::bounds`]:
+//!
+//! * Theorem 1 → [`settlement_insecurity_bound`];
+//! * Theorem 2 → [`settlement_insecurity_bound_tiebreak`];
+//! * Theorem 7 → [`theorem7_bound`];
+//! * Theorem 8 → [`cp_insecurity_bound`] /
+//!   [`cp_insecurity_bound_tiebreak`].
+
+use multihonest_chars::SemiSyncCondition;
+
+use crate::bounds::{Bound1, Bound2, Bound3};
+use crate::ParameterError;
+
+/// Theorem 1: an upper bound on the `(s, k)`-settlement insecurity
+/// `S^{s,k}[B]` under the `(ε, p_h)`-Bernoulli condition.
+///
+/// The proof pipeline: a settlement violation requires the window
+/// `[s, s + k − 1]` to contain **no uniquely honest Catalan slot**
+/// (Theorem 3 + Equation (1)), whose probability Bound 1 caps at
+/// `e^{−k·Ω(min(ε³, ε²p_h))}`. By stochastic dominance the same bound
+/// holds for any distribution dominated by the Bernoulli condition.
+///
+/// # Errors
+///
+/// Returns an error when `ε ∉ (0, 1)` or `p_h ∉ (0, (1 + ε)/2]` — in
+/// particular Theorem 1 genuinely requires `p_h > 0`; use the
+/// tie-breaking variant otherwise.
+pub fn settlement_insecurity_bound(
+    epsilon: f64,
+    p_h: f64,
+    k: usize,
+) -> Result<f64, ParameterError> {
+    Ok(Bound1::new(epsilon, p_h)?.tail(k))
+}
+
+/// Theorem 2: the settlement insecurity bound in the consistent
+/// tie-breaking model (axiom A0′), valid even for bivalent strings
+/// (`p_h = 0`): `e^{−k·Ω(ε³)}` via consecutive Catalan slots (Bound 2).
+///
+/// # Errors
+///
+/// Returns an error when `ε ∉ (0, 1)`.
+pub fn settlement_insecurity_bound_tiebreak(epsilon: f64, k: usize) -> Result<f64, ParameterError> {
+    Ok(Bound2::new(epsilon)?.tail(k))
+}
+
+/// Theorem 8 (first claim): an upper bound on
+/// `Pr[w violates k-CP^slot]` (hence also `k`-CP) for a length-`T`
+/// string under the `(ε, p_h)`-Bernoulli condition:
+/// `T · Σ_{r ≥ k} tail₁(r)`.
+///
+/// # Errors
+///
+/// Returns an error when the Bound 1 parameters are out of range.
+pub fn cp_insecurity_bound(
+    epsilon: f64,
+    p_h: f64,
+    total_len: usize,
+    k: usize,
+) -> Result<f64, ParameterError> {
+    let b = Bound1::new(epsilon, p_h)?;
+    Ok((total_len as f64 * b.tail_sum(k)).min(1.0))
+}
+
+/// Theorem 8 (second claim): the common-prefix bound under consistent
+/// tie-breaking, `T · Σ_{r ≥ k} tail₂(r)`, valid for bivalent strings.
+///
+/// # Errors
+///
+/// Returns an error when `ε ∉ (0, 1)`.
+pub fn cp_insecurity_bound_tiebreak(
+    epsilon: f64,
+    total_len: usize,
+    k: usize,
+) -> Result<f64, ParameterError> {
+    let b = Bound2::new(epsilon)?;
+    Ok((total_len as f64 * b.tail_sum(k)).min(1.0))
+}
+
+/// Theorem 7: the `(k, Δ)`-settlement insecurity bound in the
+/// Δ-synchronous setting.
+///
+/// The Δ-synchronous execution is reduced through `ρ_Δ` to a synchronous
+/// one whose symbols follow [`SemiSyncCondition::reduced_condition`]; the
+/// failure probability splits (Equation (24)) into
+///
+/// * `Pr[no uniquely honest Catalan slot in the k-window]` — Bound 1 at
+///   the reduced parameters `(ε_Δ, q_h)`; plus
+/// * `Pr[the walk returns within Δ after the Catalan slot]` — Bound 3.
+///
+/// # Errors
+///
+/// Returns an error when condition (20) fails for this `Δ` (the reduced
+/// adversarial rate reaches 1/2) or the reduced `q_h` vanishes.
+pub fn theorem7_bound(
+    cond: &SemiSyncCondition,
+    delta: usize,
+    k: usize,
+) -> Result<f64, ParameterError> {
+    let reduced = cond
+        .reduced_condition(delta)
+        .map_err(|e| ParameterError::new(e.to_string()))?;
+    let eps = reduced.epsilon();
+    let q_h = reduced.p_unique_honest();
+    let b1 = Bound1::new(eps, q_h)?;
+    let b3 = Bound3::new(eps, delta)?;
+    Ok((b1.tail(k) + b3.tail(k)).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_bound_decays() {
+        let b100 = settlement_insecurity_bound(0.2, 0.3, 100).unwrap();
+        let b300 = settlement_insecurity_bound(0.2, 0.3, 300).unwrap();
+        assert!(b300 < b100);
+        assert!(b100 <= 1.0 && b300 > 0.0);
+    }
+
+    #[test]
+    fn theorem1_requires_positive_ph() {
+        assert!(settlement_insecurity_bound(0.2, 0.0, 100).is_err());
+        // …but Theorem 2 does not.
+        assert!(settlement_insecurity_bound_tiebreak(0.2, 100).is_ok());
+    }
+
+    #[test]
+    fn theorem1_dominates_exact_dp() {
+        // The analytic bound must upper-bound the exact DP probability.
+        use multihonest_chars::BernoulliCondition;
+        use multihonest_margin::ExactSettlement;
+        for (eps, ph, k) in [(0.3, 0.3, 60), (0.2, 0.5, 100), (0.4, 0.2, 40)] {
+            let bound = settlement_insecurity_bound(eps, ph, k).unwrap();
+            let cond = BernoulliCondition::new(eps, ph).unwrap();
+            let exact = ExactSettlement::new(cond).violation_probability(k);
+            assert!(
+                bound >= exact,
+                "eps={eps} ph={ph} k={k}: bound {bound:e} < exact {exact:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_beats_theorem1_when_ph_vanishes() {
+        // In the p_h → 0 regime Theorem 1's bound collapses while
+        // Theorem 2's stays exponential.
+        let k = 400;
+        let t1 = settlement_insecurity_bound(0.4, 1e-6, k).unwrap();
+        let t2 = settlement_insecurity_bound_tiebreak(0.4, k).unwrap();
+        assert!(t2 < t1, "t2 = {t2:e} should beat t1 = {t1:e}");
+        assert!(t2 < 1e-2, "t2 = {t2:e}");
+        assert!(t1 > 0.5, "Theorem 1 is vacuous without uniquely honest slots");
+    }
+
+    #[test]
+    fn cp_bound_scales_with_horizon() {
+        let a = cp_insecurity_bound(0.5, 0.6, 10_000, 600).unwrap();
+        let b = cp_insecurity_bound(0.5, 0.6, 100_000, 600).unwrap();
+        assert!(a < b || (a == 1.0 && b == 1.0));
+        assert!(a < 1e-2, "a = {a:e}");
+        let c = cp_insecurity_bound(0.5, 0.6, 10_000, 1200).unwrap();
+        assert!(c < a);
+        let d = cp_insecurity_bound_tiebreak(0.5, 10_000, 1200).unwrap();
+        assert!(d <= 1.0 && d > 0.0);
+    }
+
+    #[test]
+    fn theorem7_reduction_pipeline() {
+        // A sparse chain (f = 0.05) tolerates sizeable Δ.
+        let cond = SemiSyncCondition::new(0.05, 0.01, 0.03).unwrap();
+        let b_small = theorem7_bound(&cond, 2, 300).unwrap();
+        let b_large = theorem7_bound(&cond, 8, 300).unwrap();
+        assert!(b_small < b_large, "more delay, weaker guarantee");
+        let b_longer = theorem7_bound(&cond, 2, 600).unwrap();
+        assert!(b_longer < b_small);
+        // Condition (20) must eventually fail for huge Δ.
+        assert!(theorem7_bound(&cond, 200, 300).is_err());
+    }
+}

@@ -1,0 +1,246 @@
+//! Descent/ascent generating functions of the ε-biased ±1 walk
+//! (paper Section 5), in both coefficient and closed form.
+//!
+//! With `p = (1 − ε)/2` (up-step) and `q = (1 + ε)/2` (down-step):
+//!
+//! * `D(Z)` — the descent stopping time (first passage to −1):
+//!   `D(Z) = (1 − √(1 − 4pqZ²))/(2pZ)`, a probability generating function;
+//! * `A(Z)` — the ascent stopping time (first passage to +1):
+//!   `A(Z) = (1 − √(1 − 4pqZ²))/(2qZ)`, defective with `A(1) = p/q`
+//!   (gambler's ruin).
+//!
+//! Coefficientwise, `Pr[descent takes 2m+1 steps] = C_m p^m q^{m+1}` with
+//! `C_m` the Catalan numbers — the combinatorial namesake of the paper's
+//! Catalan slots.
+
+use crate::series::Series;
+use crate::ParameterError;
+
+/// The walk parameter pack: `p` up, `q = 1 − p` down, `q − p = ε > 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bias {
+    p: f64,
+    q: f64,
+}
+
+impl Bias {
+    /// Creates the bias from the honest margin `ε ∈ (0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `ε ∉ (0, 1)`.
+    pub fn from_epsilon(epsilon: f64) -> Result<Bias, ParameterError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(ParameterError::new(format!("epsilon = {epsilon} not in (0, 1)")));
+        }
+        Ok(Bias { p: (1.0 - epsilon) / 2.0, q: (1.0 + epsilon) / 2.0 })
+    }
+
+    /// The up-step (adversarial) probability `p = (1 − ε)/2`.
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// The down-step (honest) probability `q = (1 + ε)/2`.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// `ε = q − p`.
+    pub fn epsilon(&self) -> f64 {
+        self.q - self.p
+    }
+
+    /// Gambler's ruin: the probability that the walk ever rises by one,
+    /// `A(1) = p/q`.
+    pub fn ruin(&self) -> f64 {
+        self.p / self.q
+    }
+
+    /// `β = (1 − ε)/(1 + ε) = p/q`: the geometric ratio of the stationary
+    /// reflected-walk law `X_∞` (Equation (9)).
+    pub fn beta(&self) -> f64 {
+        self.p / self.q
+    }
+
+    /// The stationary law `X_∞(r) = (1 − β) β^r`.
+    pub fn x_infinity(&self, r: usize) -> f64 {
+        let beta = self.beta();
+        (1.0 - beta) * beta.powi(r as i32)
+    }
+
+    /// The descent series `D(Z)` truncated to `terms` coefficients.
+    pub fn descent_series(&self, terms: usize) -> Series {
+        // D has coefficients C_m p^m q^{m+1} at odd degrees 2m+1, built by
+        // the stable recurrence ratio: d_{m+1}/d_m = C_{m+1}/C_m · pq
+        //   = (2(2m+1)/(m+2)) · p q.
+        let mut s = Series::zeros(terms);
+        let mut coeff = self.q; // m = 0: C_0 q = q at degree 1
+        let mut m = 0usize;
+        loop {
+            let deg = 2 * m + 1;
+            if deg >= terms {
+                break;
+            }
+            // SAFETY of index: deg < terms checked above.
+            s = s.add(&Series::monomial(terms, deg, coeff));
+            coeff *= 2.0 * (2.0 * m as f64 + 1.0) / (m as f64 + 2.0) * self.p * self.q;
+            m += 1;
+        }
+        s
+    }
+
+    /// The ascent series `A(Z)` truncated to `terms` coefficients
+    /// (defective: coefficients sum to `p/q`).
+    pub fn ascent_series(&self, terms: usize) -> Series {
+        // A is D with p and q swapped.
+        let swapped = Bias { p: self.q, q: self.p };
+        swapped.descent_series(terms)
+    }
+
+    /// Closed-form `D(z)` for real `z` inside the radius of convergence;
+    /// `None` outside (`1 − 4pqz² < 0`).
+    pub fn descent_eval(&self, z: f64) -> Option<f64> {
+        if z == 0.0 {
+            return Some(0.0);
+        }
+        let disc = 1.0 - 4.0 * self.p * self.q * z * z;
+        if disc < 0.0 {
+            return None;
+        }
+        Some((1.0 - disc.sqrt()) / (2.0 * self.p * z))
+    }
+
+    /// Closed-form `A(z)`; `None` outside the radius of convergence.
+    pub fn ascent_eval(&self, z: f64) -> Option<f64> {
+        if z == 0.0 {
+            return Some(0.0);
+        }
+        let disc = 1.0 - 4.0 * self.p * self.q * z * z;
+        if disc < 0.0 {
+            return None;
+        }
+        Some((1.0 - disc.sqrt()) / (2.0 * self.q * z))
+    }
+
+    /// The shared radius of convergence of `D` and `A`:
+    /// `1/√(4pq) = 1/√(1 − ε²)`.
+    pub fn walk_radius(&self) -> f64 {
+        1.0 / (4.0 * self.p * self.q).sqrt()
+    }
+
+    /// The radius `R₁` of the composite `A(Z·D(Z))` (paper Equation (5)):
+    /// the positivity threshold of the inner discriminant.
+    pub fn composite_radius(&self) -> f64 {
+        let eps = self.epsilon();
+        let r1sq = (2.0 / (1.0 - eps * eps).sqrt() - 1.0 / (1.0 + eps)) / (1.0 + eps);
+        r1sq.sqrt()
+    }
+}
+
+/// Natural-log factorials `ln(n!)` for `n ∈ 0..=max`, by cumulative
+/// summation (exact to f64 rounding; used by Bound 3's binomials).
+#[derive(Debug, Clone)]
+pub struct LnFactorials {
+    table: Vec<f64>,
+}
+
+impl LnFactorials {
+    /// Builds the table up to `max`.
+    pub fn up_to(max: usize) -> LnFactorials {
+        let mut table = Vec::with_capacity(max + 1);
+        table.push(0.0);
+        let mut acc = 0.0;
+        for i in 1..=max {
+            acc += (i as f64).ln();
+            table.push(acc);
+        }
+        LnFactorials { table }
+    }
+
+    /// `ln(n!)`.
+    pub fn ln_factorial(&self, n: usize) -> f64 {
+        self.table[n]
+    }
+
+    /// `ln C(n, k)`.
+    pub fn ln_choose(&self, n: usize, k: usize) -> f64 {
+        assert!(k <= n, "C({n}, {k}) undefined");
+        self.table[n] - self.table[k] - self.table[n - k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descent_series_is_probability_gf() {
+        let b = Bias::from_epsilon(0.2).unwrap();
+        let d = b.descent_series(4001);
+        let total = d.partial_sum(4001);
+        assert!((total - 1.0).abs() < 1e-6, "D(1) = {total}");
+        // Coefficients: q at Z, C_1 p q² = pq² at Z³, 2p²q³ at Z⁵.
+        assert!((d.coefficient(1) - b.q()).abs() < 1e-15);
+        assert!((d.coefficient(3) - b.p() * b.q() * b.q()).abs() < 1e-15);
+        assert!((d.coefficient(5) - 2.0 * b.p().powi(2) * b.q().powi(3)).abs() < 1e-15);
+        assert_eq!(d.coefficient(2), 0.0);
+    }
+
+    #[test]
+    fn ascent_series_sums_to_ruin_probability() {
+        let b = Bias::from_epsilon(0.3).unwrap();
+        let a = b.ascent_series(4001);
+        let total = a.partial_sum(4001);
+        assert!((total - b.ruin()).abs() < 1e-6, "A(1) = {total} vs {}", b.ruin());
+    }
+
+    #[test]
+    fn closed_form_matches_series_inside_radius() {
+        let b = Bias::from_epsilon(0.25).unwrap();
+        let d = b.descent_series(2000);
+        let a = b.ascent_series(2000);
+        for &z in &[0.3, 0.7, 0.9, 1.0] {
+            let dz = b.descent_eval(z).unwrap();
+            let az = b.ascent_eval(z).unwrap();
+            assert!((d.eval(z) - dz).abs() < 1e-9, "D({z})");
+            assert!((a.eval(z) - az).abs() < 1e-9, "A({z})");
+        }
+        assert!(b.descent_eval(2.0 * b.walk_radius()).is_none());
+    }
+
+    #[test]
+    fn radii_ordering() {
+        // R₁ < walk radius: the composite converges on a smaller disc.
+        for eps in [0.05, 0.1, 0.3, 0.5, 0.8] {
+            let b = Bias::from_epsilon(eps).unwrap();
+            assert!(b.composite_radius() > 1.0, "R1 > 1 for eps = {eps}");
+            assert!(
+                b.composite_radius() < b.walk_radius(),
+                "R1 < walk radius for eps = {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn x_infinity_is_a_distribution() {
+        let b = Bias::from_epsilon(0.2).unwrap();
+        let total: f64 = (0..2000).map(|r| b.x_infinity(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorials() {
+        let lf = LnFactorials::up_to(20);
+        assert_eq!(lf.ln_factorial(0), 0.0);
+        assert!((lf.ln_factorial(5) - 120f64.ln()).abs() < 1e-12);
+        assert!((lf.ln_choose(10, 3) - 120f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_epsilon_rejected() {
+        assert!(Bias::from_epsilon(0.0).is_err());
+        assert!(Bias::from_epsilon(1.0).is_err());
+        assert!(Bias::from_epsilon(-0.5).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Analytic machinery timing: series construction and theorem bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multihonest::analytic::{self, Bound1, Bound2};
+use multihonest::chars::SemiSyncCondition;
+
+fn bench_bound_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bound_series_tail");
+    group.sample_size(10);
+    for k in [100usize, 400] {
+        group.bench_with_input(BenchmarkId::new("bound1_exact", k), &k, |b, &k| {
+            let bound = Bound1::new(0.3, 0.4).unwrap();
+            b.iter(|| bound.tail_exact(std::hint::black_box(k)));
+        });
+        group.bench_with_input(BenchmarkId::new("bound2_exact", k), &k, |b, &k| {
+            let bound = Bound2::new(0.3).unwrap();
+            b.iter(|| bound.tail_exact(std::hint::black_box(k)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem_bounds");
+    group.bench_function("theorem1_chernoff_k400", |b| {
+        b.iter(|| analytic::settlement_insecurity_bound(0.3, 0.4, std::hint::black_box(400)))
+    });
+    group.bench_function("theorem7_delta4_k300", |b| {
+        let cond = SemiSyncCondition::new(0.05, 0.01, 0.03).unwrap();
+        b.iter(|| analytic::theorem7_bound(&cond, 4, std::hint::black_box(300)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_series, bench_theorem_bounds);
+criterion_main!(benches);

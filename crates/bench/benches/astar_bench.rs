@@ -1,0 +1,25 @@
+//! E5 timing: the optimal online adversary A* building canonical forks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multihonest::adversary::OptimalAdversary;
+use multihonest::chars::BernoulliCondition;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_astar(c: &mut Criterion) {
+    let cond = BernoulliCondition::new(0.2, 0.4).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("astar_build");
+    group.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let w = cond.sample(&mut rng, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| OptimalAdversary::build(std::hint::black_box(w)).vertex_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_astar);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Throughput of the core string algorithms: the Theorem-5 margin
+//! recurrence, the Catalan walk scan, and the ρ_Δ reduction map.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multihonest::catalan::CatalanAnalysis;
+use multihonest::chars::{BernoulliCondition, Reduction, SemiSyncCondition};
+use multihonest::margin::recurrence;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_margin_trace(c: &mut Criterion) {
+    let cond = BernoulliCondition::new(0.2, 0.4).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("margin_trace");
+    for n in [1_000usize, 10_000, 100_000] {
+        let w = cond.sample(&mut rng, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| recurrence::margin_trace(std::hint::black_box(w), 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_catalan_scan(c: &mut Criterion) {
+    let cond = BernoulliCondition::new(0.2, 0.4).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut group = c.benchmark_group("catalan_scan");
+    for n in [1_000usize, 100_000] {
+        let w = cond.sample(&mut rng, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| CatalanAnalysis::new(std::hint::black_box(w)).catalan_slots().len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let cond = SemiSyncCondition::new(0.1, 0.02, 0.05).unwrap();
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = cond.sample(&mut rng, 100_000);
+    let mut group = c.benchmark_group("reduction_map");
+    group.throughput(Throughput::Elements(100_000));
+    for delta in [1usize, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(delta), &delta, |b, &delta| {
+            b.iter(|| Reduction::new(delta).apply(std::hint::black_box(&w)).len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_margin_trace, bench_catalan_scan, bench_reduction);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Protocol simulator throughput, per strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use multihonest::prelude::*;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        let cfg = SimConfig {
+            honest_nodes: 10,
+            adversarial_stake: 0.3,
+            active_slot_coeff: 0.25,
+            delta: 2,
+            slots: 2_000,
+            tie_break: TieBreak::AdversarialOrder,
+            strategy,
+        };
+        group.throughput(Throughput::Elements(cfg.slots as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| Simulation::run(std::hint::black_box(cfg), 9).metrics().final_height);
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

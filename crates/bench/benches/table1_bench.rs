@@ -1,0 +1,20 @@
+//! E1 timing: one exact-DP cell of Table 1 at several horizons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multihonest_bench::table1_condition;
+use multihonest::margin::ExactSettlement;
+
+fn bench_table1_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_cell");
+    group.sample_size(10);
+    for k in [50usize, 100, 200] {
+        group.bench_with_input(BenchmarkId::new("alpha_0.30_ratio_0.8", k), &k, |b, &k| {
+            let exact = ExactSettlement::new(table1_condition(0.30, 0.8));
+            b.iter(|| exact.violation_probability(std::hint::black_box(k)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_cell);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates paper Table 1 (experiment E1).
+//!
+//! ```bash
+//! # quick subset (seconds):
+//! cargo run -p multihonest-bench --release --bin table1 -- --quick
+//! # the full published grid (minutes):
+//! cargo run -p multihonest-bench --release --bin table1
+//! # machine-readable output:
+//! cargo run -p multihonest-bench --release --bin table1 -- --quick --json
+//! ```
+
+use multihonest_bench::{
+    generate_table1, render_table1, TABLE1_ALPHAS, TABLE1_KS, TABLE1_RATIOS,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+
+    let (alphas, ratios, ks): (Vec<f64>, Vec<f64>, Vec<usize>) = if quick {
+        (vec![0.10, 0.30, 0.40], vec![1.0, 0.5], vec![100, 200])
+    } else {
+        (TABLE1_ALPHAS.to_vec(), TABLE1_RATIOS.to_vec(), TABLE1_KS.to_vec())
+    };
+
+    let start = std::time::Instant::now();
+    let cells = generate_table1(&alphas, &ratios, &ks);
+    let elapsed = start.elapsed();
+
+    if json {
+        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable"));
+    } else {
+        print!("{}", render_table1(&cells, &alphas, &ratios, &ks));
+        eprintln!(
+            "\n{} cells in {:.1?} (exact O(k³) DP per (α, ratio) pair)",
+            cells.len(),
+            elapsed
+        );
+        eprintln!(
+            "note: published k = 500 row under-reports; see EXPERIMENTS.md finding F1"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Shared experiment code for the `table1` and `experiments` binaries and
+//! the Criterion benches.
+//!
+//! Every artifact of the paper's evaluation maps to a function here (see
+//! DESIGN.md's experiment index E1–E10); the binaries are thin clients
+//! that format the returned structures as text or JSON.
+
+use serde::Serialize;
+
+use multihonest::chars::{BernoulliCondition, SemiSyncCondition};
+use multihonest::margin::ExactSettlement;
+use multihonest::prelude::*;
+
+/// One regenerated cell of paper Table 1.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Table1Cell {
+    /// Adversarial probability `α = Pr[A]`.
+    pub alpha: f64,
+    /// The `Pr[h]/(1 − α)` row parameter.
+    pub ratio: f64,
+    /// Settlement horizon `k`.
+    pub k: usize,
+    /// Exact violation probability.
+    pub probability: f64,
+}
+
+/// The α columns of the published table.
+pub const TABLE1_ALPHAS: [f64; 6] = [0.01, 0.10, 0.20, 0.30, 0.40, 0.49];
+/// The `Pr[h]/(1 − α)` row groups of the published table.
+pub const TABLE1_RATIOS: [f64; 6] = [1.0, 0.9, 0.8, 0.5, 0.25, 0.01];
+/// The `k` rows of the published table.
+pub const TABLE1_KS: [usize; 5] = [100, 200, 300, 400, 500];
+
+/// The Bernoulli condition of a Table-1 cell.
+pub fn table1_condition(alpha: f64, ratio: f64) -> BernoulliCondition {
+    let p_h = ratio * (1.0 - alpha);
+    BernoulliCondition::from_probabilities(p_h, 1.0 - alpha - p_h, alpha)
+        .expect("table parameters are valid")
+}
+
+/// Regenerates Table 1 (experiment E1) for the given parameter subsets,
+/// sharing one DP pass per `(α, ratio)` pair. The full published grid
+/// takes a couple of minutes; pass smaller `ks` for a quick look.
+pub fn generate_table1(alphas: &[f64], ratios: &[f64], ks: &[usize]) -> Vec<Table1Cell> {
+    let mut cells = Vec::new();
+    for &ratio in ratios {
+        for &alpha in alphas {
+            let exact = ExactSettlement::new(table1_condition(alpha, ratio));
+            let ps = exact.violation_probabilities(ks);
+            for (&k, &probability) in ks.iter().zip(&ps) {
+                cells.push(Table1Cell { alpha, ratio, k, probability });
+            }
+        }
+    }
+    cells
+}
+
+/// Formats cells in the paper's layout: one block per ratio, rows = k,
+/// columns = α.
+pub fn render_table1(cells: &[Table1Cell], alphas: &[f64], ratios: &[f64], ks: &[usize]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "Exact probabilities of k-settlement violations (paper Table 1)");
+    for &ratio in ratios {
+        let _ = writeln!(out, "\nPr[h]/(1-α) = {ratio}");
+        let _ = write!(out, "{:>5} |", "k");
+        for &alpha in alphas {
+            let _ = write!(out, " {alpha:>9} |");
+        }
+        let _ = writeln!(out);
+        for &k in ks {
+            let _ = write!(out, "{k:>5} |");
+            for &alpha in alphas {
+                let cell = cells
+                    .iter()
+                    .find(|c| c.alpha == alpha && c.ratio == ratio && c.k == k)
+                    .expect("cell generated");
+                let _ = write!(out, " {:>9.2e} |", cell.probability);
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// E6: exact DP vs the analytic Theorem-1 machinery.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct BoundVsExactRow {
+    /// Honest margin `ε`.
+    pub epsilon: f64,
+    /// Uniquely honest probability `p_h`.
+    pub p_h: f64,
+    /// Horizon `k`.
+    pub k: usize,
+    /// Exact DP violation probability.
+    pub exact: f64,
+    /// Near-exact series tail of Bound 1 (no-unique-Catalan event).
+    pub bound1_series: f64,
+    /// Rigorous Chernoff form of Theorem 1.
+    pub theorem1: f64,
+}
+
+/// Runs experiment E6 over a small grid.
+pub fn bound_vs_exact(ks: &[usize]) -> Vec<BoundVsExactRow> {
+    let mut rows = Vec::new();
+    for (epsilon, p_h) in [(0.2, 0.4), (0.3, 0.3), (0.4, 0.6), (0.1, 0.2)] {
+        let cond = BernoulliCondition::new(epsilon, p_h).expect("valid");
+        let exact = ExactSettlement::new(cond);
+        let ps = exact.violation_probabilities(ks);
+        let b1 = Bound1::new(epsilon, p_h).expect("valid");
+        for (&k, &e) in ks.iter().zip(&ps) {
+            rows.push(BoundVsExactRow {
+                epsilon,
+                p_h,
+                k,
+                exact: e,
+                bound1_series: b1.tail_exact(k),
+                theorem1: b1.tail(k),
+            });
+        }
+    }
+    rows
+}
+
+/// E7: the consistent tie-breaking regime (`p_h = 0`).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct TiebreakRow {
+    /// Honest margin `ε`.
+    pub epsilon: f64,
+    /// Horizon `k`.
+    pub k: usize,
+    /// Bound 2's rigorous tail (Theorem 2).
+    pub theorem2: f64,
+    /// Monte-Carlo frequency of the Bound-2 failure event.
+    pub mc_no_consecutive_catalan: f64,
+    /// Mean max slot divergence under adversarial ties (balance attack).
+    pub sim_divergence_adversarial_ties: f64,
+    /// Mean max slot divergence under the consistent rule.
+    pub sim_divergence_consistent: f64,
+}
+
+/// Runs experiment E7.
+pub fn tiebreak_experiment(trials: u64, sim_runs: u64) -> Vec<TiebreakRow> {
+    let mut rows = Vec::new();
+    for epsilon in [0.3, 0.5] {
+        let cond = BernoulliCondition::new(epsilon, 0.0).expect("bivalent condition");
+        let mc = MonteCarlo::new(cond, trials, 101);
+        let b2 = Bound2::new(epsilon).expect("valid");
+        for k in [50usize, 100, 200] {
+            let est = mc.no_consecutive_catalan_in_window(3 * k, k, k);
+            let (div_adv, div_con) = balance_divergences(epsilon, sim_runs);
+            rows.push(TiebreakRow {
+                epsilon,
+                k,
+                theorem2: b2.tail(k),
+                mc_no_consecutive_catalan: est.frequency(),
+                sim_divergence_adversarial_ties: div_adv,
+                sim_divergence_consistent: div_con,
+            });
+        }
+    }
+    rows
+}
+
+fn balance_divergences(epsilon: f64, runs: u64) -> (f64, f64) {
+    let stake = (1.0 - epsilon) / 2.0;
+    let mk = |tie| SimConfig {
+        honest_nodes: 8,
+        adversarial_stake: stake,
+        active_slot_coeff: 0.5,
+        delta: 0,
+        slots: 600,
+        tie_break: tie,
+        strategy: Strategy::BalanceAttack,
+    };
+    let mean = |tie| -> f64 {
+        (0..runs)
+            .map(|seed| {
+                Simulation::run(&mk(tie), seed).metrics().max_slot_divergence as f64
+            })
+            .sum::<f64>()
+            / runs as f64
+    };
+    (mean(TieBreak::AdversarialOrder), mean(TieBreak::Consistent))
+}
+
+/// E8: the Δ-synchronous setting.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct DeltaRow {
+    /// Delay bound `Δ`.
+    pub delta: usize,
+    /// Effective reduced margin `ε_Δ` (condition (20)).
+    pub effective_epsilon: f64,
+    /// Theorem 7's bound at `k`.
+    pub theorem7: f64,
+    /// Horizon used.
+    pub k: usize,
+    /// Observed settlement violations in simulation (count over anchors).
+    pub sim_violations: usize,
+}
+
+/// Runs experiment E8 for a sparse chain (`f = 0.05`).
+pub fn delta_experiment(k: usize, slots: usize) -> Vec<DeltaRow> {
+    let cond = SemiSyncCondition::new(0.05, 0.01, 0.03).expect("valid");
+    let mut rows = Vec::new();
+    for delta in [0usize, 2, 4, 8] {
+        let effective_epsilon = cond.effective_epsilon(delta).unwrap_or(f64::NAN);
+        let theorem7 = multihonest::analytic::theorem7_bound(&cond, delta, k).unwrap_or(1.0);
+        let cfg = SimConfig {
+            honest_nodes: 8,
+            adversarial_stake: 0.2,
+            active_slot_coeff: 0.05,
+            delta,
+            slots,
+            tie_break: TieBreak::AdversarialOrder,
+            strategy: Strategy::PrivateWithholding,
+        };
+        let sim = Simulation::run(&cfg, 77);
+        let sim_violations = (1..=slots.saturating_sub(2 * k))
+            .filter(|&s| sim.settlement_violation(s, k))
+            .count();
+        rows.push(DeltaRow { delta, effective_epsilon, theorem7, k, sim_violations });
+    }
+    rows
+}
+
+/// E9: which analyses admit which parameter points, and what the exact
+/// error is there.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThresholdRow {
+    /// `p_h`.
+    pub p_h: f64,
+    /// `p_H`.
+    pub p_hh: f64,
+    /// `p_A`.
+    pub p_a: f64,
+    /// This paper's threshold.
+    pub optimal: bool,
+    /// Praos/Genesis threshold.
+    pub praos: bool,
+    /// Sleepy/Snow White threshold.
+    pub snow_white: bool,
+    /// Exact violation probability at the probe horizon.
+    pub exact_at_k: f64,
+    /// The probe horizon.
+    pub k: usize,
+}
+
+/// Runs experiment E9 across a stake grid with fixed `p_A`.
+pub fn threshold_experiment(k: usize) -> Vec<ThresholdRow> {
+    let mut rows = Vec::new();
+    let p_a = 0.40;
+    for split in 0..=5 {
+        let p_h = (1.0 - p_a) * split as f64 / 5.0;
+        let p_hh = 1.0 - p_a - p_h;
+        let cond = BernoulliCondition::from_probabilities(p_h, p_hh, p_a).expect("valid");
+        let a = multihonest::analytic::baselines::classify(&cond);
+        let exact = ExactSettlement::new(cond).violation_probability(k);
+        rows.push(ThresholdRow {
+            p_h,
+            p_hh,
+            p_a,
+            optimal: a.optimal,
+            praos: a.praos_genesis,
+            snow_white: a.sleepy_snow_white,
+            exact_at_k: exact,
+            k,
+        });
+    }
+    rows
+}
+
+/// E10: Catalan-slot tail events, Monte Carlo vs the series tails.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct CatalanTailRow {
+    /// Honest margin `ε`.
+    pub epsilon: f64,
+    /// Uniquely honest probability.
+    pub p_h: f64,
+    /// Window length `k`.
+    pub k: usize,
+    /// MC frequency of "no uniquely honest Catalan slot in window".
+    pub mc_unique: f64,
+    /// Bound 1 series tail.
+    pub bound1_series: f64,
+    /// MC frequency of "no consecutive Catalan pair in window".
+    pub mc_consecutive: f64,
+    /// Bound 2 series tail.
+    pub bound2_series: f64,
+}
+
+/// Runs experiment E10.
+pub fn catalan_tail_experiment(trials: u64) -> Vec<CatalanTailRow> {
+    let mut rows = Vec::new();
+    for (epsilon, p_h) in [(0.3, 0.4), (0.5, 0.5)] {
+        let cond = BernoulliCondition::new(epsilon, p_h).expect("valid");
+        let mc = MonteCarlo::new(cond, trials, 303);
+        let b1 = Bound1::new(epsilon, p_h).expect("valid");
+        let b2 = Bound2::new(epsilon).expect("valid");
+        for k in [20usize, 40, 80] {
+            let unique = mc.no_unique_catalan_in_window(3 * k, k, k);
+            let consecutive = mc.no_consecutive_catalan_in_window(3 * k, k, k);
+            rows.push(CatalanTailRow {
+                epsilon,
+                p_h,
+                k,
+                mc_unique: unique.frequency(),
+                bound1_series: b1.tail_exact(k),
+                mc_consecutive: consecutive.frequency(),
+                bound2_series: b2.tail_exact(k),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_generation_small() {
+        let cells = generate_table1(&[0.3], &[1.0, 0.5], &[50, 100]);
+        assert_eq!(cells.len(), 4);
+        let rendered = render_table1(&cells, &[0.3], &[1.0, 0.5], &[50, 100]);
+        assert!(rendered.contains("Pr[h]/(1-α) = 1"));
+        assert!(rendered.contains("50"));
+        // Probabilities decrease with k within each ratio block.
+        for ratio in [1.0, 0.5] {
+            let p50 = cells.iter().find(|c| c.ratio == ratio && c.k == 50).unwrap();
+            let p100 = cells.iter().find(|c| c.ratio == ratio && c.k == 100).unwrap();
+            assert!(p100.probability < p50.probability);
+        }
+    }
+
+    #[test]
+    fn bound_vs_exact_ordering() {
+        for row in bound_vs_exact(&[30, 60]) {
+            assert!(row.exact <= row.theorem1 + 1e-12, "{row:?}");
+            // The series tail is itself an upper bound on the exact DP
+            // (no uniquely honest Catalan slot is necessary for violation).
+            assert!(row.exact <= row.bound1_series + 1e-9, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn threshold_rows_cover_exclusive_region() {
+        let rows = threshold_experiment(60);
+        assert!(rows.iter().all(|r| r.optimal));
+        assert!(rows.iter().any(|r| !r.snow_white));
+        assert!(rows.iter().any(|r| r.snow_white && !r.praos));
+        // Error at fixed k worsens as h-mass shifts to H.
+        let first = rows.first().unwrap(); // p_h = 0
+        let last = rows.last().unwrap(); // p_h = 1 − p_A
+        assert!(last.exact_at_k <= first.exact_at_k);
+    }
+
+    #[test]
+    fn delta_rows_weaken_with_delay() {
+        let rows = delta_experiment(40, 400);
+        for pair in rows.windows(2) {
+            assert!(pair[0].theorem7 <= pair[1].theorem7 + 1e-12);
+            assert!(pair[0].effective_epsilon >= pair[1].effective_epsilon - 1e-12);
+        }
+    }
+}

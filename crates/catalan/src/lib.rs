@@ -1,0 +1,372 @@
+//! # multihonest-catalan
+//!
+//! Catalan slots and the Unique Vertex Property (UVP) — Sections 3 and 4 of
+//! *Consistency of Proof-of-Stake Blockchains with Concurrent Honest Slot
+//! Leaders* (Kiayias, Quader, Russell; ICDCS 2020).
+//!
+//! A slot `s` of a characteristic string `w` is **Catalan** (Definition 11)
+//! when every interval `[ℓ, s]` and `[s, r]` around it is `hH`-heavy. A
+//! Catalan slot is a *barrier* for the adversary: every blockchain an
+//! honest observer could adopt after `s` contains a block from slot `s`
+//! (the bottleneck property), and when `s` is uniquely honest, that block
+//! is unique — the **Unique Vertex Property** (Theorem 3). Two consecutive
+//! Catalan slots confer the UVP even on multiply honest slots when honest
+//! parties break longest-chain ties consistently (Theorem 4).
+//!
+//! This crate computes all of these predicates in **linear time** via the
+//! ±1 walk of [`multihonest_chars::Walk`]:
+//!
+//! * `s` is left-Catalan ⇔ the walk attains a strict new minimum at `s`;
+//! * `s` is right-Catalan ⇔ the walk stays strictly below `S_{s−1}` forever
+//!   after.
+//!
+//! The naive interval definitions are also implemented and cross-checked in
+//! tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use multihonest_catalan::CatalanAnalysis;
+//!
+//! let w = "hhAhh".parse()?;
+//! let c = CatalanAnalysis::new(&w);
+//! // Slot 4 is not Catalan: the interval [3, 4] = "Ah" balances.
+//! assert_eq!(c.catalan_slots(), vec![1, 5]);
+//! assert!(c.is_catalan(5));
+//! # Ok::<(), multihonest_chars::ParseCharStringError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use multihonest_chars::{CharString, Symbol, Walk};
+
+/// Linear-time Catalan-slot analysis of a characteristic string.
+///
+/// Construction is `O(|w|)`; every per-slot query is `O(1)` (the slot-list
+/// collectors are `O(|w|)`).
+#[derive(Debug, Clone)]
+pub struct CatalanAnalysis {
+    w: CharString,
+    walk: Walk,
+}
+
+impl CatalanAnalysis {
+    /// Analyses `w`.
+    pub fn new(w: &CharString) -> CatalanAnalysis {
+        CatalanAnalysis { w: w.clone(), walk: Walk::new(w) }
+    }
+
+    /// The string under analysis.
+    pub fn string(&self) -> &CharString {
+        &self.w
+    }
+
+    /// Returns `true` when `s` is **left-Catalan** (Definition 11): every
+    /// interval `[ℓ, s]`, `ℓ ∈ [1, s]`, is `hH`-heavy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is 0 or exceeds `|w|`.
+    pub fn is_left_catalan(&self, s: usize) -> bool {
+        self.walk.is_strict_new_min(s)
+    }
+
+    /// Returns `true` when `s` is **right-Catalan** (Definition 11): every
+    /// interval `[s, r]`, `r ∈ [s, |w|]`, is `hH`-heavy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is 0 or exceeds `|w|`.
+    pub fn is_right_catalan(&self, s: usize) -> bool {
+        self.walk.stays_strictly_below_from(s)
+    }
+
+    /// Returns `true` when `s` is a **Catalan slot**: both left- and
+    /// right-Catalan. Catalan slots are necessarily honest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is 0 or exceeds `|w|`.
+    pub fn is_catalan(&self, s: usize) -> bool {
+        self.is_left_catalan(s) && self.is_right_catalan(s)
+    }
+
+    /// Returns `true` when `s` is Catalan **and** uniquely honest — the
+    /// hypothesis of Theorem 3, under which `s` has the UVP.
+    pub fn is_uniquely_honest_catalan(&self, s: usize) -> bool {
+        self.w.get(s) == Symbol::UniqueHonest && self.is_catalan(s)
+    }
+
+    /// All Catalan slots, in increasing order.
+    pub fn catalan_slots(&self) -> Vec<usize> {
+        (1..=self.w.len()).filter(|s| self.is_catalan(*s)).collect()
+    }
+
+    /// All uniquely honest Catalan slots, in increasing order.
+    pub fn uniquely_honest_catalan_slots(&self) -> Vec<usize> {
+        (1..=self.w.len()).filter(|s| self.is_uniquely_honest_catalan(*s)).collect()
+    }
+
+    /// The first uniquely honest Catalan slot in `from..=to` (inclusive,
+    /// clamped to the string), if any.
+    pub fn first_uniquely_honest_catalan_in(&self, from: usize, to: usize) -> Option<usize> {
+        let to = to.min(self.w.len());
+        (from.max(1)..=to).find(|s| self.is_uniquely_honest_catalan(*s))
+    }
+
+    /// All slots `s` such that both `s` and `s + 1` are Catalan — the
+    /// hypothesis of Theorem 4 (consistent tie-breaking), in increasing
+    /// order of `s`.
+    pub fn consecutive_catalan_pairs(&self) -> Vec<usize> {
+        (1..self.w.len())
+            .filter(|s| self.is_catalan(*s) && self.is_catalan(*s + 1))
+            .collect()
+    }
+
+    /// The first slot `s ∈ from..=to` with both `s` and `s + 1` Catalan.
+    pub fn first_consecutive_catalan_in(&self, from: usize, to: usize) -> Option<usize> {
+        let to = to.min(self.w.len().saturating_sub(1));
+        (from.max(1)..=to).find(|s| self.is_catalan(*s) && self.is_catalan(*s + 1))
+    }
+
+    /// Theorem 3 / Equation (1): slot `start` is `k`-settled whenever some
+    /// uniquely honest Catalan slot lies in `[start, start + k − 1]`
+    /// (the proof of Theorem 1 uses exactly this window).
+    pub fn settles_by_unique_catalan(&self, start: usize, k: usize) -> bool {
+        self.first_uniquely_honest_catalan_in(start, start + k.saturating_sub(1)).is_some()
+    }
+
+    /// Theorem 4 analogue of [`Self::settles_by_unique_catalan`] for the
+    /// consistent tie-breaking model: slot `start` is `k`-settled whenever
+    /// two consecutive Catalan slots begin in `[start, start + k − 1]`.
+    pub fn settles_by_consecutive_catalan(&self, start: usize, k: usize) -> bool {
+        self.first_consecutive_catalan_in(start, start + k.saturating_sub(1)).is_some()
+    }
+
+    /// The fraction of slots that are Catalan (density statistic used by
+    /// the experiment harness).
+    pub fn catalan_density(&self) -> f64 {
+        if self.w.is_empty() {
+            return 0.0;
+        }
+        self.catalan_slots().len() as f64 / self.w.len() as f64
+    }
+
+    /// The slots guaranteed the UVP **under consistent tie-breaking**
+    /// (axiom A0′, Theorem 4): every slot `s` such that both `s` and
+    /// `s + 1` are Catalan has the UVP — even when multiply honest —
+    /// except that the final slot of the string only gets the (weaker)
+    /// bottleneck property and is therefore excluded here.
+    ///
+    /// For uniquely honest slots this is implied by the stronger
+    /// Theorem 3 (no consecutive partner needed); this method reports
+    /// only the Theorem-4 mechanism.
+    pub fn uvp_slots_consistent_tiebreak(&self) -> Vec<usize> {
+        self.consecutive_catalan_pairs()
+    }
+}
+
+/// The naive interval-based left-Catalan predicate (Definition 11 read
+/// literally, `O(|w|)` per query). Used as ground truth in tests and
+/// benchmarks.
+pub fn is_left_catalan_naive(w: &CharString, s: usize) -> bool {
+    let counts = w.prefix_counts();
+    (1..=s).all(|l| counts.is_hh_heavy(l, s))
+}
+
+/// The naive interval-based right-Catalan predicate.
+pub fn is_right_catalan_naive(w: &CharString, s: usize) -> bool {
+    let counts = w.prefix_counts();
+    (s..=w.len()).all(|r| counts.is_hh_heavy(s, r))
+}
+
+/// The naive interval-based Catalan predicate.
+pub fn is_catalan_naive(w: &CharString, s: usize) -> bool {
+    is_left_catalan_naive(w, s) && is_right_catalan_naive(w, s)
+}
+
+/// Enumerates all characteristic strings of length `n` (3^n of them) —
+/// shared test helper for exhaustive cross-validation, also used by the
+/// `multihonest-margin` test suite.
+pub fn exhaustive_strings(n: usize) -> Vec<CharString> {
+    let symbols = [Symbol::UniqueHonest, Symbol::MultiHonest, Symbol::Adversarial];
+    let total = 3usize.pow(n as u32);
+    let mut out = Vec::with_capacity(total);
+    for mut code in 0..total {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(symbols[code % 3]);
+            code /= 3;
+        }
+        out.push(CharString::from_symbols(v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn walk_scan_matches_naive_definition_exhaustively() {
+        for n in 1..=8 {
+            for s in exhaustive_strings(n) {
+                let c = CatalanAnalysis::new(&s);
+                for t in 1..=n {
+                    assert_eq!(
+                        c.is_left_catalan(t),
+                        is_left_catalan_naive(&s, t),
+                        "left mismatch at {t} in {s}"
+                    );
+                    assert_eq!(
+                        c.is_right_catalan(t),
+                        is_right_catalan_naive(&s, t),
+                        "right mismatch at {t} in {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catalan_slots_are_honest() {
+        for s in exhaustive_strings(7) {
+            let c = CatalanAnalysis::new(&s);
+            for t in c.catalan_slots() {
+                assert!(s.get(t).is_honest(), "adversarial Catalan slot {t} in {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_of_catalan_slots_are_honest() {
+        // Section 3.2: the slots adjacent to a Catalan slot must be honest.
+        for s in exhaustive_strings(7) {
+            let c = CatalanAnalysis::new(&s);
+            for t in c.catalan_slots() {
+                if t >= 2 {
+                    assert!(s.get(t - 1).is_honest(), "slot before Catalan {t} in {s}");
+                }
+                if t < s.len() {
+                    assert!(s.get(t + 1).is_honest(), "slot after Catalan {t} in {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_examples_by_hand() {
+        // All-honest string: every slot is Catalan.
+        let c = CatalanAnalysis::new(&w("hhhh"));
+        assert_eq!(c.catalan_slots(), vec![1, 2, 3, 4]);
+        // Alternating hA: no slot is Catalan.
+        let c = CatalanAnalysis::new(&w("hAhA"));
+        assert_eq!(c.catalan_slots(), Vec::<usize>::new());
+        // hhA: slot 1 is Catalan ([1,1], [1,2], [1,3] all heavy); slot 2 is
+        // not ([2,3] = hA balances).
+        let c = CatalanAnalysis::new(&w("hhA"));
+        assert_eq!(c.catalan_slots(), vec![1]);
+    }
+
+    #[test]
+    fn multi_honest_slots_count_fully() {
+        // The whole point of the paper: H slots contribute to heaviness.
+        // In HHAHH: slot 1 is Catalan; slot 2 is not ([2,3] = HA balances);
+        // slot 4 is not ([3,4] = AH balances); slot 5 is Catalan.
+        let c = CatalanAnalysis::new(&w("HHAHH"));
+        assert_eq!(c.catalan_slots(), vec![1, 5]);
+        assert!(c.uniquely_honest_catalan_slots().is_empty());
+        assert!(c.consecutive_catalan_pairs().is_empty());
+        // With no adversarial slot every H slot is Catalan and pairs abound.
+        let c = CatalanAnalysis::new(&w("HHHH"));
+        assert_eq!(c.catalan_slots(), vec![1, 2, 3, 4]);
+        assert_eq!(c.consecutive_catalan_pairs(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uniquely_honest_catalan_filters() {
+        let c = CatalanAnalysis::new(&w("hHhAh"));
+        assert!(c.is_catalan(1));
+        assert!(c.is_catalan(2));
+        assert!(!c.is_catalan(3)); // [3,4] = hA balances
+        assert!(!c.is_catalan(5)); // [4,5] = Ah balances on the left
+        assert_eq!(c.uniquely_honest_catalan_slots(), vec![1]);
+        assert_eq!(c.first_uniquely_honest_catalan_in(1, 5), Some(1));
+        assert_eq!(c.first_uniquely_honest_catalan_in(2, 5), None);
+    }
+
+    #[test]
+    fn settlement_windows() {
+        let c = CatalanAnalysis::new(&w("AAhAA"));
+        assert!(!c.settles_by_unique_catalan(1, 5));
+        let c = CatalanAnalysis::new(&w("AhhhA"));
+        assert!(c.is_catalan(3));
+        assert!(!c.is_catalan(4)); // [4,5] = hA balances
+        assert!(!c.is_catalan(2)); // [1,2] = Ah balances
+        assert!(c.settles_by_unique_catalan(2, 2)); // window [2,3] contains 3
+        assert!(!c.settles_by_unique_catalan(1, 2)); // window [1,2]
+        // One more honest slot buys a consecutive Catalan pair at s = 3.
+        let c = CatalanAnalysis::new(&w("AhhhhA"));
+        assert!(c.is_catalan(3) && c.is_catalan(4));
+        assert!(c.settles_by_consecutive_catalan(1, 3));
+        assert!(!c.settles_by_consecutive_catalan(1, 2));
+    }
+
+    #[test]
+    fn density() {
+        assert_eq!(CatalanAnalysis::new(&w("hhhh")).catalan_density(), 1.0);
+        assert_eq!(CatalanAnalysis::new(&w("AAAA")).catalan_density(), 0.0);
+        assert_eq!(CatalanAnalysis::new(&CharString::new()).catalan_density(), 0.0);
+    }
+
+    #[test]
+    fn monotonicity_under_adversarial_upgrades() {
+        // Upgrading a symbol (more adversarial) can only destroy Catalan
+        // slots at unchanged positions, never create them.
+        for s in exhaustive_strings(6) {
+            let base = CatalanAnalysis::new(&s);
+            for up in multihonest_chars::order::covers(&s) {
+                let upped = CatalanAnalysis::new(&up);
+                for t in 1..=s.len() {
+                    if s.get(t) == up.get(t) && upped.is_catalan(t) {
+                        assert!(
+                            base.is_catalan(t),
+                            "upgrade created Catalan slot {t}: {s} -> {up}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem4_uvp_slots() {
+        // Bivalent string with a long honest stretch: pairs inside the
+        // stretch get the UVP under A0′.
+        let c = CatalanAnalysis::new(&w("AHHHHA"));
+        // Walk: 1,0,-1,-2,-3,-2. Catalan slots: 3 ([2,3]? S3=-1 < min(0,1,0)=0 ✓
+        // right: suffix max from 3 = -1 < S2 = 0 ✓), 4 ✓; 5: right fails
+        // ([5,6] = HA balances). Pairs: s = 3.
+        assert_eq!(c.catalan_slots(), vec![3, 4]);
+        assert_eq!(c.uvp_slots_consistent_tiebreak(), vec![3]);
+        // Under pure A0 (adversarial ties) no margin-based UVP exists for
+        // any H slot — exactly the gap Theorem 4 closes.
+        for s in c.uvp_slots_consistent_tiebreak() {
+            assert!(c.string().get(s).is_honest());
+        }
+    }
+
+    #[test]
+    fn exhaustive_strings_count() {
+        assert_eq!(exhaustive_strings(0).len(), 1);
+        assert_eq!(exhaustive_strings(3).len(), 27);
+        let set: std::collections::HashSet<String> =
+            exhaustive_strings(4).iter().map(|w| w.to_string()).collect();
+        assert_eq!(set.len(), 81);
+    }
+}

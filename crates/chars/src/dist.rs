@@ -1,0 +1,482 @@
+//! Distributions over characteristic strings.
+//!
+//! * [`BernoulliCondition`] — the `(ε, p_h)`-Bernoulli condition of paper
+//!   Definition 7: i.i.d. symbols with `p_A = (1−ε)/2`,
+//!   `p_H = 1 − p_A − p_h`.
+//! * [`SemiSyncCondition`] — the four-symbol i.i.d. law of Theorem 7 for the
+//!   Δ-synchronous setting, together with the induced law of the reduced
+//!   string (Proposition 4).
+//! * [`AdaptiveBiasSampler`] — a martingale-type sampler in which the
+//!   per-slot adversarial probability may depend on history but never
+//!   exceeds `(1−ε)/2`; the resulting law is stochastically dominated by the
+//!   corresponding Bernoulli condition, which is exactly the situation the
+//!   second halves of Theorems 1 and 2 address.
+
+use std::fmt;
+
+use rand::Rng;
+
+use crate::string::{CharString, SemiString};
+use crate::symbol::{SemiSymbol, Symbol};
+
+/// Error constructing a distribution with invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionError {
+    message: String,
+}
+
+impl DistributionError {
+    fn new(message: impl Into<String>) -> DistributionError {
+        DistributionError { message: message.into() }
+    }
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameters: {}", self.message)
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+/// The `(ε, p_h)`-Bernoulli condition (paper Definition 7).
+///
+/// Symbols `w_1 … w_T` are i.i.d. with
+///
+/// * `Pr[w_i = A] = p_A = (1 − ε)/2`,
+/// * `Pr[w_i = h] = p_h`,
+/// * `Pr[w_i = H] = p_H = 1 − p_A − p_h`,
+///
+/// for `ε ∈ (0, 1)` and `p_h ∈ [0, (1 + ε)/2]`. Note `p_h + p_H − p_A = ε`,
+/// so `ε` is exactly the honest-majority margin in the optimal threshold
+/// `p_h + p_H > p_A` of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::BernoulliCondition;
+///
+/// let d = BernoulliCondition::new(0.2, 0.5)?;
+/// assert!((d.p_adversarial() - 0.4).abs() < 1e-12);
+/// assert!((d.p_multi_honest() - 0.1).abs() < 1e-12);
+/// # Ok::<(), multihonest_chars::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BernoulliCondition {
+    epsilon: f64,
+    p_h: f64,
+}
+
+impl BernoulliCondition {
+    /// Creates the `(ε, p_h)`-Bernoulli condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `ε ∈ (0, 1)` and `p_h ∈ [0, (1 + ε)/2]`.
+    pub fn new(epsilon: f64, p_h: f64) -> Result<BernoulliCondition, DistributionError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(DistributionError::new(format!("epsilon = {epsilon} not in (0, 1)")));
+        }
+        let p_h_max = (1.0 + epsilon) / 2.0;
+        if !(0.0..=p_h_max + 1e-12).contains(&p_h) {
+            return Err(DistributionError::new(format!(
+                "p_h = {p_h} not in [0, (1 + ε)/2] = [0, {p_h_max}]"
+            )));
+        }
+        Ok(BernoulliCondition { epsilon, p_h: p_h.min(p_h_max) })
+    }
+
+    /// Creates the condition from the three symbol probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the probabilities are non-negative, sum to 1
+    /// (within 1e-9), and `p_A < 1/2` (so that `ε = 1 − 2 p_A ∈ (0, 1)`).
+    pub fn from_probabilities(
+        p_h: f64,
+        p_hh: f64,
+        p_a: f64,
+    ) -> Result<BernoulliCondition, DistributionError> {
+        if p_h < 0.0 || p_hh < 0.0 || p_a < 0.0 {
+            return Err(DistributionError::new("negative probability"));
+        }
+        let sum = p_h + p_hh + p_a;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(DistributionError::new(format!("probabilities sum to {sum}, not 1")));
+        }
+        let epsilon = 1.0 - 2.0 * p_a;
+        BernoulliCondition::new(epsilon, p_h)
+    }
+
+    /// The honest-majority margin `ε = p_h + p_H − p_A`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// `p_h = Pr[w_i = h]`.
+    pub fn p_unique_honest(&self) -> f64 {
+        self.p_h
+    }
+
+    /// `p_H = Pr[w_i = H] = 1 − p_A − p_h`.
+    pub fn p_multi_honest(&self) -> f64 {
+        1.0 - self.p_adversarial() - self.p_h
+    }
+
+    /// `p_A = Pr[w_i = A] = (1 − ε)/2`.
+    pub fn p_adversarial(&self) -> f64 {
+        (1.0 - self.epsilon) / 2.0
+    }
+
+    /// `Pr[w_i = σ]` for each symbol.
+    pub fn probability(&self, s: Symbol) -> f64 {
+        match s {
+            Symbol::UniqueHonest => self.p_unique_honest(),
+            Symbol::MultiHonest => self.p_multi_honest(),
+            Symbol::Adversarial => self.p_adversarial(),
+        }
+    }
+
+    /// Returns `true` when the optimal threshold `p_h + p_H > p_A` holds.
+    /// Always true for a valid condition (it is equivalent to `ε > 0`).
+    pub fn satisfies_optimal_threshold(&self) -> bool {
+        self.p_unique_honest() + self.p_multi_honest() > self.p_adversarial()
+    }
+
+    /// Returns `true` when the Praos/Genesis threshold `p_h − p_H > p_A`
+    /// holds (paper Section 1 — the *stronger* assumption required by
+    /// earlier e^{−Θ(k)} analyses).
+    pub fn satisfies_praos_threshold(&self) -> bool {
+        self.p_unique_honest() - self.p_multi_honest() > self.p_adversarial()
+    }
+
+    /// Returns `true` when the Sleepy/SnowWhite threshold `p_h > p_A` holds
+    /// (paper Section 1 — required by earlier e^{−Θ(√k)} analyses).
+    pub fn satisfies_snow_white_threshold(&self) -> bool {
+        self.p_unique_honest() > self.p_adversarial()
+    }
+
+    /// Samples one symbol.
+    pub fn sample_symbol<R: Rng + ?Sized>(&self, rng: &mut R) -> Symbol {
+        let u: f64 = rng.gen();
+        if u < self.p_adversarial() {
+            Symbol::Adversarial
+        } else if u < self.p_adversarial() + self.p_h {
+            Symbol::UniqueHonest
+        } else {
+            Symbol::MultiHonest
+        }
+    }
+
+    /// Samples a characteristic string of length `len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> CharString {
+        (0..len).map(|_| self.sample_symbol(rng)).collect()
+    }
+}
+
+/// The i.i.d. four-symbol law of the Δ-synchronous setting
+/// (paper Theorem 7).
+///
+/// Parameters: `f ∈ (0, 1)` is the *active-slot coefficient*
+/// (`p_⊥ = 1 − f`); `p_A ∈ [0, f)` and `p_h ∈ (0, f − p_A]`, with
+/// `p_H = f − p_A − p_h`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SemiSyncCondition {
+    f: f64,
+    p_a: f64,
+    p_h: f64,
+}
+
+impl SemiSyncCondition {
+    /// Creates the condition.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `f ∈ (0, 1)`, `0 ≤ p_A < f`, and
+    /// `0 < p_h ≤ f − p_A`.
+    pub fn new(f: f64, p_a: f64, p_h: f64) -> Result<SemiSyncCondition, DistributionError> {
+        if !(f > 0.0 && f < 1.0) {
+            return Err(DistributionError::new(format!("f = {f} not in (0, 1)")));
+        }
+        if !(0.0..f).contains(&p_a) {
+            return Err(DistributionError::new(format!("p_A = {p_a} not in [0, f)")));
+        }
+        if !(p_h > 0.0 && p_h <= f - p_a + 1e-12) {
+            return Err(DistributionError::new(format!("p_h = {p_h} not in (0, f − p_A]")));
+        }
+        Ok(SemiSyncCondition { f, p_a, p_h: p_h.min(f - p_a) })
+    }
+
+    /// The active-slot coefficient `f = 1 − p_⊥`.
+    pub fn f(&self) -> f64 {
+        self.f
+    }
+
+    /// `Pr[w_i = ⊥] = 1 − f`.
+    pub fn p_empty(&self) -> f64 {
+        1.0 - self.f
+    }
+
+    /// `Pr[w_i = A]`.
+    pub fn p_adversarial(&self) -> f64 {
+        self.p_a
+    }
+
+    /// `Pr[w_i = h]`.
+    pub fn p_unique_honest(&self) -> f64 {
+        self.p_h
+    }
+
+    /// `Pr[w_i = H] = f − p_A − p_h`.
+    pub fn p_multi_honest(&self) -> f64 {
+        self.f - self.p_a - self.p_h
+    }
+
+    /// `Pr[w_i = σ]` for each symbol.
+    pub fn probability(&self, s: SemiSymbol) -> f64 {
+        match s {
+            SemiSymbol::Empty => self.p_empty(),
+            SemiSymbol::UniqueHonest => self.p_unique_honest(),
+            SemiSymbol::MultiHonest => self.p_multi_honest(),
+            SemiSymbol::Adversarial => self.p_adversarial(),
+        }
+    }
+
+    /// `β = (1 − f)^Δ`: the probability that Δ consecutive slots are all
+    /// empty — the chance an honest slot *survives* the reduction map with
+    /// an honest label (paper Theorem 7 writes this as `β`, Proposition 4
+    /// as `α`).
+    pub fn beta(&self, delta: usize) -> f64 {
+        (1.0 - self.f).powi(delta as i32)
+    }
+
+    /// The induced i.i.d. law of the reduced string `ρ_Δ(w)` **excluding its
+    /// distorted last Δ symbols** (paper Proposition 4, Equation (22)):
+    ///
+    /// * `Pr[x_i = h] = p_h · β/f`,
+    /// * `Pr[x_i = H] = p_H · β/f`,
+    /// * `Pr[x_i = A] = 1 − β + p_A · β/f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the reduced adversarial probability reaches
+    /// `1/2`, i.e. when condition (20) of Theorem 7 fails for this `Δ` —
+    /// the Δ-synchronous analysis then provides no guarantee.
+    pub fn reduced_condition(&self, delta: usize) -> Result<BernoulliCondition, DistributionError> {
+        let beta = self.beta(delta);
+        let scale = beta / self.f;
+        let qh = self.p_h * scale;
+        let qhh = self.p_multi_honest() * scale;
+        let qa = 1.0 - beta + self.p_a * scale;
+        BernoulliCondition::from_probabilities(qh, qhh, qa)
+    }
+
+    /// The effective honest-majority margin of the reduced string:
+    /// `ε_Δ = 1 − 2(1 − (1 − p_A/f)β)`, or an error when non-positive
+    /// (condition (20) with equality corresponds to `ε_Δ = ε`).
+    pub fn effective_epsilon(&self, delta: usize) -> Result<f64, DistributionError> {
+        Ok(self.reduced_condition(delta)?.epsilon())
+    }
+
+    /// Samples one symbol.
+    pub fn sample_symbol<R: Rng + ?Sized>(&self, rng: &mut R) -> SemiSymbol {
+        let u: f64 = rng.gen();
+        if u < self.p_empty() {
+            SemiSymbol::Empty
+        } else if u < self.p_empty() + self.p_a {
+            SemiSymbol::Adversarial
+        } else if u < self.p_empty() + self.p_a + self.p_h {
+            SemiSymbol::UniqueHonest
+        } else {
+            SemiSymbol::MultiHonest
+        }
+    }
+
+    /// Samples a semi-synchronous characteristic string of length `len`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> SemiString {
+        (0..len).map(|_| self.sample_symbol(rng)).collect()
+    }
+}
+
+/// A history-dependent (martingale-type) sampler in which
+/// `Pr[w_i = A | w_1 … w_{i−1}] ≤ (1 − ε)/2` always holds, but the exact
+/// adversarial probability wanders with history.
+///
+/// This models the "weaker martingale-type guarantee" of adaptive
+/// adversaries discussed below Definition 5 (e.g. Ouroboros Praos). The
+/// induced string law is stochastically dominated by
+/// [`BernoulliCondition`] with the same `(ε, p_h)` — dominance that the
+/// second halves of Theorems 1/2 convert into identical security bounds,
+/// and that our property tests check empirically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveBiasSampler {
+    base: BernoulliCondition,
+    /// Fraction of the adversarial budget the sampler gives up after an
+    /// adversarial slot (history dependence strength), in `[0, 1]`.
+    backoff: f64,
+}
+
+impl AdaptiveBiasSampler {
+    /// Creates a sampler with ceiling condition `base` and the given
+    /// backoff in `[0, 1]`: after each adversarial slot the adversarial
+    /// probability of the next slot is reduced by this fraction (mass moves
+    /// to `H`), then relaxes back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `backoff ∉ [0, 1]`.
+    pub fn new(base: BernoulliCondition, backoff: f64) -> Result<AdaptiveBiasSampler, DistributionError> {
+        if !(0.0..=1.0).contains(&backoff) {
+            return Err(DistributionError::new(format!("backoff = {backoff} not in [0, 1]")));
+        }
+        Ok(AdaptiveBiasSampler { base, backoff })
+    }
+
+    /// The dominating Bernoulli condition.
+    pub fn ceiling(&self) -> BernoulliCondition {
+        self.base
+    }
+
+    /// Samples a string of length `len`; adversarial probability is
+    /// `p_A · (1 − backoff)` in the slot right after an adversarial slot
+    /// and `p_A` otherwise (never exceeding the ceiling).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> CharString {
+        let p_a_max = self.base.p_adversarial();
+        let p_h = self.base.p_unique_honest();
+        let mut last_adversarial = false;
+        let mut out = CharString::new();
+        for _ in 0..len {
+            let p_a = if last_adversarial { p_a_max * (1.0 - self.backoff) } else { p_a_max };
+            let u: f64 = rng.gen();
+            let s = if u < p_a {
+                Symbol::Adversarial
+            } else if u < p_a + p_h {
+                Symbol::UniqueHonest
+            } else {
+                Symbol::MultiHonest
+            };
+            last_adversarial = s.is_adversarial();
+            out.push(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bernoulli_parameters() {
+        let d = BernoulliCondition::new(0.2, 0.3).unwrap();
+        assert!((d.p_adversarial() - 0.4).abs() < 1e-12);
+        assert!((d.p_unique_honest() - 0.3).abs() < 1e-12);
+        assert!((d.p_multi_honest() - 0.3).abs() < 1e-12);
+        let total: f64 = Symbol::ALL.iter().map(|s| d.probability(*s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // epsilon really is p_h + p_H − p_A.
+        let eps = d.p_unique_honest() + d.p_multi_honest() - d.p_adversarial();
+        assert!((eps - d.epsilon()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bernoulli_validation() {
+        assert!(BernoulliCondition::new(0.0, 0.1).is_err());
+        assert!(BernoulliCondition::new(1.0, 0.1).is_err());
+        assert!(BernoulliCondition::new(0.2, 0.7).is_err()); // p_h > (1+ε)/2
+        assert!(BernoulliCondition::new(0.2, -0.1).is_err());
+        assert!(BernoulliCondition::new(0.2, 0.6).is_ok()); // exactly (1+ε)/2
+    }
+
+    #[test]
+    fn from_probabilities_roundtrip() {
+        let d = BernoulliCondition::from_probabilities(0.25, 0.35, 0.4).unwrap();
+        assert!((d.epsilon() - 0.2).abs() < 1e-12);
+        assert!((d.p_unique_honest() - 0.25).abs() < 1e-12);
+        assert!(BernoulliCondition::from_probabilities(0.3, 0.3, 0.3).is_err());
+        assert!(BernoulliCondition::from_probabilities(0.2, 0.2, 0.6).is_err()); // p_A > 1/2
+    }
+
+    #[test]
+    fn threshold_hierarchy() {
+        // Optimal threshold holds for every valid condition.
+        let d = BernoulliCondition::new(0.1, 0.05).unwrap();
+        assert!(d.satisfies_optimal_threshold());
+        // With p_h tiny and p_H large, neither prior threshold holds: this
+        // is exactly the regime only the paper's analysis covers.
+        assert!(!d.satisfies_praos_threshold());
+        assert!(!d.satisfies_snow_white_threshold());
+        // With all honest slots unique, Praos threshold coincides.
+        let d = BernoulliCondition::new(0.1, 0.55).unwrap();
+        assert!(d.satisfies_praos_threshold());
+        assert!(d.satisfies_snow_white_threshold());
+    }
+
+    #[test]
+    fn sampling_frequencies_close_to_probabilities() {
+        let d = BernoulliCondition::new(0.3, 0.25).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let w = d.sample(&mut rng, n);
+        let fh = w.count_unique_honest() as f64 / n as f64;
+        let fhh = w.count_multi_honest() as f64 / n as f64;
+        let fa = w.count_adversarial() as f64 / n as f64;
+        assert!((fh - d.p_unique_honest()).abs() < 0.01, "fh = {fh}");
+        assert!((fhh - d.p_multi_honest()).abs() < 0.01, "fH = {fhh}");
+        assert!((fa - d.p_adversarial()).abs() < 0.01, "fA = {fa}");
+    }
+
+    #[test]
+    fn semi_sync_parameters() {
+        let d = SemiSyncCondition::new(0.1, 0.04, 0.03).unwrap();
+        assert!((d.p_empty() - 0.9).abs() < 1e-12);
+        assert!((d.p_multi_honest() - 0.03).abs() < 1e-12);
+        let total: f64 = SemiSymbol::ALL.iter().map(|s| d.probability(*s)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn semi_sync_validation() {
+        assert!(SemiSyncCondition::new(1.0, 0.1, 0.1).is_err());
+        assert!(SemiSyncCondition::new(0.1, 0.1, 0.05).is_err()); // p_A ≥ f
+        assert!(SemiSyncCondition::new(0.1, 0.02, 0.0).is_err()); // p_h must be > 0
+        assert!(SemiSyncCondition::new(0.1, 0.02, 0.09).is_err()); // p_h > f − p_A
+    }
+
+    #[test]
+    fn reduced_condition_matches_proposition_4() {
+        let d = SemiSyncCondition::new(0.1, 0.02, 0.05).unwrap();
+        let delta = 4;
+        let beta = d.beta(delta);
+        assert!((beta - 0.9f64.powi(4)).abs() < 1e-12);
+        let r = d.reduced_condition(delta).unwrap();
+        let scale = beta / 0.1;
+        assert!((r.p_unique_honest() - 0.05 * scale).abs() < 1e-12);
+        assert!((r.p_multi_honest() - 0.03 * scale).abs() < 1e-12);
+        assert!((r.p_adversarial() - (1.0 - beta + 0.02 * scale)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reduced_condition_fails_for_huge_delta() {
+        // With Δ enormous, every honest slot is within Δ of another active
+        // slot; the reduced adversarial rate exceeds 1/2 and the analysis
+        // must refuse.
+        let d = SemiSyncCondition::new(0.4, 0.1, 0.2).unwrap();
+        assert!(d.reduced_condition(50).is_err());
+        assert!(d.effective_epsilon(0).is_ok());
+    }
+
+    #[test]
+    fn adaptive_sampler_stays_under_ceiling() {
+        let base = BernoulliCondition::new(0.2, 0.3).unwrap();
+        let s = AdaptiveBiasSampler::new(base, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = s.sample(&mut rng, 100_000);
+        let fa = w.count_adversarial() as f64 / w.len() as f64;
+        // The realized adversarial frequency must be below the ceiling p_A.
+        assert!(fa <= base.p_adversarial() + 0.01, "fa = {fa}");
+        assert!(AdaptiveBiasSampler::new(base, 1.5).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! O(1) interval statistics over characteristic strings.
+//!
+//! The paper's structural arguments constantly ask whether a closed slot
+//! interval `I = [i, j]` is *`hH`-heavy* (`#h(I) + #H(I) > #A(I)`) or
+//! *`A`-heavy* (otherwise); see Section 3.1. [`PrefixCounts`] answers these
+//! queries in constant time after a linear-time precomputation.
+
+use crate::string::CharString;
+use crate::symbol::Symbol;
+
+/// Cumulative symbol counts for a fixed characteristic string.
+///
+/// Intervals are closed and 1-based: `[i, j]` covers slots `i..=j`.
+/// The empty interval (any `i > j`) has all counts zero and is `A`-heavy
+/// (it is not `hH`-heavy, since `0 > 0` fails).
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::CharString;
+///
+/// let w: CharString = "hAhAhHAAH".parse()?;
+/// let c = w.prefix_counts();
+/// assert_eq!(c.unique_honest(1, 5), 3);
+/// assert_eq!(c.adversarial(4, 8), 3);
+/// assert!(c.is_hh_heavy(1, 6));
+/// assert!(c.is_a_heavy(4, 8));
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixCounts {
+    // cum_*[t] = number of symbols of that class among slots 1..=t.
+    cum_h: Vec<u32>,
+    cum_hh: Vec<u32>,
+    cum_a: Vec<u32>,
+}
+
+impl PrefixCounts {
+    /// Builds the cumulative tables for `w` in `O(|w|)`.
+    pub fn new(w: &CharString) -> PrefixCounts {
+        let n = w.len();
+        let mut cum_h = Vec::with_capacity(n + 1);
+        let mut cum_hh = Vec::with_capacity(n + 1);
+        let mut cum_a = Vec::with_capacity(n + 1);
+        cum_h.push(0);
+        cum_hh.push(0);
+        cum_a.push(0);
+        let (mut h, mut hh, mut a) = (0u32, 0u32, 0u32);
+        for &s in w.symbols() {
+            match s {
+                Symbol::UniqueHonest => h += 1,
+                Symbol::MultiHonest => hh += 1,
+                Symbol::Adversarial => a += 1,
+            }
+            cum_h.push(h);
+            cum_hh.push(hh);
+            cum_a.push(a);
+        }
+        PrefixCounts { cum_h, cum_hh, cum_a }
+    }
+
+    /// The string length these counts were built for.
+    pub fn len(&self) -> usize {
+        self.cum_h.len() - 1
+    }
+
+    /// Returns `true` when the underlying string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn clamp(&self, i: usize, j: usize) -> Option<(usize, usize)> {
+        if i == 0 || i > j || j > self.len() {
+            None
+        } else {
+            Some((i, j))
+        }
+    }
+
+    /// `#h([i, j])` — number of uniquely honest slots in `i..=j`.
+    ///
+    /// Returns 0 for empty or out-of-range intervals (`i > j` is the empty
+    /// interval; `i == 0` or `j > n` is out of range).
+    #[inline]
+    pub fn unique_honest(&self, i: usize, j: usize) -> usize {
+        match self.clamp(i, j) {
+            Some((i, j)) => (self.cum_h[j] - self.cum_h[i - 1]) as usize,
+            None => 0,
+        }
+    }
+
+    /// `#H([i, j])` — number of multiply honest slots in `i..=j`.
+    #[inline]
+    pub fn multi_honest(&self, i: usize, j: usize) -> usize {
+        match self.clamp(i, j) {
+            Some((i, j)) => (self.cum_hh[j] - self.cum_hh[i - 1]) as usize,
+            None => 0,
+        }
+    }
+
+    /// `#h([i, j]) + #H([i, j])` — number of honest slots in `i..=j`.
+    #[inline]
+    pub fn honest(&self, i: usize, j: usize) -> usize {
+        self.unique_honest(i, j) + self.multi_honest(i, j)
+    }
+
+    /// `#A([i, j])` — number of adversarial slots in `i..=j`.
+    #[inline]
+    pub fn adversarial(&self, i: usize, j: usize) -> usize {
+        match self.clamp(i, j) {
+            Some((i, j)) => (self.cum_a[j] - self.cum_a[i - 1]) as usize,
+            None => 0,
+        }
+    }
+
+    /// Returns `true` when `[i, j]` is `hH`-heavy:
+    /// `#h(I) + #H(I) > #A(I)` (paper Section 3.1).
+    #[inline]
+    pub fn is_hh_heavy(&self, i: usize, j: usize) -> bool {
+        self.honest(i, j) > self.adversarial(i, j)
+    }
+
+    /// Returns `true` when `[i, j]` is `A`-heavy:
+    /// `#A(I) ≥ #h(I) + #H(I)` — the negation of
+    /// [`is_hh_heavy`](Self::is_hh_heavy).
+    #[inline]
+    pub fn is_a_heavy(&self, i: usize, j: usize) -> bool {
+        !self.is_hh_heavy(i, j)
+    }
+
+    /// The *walk discrepancy* `#A(I) − #honest(I)` of the interval, i.e. the
+    /// net displacement of the ±1 walk across it.
+    #[inline]
+    pub fn discrepancy(&self, i: usize, j: usize) -> i64 {
+        self.adversarial(i, j) as i64 - self.honest(i, j) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn counts_match_naive() {
+        let s = w("hAhAhHAAHhHA");
+        let c = s.prefix_counts();
+        for i in 1..=s.len() {
+            for j in i..=s.len() {
+                let mut h = 0;
+                let mut hh = 0;
+                let mut a = 0;
+                for t in i..=j {
+                    match s.get(t) {
+                        Symbol::UniqueHonest => h += 1,
+                        Symbol::MultiHonest => hh += 1,
+                        Symbol::Adversarial => a += 1,
+                    }
+                }
+                assert_eq!(c.unique_honest(i, j), h, "h on [{i},{j}]");
+                assert_eq!(c.multi_honest(i, j), hh, "H on [{i},{j}]");
+                assert_eq!(c.adversarial(i, j), a, "A on [{i},{j}]");
+                assert_eq!(c.honest(i, j), h + hh);
+                assert_eq!(c.is_hh_heavy(i, j), h + hh > a);
+                assert_eq!(c.discrepancy(i, j), a as i64 - (h + hh) as i64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_out_of_range_intervals() {
+        let c = w("hA").prefix_counts();
+        assert_eq!(c.honest(2, 1), 0);
+        assert_eq!(c.adversarial(0, 1), 0);
+        assert_eq!(c.honest(1, 3), 0);
+        assert!(c.is_a_heavy(2, 1)); // empty interval is A-heavy by convention
+    }
+
+    #[test]
+    fn heaviness_examples_from_paper() {
+        // In w = hAhAhHAAH the interval [7, 8] = AA is A-heavy and the
+        // interval [5, 6] = hH is hH-heavy.
+        let c = w("hAhAhHAAH").prefix_counts();
+        assert!(c.is_a_heavy(7, 8));
+        assert!(c.is_hh_heavy(5, 6));
+        // The full string has 5 honest vs 4 adversarial slots.
+        assert!(c.is_hh_heavy(1, 9));
+    }
+
+    #[test]
+    fn len_reporting() {
+        let c = w("hAh").prefix_counts();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(CharString::new().prefix_counts().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! # multihonest-chars
+//!
+//! Characteristic strings and their stochastic models, as defined in
+//! *Consistency of Proof-of-Stake Blockchains with Concurrent Honest Slot
+//! Leaders* (Kiayias, Quader, Russell; ICDCS 2020).
+//!
+//! A *characteristic string* records, for each slot of a Proof-of-Stake
+//! execution, the outcome of the leader-election process:
+//!
+//! * [`Symbol::UniqueHonest`] (`h`) — exactly one honest leader;
+//! * [`Symbol::MultiHonest`] (`H`) — several honest leaders, no adversarial;
+//! * [`Symbol::Adversarial`] (`A`) — at least one adversarial leader.
+//!
+//! The semi-synchronous model additionally uses [`SemiSymbol::Empty`] (`⊥`)
+//! for slots with no leader at all (paper Definition 20).
+//!
+//! This crate provides:
+//!
+//! * [`CharString`] / [`SemiString`] — the string types, with parsing,
+//!   display, interval statistics ([`PrefixCounts`]) and heaviness predicates
+//!   (paper Section 3.1);
+//! * the paper's partial order on strings and stochastic-dominance helpers
+//!   (paper Definition 6) in [`order`];
+//! * the `(ε, p_h)`-Bernoulli condition and related samplers (paper
+//!   Definition 7, Theorem 7) in [`dist`];
+//! * the Δ-synchronous → synchronous reduction map `ρ_Δ` (paper
+//!   Definition 22) in [`reduction`];
+//! * the ±1 random-walk view of a string in [`walk`], the engine behind the
+//!   linear-time Catalan-slot scans of `multihonest-catalan`.
+//!
+//! ## Slot numbering
+//!
+//! Slots are **1-based** throughout, matching the paper: a string of length
+//! `n` describes slots `1..=n`, and slot `0` is reserved for the genesis
+//! block.
+//!
+//! ## Example
+//!
+//! ```
+//! use multihonest_chars::{CharString, Symbol};
+//!
+//! let w: CharString = "hAhAhHAAH".parse()?;
+//! assert_eq!(w.len(), 9);
+//! assert_eq!(w.get(6), Symbol::MultiHonest);
+//! // The whole string has 5 honest slots and 4 adversarial ones:
+//! let c = w.prefix_counts();
+//! assert_eq!(c.honest(1, 9), 5);
+//! assert_eq!(c.adversarial(1, 9), 4);
+//! # Ok::<(), multihonest_chars::ParseCharStringError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod interval;
+pub mod order;
+pub mod reduction;
+pub mod string;
+pub mod symbol;
+pub mod walk;
+
+pub use crate::dist::{BernoulliCondition, DistributionError, SemiSyncCondition};
+pub use crate::interval::PrefixCounts;
+pub use crate::reduction::{ReducedString, Reduction};
+pub use crate::string::{CharString, ParseCharStringError, SemiString};
+pub use crate::symbol::{SemiSymbol, Symbol};
+pub use crate::walk::Walk;

@@ -1,0 +1,193 @@
+//! The "more adversarial" partial order on characteristic strings and
+//! stochastic-dominance helpers (paper Definition 6 and the order defined
+//! below it).
+//!
+//! For strings `x, y ∈ {h, H, A}^T` of equal length, `x ≤ y` iff `x_i ≤ y_i`
+//! pointwise under `h < H < A`. The key monotonicity fact (used in the
+//! proofs of Theorems 1 and 2) is: any fork for `x` is also a fork for any
+//! `y ≥ x`, so every settlement violation for `x` is one for `y`. The set of
+//! "bad" strings is therefore *monotone*, and stochastic dominance between
+//! string distributions transfers violation-probability bounds.
+
+use crate::string::CharString;
+use crate::symbol::Symbol;
+
+/// Compares two equal-length strings under the pointwise partial order.
+///
+/// Returns:
+/// * `Some(Ordering::Less)` if `x ≤ y` and `x ≠ y` (`y` is strictly more
+///   adversarial);
+/// * `Some(Ordering::Equal)` if `x = y`;
+/// * `Some(Ordering::Greater)` if `y ≤ x` and `x ≠ y`;
+/// * `None` if the strings are incomparable or have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use std::cmp::Ordering;
+/// use multihonest_chars::{order, CharString};
+///
+/// let x: CharString = "hHh".parse()?;
+/// let y: CharString = "hAh".parse()?;
+/// let z: CharString = "Ahh".parse()?;
+/// assert_eq!(order::partial_cmp(&x, &y), Some(Ordering::Less));
+/// assert_eq!(order::partial_cmp(&x, &z), None);
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+pub fn partial_cmp(x: &CharString, y: &CharString) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    if x.len() != y.len() {
+        return None;
+    }
+    let mut seen_less = false;
+    let mut seen_greater = false;
+    for (a, b) in x.symbols().iter().zip(y.symbols()) {
+        match a.cmp(b) {
+            Ordering::Less => seen_less = true,
+            Ordering::Greater => seen_greater = true,
+            Ordering::Equal => {}
+        }
+        if seen_less && seen_greater {
+            return None;
+        }
+    }
+    Some(match (seen_less, seen_greater) {
+        (false, false) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        (true, true) => unreachable!(),
+    })
+}
+
+/// Returns `true` iff `x ≤ y` in the pointwise order (`y` is at least as
+/// adversarial as `x` in every slot). Strings of different length are
+/// incomparable.
+pub fn le(x: &CharString, y: &CharString) -> bool {
+    x.len() == y.len()
+        && x.symbols().iter().zip(y.symbols()).all(|(a, b)| a <= b)
+}
+
+/// Replaces every `h` by `H`: the least "more adversarial" relaxation that
+/// erases unique honesty. Useful for dominance tests — the result is the
+/// minimal bivalent string above `w`.
+pub fn relax_unique_honest(w: &CharString) -> CharString {
+    w.symbols()
+        .iter()
+        .map(|s| match s {
+            Symbol::UniqueHonest => Symbol::MultiHonest,
+            other => *other,
+        })
+        .collect()
+}
+
+/// All strings obtained from `w` by upgrading exactly one symbol one step
+/// (`h → H` or `H → A`): the covering relation of the partial order.
+pub fn covers(w: &CharString) -> Vec<CharString> {
+    let mut out = Vec::new();
+    for (i, &s) in w.symbols().iter().enumerate() {
+        let up = match s {
+            Symbol::UniqueHonest => Some(Symbol::MultiHonest),
+            Symbol::MultiHonest => Some(Symbol::Adversarial),
+            Symbol::Adversarial => None,
+        };
+        if let Some(up) = up {
+            let mut v = w.symbols().to_vec();
+            v[i] = up;
+            out.push(CharString::from_symbols(v));
+        }
+    }
+    out
+}
+
+/// Empirical one-sided stochastic-dominance check for scalar statistics.
+///
+/// Given samples of a statistic under two distributions, returns `true`
+/// when the empirical CDF of `dominated` is everywhere ≥ the empirical CDF
+/// of `dominating` up to slack `tolerance` — i.e. `dominating` puts at least
+/// as much mass on large values (Definition 6 specialised to `ℝ`).
+///
+/// This is a *testing* utility (used by property tests to sanity-check
+/// samplers), not a statistical test with guarantees.
+pub fn dominates_empirically(dominating: &[f64], dominated: &[f64], tolerance: f64) -> bool {
+    let mut a: Vec<f64> = dominating.to_vec();
+    let mut b: Vec<f64> = dominated.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("NaN in samples"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("NaN in samples"));
+    if a.is_empty() || b.is_empty() {
+        return true;
+    }
+    // For each threshold Λ taken from either sample, compare
+    // Pr[dominating ≥ Λ] ≥ Pr[dominated ≥ Λ] − tolerance.
+    let thresholds: Vec<f64> = a.iter().chain(b.iter()).copied().collect();
+    for lambda in thresholds {
+        let pa = tail_fraction(&a, lambda);
+        let pb = tail_fraction(&b, lambda);
+        if pa + tolerance < pb {
+            return false;
+        }
+    }
+    true
+}
+
+fn tail_fraction(sorted: &[f64], lambda: f64) -> f64 {
+    // Fraction of entries ≥ lambda.
+    let idx = sorted.partition_point(|v| *v < lambda);
+    (sorted.len() - idx) as f64 / sorted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+
+    fn s(x: &str) -> CharString {
+        x.parse().unwrap()
+    }
+
+    #[test]
+    fn pointwise_order_basics() {
+        assert!(le(&s("hhh"), &s("hhh")));
+        assert!(le(&s("hhh"), &s("HhA")));
+        assert!(!le(&s("A"), &s("h")));
+        assert!(!le(&s("hh"), &s("hhh"))); // different lengths incomparable
+        assert_eq!(partial_cmp(&s("hH"), &s("hH")), Some(Ordering::Equal));
+        assert_eq!(partial_cmp(&s("hH"), &s("HH")), Some(Ordering::Less));
+        assert_eq!(partial_cmp(&s("AH"), &s("hH")), Some(Ordering::Greater));
+        assert_eq!(partial_cmp(&s("Ah"), &s("hA")), None);
+        assert_eq!(partial_cmp(&s("h"), &s("hh")), None);
+    }
+
+    #[test]
+    fn relaxation_is_minimal_bivalent_upper_bound() {
+        let w = s("hAHh");
+        let r = relax_unique_honest(&w);
+        assert_eq!(r, s("HAHH"));
+        assert!(le(&w, &r));
+        assert!(r.is_bivalent());
+    }
+
+    #[test]
+    fn covers_upgrades_one_symbol() {
+        let w = s("hA");
+        let cov = covers(&w);
+        assert_eq!(cov, vec![s("HA")]);
+        let w = s("hH");
+        let cov = covers(&w);
+        assert_eq!(cov, vec![s("HH"), s("hA")]);
+        for c in covers(&s("hHA")) {
+            assert_eq!(partial_cmp(&s("hHA"), &c), Some(Ordering::Less));
+        }
+    }
+
+    #[test]
+    fn empirical_dominance_sanity() {
+        let lo = [0.0, 1.0, 1.0, 2.0];
+        let hi = [1.0, 2.0, 2.0, 3.0];
+        assert!(dominates_empirically(&hi, &lo, 0.0));
+        assert!(!dominates_empirically(&lo, &hi, 0.0));
+        // A distribution dominates itself.
+        assert!(dominates_empirically(&lo, &lo, 0.0));
+        // Tolerance forgives small violations.
+        assert!(dominates_empirically(&lo, &hi, 1.0));
+    }
+}

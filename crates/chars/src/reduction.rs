@@ -1,0 +1,293 @@
+//! The Δ-synchronous → synchronous reduction map `ρ_Δ`
+//! (paper Definition 22).
+//!
+//! `ρ_Δ` deletes empty (`⊥`) slots and demotes to `A` every honest slot
+//! that is *too close* to the next activity. The resulting synchronous
+//! string satisfies two key properties the paper exploits:
+//!
+//! * **Proposition 3** — Δ-forks for `w` correspond to synchronous forks for
+//!   `ρ_Δ(w)` under a label bijection `π`;
+//! * **Proposition 4** — if `w` is i.i.d., then `ρ_Δ(w)` minus its last `Δ`
+//!   symbols is i.i.d. with the law given by
+//!   [`SemiSyncCondition::reduced_condition`].
+//!
+//! ## Two survival rules
+//!
+//! The paper's Definition 22 lets an honest symbol survive when the next
+//! `Δ` symbols lie in `{⊥, A}`; the proof of Proposition 4, however,
+//! decomposes the string into segments `e_i b_i` (a non-empty symbol
+//! followed by its maximal `⊥`-run) and keeps an honest `e_i` only when
+//! `|b_i| ≥ Δ`, i.e. when the next `Δ` symbols are **all empty**. Only the
+//! segment rule makes the reduced symbols i.i.d. (each is a function of its
+//! own segment), and it demotes strictly more slots, so Proposition 3's
+//! fork correspondence still holds under it. We therefore expose both:
+//!
+//! * [`SurvivalRule::EmptyRun`] (default) — Proposition 4's rule;
+//! * [`SurvivalRule::NoHonestWithin`] — the literal Definition 22 rule.
+//!
+//! [`SemiSyncCondition::reduced_condition`]:
+//! crate::dist::SemiSyncCondition::reduced_condition
+
+use crate::string::{CharString, SemiString};
+use crate::symbol::{SemiSymbol, Symbol};
+
+/// How an honest slot escapes demotion to `A` under `ρ_Δ`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SurvivalRule {
+    /// Survive iff the next `Δ` slots are all `⊥` (Proposition 4's segment
+    /// rule; the default, because it yields an i.i.d. reduced prefix).
+    #[default]
+    EmptyRun,
+    /// Survive iff the next `Δ` slots contain no honest symbol (the literal
+    /// reading of Definition 22: `{⊥, A}^Δ ⪯ w`).
+    NoHonestWithin,
+}
+
+/// The reduction map `ρ_Δ` for a fixed delay bound `Δ`.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::{Reduction, SemiString};
+///
+/// let w: SemiString = "h.hA.h".parse()?;
+/// // Under the default rule with Δ = 1: slot 1 (h) is followed by ⊥ —
+/// // survives; slot 3 (h) is followed by A — demoted; slot 6 (h) is the
+/// // last slot — demoted.
+/// let r = Reduction::new(1).apply(&w);
+/// assert_eq!(r.reduced().to_string(), "hAAA");
+/// assert_eq!(r.original_slot(1), 1);
+/// assert_eq!(r.original_slot(4), 6);
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reduction {
+    delta: usize,
+    rule: SurvivalRule,
+}
+
+impl Reduction {
+    /// Creates the reduction map with delay bound `Δ` and the default
+    /// (Proposition 4) survival rule.
+    pub fn new(delta: usize) -> Reduction {
+        Reduction { delta, rule: SurvivalRule::default() }
+    }
+
+    /// Creates the reduction map with an explicit survival rule.
+    pub fn with_rule(delta: usize, rule: SurvivalRule) -> Reduction {
+        Reduction { delta, rule }
+    }
+
+    /// The delay bound `Δ`.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The survival rule in force.
+    pub fn rule(&self) -> SurvivalRule {
+        self.rule
+    }
+
+    /// Applies `ρ_Δ` to `w`.
+    pub fn apply(&self, w: &SemiString) -> ReducedString {
+        let n = w.len();
+        let mut reduced = CharString::new();
+        let mut original_slots = Vec::new();
+        let mut reduced_of_original = vec![None; n + 1];
+        for (slot, sym) in w.iter_slots() {
+            let out = match sym {
+                SemiSymbol::Empty => None,
+                SemiSymbol::Adversarial => Some(Symbol::Adversarial),
+                SemiSymbol::UniqueHonest | SemiSymbol::MultiHonest => {
+                    let window_ok = slot + self.delta <= n;
+                    let survives = window_ok
+                        && match self.rule {
+                            SurvivalRule::EmptyRun => (slot + 1..=slot + self.delta)
+                                .all(|t| w.get(t).is_empty_slot()),
+                            SurvivalRule::NoHonestWithin => (slot + 1..=slot + self.delta)
+                                .all(|t| !w.get(t).is_honest()),
+                        };
+                    if survives {
+                        Some(sym.to_symbol().expect("honest symbol"))
+                    } else {
+                        Some(Symbol::Adversarial)
+                    }
+                }
+            };
+            if let Some(s) = out {
+                reduced.push(s);
+                original_slots.push(slot);
+                reduced_of_original[slot] = Some(reduced.len());
+            }
+        }
+        ReducedString { delta: self.delta, reduced, original_slots, reduced_of_original }
+    }
+}
+
+/// The result of applying [`Reduction::apply`]: the reduced synchronous
+/// string together with the slot bijection `π` of Definition 22.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReducedString {
+    delta: usize,
+    reduced: CharString,
+    /// `original_slots[j - 1]` = original slot of reduced slot `j`.
+    original_slots: Vec<usize>,
+    /// `reduced_of_original[t]` = reduced slot of original slot `t`, if any.
+    reduced_of_original: Vec<Option<usize>>,
+}
+
+impl ReducedString {
+    /// The delay bound `Δ` used.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The reduced string `w' = ρ_Δ(w)`.
+    pub fn reduced(&self) -> &CharString {
+        &self.reduced
+    }
+
+    /// The length `m = |w'|` (the number of non-empty slots of `w`).
+    pub fn len(&self) -> usize {
+        self.reduced.len()
+    }
+
+    /// Returns `true` when the reduced string is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reduced.is_empty()
+    }
+
+    /// `π^{-1}(j)`: the original slot corresponding to reduced slot `j`
+    /// (both 1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range `1..=len()`.
+    pub fn original_slot(&self, j: usize) -> usize {
+        self.original_slots[j - 1]
+    }
+
+    /// `π(t)`: the reduced slot corresponding to original slot `t`, or
+    /// `None` when slot `t` is empty (`⊥`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range `1..=|w|`.
+    pub fn reduced_slot(&self, t: usize) -> Option<usize> {
+        self.reduced_of_original[t]
+    }
+
+    /// The *undistorted prefix* `w'^{⌊Δ}`: the reduced string minus its
+    /// last `Δ` symbols. Under an i.i.d. source this prefix is i.i.d. with
+    /// the law of Proposition 4; the trailing `Δ` symbols are biased
+    /// towards `A`.
+    pub fn stable_prefix(&self) -> CharString {
+        let keep = self.reduced.len().saturating_sub(self.delta);
+        self.reduced.prefix(keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::SemiSyncCondition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn semi(s: &str) -> SemiString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn delta_zero_drops_empties_only() {
+        let w = semi("h..HA.h");
+        for rule in [SurvivalRule::EmptyRun, SurvivalRule::NoHonestWithin] {
+            let r = Reduction::with_rule(0, rule).apply(&w);
+            assert_eq!(r.reduced().to_string(), "hHAh");
+            assert_eq!(r.reduced(), &w.drop_empty());
+        }
+    }
+
+    #[test]
+    fn honest_followed_by_honest_within_delta_is_demoted() {
+        // Δ = 2: slot 1 (h) has slot 3 (H) within distance 2 → demoted
+        // under either rule.
+        let w = semi("h.H...");
+        for rule in [SurvivalRule::EmptyRun, SurvivalRule::NoHonestWithin] {
+            let r = Reduction::with_rule(2, rule).apply(&w);
+            assert_eq!(r.reduced().to_string(), "AH", "rule {rule:?}");
+        }
+        // Δ = 1: slot 1's successor is ⊥ → survives under both rules.
+        let r = Reduction::new(1).apply(&w);
+        assert_eq!(r.reduced().to_string(), "hH");
+    }
+
+    #[test]
+    fn trailing_honest_slots_are_demoted() {
+        // The final honest slot lacks a Δ-window and is demoted (this is the
+        // "distortion" Proposition 4 works around).
+        let w = semi("hh");
+        let r = Reduction::new(1).apply(&w);
+        assert_eq!(r.reduced().to_string(), "AA");
+        assert_eq!(Reduction::new(3).apply(&semi("h")).reduced().to_string(), "A");
+    }
+
+    #[test]
+    fn survival_rules_differ_exactly_on_nearby_adversarial_slots() {
+        // Under the literal Definition 22 rule an A within the window does
+        // not demote; under the Proposition 4 rule it does.
+        let w = semi("hA.h.A");
+        let lit = Reduction::with_rule(2, SurvivalRule::NoHonestWithin).apply(&w);
+        assert_eq!(lit.reduced().to_string(), "hAhA");
+        let seg = Reduction::with_rule(2, SurvivalRule::EmptyRun).apply(&w);
+        assert_eq!(seg.reduced().to_string(), "AAAA");
+        // The segment rule is always at least as adversarial, pointwise.
+        assert!(crate::order::le(lit.reduced(), seg.reduced()));
+    }
+
+    #[test]
+    fn pi_bijection_consistency() {
+        let w = semi("h..A.H");
+        let r = Reduction::new(1).apply(&w);
+        assert_eq!(r.len(), 3);
+        for j in 1..=r.len() {
+            let t = r.original_slot(j);
+            assert_eq!(r.reduced_slot(t), Some(j));
+        }
+        assert_eq!(r.reduced_slot(2), None);
+        assert_eq!(r.reduced_slot(3), None);
+        // π is increasing.
+        let slots: Vec<usize> = (1..=r.len()).map(|j| r.original_slot(j)).collect();
+        let mut sorted = slots.clone();
+        sorted.sort_unstable();
+        assert_eq!(slots, sorted);
+    }
+
+    #[test]
+    fn stable_prefix_length() {
+        let w = semi("h.hA.hhA");
+        let r = Reduction::new(2).apply(&w);
+        assert_eq!(r.stable_prefix().len(), r.len().saturating_sub(2));
+        assert!(r.stable_prefix().is_prefix_of(r.reduced()));
+    }
+
+    #[test]
+    fn reduced_law_matches_proposition_4_empirically() {
+        // Sample long i.i.d. semi-sync strings, reduce, and compare symbol
+        // frequencies of the stable prefix with Proposition 4's law.
+        let cond = SemiSyncCondition::new(0.05, 0.01, 0.02).unwrap();
+        let delta = 3;
+        let expected = cond.reduced_condition(delta).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let w = cond.sample(&mut rng, 2_000_000);
+        let r = Reduction::new(delta).apply(&w);
+        let prefix = r.stable_prefix();
+        let m = prefix.len() as f64;
+        let fh = prefix.count_unique_honest() as f64 / m;
+        let fhh = prefix.count_multi_honest() as f64 / m;
+        let fa = prefix.count_adversarial() as f64 / m;
+        assert!((fh - expected.p_unique_honest()).abs() < 0.01, "fh = {fh}");
+        assert!((fhh - expected.p_multi_honest()).abs() < 0.01, "fH = {fhh}");
+        assert!((fa - expected.p_adversarial()).abs() < 0.01, "fa = {fa}");
+    }
+}

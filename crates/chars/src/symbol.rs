@@ -1,0 +1,248 @@
+//! The per-slot alphabet of characteristic strings.
+
+use std::fmt;
+
+/// Outcome of the leader election for a single slot (paper Definition 1).
+///
+/// The derived [`Ord`] implements the paper's "more adversarial" total order
+/// on individual symbols, `h < H < A` (see below Definition 6): an
+/// adversarial slot gives the adversary strictly more power than a multiply
+/// honest slot, which in turn gives more power than a uniquely honest one.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::Symbol;
+///
+/// assert!(Symbol::UniqueHonest < Symbol::MultiHonest);
+/// assert!(Symbol::MultiHonest < Symbol::Adversarial);
+/// assert!(Symbol::MultiHonest.is_honest());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Symbol {
+    /// `h`: the slot has exactly one leader, and that leader is honest.
+    UniqueHonest,
+    /// `H`: the slot has at least one honest leader and no adversarial one.
+    ///
+    /// The paper allows `H` to stand for *any* positive number of honest
+    /// leaders; in particular the adversary may treat an `H` slot as if it
+    /// were an `h` slot (see the remark after Definition 2).
+    MultiHonest,
+    /// `A`: the slot has at least one adversarial leader.
+    Adversarial,
+}
+
+impl Symbol {
+    /// All three symbols, in increasing "adversarial power" order.
+    pub const ALL: [Symbol; 3] = [Symbol::UniqueHonest, Symbol::MultiHonest, Symbol::Adversarial];
+
+    /// Returns `true` for `h` and `H` (the slot is *honest*).
+    #[inline]
+    pub fn is_honest(self) -> bool {
+        !matches!(self, Symbol::Adversarial)
+    }
+
+    /// Returns `true` for `A` (the slot is *adversarial*).
+    #[inline]
+    pub fn is_adversarial(self) -> bool {
+        matches!(self, Symbol::Adversarial)
+    }
+
+    /// The character used in the paper's notation: `h`, `H`, or `A`.
+    #[inline]
+    pub fn as_char(self) -> char {
+        match self {
+            Symbol::UniqueHonest => 'h',
+            Symbol::MultiHonest => 'H',
+            Symbol::Adversarial => 'A',
+        }
+    }
+
+    /// Parses a single symbol character.
+    ///
+    /// Accepts exactly `h`, `H`, and `A`; returns `None` otherwise.
+    #[inline]
+    pub fn from_char(c: char) -> Option<Symbol> {
+        match c {
+            'h' => Some(Symbol::UniqueHonest),
+            'H' => Some(Symbol::MultiHonest),
+            'A' => Some(Symbol::Adversarial),
+            _ => None,
+        }
+    }
+
+    /// The walk step associated with this symbol: `+1` for `A`, `-1` for
+    /// honest symbols (paper Section 5, the process `W_t`).
+    #[inline]
+    pub fn walk_step(self) -> i64 {
+        if self.is_adversarial() {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+/// Outcome of the leader election for a single slot in the Δ-synchronous
+/// model (paper Definition 20), where slots may be *empty*.
+///
+/// The total order extends the synchronous one with `⊥` as the least
+/// element: an empty slot is even less useful to the adversary than a
+/// uniquely honest slot (it contributes nothing at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SemiSymbol {
+    /// `⊥`: the slot was assigned to no participant.
+    Empty,
+    /// `h`: exactly one leader, honest.
+    UniqueHonest,
+    /// `H`: several honest leaders, no adversarial one.
+    MultiHonest,
+    /// `A`: at least one adversarial leader.
+    Adversarial,
+}
+
+impl SemiSymbol {
+    /// All four symbols.
+    pub const ALL: [SemiSymbol; 4] = [
+        SemiSymbol::Empty,
+        SemiSymbol::UniqueHonest,
+        SemiSymbol::MultiHonest,
+        SemiSymbol::Adversarial,
+    ];
+
+    /// Returns `true` for `h` and `H`.
+    #[inline]
+    pub fn is_honest(self) -> bool {
+        matches!(self, SemiSymbol::UniqueHonest | SemiSymbol::MultiHonest)
+    }
+
+    /// Returns `true` for `A`.
+    #[inline]
+    pub fn is_adversarial(self) -> bool {
+        matches!(self, SemiSymbol::Adversarial)
+    }
+
+    /// Returns `true` for `⊥`.
+    #[inline]
+    pub fn is_empty_slot(self) -> bool {
+        matches!(self, SemiSymbol::Empty)
+    }
+
+    /// The character used in this crate's notation: `.` for `⊥`, otherwise
+    /// as in [`Symbol::as_char`].
+    #[inline]
+    pub fn as_char(self) -> char {
+        match self {
+            SemiSymbol::Empty => '.',
+            SemiSymbol::UniqueHonest => 'h',
+            SemiSymbol::MultiHonest => 'H',
+            SemiSymbol::Adversarial => 'A',
+        }
+    }
+
+    /// Parses a single symbol character (`.` or `_` for `⊥`).
+    #[inline]
+    pub fn from_char(c: char) -> Option<SemiSymbol> {
+        match c {
+            '.' | '_' => Some(SemiSymbol::Empty),
+            'h' => Some(SemiSymbol::UniqueHonest),
+            'H' => Some(SemiSymbol::MultiHonest),
+            'A' => Some(SemiSymbol::Adversarial),
+            _ => None,
+        }
+    }
+
+    /// The corresponding synchronous symbol, or `None` for `⊥`.
+    #[inline]
+    pub fn to_symbol(self) -> Option<Symbol> {
+        match self {
+            SemiSymbol::Empty => None,
+            SemiSymbol::UniqueHonest => Some(Symbol::UniqueHonest),
+            SemiSymbol::MultiHonest => Some(Symbol::MultiHonest),
+            SemiSymbol::Adversarial => Some(Symbol::Adversarial),
+        }
+    }
+}
+
+impl From<Symbol> for SemiSymbol {
+    fn from(s: Symbol) -> SemiSymbol {
+        match s {
+            Symbol::UniqueHonest => SemiSymbol::UniqueHonest,
+            Symbol::MultiHonest => SemiSymbol::MultiHonest,
+            Symbol::Adversarial => SemiSymbol::Adversarial,
+        }
+    }
+}
+
+impl fmt::Display for SemiSymbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_roundtrip() {
+        for s in Symbol::ALL {
+            assert_eq!(Symbol::from_char(s.as_char()), Some(s));
+        }
+        assert_eq!(Symbol::from_char('x'), None);
+        assert_eq!(Symbol::from_char('.'), None);
+    }
+
+    #[test]
+    fn semi_symbol_roundtrip() {
+        for s in SemiSymbol::ALL {
+            assert_eq!(SemiSymbol::from_char(s.as_char()), Some(s));
+        }
+        assert_eq!(SemiSymbol::from_char('_'), Some(SemiSymbol::Empty));
+        assert_eq!(SemiSymbol::from_char('x'), None);
+    }
+
+    #[test]
+    fn adversarial_order_matches_paper() {
+        // h < H < A (the order below Definition 6).
+        assert!(Symbol::UniqueHonest < Symbol::MultiHonest);
+        assert!(Symbol::MultiHonest < Symbol::Adversarial);
+        assert!(SemiSymbol::Empty < SemiSymbol::UniqueHonest);
+        assert!(SemiSymbol::UniqueHonest < SemiSymbol::MultiHonest);
+        assert!(SemiSymbol::MultiHonest < SemiSymbol::Adversarial);
+    }
+
+    #[test]
+    fn honesty_predicates() {
+        assert!(Symbol::UniqueHonest.is_honest());
+        assert!(Symbol::MultiHonest.is_honest());
+        assert!(!Symbol::Adversarial.is_honest());
+        assert!(Symbol::Adversarial.is_adversarial());
+        assert!(!SemiSymbol::Empty.is_honest());
+        assert!(!SemiSymbol::Empty.is_adversarial());
+        assert!(SemiSymbol::Empty.is_empty_slot());
+    }
+
+    #[test]
+    fn walk_steps() {
+        assert_eq!(Symbol::UniqueHonest.walk_step(), -1);
+        assert_eq!(Symbol::MultiHonest.walk_step(), -1);
+        assert_eq!(Symbol::Adversarial.walk_step(), 1);
+    }
+
+    #[test]
+    fn semi_to_symbol() {
+        assert_eq!(SemiSymbol::Empty.to_symbol(), None);
+        assert_eq!(
+            SemiSymbol::MultiHonest.to_symbol(),
+            Some(Symbol::MultiHonest)
+        );
+        assert_eq!(SemiSymbol::from(Symbol::Adversarial), SemiSymbol::Adversarial);
+    }
+}

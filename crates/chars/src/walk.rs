@@ -1,0 +1,221 @@
+//! The ±1 random-walk view of a characteristic string.
+//!
+//! Section 5 of the paper analyses characteristic strings through the walk
+//! `S_t = Σ_{i ≤ t} W_i` with `W_i = +1` when `w_i = A` and `W_i = −1`
+//! otherwise. Catalan slots have a crisp description in terms of this walk
+//! (see `multihonest-catalan`):
+//!
+//! * slot `s` is **left-Catalan** iff `S_s < S_j` for every `0 ≤ j < s`
+//!   (the walk reaches a strict new minimum at `s`);
+//! * slot `s` is **right-Catalan** iff `S_r < S_{s−1}` for every `r ≥ s`
+//!   (the walk never again touches the pre-`s` level).
+//!
+//! [`Walk`] materialises `S` together with prefix-minimum and
+//! suffix-maximum tables so that both predicates — and several quantities
+//! used by the Δ-synchronous analysis (Bound 3) — are O(1) per query.
+
+use crate::string::CharString;
+use crate::symbol::Symbol;
+
+/// The walk `S_0 = 0, S_t = S_{t−1} ± 1` induced by a characteristic string,
+/// with O(1) prefix-minimum and suffix-maximum queries.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::{CharString, Walk};
+///
+/// let w: CharString = "hAAh".parse()?;
+/// let walk = Walk::new(&w);
+/// assert_eq!(walk.position(0), 0);
+/// assert_eq!(walk.position(1), -1); // h
+/// assert_eq!(walk.position(3), 1);  // h A A
+/// assert_eq!(walk.position(4), 0);
+/// assert_eq!(walk.prefix_min(3), -1);
+/// assert_eq!(walk.suffix_max(1), 1);
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    /// `s[t] = S_t` for `t ∈ 0..=n`.
+    positions: Vec<i64>,
+    /// `pmin[t] = min(S_0, …, S_t)`.
+    prefix_min: Vec<i64>,
+    /// `smax[t] = max(S_t, …, S_n)`.
+    suffix_max: Vec<i64>,
+}
+
+impl Walk {
+    /// Builds the walk for `w` in `O(|w|)`.
+    pub fn new(w: &CharString) -> Walk {
+        let n = w.len();
+        let mut positions = Vec::with_capacity(n + 1);
+        positions.push(0i64);
+        let mut acc = 0i64;
+        for &s in w.symbols() {
+            acc += s.walk_step();
+            positions.push(acc);
+        }
+        let mut prefix_min = positions.clone();
+        for t in 1..=n {
+            prefix_min[t] = prefix_min[t].min(prefix_min[t - 1]);
+        }
+        let mut suffix_max = positions.clone();
+        for t in (0..n).rev() {
+            suffix_max[t] = suffix_max[t].max(suffix_max[t + 1]);
+        }
+        Walk { positions, prefix_min, suffix_max }
+    }
+
+    /// The walk built directly from symbols.
+    pub fn from_symbols(symbols: &[Symbol]) -> Walk {
+        Walk::new(&CharString::from_symbols(symbols.to_vec()))
+    }
+
+    /// The number of steps `n` (equals the string length).
+    pub fn len(&self) -> usize {
+        self.positions.len() - 1
+    }
+
+    /// Returns `true` if the walk has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `S_t`, for `t ∈ 0..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > n`.
+    #[inline]
+    pub fn position(&self, t: usize) -> i64 {
+        self.positions[t]
+    }
+
+    /// All positions `S_0..=S_n`.
+    pub fn positions(&self) -> &[i64] {
+        &self.positions
+    }
+
+    /// `min(S_0, …, S_t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > n`.
+    #[inline]
+    pub fn prefix_min(&self, t: usize) -> i64 {
+        self.prefix_min[t]
+    }
+
+    /// `max(S_t, …, S_n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t > n`.
+    #[inline]
+    pub fn suffix_max(&self, t: usize) -> i64 {
+        self.suffix_max[t]
+    }
+
+    /// Returns `true` if the walk attains a strict new minimum at step `t`:
+    /// `S_t < S_j` for all `j < t`. (This is the left-Catalan predicate for
+    /// slot `t`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `t > n`.
+    #[inline]
+    pub fn is_strict_new_min(&self, t: usize) -> bool {
+        assert!(t >= 1 && t <= self.len(), "step {t} out of range");
+        self.positions[t] < self.prefix_min[t - 1]
+    }
+
+    /// Returns `true` if the walk stays strictly below `S_{t−1}` from step
+    /// `t` on: `S_r < S_{t−1}` for all `r ∈ t..=n`. (This is the
+    /// right-Catalan predicate for slot `t`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `t > n`.
+    #[inline]
+    pub fn stays_strictly_below_from(&self, t: usize) -> bool {
+        assert!(t >= 1 && t <= self.len(), "step {t} out of range");
+        self.suffix_max[t] < self.positions[t - 1]
+    }
+
+    /// The height `X_t = S_t − min_{i ≤ t} S_i` of the walk above its
+    /// running minimum — the reflected walk of paper Section 5.1, whose
+    /// stationary law is `X_∞` (Equation (9)).
+    #[inline]
+    pub fn height_above_min(&self, t: usize) -> i64 {
+        self.positions[t] - self.prefix_min[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk(s: &str) -> Walk {
+        Walk::new(&s.parse().unwrap())
+    }
+
+    #[test]
+    fn positions_by_hand() {
+        let w = walk("hAAhh");
+        assert_eq!(w.positions(), &[0, -1, 0, 1, 0, -1]);
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn prefix_min_suffix_max() {
+        let w = walk("hAAhh");
+        // S = 0, -1, 0, 1, 0, -1
+        assert_eq!(w.prefix_min(0), 0);
+        assert_eq!(w.prefix_min(1), -1);
+        assert_eq!(w.prefix_min(3), -1);
+        assert_eq!(w.prefix_min(5), -1);
+        assert_eq!(w.suffix_max(0), 1);
+        assert_eq!(w.suffix_max(4), 0);
+        assert_eq!(w.suffix_max(5), -1);
+    }
+
+    #[test]
+    fn strict_new_min() {
+        let w = walk("hAAhh");
+        // new strict minima at t=1 (-1 < 0) and t=5 (-1 < -1 is false!).
+        assert!(w.is_strict_new_min(1));
+        assert!(!w.is_strict_new_min(2));
+        assert!(!w.is_strict_new_min(4));
+        assert!(!w.is_strict_new_min(5)); // equals previous min, not strict
+    }
+
+    #[test]
+    fn stays_below() {
+        let w = walk("hhAh");
+        // S = 0, -1, -2, -1, -2
+        assert!(w.stays_strictly_below_from(1)); // suffix max from 1 is -1 < 0
+        assert!(!w.stays_strictly_below_from(2)); // suffix max from 2 is -1 == S_1
+        assert!(w.stays_strictly_below_from(4)); // S_4 = -2 < S_3 = -1
+    }
+
+    #[test]
+    fn height_above_min_is_reflected_walk() {
+        let w = walk("AAhhhA");
+        // S:    0 1 2 1 0 -1 0
+        // min:  0 0 0 0 0 -1 -1
+        let expected = [0, 1, 2, 1, 0, 0, 1];
+        for (t, e) in expected.iter().enumerate() {
+            assert_eq!(w.height_above_min(t), *e, "t={t}");
+        }
+    }
+
+    #[test]
+    fn empty_walk() {
+        let w = Walk::new(&CharString::new());
+        assert!(w.is_empty());
+        assert_eq!(w.position(0), 0);
+        assert_eq!(w.prefix_min(0), 0);
+        assert_eq!(w.suffix_max(0), 0);
+    }
+}

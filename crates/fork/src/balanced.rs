@@ -1,0 +1,253 @@
+//! Balanced forks, slot divergence, settlement violations and common-prefix
+//! violations (paper Sections 2.1, 6.3, 9 and Appendix A).
+
+use crate::fork::{Fork, VertexId};
+
+/// Returns `true` when the tines ending at `a` and `b` *diverge prior to
+/// slot `s`* in the sense of Definition 3: they contain different vertices
+/// labelled `s`, or one contains a vertex labelled `s` while the other does
+/// not.
+pub fn diverge_prior_to(fork: &Fork, a: VertexId, b: VertexId, s: usize) -> bool {
+    let va = fork.tine_vertex_with_label(a, s);
+    let vb = fork.tine_vertex_with_label(b, s);
+    match (va, vb) {
+        (Some(x), Some(y)) => x != y,
+        (None, None) => false,
+        _ => true,
+    }
+}
+
+/// Returns `true` when the fork witnesses that slot `s` is **not settled**:
+/// it contains two maximum-length tines that diverge prior to `s`
+/// (Definition 3).
+pub fn violates_settlement(fork: &Fork, s: usize) -> bool {
+    let maxes = fork.max_length_tines();
+    for (i, &a) in maxes.iter().enumerate() {
+        for &b in &maxes[i + 1..] {
+            if diverge_prior_to(fork, a, b, s) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` when the fork is *balanced* (Definition 18): it contains
+/// two edge-disjoint tines, both of maximum length.
+pub fn is_balanced(fork: &Fork) -> bool {
+    is_x_balanced(fork, 0)
+}
+
+/// Returns `true` when the fork is *`x`-balanced* for the length-`cut`
+/// prefix `x` of its string (Definition 18): it contains two tines of
+/// maximum length that share no edge terminating after slot `cut` — i.e.
+/// whose last common vertex has label `≤ cut`.
+pub fn is_x_balanced(fork: &Fork, cut: usize) -> bool {
+    let maxes = fork.max_length_tines();
+    for (i, &a) in maxes.iter().enumerate() {
+        for &b in maxes.iter().skip(i) {
+            if a == b {
+                // A tine self-pairs only when it has no edge past `cut`;
+                // for a maximum-length tine this means height(F) vertices
+                // all labelled ≤ cut — the pair is then degenerate and we
+                // require a genuine second tine, except for the trivial
+                // fork (height 0) which is vacuously balanced.
+                if fork.height() == 0 {
+                    return true;
+                }
+                continue;
+            }
+            if fork.label(fork.last_common_vertex(a, b)) <= cut {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The slot divergence of a pair of tines (Definition 25):
+/// `ℓ(t1) − ℓ(t1 ∩ t2)` where `t1` is the tine with the smaller label.
+pub fn slot_divergence_of(fork: &Fork, a: VertexId, b: VertexId) -> usize {
+    let (first, _) = if fork.label(a) <= fork.label(b) { (a, b) } else { (b, a) };
+    let lca = fork.last_common_vertex(a, b);
+    fork.label(first) - fork.label(lca).min(fork.label(first))
+}
+
+/// The slot divergence of the fork: the maximum of
+/// [`slot_divergence_of`] over all tine pairs (Definition 25).
+pub fn slot_divergence(fork: &Fork) -> usize {
+    let ids: Vec<VertexId> = fork.vertices().collect();
+    let mut best = 0;
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            best = best.max(slot_divergence_of(fork, a, b));
+        }
+    }
+    best
+}
+
+/// Returns `true` when the fork violates `k`-CP^slot (Definition 24):
+/// there are viable tines `t1, t2` with `ℓ(t1) ≤ ℓ(t2)` such that the
+/// portion of `t1` up to slot `ℓ(t1) − k` is **not** a prefix of `t2`.
+pub fn violates_k_cp_slot(fork: &Fork, k: usize) -> bool {
+    let viable: Vec<VertexId> = fork.vertices().filter(|v| fork.is_viable(*v)).collect();
+    for &a in &viable {
+        for &b in &viable {
+            if fork.label(a) > fork.label(b) {
+                continue;
+            }
+            // Trimmed tine t1^{⌊k}: portion labelled ≤ ℓ(t1) − k.
+            let cutoff = fork.label(a).saturating_sub(k);
+            let trimmed = fork.truncate_to_label(a, cutoff);
+            if !fork.is_ancestor_or_equal(trimmed, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Returns `true` when the fork violates the traditional `k`-CP property
+/// (block truncation: remove the last `k` *blocks* of `t1` instead of the
+/// blocks of the last `k` slots). A `k`-CP violation implies a `k`-CP^slot
+/// violation (Section 9).
+pub fn violates_k_cp(fork: &Fork, k: usize) -> bool {
+    let viable: Vec<VertexId> = fork.vertices().filter(|v| fork.is_viable(*v)).collect();
+    for &a in &viable {
+        for &b in &viable {
+            if fork.label(a) > fork.label(b) {
+                continue;
+            }
+            let keep_depth = fork.depth(a).saturating_sub(k);
+            let trimmed = fork.ancestor_at_depth(a, keep_depth);
+            if !fork.is_ancestor_or_equal(trimmed, b) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_chars::CharString;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn figure2_balanced_witness() {
+        let f = crate::figures::figure2();
+        assert!(is_balanced(&f));
+        // It is x-balanced for every cut.
+        for cut in 0..=6 {
+            assert!(is_x_balanced(&f, cut));
+        }
+    }
+
+    #[test]
+    fn figure3_settlement_violation_for_slot_3() {
+        // In Figure 3 the two max-length tines diverge right after x = hh:
+        // one contains a vertex labelled 3, the other does not, so slot 3
+        // is unsettled; slot 1 and 2 are on the common prefix.
+        let f = crate::figures::figure3();
+        assert!(violates_settlement(&f, 3));
+        assert!(violates_settlement(&f, 4));
+        assert!(!violates_settlement(&f, 1));
+        assert!(!violates_settlement(&f, 2));
+    }
+
+    #[test]
+    fn diverge_prior_to_cases() {
+        let mut f = Fork::new(w("hAA"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let b1 = f.push_vertex(a, 2);
+        let b2 = f.push_vertex(a, 3);
+        // b1's tine has a slot-2 vertex, b2's does not.
+        assert!(diverge_prior_to(&f, b1, b2, 2));
+        assert!(diverge_prior_to(&f, b1, b2, 3));
+        // Both contain the same slot-1 vertex.
+        assert!(!diverge_prior_to(&f, b1, b2, 1));
+        // Same tine never diverges from itself.
+        assert!(!diverge_prior_to(&f, b1, b1, 2));
+        // Two distinct vertices with the same label diverge.
+        let mut g = Fork::new(w("H"));
+        let c1 = g.push_vertex(VertexId::ROOT, 1);
+        let c2 = g.push_vertex(VertexId::ROOT, 1);
+        assert!(diverge_prior_to(&g, c1, c2, 1));
+    }
+
+    #[test]
+    fn trivial_fork_is_balanced_vacuously() {
+        let f = Fork::trivial();
+        assert!(is_balanced(&f));
+    }
+
+    #[test]
+    fn linear_chain_is_not_balanced() {
+        let mut f = Fork::new(w("hh"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let _b = f.push_vertex(a, 2);
+        assert!(!is_balanced(&f));
+        assert!(!is_x_balanced(&f, 1));
+        assert!(!violates_settlement(&f, 1));
+    }
+
+    #[test]
+    fn slot_divergence_examples() {
+        let f = crate::figures::figure2();
+        // Tines 0→1→4→5 and 0→2→3→6 meet at the root; the pair
+        // (5-tine, 6-tine) has ℓ(t1)=5, ℓ(lca)=0, divergence 5.
+        assert_eq!(slot_divergence(&f), 5);
+        // On a chain every pair is nested (lca = the shallower tine), so
+        // the divergence is 0.
+        let mut g = Fork::new(w("hh"));
+        let a = g.push_vertex(VertexId::ROOT, 1);
+        let b = g.push_vertex(a, 2);
+        assert_eq!(slot_divergence(&g), 0);
+        let _ = b;
+    }
+
+    #[test]
+    fn cp_violations() {
+        // Figure 2's balanced fork: the two max tines diverge at the root;
+        // tine lengths 3, labels 5 and 6. Trimming 2 slots off the label-5
+        // tine leaves its slot-3 portion? ℓ(t1) − k = 5 − 2 = 3: trimmed
+        // tine is 0→1 (labels ≤ 3 on that tine: 1)… which is not a prefix
+        // of the other max tine 0→2→3→6. So 2-CP^slot is violated. With
+        // k = 5 the trimmed tine is the root, always a prefix — but other
+        // viable pairs may still violate.
+        let f = crate::figures::figure2();
+        assert!(violates_k_cp_slot(&f, 2));
+        assert!(violates_k_cp_slot(&f, 4));
+        assert!(!violates_k_cp_slot(&f, 6));
+        // Block-truncation CP: trimming 3 blocks from either max tine
+        // reaches the root.
+        assert!(violates_k_cp(&f, 2));
+        assert!(!violates_k_cp(&f, 3));
+        // A single chain never violates CP.
+        let mut g = Fork::new(w("hhh"));
+        let a = g.push_vertex(VertexId::ROOT, 1);
+        let b = g.push_vertex(a, 2);
+        let _c = g.push_vertex(b, 3);
+        assert!(!violates_k_cp_slot(&g, 0));
+        assert!(!violates_k_cp(&g, 0));
+    }
+
+    #[test]
+    fn k_cp_violation_implies_k_cp_slot_violation() {
+        // Section 9: block-truncation violations imply slot-truncation
+        // violations (labels increase along tines, so k blocks span ≥ k
+        // slots). Check on the figures.
+        for f in [crate::figures::figure1(), crate::figures::figure2(), crate::figures::figure3()]
+        {
+            for k in 0..=6 {
+                if violates_k_cp(&f, k) {
+                    assert!(violates_k_cp_slot(&f, k), "k = {k}");
+                }
+            }
+        }
+    }
+}

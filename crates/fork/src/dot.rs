@@ -1,0 +1,76 @@
+//! Graphviz/DOT rendering of forks, in the visual style of the paper's
+//! figures: vertices carry their slot labels, honest vertices are drawn
+//! with double borders, and edges point away from the genesis vertex.
+
+use std::fmt::Write as _;
+
+use crate::fork::Fork;
+
+/// Renders the fork as a Graphviz digraph.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_fork::{dot, Fork, VertexId};
+///
+/// let mut f = Fork::new("hA".parse()?);
+/// let a = f.push_vertex(VertexId::ROOT, 1);
+/// let _b = f.push_vertex(a, 2);
+/// let rendered = dot::to_dot(&f, "example");
+/// assert!(rendered.contains("digraph"));
+/// assert!(rendered.contains("peripheries=2")); // honest double borders
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+pub fn to_dot(fork: &Fork, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  label=\"w = {}\";", fork.string());
+    let _ = writeln!(out, "  node [shape=circle, fontsize=10];");
+    for v in fork.vertices() {
+        let label = fork.label(v);
+        let honest = fork.is_honest(v);
+        let peripheries = if honest { 2 } else { 1 };
+        let _ = writeln!(
+            out,
+            "  v{} [label=\"{}\", peripheries={}];",
+            v.index(),
+            label,
+            peripheries
+        );
+    }
+    for v in fork.vertices() {
+        if let Some(p) = fork.parent(v) {
+            let _ = writeln!(out, "  v{} -> v{};", p.index(), v.index());
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_dot_structure() {
+        let f = crate::figures::figure1();
+        let d = to_dot(&f, "figure1");
+        // 15 vertices, 14 edges.
+        assert_eq!(d.matches("peripheries").count(), 15);
+        assert_eq!(d.matches(" -> ").count(), 14);
+        // Adversarial vertices (labels 2, 4, 7, 8) drawn single-bordered.
+        assert!(d.contains("peripheries=1"));
+        assert!(d.contains("label=\"9\""));
+        assert!(d.contains("w = hAhAhHAAH"));
+    }
+
+    #[test]
+    fn trivial_fork_renders() {
+        let f = Fork::trivial();
+        let d = to_dot(&f, "trivial");
+        assert!(d.starts_with("digraph"));
+        assert!(d.contains("v0"));
+        assert!(!d.contains("->"));
+    }
+}

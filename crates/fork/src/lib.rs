@@ -1,0 +1,46 @@
+//! # multihonest-fork
+//!
+//! The fork framework of *Consistency of Proof-of-Stake Blockchains with
+//! Concurrent Honest Slot Leaders* (Kiayias, Quader, Russell; ICDCS 2020),
+//! extending Blum et al.'s framework to multiply honest slots.
+//!
+//! A *fork* (paper Definition 2) is a rooted, labelled tree abstracting the
+//! set of blockchains produced during an execution of a longest-chain
+//! Proof-of-Stake protocol: vertices are blocks, labels are slots, and
+//! root-to-vertex paths (*tines*) are blockchains. The fork axioms
+//! (F1)–(F4) — and (F4Δ) in the Δ-synchronous setting (Definition 21) —
+//! capture exactly the executions that can arise against the honest
+//! longest-chain rule.
+//!
+//! This crate provides:
+//!
+//! * [`Fork`] — an arena-based fork tree bound to its characteristic
+//!   string, with incremental construction;
+//! * axiom validation ([`Fork::validate`], [`validate::validate_delta`])
+//!   with precise [`ForkError`] diagnostics;
+//! * tine queries: depth/length, viability (Section 2), honest-depth
+//!   function `d(·)`;
+//! * the reach/margin calculus of Sections 6.1–6.2 computed **by
+//!   definition** on closed forks ([`reach`]) — the independent ground
+//!   truth against which `multihonest-margin`'s recurrences are verified;
+//! * balanced forks, slot divergence, settlement and common-prefix
+//!   violation predicates ([`balanced`], Sections 2.1, 6.3, 9, Appendix A);
+//! * Graphviz/DOT rendering of the paper's figures ([`dot`]);
+//! * random and (tiny-string) exhaustive fork generation for
+//!   cross-validation ([`generate`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balanced;
+pub mod figures;
+pub mod dot;
+pub mod fork;
+pub mod generate;
+pub mod pinch;
+pub mod reach;
+pub mod validate;
+
+pub use crate::fork::{Fork, VertexId};
+pub use crate::reach::ReachAnalysis;
+pub use crate::validate::ForkError;

@@ -1,0 +1,238 @@
+//! Appendix A: common-prefix violations and balanced forks.
+//!
+//! The paper's main text analyses CP violations through Catalan slots
+//! (Section 9); Appendix A shows the older route still works in the
+//! multi-leader setting: a fork with slot divergence `≥ k + 1` can be
+//! *pinched* at a carefully chosen honest vertex and trimmed into an
+//! `x`-balanced fork for a prefix `xy` with `|y| ≥ k` (Theorem 9). This
+//! module implements the pinching construction and a constructive version
+//! of the theorem's conclusion.
+
+use crate::balanced;
+use crate::fork::{Fork, VertexId};
+
+/// The *pinched* fork `F^{⊲u⊳}` (Appendix A): every edge of `F` entering
+/// a vertex of depth `depth(u) + 1` is redirected to originate from `u`,
+/// so all tines longer than `depth(u)` pass through `u`.
+///
+/// The result is a well-defined fork for the same characteristic string
+/// whenever no vertex deeper than `u` carries a label `≤ ℓ(u)` — in the
+/// theorem's use `u` is the deepest vertex of its depth among honest
+/// prefixes, which guarantees this; the function checks it and panics
+/// otherwise (a misuse, not a recoverable state).
+///
+/// # Panics
+///
+/// Panics if redirection would create a label inversion (some vertex at
+/// depth `depth(u) + 1` has a label `≤ ℓ(u)`).
+pub fn pinch(fork: &Fork, u: VertexId) -> Fork {
+    let target_depth = fork.depth(u) + 1;
+    let mut out = Fork::new(fork.string().clone());
+    // Rebuild vertex by vertex (insertion order = creation order, parents
+    // precede children), redirecting parents of depth-target vertices.
+    let mut remap: Vec<VertexId> = vec![VertexId::ROOT; fork.vertex_count()];
+    for v in fork.vertices() {
+        if v == VertexId::ROOT {
+            continue;
+        }
+        let parent = fork.parent(v).expect("non-root");
+        let new_parent = if fork.depth(v) == target_depth {
+            assert!(
+                fork.label(v) > fork.label(u),
+                "pinch would invert labels: vertex {v:?} (label {}) under {u:?} (label {})",
+                fork.label(v),
+                fork.label(u)
+            );
+            u
+        } else {
+            parent
+        };
+        remap[v.index()] = out.push_vertex(remap[new_parent.index()], fork.label(v));
+    }
+    out
+}
+
+/// A constructive fragment of Theorem 9: given a fork whose slot
+/// divergence is at least `k + 1`, produce a cut `|x| = c` and a trimmed
+/// fork that is `x`-balanced with the divergence happening over a suffix
+/// of length ≥ `k`.
+///
+/// Returns `(cut, balanced_fork)` on success. The search mirrors the
+/// proof: take a witness pair `(t1, t2)` of maximal slot divergence,
+/// pinch at their last common vertex `u` (cut `c = ℓ(u)`), and trim both
+/// tines to equal length (dropping trailing adversarial blocks only).
+/// Returns `None` when no witness pair survives the trimming — which the
+/// theorem proves cannot happen for valid forks, so `None` indicates the
+/// divergence bound was not actually met.
+pub fn balanced_fork_from_divergence(fork: &Fork, k: usize) -> Option<(usize, Fork)> {
+    // Find the witness pair of maximal slot divergence (paper: maximal
+    // divergence, then minimal |ℓ(t2) − ℓ(t1)|).
+    let ids: Vec<VertexId> = fork.vertices().collect();
+    let mut best: Option<(usize, VertexId, VertexId)> = None;
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            let d = balanced::slot_divergence_of(fork, a, b);
+            if best.is_none_or(|(bd, _, _)| d > bd) {
+                best = Some((d, a, b));
+            }
+        }
+    }
+    let (div, a, b) = best?;
+    if div < k + 1 {
+        return None;
+    }
+    let u = fork.last_common_vertex(a, b);
+    let cut = fork.label(u);
+    // Trim the deeper tine's adversarial tail so both end at equal depth.
+    let (mut a, mut b) = (a, b);
+    loop {
+        let (da, db) = (fork.depth(a), fork.depth(b));
+        if da == db {
+            break;
+        }
+        // Trim from the deeper side; if its end vertex is honest we
+        // cannot trim (honest blocks are part of the record) — trim the
+        // other or fail.
+        let (deeper, other) = if da > db { (&mut a, b) } else { (&mut b, a) };
+        if fork.is_honest(*deeper) {
+            // Cannot shorten an honest tip below its depth; instead try
+            // trimming the shallower side is impossible (it is already
+            // shorter) — the witness fails.
+            let _ = other;
+            return None;
+        }
+        *deeper = fork.parent(*deeper).expect("deeper than the lca");
+    }
+    if a == b || fork.depth(a) <= fork.depth(u) {
+        return None;
+    }
+    // Build the sub-fork containing only vertices needed: all vertices
+    // whose subtree meets {a, b} — here simply keep every vertex that is
+    // an ancestor-or-self of a or b, plus all honest vertices (to keep
+    // axiom (F3)) of slots ≤ max label, with depths untouched.
+    let max_label = fork.label(a).max(fork.label(b));
+    let keep: Vec<bool> = fork
+        .vertices()
+        .map(|v| {
+            fork.is_ancestor_or_equal(v, a)
+                || fork.is_ancestor_or_equal(v, b)
+                || (fork.is_honest(v) && fork.label(v) <= max_label)
+        })
+        .collect();
+    let prefix_len = max_label;
+    let mut out = Fork::new(fork.string().prefix(prefix_len));
+    let mut remap: Vec<Option<VertexId>> = vec![None; fork.vertex_count()];
+    remap[VertexId::ROOT.index()] = Some(VertexId::ROOT);
+    for v in fork.vertices() {
+        if v == VertexId::ROOT || !keep[v.index()] || fork.label(v) > prefix_len {
+            continue;
+        }
+        // The parent may have been dropped (it wasn't kept): reattach to
+        // the nearest kept ancestor — only valid when the dropped chain
+        // was adversarial; to stay conservative, walk up to the nearest
+        // kept ancestor.
+        let mut p = fork.parent(v).expect("non-root");
+        while remap[p.index()].is_none() {
+            p = fork.parent(p).expect("root is always kept");
+        }
+        remap[v.index()] = Some(out.push_vertex(
+            remap[p.index()].expect("kept ancestor"),
+            fork.label(v),
+        ));
+    }
+    let na = remap[a.index()]?;
+    let nb = remap[b.index()]?;
+    // The trimmed tines must be the maximum-length tines of the sub-fork
+    // and meet at label ≤ cut; verify, re-check the axioms (re-attachment
+    // across dropped adversarial vertices can break (F4) in exotic
+    // forks — the theorem's full construction avoids this with a more
+    // careful surgery; we conservatively reject), and return.
+    let h = out.height();
+    if out.depth(na) != h || out.depth(nb) != h {
+        return None;
+    }
+    if out.label(out.last_common_vertex(na, nb)) > cut {
+        return None;
+    }
+    if out.validate().is_err() {
+        return None;
+    }
+    Some((cut, out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_chars::CharString;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn pinch_redirects_deep_edges() {
+        // Fork: root → 1 → 3, root → 2 → 4; pinch at vertex 1 (depth 1):
+        // both depth-2 vertices (3 and 4) must now hang under 1.
+        let mut f = Fork::new(w("hAAA"));
+        let v1 = f.push_vertex(VertexId::ROOT, 1);
+        let v3 = f.push_vertex(v1, 3);
+        let v2 = f.push_vertex(VertexId::ROOT, 2);
+        let v4 = f.push_vertex(v2, 4);
+        let _ = (v3, v4);
+        let pinched = pinch(&f, v1);
+        assert_eq!(pinched.vertex_count(), f.vertex_count());
+        // Every depth-2 vertex now has parent with label 1.
+        for v in pinched.vertices() {
+            if pinched.depth(v) == 2 {
+                assert_eq!(pinched.label(pinched.parent(v).unwrap()), 1);
+            }
+        }
+        assert!(pinched.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invert labels")]
+    fn pinch_rejects_label_inversion() {
+        // Vertex with label 1 at depth 1; pinching at a label-3 vertex of
+        // depth 0 would... construct: root → 3 (depth 1), root → 1
+        // (depth 1)? Pinch at the label-3 vertex redirects depth-2
+        // vertices; make a depth-2 vertex with label 2 < 3.
+        let mut f = Fork::new(w("hAA"));
+        let v1 = f.push_vertex(VertexId::ROOT, 1);
+        let _v2 = f.push_vertex(v1, 2);
+        let v3 = f.push_vertex(VertexId::ROOT, 3);
+        let _ = pinch(&f, v3);
+    }
+
+    #[test]
+    fn theorem9_on_figure2() {
+        // Figure 2's balanced fork has slot divergence 5: for k ≤ 4 the
+        // construction must return an x-balanced trimmed fork.
+        let f = crate::figures::figure2();
+        let (cut, bal) = balanced_fork_from_divergence(&f, 3).expect("divergence 5 ≥ 4");
+        assert_eq!(cut, 0);
+        assert!(bal.validate().is_ok());
+        assert!(balanced::is_x_balanced(&bal, cut));
+    }
+
+    #[test]
+    fn theorem9_on_figure3() {
+        // Figure 3: the two max tines meet at label 2, divergence
+        // min(5, 6) − 2 = 3; with k = 2 the construction yields an
+        // x-balanced fork for x of length 2.
+        let f = crate::figures::figure3();
+        let (cut, bal) = balanced_fork_from_divergence(&f, 2).expect("divergence 3 ≥ 3");
+        assert_eq!(cut, 2);
+        assert!(balanced::is_x_balanced(&bal, cut));
+        // Divergence bound not met ⇒ None.
+        assert!(balanced_fork_from_divergence(&f, 5).is_none());
+    }
+
+    #[test]
+    fn no_divergence_no_balance() {
+        let mut f = Fork::new(w("hh"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(a, 2);
+        assert!(balanced_fork_from_divergence(&f, 0).is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! Validation of the fork axioms (F1)–(F4) and (F4Δ).
+//!
+//! [`Fork::validate`] checks the synchronous axioms of paper Definition 2;
+//! [`validate_delta`] checks the Δ-synchronous variant of Definition 21,
+//! where (F4) is relaxed to apply only to honest slots more than `Δ` apart.
+
+use std::fmt;
+
+use multihonest_chars::{SemiString, Symbol};
+
+use crate::fork::{Fork, VertexId};
+
+/// A violation of the fork axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkError {
+    /// (F2): a vertex label is not strictly greater than its parent's.
+    LabelOrder {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Its label.
+        label: usize,
+        /// Its parent's label.
+        parent_label: usize,
+    },
+    /// A vertex label exceeds the characteristic-string length.
+    LabelOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Its label.
+        label: usize,
+        /// The string length.
+        len: usize,
+    },
+    /// (F3): a uniquely honest slot is the label of `count ≠ 1` vertices.
+    UniqueHonestMultiplicity {
+        /// The slot.
+        slot: usize,
+        /// How many vertices carry the label.
+        count: usize,
+    },
+    /// (F3): a multiply honest slot labels no vertex at all.
+    MultiHonestMissing {
+        /// The slot.
+        slot: usize,
+    },
+    /// (F4)/(F4Δ): two honest vertices violate the increasing-depth rule.
+    HonestDepthOrder {
+        /// Earlier honest slot.
+        earlier_slot: usize,
+        /// Depth of a vertex at the earlier slot.
+        earlier_depth: usize,
+        /// Later honest slot.
+        later_slot: usize,
+        /// Depth of a vertex at the later slot.
+        later_depth: usize,
+    },
+}
+
+impl fmt::Display for ForkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForkError::LabelOrder { vertex, label, parent_label } => write!(
+                f,
+                "vertex {vertex:?} has label {label} not greater than parent label {parent_label}"
+            ),
+            ForkError::LabelOutOfRange { vertex, label, len } => {
+                write!(f, "vertex {vertex:?} has label {label} beyond string length {len}")
+            }
+            ForkError::UniqueHonestMultiplicity { slot, count } => write!(
+                f,
+                "uniquely honest slot {slot} labels {count} vertices (exactly one required)"
+            ),
+            ForkError::MultiHonestMissing { slot } => {
+                write!(f, "multiply honest slot {slot} labels no vertex (at least one required)")
+            }
+            ForkError::HonestDepthOrder { earlier_slot, earlier_depth, later_slot, later_depth } => {
+                write!(
+                    f,
+                    "honest depth not increasing: slot {earlier_slot} has depth {earlier_depth}, \
+                     later slot {later_slot} has depth {later_depth}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
+
+impl Fork {
+    /// Checks the synchronous fork axioms (F1)–(F4) of paper Definition 2
+    /// against this fork's characteristic string.
+    ///
+    /// (F1) — root labelled 0 — and the tree-ness of the structure are
+    /// guaranteed by construction; this method verifies (F2) label
+    /// monotonicity, (F3) honest label multiplicities, and (F4) strictly
+    /// increasing honest depths across distinct honest slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), ForkError> {
+        self.validate_inner(None)
+    }
+
+    fn validate_inner(&self, delta_gap: Option<usize>) -> Result<(), ForkError> {
+        let n = self.string().len();
+        // (F2) + label range.
+        for v in self.vertices() {
+            let label = self.label(v);
+            if label > n {
+                return Err(ForkError::LabelOutOfRange { vertex: v, label, len: n });
+            }
+            if let Some(p) = self.parent(v) {
+                let parent_label = self.label(p);
+                if label <= parent_label {
+                    return Err(ForkError::LabelOrder { vertex: v, label, parent_label });
+                }
+            }
+        }
+        // (F3).
+        let mut counts = vec![0usize; n + 1];
+        for v in self.vertices() {
+            counts[self.label(v)] += 1;
+        }
+        for (slot, sym) in self.string().iter_slots() {
+            match sym {
+                Symbol::UniqueHonest => {
+                    if counts[slot] != 1 {
+                        return Err(ForkError::UniqueHonestMultiplicity {
+                            slot,
+                            count: counts[slot],
+                        });
+                    }
+                }
+                Symbol::MultiHonest => {
+                    if counts[slot] == 0 {
+                        return Err(ForkError::MultiHonestMissing { slot });
+                    }
+                }
+                Symbol::Adversarial => {}
+            }
+        }
+        // (F4) / (F4Δ): min depth per honest slot must strictly exceed the
+        // max depth of every sufficiently-earlier honest slot. Scan slots
+        // in increasing order, maintaining the running max depth of honest
+        // slots that are "in force" (more than Δ earlier).
+        let gap = delta_gap.unwrap_or(0);
+        let honest_slots: Vec<usize> = self
+            .string()
+            .iter_slots()
+            .filter(|(t, s)| s.is_honest() && counts[*t] > 0)
+            .map(|(t, _)| t)
+            .collect();
+        let mut min_depth = vec![usize::MAX; n + 1];
+        let mut max_depth = vec![0usize; n + 1];
+        for v in self.vertices() {
+            let l = self.label(v);
+            let d = self.depth(v);
+            if l >= 1 && self.string().get(l).is_honest() {
+                min_depth[l] = min_depth[l].min(d);
+                max_depth[l] = max_depth[l].max(d);
+            }
+        }
+        for (a_idx, &i) in honest_slots.iter().enumerate() {
+            for &j in &honest_slots[a_idx + 1..] {
+                // (F4): i < j must imply depth_i < depth_j;
+                // (F4Δ): only required when i + Δ < j.
+                if i + gap < j && max_depth[i] >= min_depth[j] {
+                    return Err(ForkError::HonestDepthOrder {
+                        earlier_slot: i,
+                        earlier_depth: max_depth[i],
+                        later_slot: j,
+                        later_depth: min_depth[j],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Checks the Δ-synchronous fork axioms (F1)–(F3) + (F4Δ) of paper
+/// Definition 21 for a fork whose labels refer to the non-empty slots of a
+/// semi-synchronous string.
+///
+/// The fork must be built over the synchronous string
+/// `w.drop_empty()`-style labelling is **not** assumed: instead pass a fork
+/// whose labels are original slot numbers of `w` and whose characteristic
+/// string is the `⊥`-free projection with original numbering preserved via
+/// [`Fork::string`] — in practice, build the fork over a `CharString` whose
+/// slot `t` mirrors `w`'s slot `t` with `⊥` treated as a label no vertex
+/// uses.
+///
+/// # Errors
+///
+/// Returns the first axiom violation found.
+pub fn validate_delta(fork: &Fork, w: &SemiString, delta: usize) -> Result<(), ForkError> {
+    // The fork's own string must agree with the non-empty slots of w; empty
+    // slots must label no vertex.
+    debug_assert_eq!(fork.string().len(), w.len(), "fork string length must match w");
+    for v in fork.vertices() {
+        let l = fork.label(v);
+        if l >= 1 {
+            debug_assert!(
+                !w.get(l).is_empty_slot(),
+                "vertex {v:?} labelled by empty slot {l}"
+            );
+        }
+    }
+    fork.validate_inner(Some(delta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_chars::CharString;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn valid_simple_chain() {
+        let mut f = Fork::new(w("hhh"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let b = f.push_vertex(a, 2);
+        let _c = f.push_vertex(b, 3);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn missing_unique_honest_vertex_is_rejected() {
+        let f = Fork::new(w("h"));
+        assert_eq!(
+            f.validate(),
+            Err(ForkError::UniqueHonestMultiplicity { slot: 1, count: 0 })
+        );
+    }
+
+    #[test]
+    fn duplicate_unique_honest_vertex_is_rejected() {
+        let mut f = Fork::new(w("h"));
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        assert_eq!(
+            f.validate(),
+            Err(ForkError::UniqueHonestMultiplicity { slot: 1, count: 2 })
+        );
+    }
+
+    #[test]
+    fn missing_multi_honest_vertex_is_rejected() {
+        let f = Fork::new(w("H"));
+        assert_eq!(f.validate(), Err(ForkError::MultiHonestMissing { slot: 1 }));
+        // One vertex is enough (the adversary may treat H as h).
+        let mut f = Fork::new(w("H"));
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn multi_honest_slots_allow_concurrent_vertices() {
+        let mut f = Fork::new(w("H"));
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn adversarial_labels_unconstrained() {
+        // Zero or many adversarial vertices are both fine.
+        let f = Fork::new(w("A"));
+        assert!(f.validate().is_ok());
+        let mut f = Fork::new(w("A"));
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(VertexId::ROOT, 1);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn honest_depth_order_violation_detected() {
+        // Two honest slots 1 < 2 whose vertices have equal depth 1.
+        let mut f = Fork::new(w("hh"));
+        let _a = f.push_vertex(VertexId::ROOT, 1);
+        let _b = f.push_vertex(VertexId::ROOT, 2);
+        assert_eq!(
+            f.validate(),
+            Err(ForkError::HonestDepthOrder {
+                earlier_slot: 1,
+                earlier_depth: 1,
+                later_slot: 2,
+                later_depth: 1,
+            })
+        );
+    }
+
+    #[test]
+    fn concurrent_honest_vertices_may_share_depth() {
+        // Figure 1: two honest vertices labelled 6 have the same depth.
+        let mut f = Fork::new(w("hH"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(a, 2);
+        let _ = f.push_vertex(a, 2);
+        assert!(f.validate().is_ok());
+    }
+
+    #[test]
+    fn delta_relaxation_permits_nearby_equal_depths() {
+        // Honest slots 1 and 2, both depth 1: invalid synchronously, valid
+        // with Δ ≥ 1 (1 + 1 < 2 fails, so no constraint applies).
+        let semi: SemiString = "hh".parse().unwrap();
+        let mut f = Fork::new(w("hh"));
+        let _a = f.push_vertex(VertexId::ROOT, 1);
+        let _b = f.push_vertex(VertexId::ROOT, 2);
+        assert!(f.validate().is_err());
+        assert!(validate_delta(&f, &semi, 1).is_ok());
+        // But slots 1 and 3 with Δ = 1 are constrained (1 + 1 < 3).
+        let semi: SemiString = "h.h".parse().unwrap();
+        let mut f = Fork::new(w("hAh")); // placeholder symbol at slot 2, no vertex uses it
+        let _a = f.push_vertex(VertexId::ROOT, 1);
+        let _b = f.push_vertex(VertexId::ROOT, 3);
+        assert!(validate_delta(&f, &semi, 1).is_err());
+        assert!(validate_delta(&f, &semi, 2).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ForkError::UniqueHonestMultiplicity { slot: 3, count: 2 };
+        assert!(e.to_string().contains("slot 3"));
+        let e = ForkError::HonestDepthOrder {
+            earlier_slot: 1,
+            earlier_depth: 2,
+            later_slot: 4,
+            later_depth: 2,
+        };
+        assert!(e.to_string().contains("not increasing"));
+    }
+
+    #[test]
+    fn figure1_fork_validates() {
+        let f = crate::figures::figure1();
+        assert!(f.validate().is_ok());
+    }
+}

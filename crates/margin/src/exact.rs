@@ -1,0 +1,476 @@
+//! The exact settlement-probability dynamic program of paper Section 6.6.
+//!
+//! Under the `(ε, p_h)`-Bernoulli condition the pair `(ρ(xy), µ_x(y))`
+//! evolves as a Markov chain (Theorem 5). Propagating its joint law for
+//! `k` steps and summing the mass with `µ ≥ 0` yields the **exact**
+//! probability that slot `|x| + 1` suffers a `k`-settlement violation —
+//! the numbers published in Table 1 of the paper.
+//!
+//! The initial law of `ρ(x)`:
+//!
+//! * for `|x| → ∞`, the paper uses the dominating stationary law
+//!   `X_∞(r) = (1 − β) β^r` with `β = (1 − ε)/(1 + ε)` (Equation (9));
+//! * for finite `|x| = m`, the birth–death recurrence of Equation (13)
+//!   propagated `m` steps from `ρ(ε) = 0`.
+//!
+//! ## Exact truncation
+//!
+//! A naive implementation needs `O(T)` reach values and `O(T)` margin
+//! values per step (`O(T³)` total, as in the paper). We sharpen this with
+//! two *lossless* truncations for a fixed horizon `k`:
+//!
+//! * margins below `−(k + 1)` can never return to `0` within the horizon —
+//!   an absorbing "dead" floor;
+//! * reaches (and margins) above `C = k + 2` stay positive throughout the
+//!   horizon, so `C` acts as an absorbing ceiling whose exact value never
+//!   influences the `µ ≥ 0` statistics below it.
+//!
+//! Both arguments rely on `|ρ' − ρ| ≤ 1` and `|µ' − µ| ≤ 1` per step, which
+//! Theorem 5's recurrence guarantees.
+
+use multihonest_chars::BernoulliCondition;
+
+/// Exact `k`-settlement violation probabilities under a Bernoulli
+/// condition (paper Section 6.6; regenerates Table 1).
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::BernoulliCondition;
+/// use multihonest_margin::ExactSettlement;
+///
+/// // α = Pr[A] = 0.30, all honest slots uniquely honest.
+/// let cond = BernoulliCondition::from_probabilities(0.70, 0.0, 0.30)?;
+/// let exact = ExactSettlement::new(cond);
+/// let p = exact.violation_probability(100);
+/// // Table 1 row (Pr[h]/(1−α) = 1.0, k = 100, α = 0.30): 8.00E-04.
+/// assert!((p / 8.00e-4 - 1.0).abs() < 0.05, "p = {p:e}");
+/// # Ok::<(), multihonest_chars::DistributionError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactSettlement {
+    cond: BernoulliCondition,
+}
+
+/// The joint law of `(ρ, µ)` over the truncated lattice, plus absorbed
+/// mass buckets.
+#[derive(Debug, Clone)]
+struct Lattice {
+    /// Horizon this lattice was sized for.
+    cap: i64,
+    /// Margin floor (absorbing dead state), `= −(k + 1)`.
+    floor: i64,
+    /// `mass[idx(r, m)]`, `r ∈ 0..=cap`, `m ∈ floor..=cap`, `m ≤ r`.
+    mass: Vec<f64>,
+    /// Mass absorbed at "margin ≥ cap forever" (always a violation).
+    always: f64,
+    width: usize,
+}
+
+impl Lattice {
+    fn new(k: usize) -> Lattice {
+        let cap = k as i64 + 2;
+        let floor = -(k as i64 + 1);
+        let width = (cap - floor + 1) as usize;
+        Lattice {
+            cap,
+            floor,
+            mass: vec![0.0; (cap as usize + 1) * width],
+            always: 0.0,
+            width,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, r: i64, m: i64) -> usize {
+        debug_assert!((0..=self.cap).contains(&r));
+        debug_assert!((self.floor..=self.cap).contains(&m));
+        r as usize * self.width + (m - self.floor) as usize
+    }
+
+    /// Seeds the diagonal `µ = ρ = r` with the given reach distribution;
+    /// `tail` is the lumped mass `Pr[ρ ≥ cap]` (always a violation within
+    /// the horizon).
+    fn seed(&mut self, reach_law: &[f64], tail: f64) {
+        debug_assert_eq!(reach_law.len() as i64, self.cap);
+        for (r, &p) in reach_law.iter().enumerate() {
+            let i = self.idx(r as i64, r as i64);
+            self.mass[i] += p;
+        }
+        self.always += tail;
+    }
+
+    /// One step of the Theorem-5 Markov chain.
+    fn step(&mut self, p_h: f64, p_hh: f64, p_a: f64) {
+        let mut next = vec![0.0; self.mass.len()];
+        for r in 0..=self.cap {
+            let m_lo = self.floor;
+            let m_hi = r.min(self.cap);
+            for m in m_lo..=m_hi {
+                let p = self.mass[self.idx(r, m)];
+                if p == 0.0 {
+                    continue;
+                }
+                // Dead floor: absorbing (margin can never recover in time).
+                if m == self.floor {
+                    next[self.idx(r, m)] += p;
+                    continue;
+                }
+                // Ceiling: absorbing (µ stays ≥ 0 through the horizon).
+                if m == self.cap {
+                    next[self.idx(r, m)] += p;
+                    continue;
+                }
+                // Adversarial symbol: both up (capped).
+                {
+                    let r2 = (r + 1).min(self.cap);
+                    let m2 = (m + 1).min(r2);
+                    next[self.idx(r2, m2)] += p * p_a;
+                }
+                // Honest symbols: ρ decreases (absorbing at cap), µ per (14).
+                let r2 = if r == self.cap { self.cap } else { (r - 1).max(0) };
+                let positive_reach = r > 0;
+                // b = h:
+                {
+                    let m2 = if m == 0 && positive_reach { 0 } else { m - 1 };
+                    next[self.idx(r2, m2.max(self.floor))] += p * p_h;
+                }
+                // b = H:
+                {
+                    let m2 = if m == 0 { 0 } else { m - 1 };
+                    next[self.idx(r2, m2.max(self.floor))] += p * p_hh;
+                }
+            }
+        }
+        self.mass = next;
+    }
+
+    /// `Pr[µ ≥ 0]` right now (including the always-violated bucket).
+    fn violation_mass(&self) -> f64 {
+        let mut acc = self.always;
+        let mut compensation = 0.0;
+        for r in 0..=self.cap {
+            for m in 0..=r.min(self.cap) {
+                // Kahan summation: the masses span ~300 orders of magnitude.
+                let y = self.mass[self.idx(r, m)] - compensation;
+                let t = acc + y;
+                compensation = (t - acc) - y;
+                acc = t;
+            }
+        }
+        acc
+    }
+
+    /// Moves all mass with `µ ≥ 0` into the `always` bucket (used by the
+    /// absorbing "violated by horizon" variant).
+    fn absorb_violations(&mut self) {
+        for r in 0..=self.cap {
+            for m in 0..=r.min(self.cap) {
+                let i = self.idx(r, m);
+                self.always += self.mass[i];
+                self.mass[i] = 0.0;
+            }
+        }
+    }
+
+    #[cfg(test)]
+    fn total_mass(&self) -> f64 {
+        self.always + self.mass.iter().sum::<f64>()
+    }
+}
+
+impl ExactSettlement {
+    /// Creates the calculator for the given Bernoulli condition.
+    pub fn new(cond: BernoulliCondition) -> ExactSettlement {
+        ExactSettlement { cond }
+    }
+
+    /// The condition in force.
+    pub fn condition(&self) -> BernoulliCondition {
+        self.cond
+    }
+
+    /// The stationary dominating reach law `X_∞` truncated to `0..cap`,
+    /// plus the lumped tail mass (Equation (9)).
+    fn reach_law_stationary(&self, cap: usize) -> (Vec<f64>, f64) {
+        let eps = self.cond.epsilon();
+        let beta = (1.0 - eps) / (1.0 + eps);
+        let mut law = Vec::with_capacity(cap);
+        let mut acc = 0.0;
+        for r in 0..cap {
+            let p = (1.0 - beta) * beta.powi(r as i32);
+            law.push(p);
+            acc += p;
+        }
+        (law, (1.0 - acc).max(0.0))
+    }
+
+    /// The law of `ρ(x)` for `|x| = m`, truncated to `0..cap` with lumped
+    /// tail, via the birth–death recurrence of Equation (13).
+    ///
+    /// The walk is run over an extended lattice `0..R` so that excursions
+    /// above `cap` that later return are tracked exactly; only mass beyond
+    /// `R` — at most `m·β^R < 1e-300` by stochastic dominance under `X_∞`
+    /// — is conservatively lumped into the tail. Mass ending in `[cap, R)`
+    /// is folded into the tail as well, which is *exact* for the settlement
+    /// DP: an initial reach `≥ cap = k + 2` forces `µ ≥ 2` at every
+    /// checkpoint within the horizon.
+    fn reach_law_finite(&self, m: usize, cap: usize) -> (Vec<f64>, f64) {
+        let p_a = self.cond.p_adversarial();
+        let p_honest = 1.0 - p_a;
+        let eps = self.cond.epsilon();
+        let beta = (1.0 - eps) / (1.0 + eps);
+        // Extra headroom so that the chance of ever crossing R within m
+        // steps is below ~1e-300 (union bound over steps, each dominated
+        // by the stationary tail β^R).
+        let extra = if beta <= 0.0 {
+            0
+        } else {
+            let need = (1e-300f64 / (m as f64 + 1.0)).ln() / beta.ln();
+            (need.ceil().max(0.0) as usize).min(m)
+        };
+        let r_max = cap + extra;
+        let mut law = vec![0.0; r_max];
+        let mut escaped = 0.0;
+        law[0] = 1.0;
+        for _ in 0..m {
+            let mut next = vec![0.0; r_max];
+            for (r, &p) in law.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                if r + 1 < r_max {
+                    next[r + 1] += p * p_a;
+                } else {
+                    escaped += p * p_a;
+                }
+                next[r.saturating_sub(1)] += p * p_honest;
+            }
+            law = next;
+        }
+        let mut tail = escaped;
+        for &p in &law[cap..] {
+            tail += p;
+        }
+        law.truncate(cap);
+        (law, tail)
+    }
+
+    /// The exact probability that slot `|x| + 1` suffers a `k`-settlement
+    /// violation — `Pr[µ_x(y) ≥ 0]` at `|y| = k` — in the limit
+    /// `|x| → ∞` (Table 1's setting).
+    pub fn violation_probability(&self, k: usize) -> f64 {
+        *self
+            .violation_probabilities(&[k])
+            .first()
+            .expect("one checkpoint requested")
+    }
+
+    /// [`Self::violation_probability`] at several checkpoints, sharing one
+    /// DP pass sized for the largest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `checkpoints` is empty.
+    pub fn violation_probabilities(&self, checkpoints: &[usize]) -> Vec<f64> {
+        assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+        let k_max = *checkpoints.iter().max().expect("non-empty");
+        let mut lat = Lattice::new(k_max);
+        let (law, tail) = self.reach_law_stationary(lat.cap as usize);
+        lat.seed(&law, tail);
+        self.run(&mut lat, checkpoints, k_max)
+    }
+
+    /// Violation probabilities with a finite prefix `|x| = m` instead of
+    /// the stationary law.
+    pub fn violation_probabilities_finite_prefix(
+        &self,
+        m: usize,
+        checkpoints: &[usize],
+    ) -> Vec<f64> {
+        assert!(!checkpoints.is_empty(), "need at least one checkpoint");
+        let k_max = *checkpoints.iter().max().expect("non-empty");
+        let mut lat = Lattice::new(k_max);
+        let (law, tail) = self.reach_law_finite(m, lat.cap as usize);
+        lat.seed(&law, tail);
+        self.run(&mut lat, checkpoints, k_max)
+    }
+
+    fn run(&self, lat: &mut Lattice, checkpoints: &[usize], k_max: usize) -> Vec<f64> {
+        let p_h = self.cond.p_unique_honest();
+        let p_hh = self.cond.p_multi_honest();
+        let p_a = self.cond.p_adversarial();
+        let mut at = Vec::with_capacity(k_max + 1);
+        at.push(lat.violation_mass());
+        for _ in 1..=k_max {
+            lat.step(p_h, p_hh, p_a);
+            at.push(lat.violation_mass());
+        }
+        checkpoints.iter().map(|&k| at[k].min(1.0)).collect()
+    }
+
+    /// The probability that a violation occurs **at any horizon in
+    /// `k..=horizon`** (the conservative reading of Definition 3, where
+    /// the adversary may strike at any time once `k` slots have passed):
+    /// `Pr[∃ L ∈ [k, horizon] : µ_x(y_L) ≥ 0]`, `|x| → ∞`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon < k`.
+    pub fn violation_by_horizon(&self, k: usize, horizon: usize) -> f64 {
+        assert!(horizon >= k, "horizon {horizon} below checkpoint {k}");
+        let mut lat = Lattice::new(horizon);
+        let (law, tail) = self.reach_law_stationary(lat.cap as usize);
+        lat.seed(&law, tail);
+        let p_h = self.cond.p_unique_honest();
+        let p_hh = self.cond.p_multi_honest();
+        let p_a = self.cond.p_adversarial();
+        for _ in 0..k {
+            lat.step(p_h, p_hh, p_a);
+        }
+        lat.absorb_violations();
+        for _ in k..horizon {
+            lat.step(p_h, p_hh, p_a);
+            lat.absorb_violations();
+        }
+        lat.always.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_chars::CharString;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cond(alpha: f64, ph_ratio: f64) -> BernoulliCondition {
+        let p_h = ph_ratio * (1.0 - alpha);
+        BernoulliCondition::from_probabilities(p_h, 1.0 - alpha - p_h, alpha).unwrap()
+    }
+
+    #[test]
+    fn mass_is_conserved() {
+        let e = ExactSettlement::new(cond(0.3, 0.8));
+        let mut lat = Lattice::new(40);
+        let (law, tail) = e.reach_law_stationary(lat.cap as usize);
+        lat.seed(&law, tail);
+        assert!((lat.total_mass() - 1.0).abs() < 1e-12);
+        for _ in 0..40 {
+            lat.step(0.35, 0.35, 0.3);
+            assert!((lat.total_mass() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn violation_probability_decreases_in_k() {
+        let e = ExactSettlement::new(cond(0.2, 0.5));
+        let ps = e.violation_probabilities(&[5, 10, 20, 40, 80]);
+        for pair in ps.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-15, "not decreasing: {ps:?}");
+        }
+        assert!(ps[4] > 0.0, "strictly positive violation probability");
+        assert!(ps[0] < 1.0);
+    }
+
+    #[test]
+    fn more_adversarial_stake_is_worse() {
+        let ks = [10, 30];
+        let lo = ExactSettlement::new(cond(0.1, 0.8)).violation_probabilities(&ks);
+        let hi = ExactSettlement::new(cond(0.4, 0.8)).violation_probabilities(&ks);
+        for (a, b) in lo.iter().zip(&hi) {
+            assert!(a < b, "α=0.1 should beat α=0.4: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multi_honest_slots_hurt_but_mildly() {
+        // For fixed α, converting h-mass into H-mass weakly increases the
+        // violation probability (H slots can tie) — yet consistency still
+        // holds; this is the paper's central quantitative claim.
+        let ks = [20, 60];
+        let all_h = ExactSettlement::new(cond(0.25, 1.0)).violation_probabilities(&ks);
+        let half = ExactSettlement::new(cond(0.25, 0.5)).violation_probabilities(&ks);
+        let none = ExactSettlement::new(cond(0.25, 0.01)).violation_probabilities(&ks);
+        for i in 0..ks.len() {
+            assert!(all_h[i] <= half[i] + 1e-15);
+            assert!(half[i] <= none[i] + 1e-15);
+        }
+        // Error still decays with k even when h-slots are very rare.
+        assert!(none[1] < none[0]);
+    }
+
+    #[test]
+    fn finite_prefix_converges_to_stationary() {
+        let e = ExactSettlement::new(cond(0.3, 0.7));
+        let ks = [15];
+        let stationary = e.violation_probabilities(&ks)[0];
+        let short = e.violation_probabilities_finite_prefix(0, &ks)[0];
+        let long = e.violation_probabilities_finite_prefix(400, &ks)[0];
+        // |x| = 0 (genesis split) is easier for the honest side.
+        assert!(short <= stationary + 1e-12);
+        // A long prefix approaches the stationary dominating law from below.
+        assert!(long <= stationary + 1e-12);
+        assert!((long - stationary).abs() < 1e-3, "long = {long}, stat = {stationary}");
+        assert!((short - stationary).abs() > 1e-6, "prefix length must matter");
+    }
+
+    #[test]
+    fn horizon_variant_dominates_pointwise() {
+        let e = ExactSettlement::new(cond(0.25, 0.6));
+        let point = e.violation_probability(12);
+        let by_horizon = e.violation_by_horizon(12, 40);
+        assert!(by_horizon >= point - 1e-15);
+        assert!(by_horizon <= 1.0);
+        // Extending the horizon only adds violation mass.
+        assert!(e.violation_by_horizon(12, 60) >= by_horizon - 1e-15);
+    }
+
+    #[test]
+    fn matches_monte_carlo_with_long_prefix() {
+        // Sample strings xy with |x| = 300, |y| = 8 and compare the margin
+        // recurrence frequency of µ_x(y) ≥ 0 against the finite-prefix DP.
+        let c = cond(0.3, 0.6);
+        let e = ExactSettlement::new(c);
+        let k = 8;
+        let m = 300;
+        let expected = e.violation_probabilities_finite_prefix(m, &[k])[0];
+        let mut rng = StdRng::seed_from_u64(2024);
+        let trials = 40_000;
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let w: CharString = c.sample(&mut rng, m + k);
+            if crate::recurrence::margin_trace(&w, m)[k] >= 0 {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        let sigma = (expected * (1.0 - expected) / trials as f64).sqrt();
+        assert!(
+            (freq - expected).abs() < 5.0 * sigma + 1e-4,
+            "freq = {freq}, expected = {expected}, sigma = {sigma}"
+        );
+    }
+
+    #[test]
+    fn table1_spot_checks() {
+        // Table 1 (page 26), α columns at k = 100. Generated by the same
+        // recurrence as the authors' published C++ code; we allow 5%
+        // relative slack for their floating-point/truncation choices.
+        let cases = [
+            // (alpha, ph_ratio, k, expected)
+            (0.30, 1.0, 100, 8.00e-4),
+            (0.40, 1.0, 100, 1.37e-1),
+            (0.30, 0.5, 100, 2.80e-3),
+            (0.40, 0.25, 100, 3.17e-1),
+            (0.20, 0.8, 100, 5.10e-8),
+        ];
+        for (alpha, ratio, k, expected) in cases {
+            let p = ExactSettlement::new(cond(alpha, ratio)).violation_probability(k);
+            assert!(
+                (p / expected - 1.0).abs() < 0.05,
+                "α={alpha} ratio={ratio} k={k}: got {p:e}, want {expected:e}"
+            );
+        }
+    }
+}

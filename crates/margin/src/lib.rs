@@ -1,0 +1,44 @@
+//! # multihonest-margin
+//!
+//! Reach and relative margin — Section 6 of *Consistency of Proof-of-Stake
+//! Blockchains with Concurrent Honest Slot Leaders* (Kiayias, Quader,
+//! Russell; ICDCS 2020).
+//!
+//! The *relative margin* `µ_x(y)` measures the adversary's best ability to
+//! present two chains that agree on the prefix `x` and diverge over `y`:
+//! `µ_x(y) ≥ 0` exactly when some fork for `xy` is `x`-balanced (Fact 6),
+//! i.e. when slot `|x| + 1` can suffer a settlement violation at horizon
+//! `|y|`. Theorem 5 shows the pair `(ρ(xy), µ_x(y))` obeys a two-variable
+//! recurrence over the symbols of `y`; this crate implements it:
+//!
+//! * [`ReachState`] / [`MarginState`] — the incremental recurrences;
+//! * [`rho`], [`relative_margin`], [`margin_trace`] — whole-string queries;
+//! * [`has_uvp`] — the Unique Vertex Property via margins (Lemma 1);
+//! * [`exact::ExactSettlement`] — the `O(T³)` dynamic program of
+//!   Section 6.6 computing **exact** settlement-violation probabilities
+//!   under the `(ε, p_h)`-Bernoulli condition; this regenerates Table 1.
+//!
+//! ## Example
+//!
+//! ```
+//! use multihonest_margin::{relative_margin, rho};
+//!
+//! let w = "hAhAhA".parse()?;
+//! // Figure 2 exhibits a balanced fork for this string: µ_ε(w) ≥ 0.
+//! assert!(relative_margin(&w, 0) >= 0);
+//! // The trailing adversarial slot keeps one unit of reach in reserve.
+//! assert_eq!(rho(&w), 1);
+//! # Ok::<(), multihonest_chars::ParseCharStringError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod recurrence;
+
+pub use crate::exact::ExactSettlement;
+pub use crate::recurrence::{
+    has_uvp, is_slot_settled, margin_trace, relative_margin, rho, violates_settlement,
+    MarginState, ReachState,
+};

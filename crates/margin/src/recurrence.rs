@@ -1,0 +1,420 @@
+//! The reach/margin recurrences of Theorem 5 and their consequences.
+
+use multihonest_chars::{CharString, Symbol};
+
+/// Incremental computation of the maximum reach `ρ(w)`
+/// (paper Theorem 5, Equation (13)):
+///
+/// * `ρ(ε) = 0`;
+/// * `ρ(wA) = ρ(w) + 1`;
+/// * `ρ(wb) = max(ρ(w) − 1, 0)` for `b ∈ {h, H}`.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_margin::ReachState;
+/// use multihonest_chars::Symbol;
+///
+/// let mut r = ReachState::new();
+/// r.step(Symbol::Adversarial);
+/// r.step(Symbol::Adversarial);
+/// r.step(Symbol::UniqueHonest);
+/// assert_eq!(r.rho(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachState {
+    rho: i64,
+}
+
+impl ReachState {
+    /// The state for the empty string: `ρ(ε) = 0`.
+    pub fn new() -> ReachState {
+        ReachState::default()
+    }
+
+    /// A state with a prescribed reach value (used by the exact DP to seed
+    /// arbitrary initial reaches).
+    pub fn with_rho(rho: i64) -> ReachState {
+        assert!(rho >= 0, "reach is never negative");
+        ReachState { rho }
+    }
+
+    /// The current `ρ`.
+    pub fn rho(&self) -> i64 {
+        self.rho
+    }
+
+    /// Advances by one symbol.
+    pub fn step(&mut self, s: Symbol) {
+        self.rho = match s {
+            Symbol::Adversarial => self.rho + 1,
+            _ => (self.rho - 1).max(0),
+        };
+    }
+}
+
+/// Incremental computation of the pair `(ρ(xy), µ_x(y))`
+/// (paper Theorem 5, Equation (14)):
+///
+/// * `µ_x(ε) = ρ(x)`;
+/// * `µ_x(yA) = µ_x(y) + 1`;
+/// * for `b ∈ {h, H}`:
+///   * `µ_x(yb) = 0`  if `ρ(xy) > µ_x(y) = 0`,
+///   * `µ_x(yb) = 0`  if `ρ(xy) = µ_x(y) = 0` and `b = H`,
+///   * `µ_x(yb) = µ_x(y) − 1` otherwise.
+///
+/// The second case is the paper's headline phenomenon: when both reach and
+/// margin sit at zero, a **multiply honest** slot preserves margin 0 (two
+/// honest leaders extend two tied chains), whereas a uniquely honest slot
+/// drives the margin negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MarginState {
+    rho: i64,
+    mu: i64,
+}
+
+impl MarginState {
+    /// The state at the split point: `µ_x(ε) = ρ(x)`.
+    pub fn at_split(rho_x: i64) -> MarginState {
+        assert!(rho_x >= 0, "reach is never negative");
+        MarginState { rho: rho_x, mu: rho_x }
+    }
+
+    /// The current reach `ρ(xy)`.
+    pub fn rho(&self) -> i64 {
+        self.rho
+    }
+
+    /// The current relative margin `µ_x(y)`.
+    pub fn mu(&self) -> i64 {
+        self.mu
+    }
+
+    /// Advances by one symbol of `y`.
+    pub fn step(&mut self, s: Symbol) {
+        match s {
+            Symbol::Adversarial => {
+                self.rho += 1;
+                self.mu += 1;
+            }
+            b => {
+                let zero_margin = self.mu == 0;
+                let positive_reach = self.rho > 0;
+                self.rho = (self.rho - 1).max(0);
+                self.mu = if zero_margin && (positive_reach || b == Symbol::MultiHonest) {
+                    0
+                } else {
+                    self.mu - 1
+                };
+            }
+        }
+        debug_assert!(self.mu <= self.rho, "margin may never exceed reach");
+    }
+}
+
+/// The maximum reach `ρ(w)` over all closed forks for `w`.
+pub fn rho(w: &CharString) -> i64 {
+    let mut st = ReachState::new();
+    for &s in w.symbols() {
+        st.step(s);
+    }
+    st.rho()
+}
+
+/// The relative margin `µ_x(y)` where `x` is the length-`cut` prefix of `w`
+/// and `y` the remaining suffix.
+///
+/// # Panics
+///
+/// Panics if `cut > |w|`.
+pub fn relative_margin(w: &CharString, cut: usize) -> i64 {
+    assert!(cut <= w.len(), "cut {cut} exceeds string length {}", w.len());
+    let mut reach = ReachState::new();
+    for &s in &w.symbols()[..cut] {
+        reach.step(s);
+    }
+    let mut st = MarginState::at_split(reach.rho());
+    for &s in &w.symbols()[cut..] {
+        st.step(s);
+    }
+    st.mu()
+}
+
+/// The margin trace at a split: `µ_x(y_L)` for every prefix `y_L` of the
+/// suffix, `L = 0 ..= |w| − cut`, returned as a vector indexed by `L`.
+///
+/// # Panics
+///
+/// Panics if `cut > |w|`.
+pub fn margin_trace(w: &CharString, cut: usize) -> Vec<i64> {
+    assert!(cut <= w.len(), "cut {cut} exceeds string length {}", w.len());
+    let mut reach = ReachState::new();
+    for &s in &w.symbols()[..cut] {
+        reach.step(s);
+    }
+    let mut st = MarginState::at_split(reach.rho());
+    let mut out = Vec::with_capacity(w.len() - cut + 1);
+    out.push(st.mu());
+    for &s in &w.symbols()[cut..] {
+        st.step(s);
+        out.push(st.mu());
+    }
+    out
+}
+
+/// The Unique Vertex Property via relative margin (paper Lemma 1): a
+/// **uniquely honest** slot `s` has the UVP in `w` iff `µ_x(y) < 0` for
+/// every non-empty prefix `y` of the suffix starting at `s`, where
+/// `x = w_1 … w_{s−1}`.
+///
+/// Returns `false` when slot `s` is not uniquely honest (Lemma 1 only
+/// characterises `h` slots; `H` slots never have a *unique* vertex without
+/// the consistent tie-breaking axiom).
+///
+/// # Panics
+///
+/// Panics if `s` is 0 or exceeds `|w|`.
+pub fn has_uvp(w: &CharString, s: usize) -> bool {
+    assert!(s >= 1 && s <= w.len(), "slot {s} out of range");
+    if w.get(s) != Symbol::UniqueHonest {
+        return false;
+    }
+    margin_trace(w, s - 1).iter().skip(1).all(|&m| m < 0)
+}
+
+/// Returns `true` when slot `s` **can** suffer a `k`-settlement violation
+/// in `w`: some suffix prefix `y` with `|y| ≥ k` starting at slot `s` has
+/// `µ_x(y) ≥ 0` (by Fact 6 this is exactly the existence of an
+/// `x`-balanced fork exhibiting two competing maximum-length chains that
+/// disagree past `x`).
+///
+/// This follows the convention of Section 6.6 (and the authors' reference
+/// implementation): a violation *at horizon `k`* means a non-negative
+/// margin for some `|y| ≥ k`. Definition 3's game-time accounting
+/// (`|ŵ| ≥ s + k`) corresponds to `|y| ≥ k + 1`; pass `k + 1` for that
+/// reading.
+///
+/// # Panics
+///
+/// Panics if `s` is 0 or exceeds `|w|`.
+pub fn violates_settlement(w: &CharString, s: usize, k: usize) -> bool {
+    assert!(s >= 1 && s <= w.len(), "slot {s} out of range");
+    margin_trace(w, s - 1)
+        .iter()
+        .enumerate()
+        .any(|(len, &m)| len >= k && m >= 0)
+}
+
+/// The settled complement of [`violates_settlement`]: slot `s` is
+/// `k`-settled in `w` when no balanced-fork witness exists at any horizon
+/// `≥ k`.
+pub fn is_slot_settled(w: &CharString, s: usize, k: usize) -> bool {
+    !violates_settlement(w, s, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_catalan::{exhaustive_strings, CatalanAnalysis};
+    use multihonest_fork::generate::{self, GenerateConfig};
+    use multihonest_fork::ReachAnalysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn reach_recurrence_by_hand() {
+        assert_eq!(rho(&w("")), 0);
+        assert_eq!(rho(&w("A")), 1);
+        assert_eq!(rho(&w("AA")), 2);
+        assert_eq!(rho(&w("AAh")), 1);
+        assert_eq!(rho(&w("h")), 0);
+        assert_eq!(rho(&w("hH")), 0);
+        assert_eq!(rho(&w("AhA")), 1);
+    }
+
+    #[test]
+    fn margin_recurrence_by_hand() {
+        // µ_ε(ε) = ρ(ε) = 0.
+        assert_eq!(relative_margin(&w(""), 0), 0);
+        // Single symbols: h drives margin to −1; H keeps it at 0 (two
+        // honest leaders tie); A raises it to 1.
+        assert_eq!(relative_margin(&w("h"), 0), -1);
+        assert_eq!(relative_margin(&w("H"), 0), 0);
+        assert_eq!(relative_margin(&w("A"), 0), 1);
+        // An all-H string never settles: margin stays 0 forever.
+        assert_eq!(relative_margin(&w("HHHHHH"), 0), 0);
+        // Figure 2's string admits a balanced fork.
+        assert!(relative_margin(&w("hAhAhA"), 0) >= 0);
+        // Figure 3: x = hh, y = hAhA is x-balanced.
+        assert!(relative_margin(&w("hhhAhA"), 2) >= 0);
+        // ...but the same suffix is *not* ε-balanced-with-margin for the
+        // string hh ⋅ hAhA at cut 0? The first two h's drive µ to −2 and
+        // the suffix recovers only with its 2 A's against 2 h's:
+        assert_eq!(relative_margin(&w("hhhAhA"), 0), -2);
+    }
+
+    #[test]
+    fn margin_trace_tracks_prefixes() {
+        // hAhAhA from cut 0: after the first recovery (h then A) the
+        // reach is positive, so subsequent h's can no longer push the
+        // margin below zero — the first case of (14).
+        let trace = margin_trace(&w("hAhAhA"), 0);
+        assert_eq!(trace, vec![0, -1, 0, 0, 1, 0, 1]);
+        let trace = margin_trace(&w("hhhAhA"), 2);
+        // x = hh, ρ(x) = 0: y = hAhA → µ: 0, h→−1, A→0, h→0 (ρ>0), A→1.
+        assert_eq!(trace, vec![0, -1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn multi_honest_ties_differ_from_unique_honest() {
+        // After x = ε with ρ = µ = 0, an H keeps the fork balanced (two
+        // leaders extend two tied chains) but an h does not. This is the
+        // b = H case of Equation (14).
+        let mut st_h = MarginState::at_split(0);
+        st_h.step(Symbol::UniqueHonest);
+        assert_eq!(st_h.mu(), -1);
+        let mut st_hh = MarginState::at_split(0);
+        st_hh.step(Symbol::MultiHonest);
+        assert_eq!(st_hh.mu(), 0);
+        // But when reach is positive, even an h keeps margin at zero
+        // (first case of (14)).
+        let mut st = MarginState::at_split(1);
+        // bring mu to 0 first: A then two h? Start ρ=µ=1; h: ρ>0... µ=1≠0 →
+        // µ=0, ρ=0. Then h again with ρ=0, µ=0 → µ=−1.
+        st.step(Symbol::UniqueHonest);
+        assert_eq!((st.rho(), st.mu()), (0, 0));
+        st.step(Symbol::UniqueHonest);
+        assert_eq!((st.rho(), st.mu()), (0, -1));
+    }
+
+    #[test]
+    fn margin_never_exceeds_reach() {
+        for s in exhaustive_strings(9) {
+            for cut in 0..=s.len() {
+                let mut reach = ReachState::new();
+                for &sym in &s.symbols()[..cut] {
+                    reach.step(sym);
+                }
+                let mut st = MarginState::at_split(reach.rho());
+                for &sym in &s.symbols()[cut..] {
+                    st.step(sym);
+                    assert!(st.mu() <= st.rho(), "µ > ρ on {s} cut {cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_dominates_every_enumerated_fork() {
+        // Theorem 5 (upper bound, Proposition 1): no closed fork's
+        // definitional margin exceeds the recurrence value — checked
+        // exhaustively on every string of length ≤ 4 and every closed fork
+        // with per-slot multiplicities ≤ 2; equality is attained by SOME
+        // fork for each cut.
+        for n in 1..=4 {
+            for s in exhaustive_strings(n) {
+                let mut best = vec![i64::MIN; n + 1];
+                generate::enumerate_forks(&s, GenerateConfig::default(), &mut |f| {
+                    let ra = ReachAnalysis::new(f);
+                    assert!(ra.rho() <= rho(&s), "fork rho exceeds recurrence on {s}");
+                    let margins = ra.relative_margins();
+                    for cut in 0..=n {
+                        assert!(
+                            margins[cut] <= relative_margin(&s, cut),
+                            "fork margin exceeds recurrence: {s}, cut {cut}"
+                        );
+                        best[cut] = best[cut].max(margins[cut]);
+                    }
+                });
+                for cut in 0..=n {
+                    assert_eq!(
+                        best[cut],
+                        relative_margin(&s, cut),
+                        "recurrence unattained: {s}, cut {cut}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_dominates_random_forks() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = GenerateConfig::default();
+        for s in ["hAhAhHAAH", "HHAAHHAAhh", "AAAhhhAAA", "hHhHhHhHhH"] {
+            let ws = w(s);
+            for _ in 0..40 {
+                let f = generate::close(&generate::random_fork(&ws, &mut rng, cfg));
+                let ra = ReachAnalysis::new(&f);
+                assert!(ra.rho() <= rho(&ws));
+                let margins = ra.relative_margins();
+                for cut in 0..=ws.len() {
+                    assert!(margins[cut] <= relative_margin(&ws, cut), "{s} cut {cut}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uvp_via_margin_equals_catalan_characterization() {
+        // Theorem 3 ∘ Lemma 1: for uniquely honest s, UVP(s) ⇔ Catalan(s).
+        // Exhaustive over all strings up to length 9.
+        for n in 1..=9 {
+            for s in exhaustive_strings(n) {
+                let cat = CatalanAnalysis::new(&s);
+                for t in 1..=n {
+                    if s.get(t) == Symbol::UniqueHonest {
+                        assert_eq!(
+                            has_uvp(&s, t),
+                            cat.is_catalan(t),
+                            "UVP/Catalan mismatch at slot {t} of {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settlement_predicate_by_hand() {
+        // hAhAhA: slot 1 never settles (margins hit 0 at every even
+        // horizon).
+        let s = w("hAhAhA");
+        assert!(violates_settlement(&s, 1, 0));
+        assert!(violates_settlement(&s, 1, 6));
+        // hhhh: slot 1 settles immediately (µ < 0 at every horizon ≥ 1).
+        let s = w("hhhh");
+        assert!(!violates_settlement(&s, 1, 1));
+        assert!(is_slot_settled(&s, 1, 1));
+        // Horizon-0 "violations" are trivial: µ_x(ε) = ρ(x) ≥ 0 always.
+        assert!(violates_settlement(&s, 1, 0));
+    }
+
+    #[test]
+    fn monotone_in_adversarial_upgrades() {
+        // Upgrading symbols never decreases ρ or µ (the monotone-set
+        // argument in the proof of Theorem 1).
+        for s in exhaustive_strings(7) {
+            for up in multihonest_chars::order::covers(&s) {
+                assert!(rho(&up) >= rho(&s), "rho not monotone: {s} -> {up}");
+                for cut in 0..=s.len() {
+                    assert!(
+                        relative_margin(&up, cut) >= relative_margin(&s, cut),
+                        "margin not monotone at cut {cut}: {s} -> {up}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uvp_requires_unique_honesty() {
+        assert!(!has_uvp(&w("HhH"), 1));
+        assert!(!has_uvp(&w("HhH"), 3));
+        assert!(has_uvp(&w("HhH"), 2) || !CatalanAnalysis::new(&w("HhH")).is_catalan(2));
+    }
+}

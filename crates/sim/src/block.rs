@@ -1,0 +1,249 @@
+//! Blocks and the global block arena.
+//!
+//! Real PoS blockchains chain blocks by collision-resistant hashes and
+//! authenticate issuers with signatures; the analysis only relies on the
+//! *consequences* of those primitives — immutable parent links and
+//! per-slot issuer attribution (paper axioms A1–A3). The [`BlockStore`]
+//! arena provides exactly that: blocks are immutable once inserted, carry
+//! their slot and issuer, and parent links can never form cycles (a parent
+//! must exist before its child).
+
+use std::fmt;
+
+/// Identifier of a block inside a [`BlockStore`]; the genesis block is
+/// [`BlockId::GENESIS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The genesis block (slot 0).
+    pub const GENESIS: BlockId = BlockId(0);
+
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An immutable block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// The block's own id.
+    pub id: BlockId,
+    /// Slot in which the block was issued (0 for genesis).
+    pub slot: usize,
+    /// The parent block (None only for genesis).
+    pub parent: Option<BlockId>,
+    /// Index of the issuing node (usize::MAX for genesis).
+    pub issuer: usize,
+    /// Whether the issuer was honest.
+    pub honest: bool,
+    /// Chain length: number of blocks above genesis (genesis has 0).
+    pub height: usize,
+}
+
+/// Append-only arena of all blocks minted during an execution.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_sim::{BlockId, BlockStore};
+///
+/// let mut store = BlockStore::new();
+/// let b1 = store.mint(BlockId::GENESIS, 3, 0, true);
+/// let b2 = store.mint(b1, 5, 1, true);
+/// assert_eq!(store.block(b2).height, 2);
+/// assert_eq!(store.chain(b2), vec![BlockId::GENESIS, b1, b2]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BlockStore {
+    blocks: Vec<Block>,
+}
+
+impl BlockStore {
+    /// Creates a store holding only the genesis block.
+    pub fn new() -> BlockStore {
+        BlockStore {
+            blocks: vec![Block {
+                id: BlockId::GENESIS,
+                slot: 0,
+                parent: None,
+                issuer: usize::MAX,
+                honest: true,
+                height: 0,
+            }],
+        }
+    }
+
+    /// Mints a new block on `parent` at `slot` by `issuer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not exist or `slot` does not exceed the
+    /// parent's slot (hash-chaining makes backdating impossible; the
+    /// signature scheme pins the slot).
+    pub fn mint(&mut self, parent: BlockId, slot: usize, issuer: usize, honest: bool) -> BlockId {
+        let p = &self.blocks[parent.index()];
+        assert!(slot > p.slot, "child slot {slot} must exceed parent slot {}", p.slot);
+        let id = BlockId(self.blocks.len() as u32);
+        let height = p.height + 1;
+        self.blocks.push(Block { id, slot, parent: Some(parent), issuer, honest, height });
+        id
+    }
+
+    /// The block with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of blocks including genesis.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Always `false` (genesis is always present).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over all blocks, genesis first.
+    pub fn iter(&self) -> impl Iterator<Item = &Block> {
+        self.blocks.iter()
+    }
+
+    /// The chain from genesis to `tip`, inclusive.
+    pub fn chain(&self, tip: BlockId) -> Vec<BlockId> {
+        let mut out = Vec::with_capacity(self.block(tip).height + 1);
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            out.push(id);
+            cur = self.block(id).parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The last common block of two chains.
+    pub fn last_common_block(&self, a: BlockId, b: BlockId) -> BlockId {
+        let (mut a, mut b) = (a, b);
+        while self.block(a).height > self.block(b).height {
+            a = self.block(a).parent.expect("height > 0");
+        }
+        while self.block(b).height > self.block(a).height {
+            b = self.block(b).parent.expect("height > 0");
+        }
+        while a != b {
+            a = self.block(a).parent.expect("distinct blocks share genesis");
+            b = self.block(b).parent.expect("distinct blocks share genesis");
+        }
+        a
+    }
+
+    /// The block on `tip`'s chain issued at `slot`, if any.
+    pub fn block_at_slot(&self, tip: BlockId, slot: usize) -> Option<BlockId> {
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            let b = self.block(id);
+            if b.slot == slot {
+                return Some(id);
+            }
+            if b.slot < slot {
+                return None;
+            }
+            cur = b.parent;
+        }
+        None
+    }
+
+    /// Whether the chains ending at `a` and `b` *diverge prior to slot
+    /// `s`* in the sense of paper Definition 3: they contain different
+    /// blocks at slot `s`, or one contains a slot-`s` block and the other
+    /// does not.
+    pub fn diverge_prior_to(&self, a: BlockId, b: BlockId, s: usize) -> bool {
+        match (self.block_at_slot(a, s), self.block_at_slot(b, s)) {
+            (Some(x), Some(y)) => x != y,
+            (None, None) => false,
+            _ => true,
+        }
+    }
+
+    /// A deterministic pseudo-hash of the block id, used by the consistent
+    /// tie-breaking rule (stands in for the block's real hash; any fixed
+    /// total order works for axiom A0′).
+    pub fn tie_hash(&self, id: BlockId) -> u64 {
+        // SplitMix64 of the id: fixed, implementation-defined total order.
+        let mut z = (id.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genesis_exists() {
+        let store = BlockStore::new();
+        assert_eq!(store.len(), 1);
+        let g = store.block(BlockId::GENESIS);
+        assert_eq!(g.height, 0);
+        assert_eq!(g.parent, None);
+        assert!(g.honest);
+    }
+
+    #[test]
+    fn chains_and_heights() {
+        let mut store = BlockStore::new();
+        let a = store.mint(BlockId::GENESIS, 1, 0, true);
+        let b = store.mint(a, 2, 1, true);
+        let c = store.mint(a, 3, 2, false);
+        assert_eq!(store.block(b).height, 2);
+        assert_eq!(store.chain(c), vec![BlockId::GENESIS, a, c]);
+        assert_eq!(store.last_common_block(b, c), a);
+        assert_eq!(store.last_common_block(b, b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed parent slot")]
+    fn backdating_rejected() {
+        let mut store = BlockStore::new();
+        let a = store.mint(BlockId::GENESIS, 5, 0, true);
+        let _ = store.mint(a, 5, 1, true);
+    }
+
+    #[test]
+    fn block_at_slot_and_divergence() {
+        let mut store = BlockStore::new();
+        let a = store.mint(BlockId::GENESIS, 1, 0, true);
+        let b1 = store.mint(a, 2, 1, true);
+        let b2 = store.mint(a, 3, 2, true);
+        assert_eq!(store.block_at_slot(b1, 2), Some(b1));
+        assert_eq!(store.block_at_slot(b1, 3), None);
+        assert_eq!(store.block_at_slot(b2, 1), Some(a));
+        // b1's chain has a slot-2 block; b2's does not.
+        assert!(store.diverge_prior_to(b1, b2, 2));
+        assert!(!store.diverge_prior_to(b1, b2, 1));
+        assert!(!store.diverge_prior_to(b1, b1, 2));
+    }
+
+    #[test]
+    fn tie_hash_is_deterministic_and_spread() {
+        let store = BlockStore::new();
+        let h1 = store.tie_hash(BlockId(1));
+        let h2 = store.tie_hash(BlockId(2));
+        assert_eq!(h1, store.tie_hash(BlockId(1)));
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Leader election.
+//!
+//! Ouroboros-family protocols elect leaders with a verifiable random
+//! function evaluated against the stake distribution: node `i` with
+//! relative stake `α_i` leads a slot independently with probability
+//! `φ_f(α_i) = 1 − (1 − f)^{α_i}` — the *independent aggregation* property
+//! that makes the per-slot outcome a product of per-node Bernoulli draws.
+//! The analysis never inspects VRF internals, only the induced per-slot
+//! classification, so we sample the Bernoulli draws directly from a seeded
+//! PRNG. The classification matches paper Definitions 1 and 20:
+//!
+//! * no leader → `⊥`;
+//! * at least one adversarial leader → `A`;
+//! * exactly one (honest) leader → `h`;
+//! * several honest leaders, no adversarial → `H`.
+
+use multihonest_chars::{SemiString, SemiSymbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The leaders of a single slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotLeaders {
+    /// Indices of honest leader nodes.
+    pub honest: Vec<usize>,
+    /// Whether any adversarial stake led this slot (the adversary pools
+    /// its stake, so a single flag suffices: one adversarial leader can
+    /// sign arbitrarily many equivocating blocks anyway).
+    pub adversarial: bool,
+}
+
+impl SlotLeaders {
+    /// The characteristic-string classification of this slot.
+    pub fn classify(&self) -> SemiSymbol {
+        if self.adversarial {
+            SemiSymbol::Adversarial
+        } else {
+            match self.honest.len() {
+                0 => SemiSymbol::Empty,
+                1 => SemiSymbol::UniqueHonest,
+                _ => SemiSymbol::MultiHonest,
+            }
+        }
+    }
+}
+
+/// The full leader schedule of an execution.
+///
+/// The schedule is drawn up-front: the paper's model hands the adversary
+/// full knowledge of the future schedule ("public leader schedules",
+/// Section 2.2), which only strengthens the adversary.
+#[derive(Debug, Clone)]
+pub struct LeaderSchedule {
+    slots: Vec<SlotLeaders>,
+}
+
+impl LeaderSchedule {
+    /// Samples a schedule for `slots` slots.
+    ///
+    /// `honest_nodes` honest parties share the honest stake equally; the
+    /// adversary holds relative stake `adversarial_stake ∈ [0, 1)`. The
+    /// active-slot coefficient `f ∈ (0, 1)` fixes
+    /// `Pr[some leader in a slot] = f` via `φ_f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges or
+    /// `honest_nodes == 0`.
+    pub fn sample(
+        honest_nodes: usize,
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+        slots: usize,
+        seed: u64,
+    ) -> LeaderSchedule {
+        assert!(honest_nodes > 0, "need at least one honest node");
+        assert!((0.0..1.0).contains(&adversarial_stake), "adversarial stake in [0, 1)");
+        assert!(
+            active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
+            "active slot coefficient in (0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
+        let honest_share = (1.0 - adversarial_stake) / honest_nodes as f64;
+        let p_honest = phi(honest_share);
+        let p_adv = phi(adversarial_stake);
+        let mut out = Vec::with_capacity(slots);
+        for _ in 0..slots {
+            let mut leaders = SlotLeaders::default();
+            for node in 0..honest_nodes {
+                if rng.gen::<f64>() < p_honest {
+                    leaders.honest.push(node);
+                }
+            }
+            leaders.adversarial = rng.gen::<f64>() < p_adv;
+            out.push(leaders);
+        }
+        LeaderSchedule { slots: out }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` when the schedule covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The leaders of `slot` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is 0 or exceeds the schedule length.
+    pub fn leaders(&self, slot: usize) -> &SlotLeaders {
+        assert!(slot >= 1 && slot <= self.slots.len(), "slot {slot} out of range");
+        &self.slots[slot - 1]
+    }
+
+    /// The semi-synchronous characteristic string of the schedule.
+    pub fn characteristic_string(&self) -> SemiString {
+        self.slots.iter().map(SlotLeaders::classify).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let s = SlotLeaders { honest: vec![], adversarial: false };
+        assert_eq!(s.classify(), SemiSymbol::Empty);
+        let s = SlotLeaders { honest: vec![3], adversarial: false };
+        assert_eq!(s.classify(), SemiSymbol::UniqueHonest);
+        let s = SlotLeaders { honest: vec![1, 2], adversarial: false };
+        assert_eq!(s.classify(), SemiSymbol::MultiHonest);
+        let s = SlotLeaders { honest: vec![1], adversarial: true };
+        assert_eq!(s.classify(), SemiSymbol::Adversarial);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_in_seed() {
+        let a = LeaderSchedule::sample(5, 0.2, 0.1, 200, 9);
+        let b = LeaderSchedule::sample(5, 0.2, 0.1, 200, 9);
+        assert_eq!(a.characteristic_string(), b.characteristic_string());
+        let c = LeaderSchedule::sample(5, 0.2, 0.1, 200, 10);
+        assert_ne!(a.characteristic_string(), c.characteristic_string());
+    }
+
+    #[test]
+    fn frequencies_match_phi() {
+        let f = 0.2;
+        let adv = 0.3;
+        let nodes = 4;
+        let slots = 200_000;
+        let sched = LeaderSchedule::sample(nodes, adv, f, slots, 31);
+        let w = sched.characteristic_string();
+        // Pr[slot has any leader]: 1 − (1−f)^{total stake = 1} = f.
+        let active =
+            w.symbols().iter().filter(|s| !s.is_empty_slot()).count() as f64 / slots as f64;
+        assert!((active - f).abs() < 0.01, "active = {active}");
+        // Pr[A] = φ(adv stake).
+        let p_adv = 1.0 - (1.0 - f).powf(adv);
+        let fa = w.symbols().iter().filter(|s| s.is_adversarial()).count() as f64 / slots as f64;
+        assert!((fa - p_adv).abs() < 0.01, "fa = {fa} vs {p_adv}");
+    }
+
+    #[test]
+    fn aggregate_independence() {
+        // φ_f's defining property: total leadership probability depends
+        // only on total stake, not on how it is split among nodes.
+        let f = 0.15;
+        let slots = 200_000;
+        let few = LeaderSchedule::sample(2, 0.0, f, slots, 1).characteristic_string();
+        let many = LeaderSchedule::sample(20, 0.0, f, slots, 2).characteristic_string();
+        let active = |w: &SemiString| {
+            w.symbols().iter().filter(|s| !s.is_empty_slot()).count() as f64 / slots as f64
+        };
+        assert!((active(&few) - f).abs() < 0.01);
+        assert!((active(&many) - f).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one honest node")]
+    fn zero_honest_nodes_rejected() {
+        let _ = LeaderSchedule::sample(0, 0.2, 0.1, 10, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # multihonest-sim
+//!
+//! An executable longest-chain Proof-of-Stake protocol, implementing the
+//! abstract model that *Consistency of Proof-of-Stake Blockchains with
+//! Concurrent Honest Slot Leaders* (Kiayias, Quader, Russell; ICDCS 2020)
+//! analyses:
+//!
+//! * slot-based execution with per-node **leader election** driven by
+//!   stake ([`leader`]) — the idealised VRF of Ouroboros-family protocols
+//!   is replaced by a seeded Bernoulli draw per (slot, node), which is
+//!   exactly the abstraction the paper's characteristic strings capture;
+//! * a **Δ-synchronous network** with a rushing adversary ([`network`]):
+//!   honest broadcasts reach every honest node within `Δ` slots, but the
+//!   adversary schedules deliveries inside that window, per recipient, and
+//!   may inject its own blocks selectively (axioms A0/A4Δ);
+//! * the honest **longest-chain rule** with pluggable tie-breaking
+//!   ([`node`]): adversary-controlled ties (axiom A0) or a consistent
+//!   tie-breaking rule shared by all honest players (axiom A0′);
+//! * **attack strategies** ([`strategy`]): private-chain withholding and
+//!   the balance attack that exploits concurrent honest leaders;
+//! * **extraction** ([`Simulation::characteristic_string`],
+//!   [`Simulation::fork`]) of each execution's characteristic string and
+//!   fork, so that simulated behaviour can be checked against the fork
+//!   axioms and compared with the margin/Catalan theory on identical
+//!   objects;
+//! * **metrics** ([`metrics::Metrics`]): observed settlement and
+//!   common-prefix violations, chain growth and chain quality.
+//!
+//! ## Example
+//!
+//! ```
+//! use multihonest_sim::{SimConfig, Simulation, Strategy, TieBreak};
+//!
+//! let cfg = SimConfig {
+//!     honest_nodes: 8,
+//!     adversarial_stake: 0.2,
+//!     active_slot_coeff: 0.25,
+//!     delta: 0,
+//!     slots: 300,
+//!     tie_break: TieBreak::Consistent,
+//!     strategy: Strategy::PrivateWithholding,
+//! };
+//! let sim = Simulation::run(&cfg, 42);
+//! let fork = sim.fork();
+//! assert!(fork.validate_against_axioms().is_ok());
+//! assert!(sim.metrics().chain_growth() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod leader;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod simulation;
+pub mod strategy;
+
+pub use crate::block::{Block, BlockId, BlockStore};
+pub use crate::leader::{LeaderSchedule, SlotLeaders};
+pub use crate::metrics::Metrics;
+pub use crate::node::TieBreak;
+pub use crate::simulation::{ExtractedFork, SimConfig, Simulation};
+pub use crate::strategy::Strategy;

@@ -1,0 +1,81 @@
+//! Execution metrics: chain growth, chain quality, divergence.
+
+/// Summary statistics of a finished execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Total slots simulated.
+    pub slots: usize,
+    /// Slots with at least one leader.
+    pub active_slots: usize,
+    /// Height of the longest honest-held chain at the end.
+    pub final_height: usize,
+    /// Blocks (excluding genesis) on node 0's final chain.
+    pub chain_blocks: usize,
+    /// Honest blocks among [`Metrics::chain_blocks`].
+    pub honest_chain_blocks: usize,
+    /// The largest slot divergence ever observed between two honest
+    /// nodes' chains at a slot boundary (paper Definition 25's metric,
+    /// applied to the honest views): an observed `k`-CP^slot violation
+    /// exists exactly when this exceeds `k`.
+    pub max_slot_divergence: usize,
+}
+
+impl Metrics {
+    /// Chain growth rate: final height per slot. In the honest-only
+    /// synchronous setting this approaches the active-slot density.
+    pub fn chain_growth(&self) -> f64 {
+        if self.slots == 0 {
+            return 0.0;
+        }
+        self.final_height as f64 / self.slots as f64
+    }
+
+    /// Chain quality: fraction of honest blocks on the final chain.
+    pub fn chain_quality(&self) -> f64 {
+        if self.chain_blocks == 0 {
+            return 1.0;
+        }
+        self.honest_chain_blocks as f64 / self.chain_blocks as f64
+    }
+
+    /// Whether the execution exhibited a `k`-CP^slot violation between
+    /// honest views.
+    pub fn observed_cp_violation(&self, k: usize) -> bool {
+        self.max_slot_divergence > k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let m = Metrics {
+            slots: 100,
+            active_slots: 40,
+            final_height: 30,
+            chain_blocks: 30,
+            honest_chain_blocks: 24,
+            max_slot_divergence: 5,
+        };
+        assert!((m.chain_growth() - 0.3).abs() < 1e-12);
+        assert!((m.chain_quality() - 0.8).abs() < 1e-12);
+        assert!(m.observed_cp_violation(4));
+        assert!(!m.observed_cp_violation(5));
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let m = Metrics {
+            slots: 0,
+            active_slots: 0,
+            final_height: 0,
+            chain_blocks: 0,
+            honest_chain_blocks: 0,
+            max_slot_divergence: 0,
+        };
+        assert_eq!(m.chain_growth(), 0.0);
+        assert_eq!(m.chain_quality(), 1.0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Honest protocol participants: the longest-chain rule with pluggable
+//! tie-breaking.
+
+use std::collections::HashSet;
+
+use crate::block::{BlockId, BlockStore};
+
+/// How an honest node resolves ties between equal-length chains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TieBreak {
+    /// Axiom A0: the adversary resolves ties through delivery order — a
+    /// node keeps the chain it saw **first** among equal-length ones, so
+    /// whoever controls ordering controls the tie.
+    AdversarialOrder,
+    /// Axiom A0′: a consistent rule shared by all honest players — among
+    /// equal-length chains, the tip with the smallest
+    /// [`BlockStore::tie_hash`] wins, regardless of arrival order.
+    Consistent,
+}
+
+/// An honest node: tracks known blocks and its currently adopted chain.
+#[derive(Debug, Clone)]
+pub struct HonestNode {
+    index: usize,
+    tie_break: TieBreak,
+    known: HashSet<BlockId>,
+    tip: BlockId,
+}
+
+impl HonestNode {
+    /// Creates a node that knows only the genesis block.
+    pub fn new(index: usize, tie_break: TieBreak) -> HonestNode {
+        let mut known = HashSet::new();
+        known.insert(BlockId::GENESIS);
+        HonestNode { index, tie_break, known, tip: BlockId::GENESIS }
+    }
+
+    /// The node's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The tip of the currently adopted chain.
+    pub fn tip(&self) -> BlockId {
+        self.tip
+    }
+
+    /// Whether the node has seen `block`.
+    pub fn knows(&self, block: BlockId) -> bool {
+        self.known.contains(&block)
+    }
+
+    /// Delivers `block` to the node, which re-evaluates the longest-chain
+    /// rule. Out-of-order delivery is tolerated: a block whose parent is
+    /// unknown is still recorded (its *chain* came attached — block
+    /// delivery in the abstract model always ships whole chains, as
+    /// chains are self-authenticating).
+    pub fn receive(&mut self, store: &BlockStore, block: BlockId) {
+        if !self.known.insert(block) {
+            return;
+        }
+        // Receiving a chain means knowing every block on it.
+        let mut cur = store.block(block).parent;
+        while let Some(b) = cur {
+            if !self.known.insert(b) {
+                break;
+            }
+            cur = store.block(b).parent;
+        }
+        let new_height = store.block(block).height;
+        let cur_height = store.block(self.tip).height;
+        let adopt = match new_height.cmp(&cur_height) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => match self.tie_break {
+                TieBreak::AdversarialOrder => false, // first seen stays
+                TieBreak::Consistent => store.tie_hash(block) < store.tie_hash(self.tip),
+            },
+        };
+        if adopt {
+            self.tip = block;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adopts_strictly_longer_chains() {
+        let mut store = BlockStore::new();
+        let a = store.mint(BlockId::GENESIS, 1, 0, true);
+        let b = store.mint(a, 2, 1, true);
+        let mut node = HonestNode::new(0, TieBreak::AdversarialOrder);
+        node.receive(&store, b);
+        assert_eq!(node.tip(), b);
+        assert!(node.knows(a), "chain delivery implies ancestor knowledge");
+        // A shorter chain never displaces the tip.
+        let c = store.mint(BlockId::GENESIS, 3, 2, false);
+        node.receive(&store, c);
+        assert_eq!(node.tip(), b);
+    }
+
+    #[test]
+    fn adversarial_order_keeps_first_seen_on_tie() {
+        let mut store = BlockStore::new();
+        let a1 = store.mint(BlockId::GENESIS, 1, 0, true);
+        let a2 = store.mint(BlockId::GENESIS, 2, 1, true);
+        let mut node = HonestNode::new(0, TieBreak::AdversarialOrder);
+        node.receive(&store, a1);
+        node.receive(&store, a2);
+        assert_eq!(node.tip(), a1, "tie keeps the first-seen chain");
+        let mut node2 = HonestNode::new(1, TieBreak::AdversarialOrder);
+        node2.receive(&store, a2);
+        node2.receive(&store, a1);
+        assert_eq!(node2.tip(), a2, "delivery order decides");
+    }
+
+    #[test]
+    fn consistent_rule_ignores_order() {
+        let mut store = BlockStore::new();
+        let a1 = store.mint(BlockId::GENESIS, 1, 0, true);
+        let a2 = store.mint(BlockId::GENESIS, 2, 1, true);
+        let winner = if store.tie_hash(a1) < store.tie_hash(a2) { a1 } else { a2 };
+        for order in [[a1, a2], [a2, a1]] {
+            let mut node = HonestNode::new(0, TieBreak::Consistent);
+            node.receive(&store, order[0]);
+            node.receive(&store, order[1]);
+            assert_eq!(node.tip(), winner, "consistent rule must ignore order");
+        }
+    }
+
+    #[test]
+    fn duplicate_delivery_is_idempotent() {
+        let mut store = BlockStore::new();
+        let a = store.mint(BlockId::GENESIS, 1, 0, true);
+        let mut node = HonestNode::new(0, TieBreak::Consistent);
+        node.receive(&store, a);
+        let tip = node.tip();
+        node.receive(&store, a);
+        assert_eq!(node.tip(), tip);
+    }
+}

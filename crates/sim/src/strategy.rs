@@ -1,0 +1,61 @@
+//! Adversarial strategies.
+//!
+//! Strategies decide (a) where adversarial leaders mint blocks (including
+//! equivocation — one adversarial leader may sign many blocks in its
+//! slot), (b) when each honest broadcast reaches each honest node (within
+//! the Δ window), and (c) when adversarial blocks are revealed to whom.
+
+/// The built-in adversarial strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Adversarial leaders behave exactly like honest ones: extend the
+    /// public longest chain, broadcast immediately, deliver honest
+    /// broadcasts at once. The baseline for growth/quality statistics.
+    Honest,
+    /// The classic settlement attack: adversarial leaders extend a
+    /// **private** chain forked below the public tip, withholding it until
+    /// it is strictly longer than the public chain, then releasing it to
+    /// everyone — rolling back every honest block since the fork point.
+    PrivateWithholding,
+    /// The balance attack the paper's `H` symbols enable: when a slot has
+    /// several concurrent honest leaders, the adversary shows different
+    /// leaders' blocks first to different halves of the network, keeping
+    /// two branches alive; its own blocks prop up whichever branch falls
+    /// behind. Devastating under adversarial tie-breaking (axiom A0),
+    /// blunted by a consistent tie-breaking rule (axiom A0′, Theorem 2).
+    BalanceAttack,
+}
+
+impl Strategy {
+    /// All built-in strategies.
+    pub const ALL: [Strategy; 3] =
+        [Strategy::Honest, Strategy::PrivateWithholding, Strategy::BalanceAttack];
+
+    /// A short machine-friendly name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Honest => "honest",
+            Strategy::PrivateWithholding => "private-withholding",
+            Strategy::BalanceAttack => "balance-attack",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            Strategy::ALL.iter().map(Strategy::name).collect();
+        assert_eq!(names.len(), Strategy::ALL.len());
+        assert_eq!(Strategy::BalanceAttack.to_string(), "balance-attack");
+    }
+}

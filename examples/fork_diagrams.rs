@@ -1,0 +1,53 @@
+//! Regenerates the paper's fork diagrams (Figures 1–3) as Graphviz DOT.
+//!
+//! ```bash
+//! cargo run -p multihonest-examples --release --example fork_diagrams
+//! # pipe a single figure into Graphviz:
+//! cargo run -p multihonest-examples --example fork_diagrams -- figure2 | dot -Tpng -o figure2.png
+//! ```
+//!
+//! Each fork is validated against the axioms (F1)–(F4) and annotated with
+//! its reach/margin analysis before printing.
+
+use multihonest::fork::{balanced, dot, figures};
+use multihonest::fork::{Fork, ReachAnalysis};
+use multihonest::margin::recurrence;
+
+fn describe(name: &str, fork: &Fork) {
+    eprintln!("--- {name}: w = {} ---", fork.string());
+    fork.validate().expect("figure forks satisfy the axioms");
+    eprintln!(
+        "vertices: {}, height: {}, max-length tines: {}",
+        fork.vertex_count(),
+        fork.height(),
+        fork.max_length_tines().len()
+    );
+    eprintln!("balanced: {}", balanced::is_balanced(fork));
+    eprintln!("slot divergence: {}", balanced::slot_divergence(fork));
+    if fork.is_closed() {
+        let ra = ReachAnalysis::new(fork);
+        eprintln!("ρ(F) = {} (recurrence ρ(w) = {})", ra.rho(), recurrence::rho(fork.string()));
+        eprintln!("µ_ε(F) = {}", ra.margin());
+    } else {
+        eprintln!("(fork is not closed; reach analysis needs a closed fork)");
+    }
+}
+
+fn main() {
+    let which = std::env::args().nth(1);
+    let all: [(&str, fn() -> Fork); 3] = [
+        ("figure1", figures::figure1),
+        ("figure2", figures::figure2),
+        ("figure3", figures::figure3),
+    ];
+    for (name, build) in all {
+        if let Some(w) = &which {
+            if w != name {
+                continue;
+            }
+        }
+        let fork = build();
+        describe(name, &fork);
+        println!("{}", dot::to_dot(&fork, name));
+    }
+}

@@ -1,0 +1,1 @@
+//! Example support crate; examples live in sibling .rs files.

@@ -1,0 +1,53 @@
+//! Quickstart: how long must a client wait for settlement?
+//!
+//! ```bash
+//! cargo run -p multihonest-examples --release --example quickstart
+//! ```
+//!
+//! Given a stake split and a leader-election profile, this example prints
+//! the exact settlement-failure probabilities (paper Table 1's quantity),
+//! the analytic Theorem-1 bound, and the wait times needed for common
+//! failure targets.
+
+use multihonest::ConsistencyAnalyzer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deployment facing a 30% adversary where 80% of honest slots have
+    // a single leader (the rest have concurrent honest leaders).
+    let adversarial_stake = 0.30;
+    let unique_fraction = 0.80;
+    let analyzer = ConsistencyAnalyzer::from_stake(adversarial_stake, unique_fraction)?;
+    let cond = analyzer.condition();
+
+    println!("== multihonest quickstart ==");
+    println!(
+        "parameters: p_h = {:.3}, p_H = {:.3}, p_A = {:.3} (ε = {:.3})",
+        cond.p_unique_honest(),
+        cond.p_multi_honest(),
+        cond.p_adversarial(),
+        cond.epsilon()
+    );
+
+    let report = analyzer.threshold_report();
+    println!(
+        "thresholds: this paper = {}, Praos/Genesis = {}, Sleepy/SnowWhite = {}",
+        report.optimal, report.praos_genesis, report.sleepy_snow_white
+    );
+
+    println!("\n k | exact failure prob | Theorem-1 bound");
+    let ks = [20usize, 50, 100, 200, 400];
+    let exact = analyzer.settlement_failure_exact_many(&ks);
+    for (k, e) in ks.iter().zip(&exact) {
+        let bound = analyzer.settlement_failure_bound(*k)?;
+        println!("{k:4} | {e:18.3e} | {bound:14.3e}");
+    }
+
+    println!("\nwait times (exact; the DP is the paper's O(T³) algorithm):");
+    for target in [1e-3, 1e-6, 1e-9] {
+        match analyzer.settlement_horizon(target, 600) {
+            Some(k) => println!("  failure ≤ {target:7.0e} → wait {k} slots"),
+            None => println!("  failure ≤ {target:7.0e} → more than 600 slots"),
+        }
+    }
+    Ok(())
+}

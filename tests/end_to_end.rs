@@ -1,0 +1,153 @@
+//! Cross-crate integration: the game, the recurrences, the Catalan theory
+//! and the fork definitions must all tell the same story about the same
+//! strings.
+
+use multihonest::margin::recurrence;
+use multihonest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use multihonest::adversary::game::RandomAdversary;
+use multihonest::fork::generate;
+
+#[test]
+fn game_forks_never_beat_the_recurrence() {
+    // Any fork produced by playing the settlement game — with any
+    // adversary — has definitional margins bounded by Theorem 5's
+    // recurrence, at every cut.
+    let cond = BernoulliCondition::new(0.2, 0.3).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut adv = RandomAdversary::new(StdRng::seed_from_u64(3));
+    for _ in 0..25 {
+        let w = cond.sample(&mut rng, 25);
+        let game = SettlementGame::new(w.clone());
+        let fork = game.play(&mut adv);
+        assert!(fork.validate().is_ok());
+        let closed = generate::close(&fork);
+        let ra = ReachAnalysis::new(&closed);
+        let margins = ra.relative_margins();
+        for cut in 0..=w.len() {
+            assert!(
+                margins[cut] <= recurrence::relative_margin(&w, cut),
+                "cut {cut} of {w}"
+            );
+        }
+    }
+}
+
+#[test]
+fn astar_realizes_what_catalan_slots_forbid() {
+    // Wherever a uniquely honest Catalan slot sits at position t, the
+    // margin µ_{x}(y) with x ending just before t must be negative for
+    // every suffix — so even the OPTIMAL adversary's fork shows no
+    // x-balanced configuration past it.
+    let cond = BernoulliCondition::new(0.3, 0.5).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..25 {
+        let w = cond.sample(&mut rng, 40);
+        let cat = CatalanAnalysis::new(&w);
+        let fork = OptimalAdversary::build(&w);
+        assert!(is_canonical(&fork));
+        let ra = ReachAnalysis::new(&fork);
+        let margins = ra.relative_margins();
+        for s in cat.uniquely_honest_catalan_slots() {
+            // µ_{w1..s−1}(suffix) < 0 — definitional, on the optimal fork.
+            assert!(
+                margins[s - 1] < 0,
+                "uniquely honest Catalan slot {s} of {w} left margin ≥ 0"
+            );
+            assert!(recurrence::has_uvp(&w, s), "Lemma 1 must agree");
+        }
+    }
+}
+
+#[test]
+fn settled_slots_are_never_violated_in_canonical_forks() {
+    // If the margin says slot s is k-settled, then no fork — in
+    // particular not the canonical one — may witness a violation:
+    // check via the balanced-fork predicate on A*'s fork.
+    let cond = BernoulliCondition::new(0.25, 0.4).unwrap();
+    let mut rng = StdRng::seed_from_u64(8);
+    for _ in 0..15 {
+        let w = cond.sample(&mut rng, 30);
+        let fork = OptimalAdversary::build(&w);
+        for s in 1..=w.len() {
+            if recurrence::is_slot_settled(&w, s, 1) {
+                assert!(
+                    !multihonest::fork::balanced::violates_settlement(&fork, s),
+                    "slot {s} of {w} was settled but violated"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn catalan_settlement_implies_margin_settlement() {
+    // Theorem 3's sufficient condition is one-sided: a uniquely honest
+    // Catalan slot inside the window settles the slot; the margin
+    // predicate must agree (but may settle more).
+    let cond = BernoulliCondition::new(0.15, 0.35).unwrap();
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..40 {
+        let w = cond.sample(&mut rng, 60);
+        let cat = CatalanAnalysis::new(&w);
+        for s in 1..=w.len() {
+            for k in [1usize, 5, 10] {
+                if s + k <= w.len() && cat.settles_by_unique_catalan(s, k) {
+                    assert!(
+                        recurrence::is_slot_settled(&w, s, k),
+                        "slot {s}, k = {k}, w = {w}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dominance_transfers_to_adaptive_adversaries() {
+    // Strings sampled from a martingale-type adversary (per-slot
+    // adversarial probability ≤ p_A) violate settlement no more often
+    // than the i.i.d. ceiling — the mechanism behind the second halves of
+    // Theorems 1 and 2.
+    use multihonest::chars::dist::AdaptiveBiasSampler;
+    let ceiling = BernoulliCondition::new(0.2, 0.4).unwrap();
+    let adaptive = AdaptiveBiasSampler::new(ceiling, 0.6).unwrap();
+    let mut rng = StdRng::seed_from_u64(21);
+    let trials = 4000;
+    let (prefix, k) = (60usize, 8usize);
+    let mut hits_adaptive = 0usize;
+    let mut hits_iid = 0usize;
+    for _ in 0..trials {
+        let wa = adaptive.sample(&mut rng, prefix + k);
+        if recurrence::margin_trace(&wa, prefix)[k] >= 0 {
+            hits_adaptive += 1;
+        }
+        let wi = ceiling.sample(&mut rng, prefix + k);
+        if recurrence::margin_trace(&wi, prefix)[k] >= 0 {
+            hits_iid += 1;
+        }
+    }
+    // Allow generous sampling noise; the adaptive rate must not exceed
+    // the i.i.d. rate materially.
+    let fa = hits_adaptive as f64 / trials as f64;
+    let fi = hits_iid as f64 / trials as f64;
+    assert!(fa <= fi + 0.02, "adaptive {fa} vs iid {fi}");
+}
+
+#[test]
+fn cp_violations_respect_theorem8_ordering() {
+    // k-CP violation ⇒ k-CP^slot violation on the same fork.
+    let cond = BernoulliCondition::new(0.2, 0.3).unwrap();
+    let mut rng = StdRng::seed_from_u64(34);
+    for _ in 0..10 {
+        let w = cond.sample(&mut rng, 20);
+        let fork = OptimalAdversary::build(&w);
+        for k in 0..6 {
+            if multihonest::fork::balanced::violates_k_cp(&fork, k) {
+                assert!(multihonest::fork::balanced::violates_k_cp_slot(&fork, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over random characteristic strings:
+//! every equivalence the paper proves becomes a machine-checked law.
+
+use multihonest::adversary::{is_canonical, OptimalAdversary};
+use multihonest::catalan::{is_catalan_naive, CatalanAnalysis};
+use multihonest::chars::{CharString, Reduction, SemiString, Symbol};
+use multihonest::fork::generate::{self, GenerateConfig};
+use multihonest::fork::ReachAnalysis;
+use multihonest::margin::recurrence;
+use proptest::prelude::*;
+
+fn arb_symbol() -> impl Strategy<Value = Symbol> {
+    prop_oneof![
+        Just(Symbol::UniqueHonest),
+        Just(Symbol::MultiHonest),
+        Just(Symbol::Adversarial),
+    ]
+}
+
+fn arb_string(max_len: usize) -> impl Strategy<Value = CharString> {
+    prop::collection::vec(arb_symbol(), 0..=max_len).prop_map(CharString::from_symbols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Catalan slots via the walk scan equal the literal interval
+    /// definition.
+    #[test]
+    fn catalan_scan_equals_naive(w in arb_string(40)) {
+        let cat = CatalanAnalysis::new(&w);
+        for s in 1..=w.len() {
+            prop_assert_eq!(cat.is_catalan(s), is_catalan_naive(&w, s));
+        }
+    }
+
+    /// Theorem 3 ∘ Lemma 1: for uniquely honest slots,
+    /// UVP-via-margin ⇔ Catalan.
+    #[test]
+    fn uvp_margin_equals_catalan(w in arb_string(32)) {
+        let cat = CatalanAnalysis::new(&w);
+        for s in 1..=w.len() {
+            if w.get(s) == Symbol::UniqueHonest {
+                prop_assert_eq!(recurrence::has_uvp(&w, s), cat.is_catalan(s));
+            }
+        }
+    }
+
+    /// Theorem 6: A* builds canonical forks.
+    #[test]
+    fn astar_is_canonical(w in arb_string(24)) {
+        let fork = OptimalAdversary::build(&w);
+        prop_assert!(fork.validate().is_ok());
+        prop_assert!(is_canonical(&fork));
+    }
+
+    /// Proposition 1 (upper bound): no randomly generated fork beats the
+    /// recurrence margins.
+    #[test]
+    fn random_forks_bounded_by_recurrence(w in arb_string(16), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fork = generate::close(&generate::random_fork(&w, &mut rng, GenerateConfig::default()));
+        let ra = ReachAnalysis::new(&fork);
+        prop_assert!(ra.rho() <= recurrence::rho(&w));
+        let margins = ra.relative_margins();
+        for cut in 0..=w.len() {
+            prop_assert!(margins[cut] <= recurrence::relative_margin(&w, cut));
+        }
+    }
+
+    /// Monotonicity: upgrading any symbol (h→H→A) never decreases reach,
+    /// margin, or destroys a settlement violation.
+    #[test]
+    fn adversarial_upgrades_are_monotone(w in arb_string(24)) {
+        for up in multihonest::chars::order::covers(&w) {
+            prop_assert!(recurrence::rho(&up) >= recurrence::rho(&w));
+            for cut in 0..=w.len() {
+                prop_assert!(
+                    recurrence::relative_margin(&up, cut)
+                        >= recurrence::relative_margin(&w, cut)
+                );
+            }
+            for s in 1..=w.len() {
+                if recurrence::violates_settlement(&w, s, 2) {
+                    prop_assert!(recurrence::violates_settlement(&up, s, 2));
+                }
+            }
+        }
+    }
+
+    /// Equation (1): a slot with the UVP inside the window settles it.
+    #[test]
+    fn uvp_in_window_settles(w in arb_string(32)) {
+        for s in 1..=w.len() {
+            for k in 1..=w.len().saturating_sub(s) {
+                let window_has_uvp =
+                    (s..s + k).any(|t| t <= w.len() && recurrence::has_uvp(&w, t));
+                if window_has_uvp {
+                    prop_assert!(
+                        recurrence::is_slot_settled(&w, s, k),
+                        "slot {} k {} in {}", s, k, w
+                    );
+                }
+            }
+        }
+    }
+
+    /// Fact 6 ⇔ balanced forks: when µ_x(y) ≥ 0, the canonical fork can
+    /// be padded into an x-balanced fork; when µ_x(y) < 0, no generated
+    /// fork is x-balanced.
+    #[test]
+    fn negative_margin_forbids_balance(w in arb_string(14), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fork = generate::random_fork(&w, &mut rng, GenerateConfig::default());
+        for cut in 0..=w.len() {
+            if recurrence::relative_margin(&w, cut) < 0 {
+                prop_assert!(!multihonest::fork::balanced::is_x_balanced(&fork, cut));
+            }
+        }
+    }
+
+    /// Pinching preserves the fork axioms whenever it applies: depths are
+    /// untouched and only depth-(d+1) edges are redirected.
+    #[test]
+    fn pinch_preserves_axioms(w in arb_string(12), seed in any::<u64>()) {
+        use multihonest::fork::pinch::pinch;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fork = generate::random_fork(&w, &mut rng, GenerateConfig::default());
+        for u in fork.vertices() {
+            let target_depth = fork.depth(u) + 1;
+            let applicable = fork
+                .vertices()
+                .filter(|v| fork.depth(*v) == target_depth)
+                .all(|v| fork.label(v) > fork.label(u));
+            if applicable {
+                let pinched = pinch(&fork, u);
+                prop_assert!(pinched.validate().is_ok());
+                prop_assert_eq!(pinched.vertex_count(), fork.vertex_count());
+                prop_assert_eq!(pinched.height(), fork.height());
+            }
+        }
+    }
+
+    /// Theorem 9 (constructive fragment): whatever
+    /// `balanced_fork_from_divergence` returns is a valid, x-balanced
+    /// fork at the returned cut.
+    #[test]
+    fn divergence_yields_balanced_forks(w in arb_string(12), seed in any::<u64>()) {
+        use multihonest::fork::pinch::balanced_fork_from_divergence;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let fork = generate::random_fork(&w, &mut rng, GenerateConfig::default());
+        for k in 0..4usize {
+            if let Some((cut, bal)) = balanced_fork_from_divergence(&fork, k) {
+                prop_assert!(bal.validate().is_ok());
+                prop_assert!(multihonest::fork::balanced::is_x_balanced(&bal, cut));
+            }
+        }
+    }
+
+    /// The reduction map ρ_Δ preserves slot counts and demotes
+    /// monotonically in Δ.
+    #[test]
+    fn reduction_monotone_in_delta(
+        symbols in prop::collection::vec(0u8..4, 0..40),
+        delta in 0usize..6,
+    ) {
+        use multihonest::chars::SemiSymbol;
+        let w: SemiString = symbols
+            .iter()
+            .map(|b| match b {
+                0 => SemiSymbol::Empty,
+                1 => SemiSymbol::UniqueHonest,
+                2 => SemiSymbol::MultiHonest,
+                _ => SemiSymbol::Adversarial,
+            })
+            .collect();
+        let smaller = Reduction::new(delta).apply(&w);
+        let larger = Reduction::new(delta + 1).apply(&w);
+        prop_assert_eq!(smaller.len(), w.count_nonempty());
+        prop_assert_eq!(larger.len(), smaller.len());
+        // Larger Δ is pointwise more adversarial.
+        prop_assert!(multihonest::chars::order::le(smaller.reduced(), larger.reduced()));
+    }
+}

@@ -1,0 +1,161 @@
+//! The protocol simulator must stay inside the envelope the theory draws:
+//! extracted forks satisfy the axioms, real adversaries never beat the
+//! optimal margins, and observed violation rates sit below the exact DP.
+
+use multihonest::fork::generate;
+use multihonest::margin::recurrence;
+use multihonest::prelude::*;
+
+fn base_config() -> SimConfig {
+    SimConfig {
+        honest_nodes: 8,
+        adversarial_stake: 0.35,
+        active_slot_coeff: 0.3,
+        delta: 0,
+        slots: 500,
+        tie_break: TieBreak::AdversarialOrder,
+        strategy: Strategy::PrivateWithholding,
+    }
+}
+
+#[test]
+fn every_strategy_produces_axiom_conforming_executions() {
+    for strategy in Strategy::ALL {
+        for delta in [0usize, 1, 4] {
+            for seed in 0..3 {
+                let cfg = SimConfig { strategy, delta, ..base_config() };
+                let sim = Simulation::run(&cfg, seed);
+                let fork = sim.fork();
+                assert_eq!(
+                    fork.validate_against_axioms(),
+                    Ok(()),
+                    "strategy {strategy}, Δ = {delta}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_adversaries_never_beat_the_recurrence_margins() {
+    // The executed fork (closed) has definitional relative margins below
+    // the Theorem-5 optimum at every cut, on the Δ-reduced string.
+    for strategy in Strategy::ALL {
+        let cfg = SimConfig { strategy, slots: 200, ..base_config() };
+        let sim = Simulation::run(&cfg, 7);
+        let fork = sim.fork().fork().clone();
+        let closed = generate::close(&fork);
+        let ra = ReachAnalysis::new(&closed);
+        let margins = ra.relative_margins();
+        let w = closed.string();
+        for cut in 0..=w.len() {
+            assert!(
+                margins[cut] <= recurrence::relative_margin(w, cut),
+                "strategy {strategy}, cut {cut}"
+            );
+        }
+    }
+}
+
+#[test]
+fn observed_settlement_violations_are_margin_certified() {
+    // Whenever the simulation exhibits an (s, k)-violation, the optimal
+    // adversary must also be able to produce one on the same string:
+    // the recurrence margin at the same anchor must go non-negative at
+    // some horizon ≥ the number of *active* slots in the window.
+    let mut checked = 0;
+    for seed in 0..10u64 {
+        let cfg = SimConfig { slots: 800, adversarial_stake: 0.45, ..base_config() };
+        let sim = Simulation::run(&cfg, seed);
+        let semi = sim.characteristic_string();
+        let reduced = Reduction::new(0).apply(&semi);
+        let w = reduced.reduced();
+        let k = 10;
+        for s in 1..=cfg.slots.saturating_sub(2 * k) {
+            if sim.settlement_violation(s, k) {
+                // Anchor: the margin split just before the first active
+                // slot ≥ s.
+                let cut = (s..=cfg.slots)
+                    .find_map(|t| reduced.reduced_slot(t))
+                    .map(|j| j - 1)
+                    .unwrap_or(w.len());
+                let violated = recurrence::violates_settlement(w, cut + 1, 0);
+                assert!(
+                    violated,
+                    "simulation violated (s={s}, k={k}, seed={seed}) \
+                     but margins say impossible"
+                );
+                checked += 1;
+            }
+        }
+        if checked > 0 {
+            break;
+        }
+    }
+    // The 45%-stake withholding adversary must produce at least one
+    // violation across the attempted seeds for the test to be meaningful.
+    assert!(checked > 0, "expected some observed violations at 45% stake");
+}
+
+#[test]
+fn violation_frequency_tracks_adversarial_stake() {
+    // More stake, more observed rollbacks (matching the DP's monotonicity).
+    let count_violations = |stake: f64| -> usize {
+        let mut total = 0;
+        for seed in 0..4 {
+            let cfg = SimConfig {
+                adversarial_stake: stake,
+                slots: 600,
+                ..base_config()
+            };
+            let sim = Simulation::run(&cfg, seed);
+            total += (1..=560).filter(|&s| sim.settlement_violation(s, 15)).count();
+        }
+        total
+    };
+    let weak = count_violations(0.1);
+    let strong = count_violations(0.45);
+    assert!(
+        strong > weak,
+        "45% adversary ({strong}) should out-violate 10% ({weak})"
+    );
+}
+
+#[test]
+fn honest_executions_match_chain_growth_theory() {
+    // With no adversary interference, growth equals the active-slot
+    // density and quality is 1.
+    let cfg = SimConfig {
+        adversarial_stake: 0.0,
+        strategy: Strategy::Honest,
+        slots: 2_000,
+        ..base_config()
+    };
+    let sim = Simulation::run(&cfg, 3);
+    let m = sim.metrics();
+    assert!((m.chain_quality() - 1.0).abs() < 1e-12);
+    let density = m.active_slots as f64 / cfg.slots as f64;
+    assert!((m.chain_growth() - density).abs() < 0.01);
+    assert_eq!(m.max_slot_divergence, 0);
+}
+
+#[test]
+fn delta_degrades_consistency_monotonically() {
+    // Larger Δ gives the withholding adversary more room: across seeds,
+    // total violations with Δ = 4 must be at least those with Δ = 0.
+    let run = |delta: usize| -> usize {
+        (0..5)
+            .map(|seed| {
+                let cfg = SimConfig { delta, slots: 500, ..base_config() };
+                let sim = Simulation::run(&cfg, seed);
+                (1..=460).filter(|&s| sim.settlement_violation(s, 12)).count()
+            })
+            .sum()
+    };
+    let sync = run(0);
+    let delayed = run(4);
+    assert!(
+        delayed + 5 >= sync,
+        "Δ=4 ({delayed}) should not be far safer than Δ=0 ({sync})"
+    );
+}
