@@ -268,6 +268,7 @@ mod tests {
         let fork = OptimalAdversary::build(&s);
         assert!(is_canonical(&fork));
         assert_eq!(fork.vertex_count(), 3); // root, v1, v4
+
         // w = hAh: when the final h arrives, the root is the unique
         // zero-reach tine with gap 1; the conservative extension must
         // materialise one withheld adversarial block (label 2) beneath the
@@ -277,7 +278,10 @@ mod tests {
         let fork = OptimalAdversary::build(&s);
         assert!(is_canonical(&fork));
         let adversarial = fork.vertices().filter(|v| !fork.is_honest(*v)).count();
-        assert_eq!(adversarial, 1, "conservative extension must consume reserve");
+        assert_eq!(
+            adversarial, 1,
+            "conservative extension must consume reserve"
+        );
         assert_eq!(fork.vertex_count(), 4);
     }
 }

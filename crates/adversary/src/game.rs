@@ -80,7 +80,10 @@ pub struct RandomAdversary<R> {
 impl<R: Rng> RandomAdversary<R> {
     /// Creates the adversary with the given randomness source.
     pub fn new(rng: R) -> RandomAdversary<R> {
-        RandomAdversary { rng, plant_probability: 0.8 }
+        RandomAdversary {
+            rng,
+            plant_probability: 0.8,
+        }
     }
 }
 
@@ -106,8 +109,7 @@ impl<R: Rng> GameAdversary for RandomAdversary<R> {
         if self.rng.gen::<f64>() >= self.plant_probability {
             return;
         }
-        let candidates: Vec<VertexId> =
-            fork.vertices().filter(|v| fork.label(*v) < slot).collect();
+        let candidates: Vec<VertexId> = fork.vertices().filter(|v| fork.label(*v) < slot).collect();
         let parent = candidates[self.rng.gen_range(0..candidates.len())];
         fork.push_vertex(parent, slot);
     }
@@ -177,7 +179,10 @@ impl SettlementGame {
                 Symbol::Adversarial => {}
             }
             adversary.augment(&mut fork, slot);
-            debug_assert!(fork.validate().is_ok(), "adversary corrupted the fork at slot {slot}");
+            debug_assert!(
+                fork.validate().is_ok(),
+                "adversary corrupted the fork at slot {slot}"
+            );
         }
         fork
     }

@@ -74,8 +74,15 @@ impl MonteCarlo {
     /// Creates a driver running `trials` samples with the given seed,
     /// using all available parallelism.
     pub fn new(cond: BernoulliCondition, trials: u64, seed: u64) -> MonteCarlo {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        MonteCarlo { cond, trials, seed, threads }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        MonteCarlo {
+            cond,
+            trials,
+            seed,
+            threads,
+        }
     }
 
     /// Overrides the number of worker threads.
@@ -99,13 +106,13 @@ impl MonteCarlo {
         let extra = self.trials % self.threads as u64;
         let cond = self.cond;
         let mut hits = 0u64;
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for t in 0..self.threads {
                 let quota = per + u64::from((t as u64) < extra);
                 let seed = self.seed.wrapping_add(t as u64 + 1);
                 let predicate = &predicate;
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(seed);
                     let mut local = 0u64;
                     for _ in 0..quota {
@@ -120,9 +127,11 @@ impl MonteCarlo {
             for h in handles {
                 hits += h.join().expect("worker panicked");
             }
-        })
-        .expect("scope failed");
-        Estimate { hits, trials: self.trials }
+        });
+        Estimate {
+            hits,
+            trials: self.trials,
+        }
     }
 
     /// Frequency of `µ_x(y) ≥ 0` at `|x| = prefix_len`, `|y| = k` — the
@@ -186,7 +195,10 @@ mod tests {
 
     #[test]
     fn wilson_interval_sanity() {
-        let e = Estimate { hits: 50, trials: 100 };
+        let e = Estimate {
+            hits: 50,
+            trials: 100,
+        };
         let (lo, hi) = e.wilson_interval(1.96);
         assert!(lo < 0.5 && 0.5 < hi);
         assert!(hi - lo < 0.25);
@@ -235,8 +247,14 @@ mod tests {
         let mc = MonteCarlo::new(cond, 4_000, 17);
         let small = mc.no_unique_catalan_in_window(120, 40, 10).frequency();
         let large = mc.no_unique_catalan_in_window(120, 40, 40).frequency();
-        assert!(large <= small + 0.02, "longer windows catch more Catalan slots");
+        assert!(
+            large <= small + 0.02,
+            "longer windows catch more Catalan slots"
+        );
         let cons = mc.no_consecutive_catalan_in_window(120, 40, 40).frequency();
-        assert!(cons >= large - 0.02, "consecutive pairs are rarer than singles");
+        assert!(
+            cons >= large - 0.02,
+            "consecutive pairs are rarer than singles"
+        );
     }
 }

@@ -120,8 +120,14 @@ mod tests {
 
     #[test]
     fn shapes_decay_appropriately() {
-        let lin: Vec<f64> = [100, 400].iter().map(|&k| linear_consistency_shape(0.2, k)).collect();
-        let sq: Vec<f64> = [100, 400].iter().map(|&k| sqrt_consistency_shape(0.2, k)).collect();
+        let lin: Vec<f64> = [100, 400]
+            .iter()
+            .map(|&k| linear_consistency_shape(0.2, k))
+            .collect();
+        let sq: Vec<f64> = [100, 400]
+            .iter()
+            .map(|&k| sqrt_consistency_shape(0.2, k))
+            .collect();
         assert!(lin[1] < lin[0]);
         assert!(sq[1] < sq[0]);
         // Quadrupling k squares the sqrt-shape but fourth-powers the

@@ -49,7 +49,11 @@ impl Bound1 {
                 bias.q()
             )));
         }
-        Ok(Bound1 { bias, q_h: q_h.min(bias.q()), q_hh: bias.q() - q_h.min(bias.q()) })
+        Ok(Bound1 {
+            bias,
+            q_h: q_h.min(bias.q()),
+            q_hh: bias.q() - q_h.min(bias.q()),
+        })
     }
 
     /// The underlying walk bias.
@@ -188,7 +192,9 @@ impl Bound2 {
     ///
     /// Returns an error when `ε ∉ (0, 1)`.
     pub fn new(epsilon: f64) -> Result<Bound2, ParameterError> {
-        Ok(Bound2 { bias: Bias::from_epsilon(epsilon)? })
+        Ok(Bound2 {
+            bias: Bias::from_epsilon(epsilon)?,
+        })
     }
 
     /// The underlying walk bias.
@@ -202,7 +208,8 @@ impl Bound2 {
         let zd = shift(&d);
         let azd = ascent_of_zd(&self.bias, terms);
         let zazd = shift(&azd);
-        zd.scale(self.bias.p()).add(&zazd.scale(self.bias.q() / self.bias.ruin()))
+        zd.scale(self.bias.p())
+            .add(&zazd.scale(self.bias.q() / self.bias.ruin()))
     }
 
     /// `M̂(Z) = ε·D(Z) / (1 − (1 − ε)Ê(Z))`: a probability generating
@@ -293,7 +300,10 @@ impl Bound3 {
     ///
     /// Returns an error when `ε ∉ (0, 1)`.
     pub fn new(epsilon: f64, delta: usize) -> Result<Bound3, ParameterError> {
-        Ok(Bound3 { bias: Bias::from_epsilon(epsilon)?, delta })
+        Ok(Bound3 {
+            bias: Bias::from_epsilon(epsilon)?,
+            delta,
+        })
     }
 
     /// `f(Δ, t) = Σ_{j ≤ Δ, j ≡ t (2)} C(t, (t+j)/2) p^{(t−j)/2} q^{(t+j)/2}`:
@@ -452,7 +462,10 @@ mod tests {
         let k = 4000.0;
         let slope = -b.tail(4000).ln() / k;
         assert!(slope <= rate + 1e-12, "slope {slope} exceeds rate {rate}");
-        assert!(slope >= 0.5 * rate, "slope {slope} too shallow vs rate {rate}");
+        assert!(
+            slope >= 0.5 * rate,
+            "slope {slope} too shallow vs rate {rate}"
+        );
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub struct ParameterError {
 
 impl ParameterError {
     pub(crate) fn new(message: impl Into<String>) -> ParameterError {
-        ParameterError { message: message.into() }
+        ParameterError {
+            message: message.into(),
+        }
     }
 }
 

@@ -16,7 +16,9 @@ pub struct Series {
 impl Series {
     /// The zero series with `terms` coefficients.
     pub fn zeros(terms: usize) -> Series {
-        Series { c: vec![0.0; terms] }
+        Series {
+            c: vec![0.0; terms],
+        }
     }
 
     /// A series from explicit coefficients.
@@ -59,7 +61,9 @@ impl Series {
 
     /// `a · self`.
     pub fn scale(&self, a: f64) -> Series {
-        Series { c: self.c.iter().map(|x| x * a).collect() }
+        Series {
+            c: self.c.iter().map(|x| x * a).collect(),
+        }
     }
 
     /// `self · other`, truncated to `self`'s order.
@@ -157,11 +161,13 @@ mod tests {
         let a = Series::from_coefficients(vec![0.5, 0.25, 0.0, 0.125, 0.0, 0.0]);
         let f = Series::from_coefficients(vec![0.0, 0.5, 0.25, 0.0, 0.1, 0.0]);
         let g = a.div_one_minus(&f);
-        let one_minus_f =
-            Series::from_coefficients(vec![1.0, -0.5, -0.25, 0.0, -0.1, 0.0]);
+        let one_minus_f = Series::from_coefficients(vec![1.0, -0.5, -0.25, 0.0, -0.1, 0.0]);
         let back = g.mul(&one_minus_f);
         for t in 0..6 {
-            assert!((back.coefficient(t) - a.coefficient(t)).abs() < 1e-12, "t = {t}");
+            assert!(
+                (back.coefficient(t) - a.coefficient(t)).abs() < 1e-12,
+                "t = {t}"
+            );
         }
     }
 

@@ -155,7 +155,10 @@ mod tests {
         let t2 = settlement_insecurity_bound_tiebreak(0.4, k).unwrap();
         assert!(t2 < t1, "t2 = {t2:e} should beat t1 = {t1:e}");
         assert!(t2 < 1e-2, "t2 = {t2:e}");
-        assert!(t1 > 0.5, "Theorem 1 is vacuous without uniquely honest slots");
+        assert!(
+            t1 > 0.5,
+            "Theorem 1 is vacuous without uniquely honest slots"
+        );
     }
 
     #[test]

@@ -31,9 +31,14 @@ impl Bias {
     /// Returns an error when `ε ∉ (0, 1)`.
     pub fn from_epsilon(epsilon: f64) -> Result<Bias, ParameterError> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
-            return Err(ParameterError::new(format!("epsilon = {epsilon} not in (0, 1)")));
+            return Err(ParameterError::new(format!(
+                "epsilon = {epsilon} not in (0, 1)"
+            )));
         }
-        Ok(Bias { p: (1.0 - epsilon) / 2.0, q: (1.0 + epsilon) / 2.0 })
+        Ok(Bias {
+            p: (1.0 - epsilon) / 2.0,
+            q: (1.0 + epsilon) / 2.0,
+        })
     }
 
     /// The up-step (adversarial) probability `p = (1 − ε)/2`.
@@ -94,7 +99,10 @@ impl Bias {
     /// (defective: coefficients sum to `p/q`).
     pub fn ascent_series(&self, terms: usize) -> Series {
         // A is D with p and q swapped.
-        let swapped = Bias { p: self.q, q: self.p };
+        let swapped = Bias {
+            p: self.q,
+            q: self.p,
+        };
         swapped.descent_series(terms)
     }
 
@@ -192,7 +200,11 @@ mod tests {
         let b = Bias::from_epsilon(0.3).unwrap();
         let a = b.ascent_series(4001);
         let total = a.partial_sum(4001);
-        assert!((total - b.ruin()).abs() < 1e-6, "A(1) = {total} vs {}", b.ruin());
+        assert!(
+            (total - b.ruin()).abs() < 1e-6,
+            "A(1) = {total} vs {}",
+            b.ruin()
+        );
     }
 
     #[test]

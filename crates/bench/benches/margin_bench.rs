@@ -30,7 +30,11 @@ fn bench_catalan_scan(c: &mut Criterion) {
         let w = cond.sample(&mut rng, n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
-            b.iter(|| CatalanAnalysis::new(std::hint::black_box(w)).catalan_slots().len());
+            b.iter(|| {
+                CatalanAnalysis::new(std::hint::black_box(w))
+                    .catalan_slots()
+                    .len()
+            });
         });
     }
     group.finish();
@@ -50,5 +54,10 @@ fn bench_reduction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_margin_trace, bench_catalan_scan, bench_reduction);
+criterion_group!(
+    benches,
+    bench_margin_trace,
+    bench_catalan_scan,
+    bench_reduction
+);
 criterion_main!(benches);

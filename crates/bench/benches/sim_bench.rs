@@ -21,7 +21,11 @@ fn bench_simulation(c: &mut Criterion) {
             BenchmarkId::from_parameter(strategy.name()),
             &cfg,
             |b, cfg| {
-                b.iter(|| Simulation::run(std::hint::black_box(cfg), 9).metrics().final_height);
+                b.iter(|| {
+                    Simulation::run(std::hint::black_box(cfg), 9)
+                        .metrics()
+                        .final_height
+                });
             },
         );
     }

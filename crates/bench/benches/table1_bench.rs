@@ -1,8 +1,8 @@
 //! E1 timing: one exact-DP cell of Table 1 at several horizons.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use multihonest_bench::table1_condition;
 use multihonest::margin::ExactSettlement;
+use multihonest_bench::table1_condition;
 
 fn bench_table1_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_cell");

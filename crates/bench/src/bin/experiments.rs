@@ -24,10 +24,17 @@ fn main() {
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if run("bound-vs-exact") {
-        let ks: Vec<usize> = if quick { vec![40, 80] } else { vec![50, 100, 200, 400] };
+        let ks: Vec<usize> = if quick {
+            vec![40, 80]
+        } else {
+            vec![50, 100, 200, 400]
+        };
         let rows = bench::bound_vs_exact(&ks);
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         } else {
             println!("== E6: exact settlement probability vs Theorem-1 machinery ==");
             println!("  ε   p_h    k |      exact | Bound1 series | Theorem 1");
@@ -45,7 +52,10 @@ fn main() {
         let (trials, sims) = if quick { (4_000, 3) } else { (20_000, 10) };
         let rows = bench::tiebreak_experiment(trials, sims);
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         } else {
             println!("== E7: consistent tie-breaking, p_h = 0 (Theorem 2) ==");
             println!("  ε    k | Theorem 2 | MC no-pair | sim div (A0) | sim div (A0')");
@@ -68,7 +78,10 @@ fn main() {
         let (k, slots) = if quick { (30, 400) } else { (60, 2_000) };
         let rows = bench::delta_experiment(k, slots);
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         } else {
             println!("== E8: Δ-synchronous setting (Theorem 7) ==");
             println!("  Δ |   ε_Δ   | Theorem 7 (k={k}) | sim violations");
@@ -86,7 +99,10 @@ fn main() {
         let k = if quick { 50 } else { 100 };
         let rows = bench::threshold_experiment(k);
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         } else {
             println!("== E9: threshold comparison at p_A = 0.40 (paper Section 1) ==");
             println!("  p_h   p_H | ours | Praos | SnowWhite | exact err at k={k}");
@@ -104,14 +120,22 @@ fn main() {
         let trials = if quick { 4_000 } else { 40_000 };
         let rows = bench::catalan_tail_experiment(trials);
         if json {
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         } else {
             println!("== E10: Catalan-slot rarity, Monte Carlo vs series tails ==");
             println!("  ε   p_h    k | MC unique | Bound1 | MC consec | Bound2");
             for r in rows {
                 println!(
                     "{:4} {:5} {:4} | {:9.4} | {:6.4} | {:9.4} | {:6.4}",
-                    r.epsilon, r.p_h, r.k, r.mc_unique, r.bound1_series, r.mc_consecutive,
+                    r.epsilon,
+                    r.p_h,
+                    r.k,
+                    r.mc_unique,
+                    r.bound1_series,
+                    r.mc_consecutive,
                     r.bound2_series
                 );
             }

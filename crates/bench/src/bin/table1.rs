@@ -9,9 +9,7 @@
 //! cargo run -p multihonest-bench --release --bin table1 -- --quick --json
 //! ```
 
-use multihonest_bench::{
-    generate_table1, render_table1, TABLE1_ALPHAS, TABLE1_KS, TABLE1_RATIOS,
-};
+use multihonest_bench::{generate_table1, render_table1, TABLE1_ALPHAS, TABLE1_KS, TABLE1_RATIOS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,7 +19,11 @@ fn main() {
     let (alphas, ratios, ks): (Vec<f64>, Vec<f64>, Vec<usize>) = if quick {
         (vec![0.10, 0.30, 0.40], vec![1.0, 0.5], vec![100, 200])
     } else {
-        (TABLE1_ALPHAS.to_vec(), TABLE1_RATIOS.to_vec(), TABLE1_KS.to_vec())
+        (
+            TABLE1_ALPHAS.to_vec(),
+            TABLE1_RATIOS.to_vec(),
+            TABLE1_KS.to_vec(),
+        )
     };
 
     let start = std::time::Instant::now();
@@ -29,7 +31,10 @@ fn main() {
     let elapsed = start.elapsed();
 
     if json {
-        println!("{}", serde_json::to_string_pretty(&cells).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&cells).expect("serializable")
+        );
     } else {
         print!("{}", render_table1(&cells, &alphas, &ratios, &ks));
         eprintln!(
@@ -37,8 +42,6 @@ fn main() {
             cells.len(),
             elapsed
         );
-        eprintln!(
-            "note: published k = 500 row under-reports; see EXPERIMENTS.md finding F1"
-        );
+        eprintln!("note: published k = 500 row under-reports; see EXPERIMENTS.md finding F1");
     }
 }

@@ -31,11 +31,10 @@ pub const TABLE1_RATIOS: [f64; 6] = [1.0, 0.9, 0.8, 0.5, 0.25, 0.01];
 /// The `k` rows of the published table.
 pub const TABLE1_KS: [usize; 5] = [100, 200, 300, 400, 500];
 
-/// The Bernoulli condition of a Table-1 cell.
+/// The Bernoulli condition of a Table-1 cell (canonical parameterization:
+/// [`BernoulliCondition::from_alpha_ratio`]).
 pub fn table1_condition(alpha: f64, ratio: f64) -> BernoulliCondition {
-    let p_h = ratio * (1.0 - alpha);
-    BernoulliCondition::from_probabilities(p_h, 1.0 - alpha - p_h, alpha)
-        .expect("table parameters are valid")
+    BernoulliCondition::from_alpha_ratio(alpha, ratio).expect("table parameters are valid")
 }
 
 /// Regenerates Table 1 (experiment E1) for the given parameter subsets,
@@ -48,7 +47,12 @@ pub fn generate_table1(alphas: &[f64], ratios: &[f64], ks: &[usize]) -> Vec<Tabl
             let exact = ExactSettlement::new(table1_condition(alpha, ratio));
             let ps = exact.violation_probabilities(ks);
             for (&k, &probability) in ks.iter().zip(&ps) {
-                cells.push(Table1Cell { alpha, ratio, k, probability });
+                cells.push(Table1Cell {
+                    alpha,
+                    ratio,
+                    k,
+                    probability,
+                });
             }
         }
     }
@@ -60,7 +64,10 @@ pub fn generate_table1(alphas: &[f64], ratios: &[f64], ks: &[usize]) -> Vec<Tabl
 pub fn render_table1(cells: &[Table1Cell], alphas: &[f64], ratios: &[f64], ks: &[usize]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "Exact probabilities of k-settlement violations (paper Table 1)");
+    let _ = writeln!(
+        out,
+        "Exact probabilities of k-settlement violations (paper Table 1)"
+    );
     for &ratio in ratios {
         let _ = writeln!(out, "\nPr[h]/(1-α) = {ratio}");
         let _ = write!(out, "{:>5} |", "k");
@@ -176,7 +183,9 @@ fn balance_divergences(epsilon: f64, runs: u64) -> (f64, f64) {
     let mean = |tie| -> f64 {
         (0..runs)
             .map(|seed| {
-                Simulation::run(&mk(tie), seed).metrics().max_slot_divergence as f64
+                Simulation::run(&mk(tie), seed)
+                    .metrics()
+                    .max_slot_divergence as f64
             })
             .sum::<f64>()
             / runs as f64
@@ -219,7 +228,13 @@ pub fn delta_experiment(k: usize, slots: usize) -> Vec<DeltaRow> {
         let sim_violations = (1..=slots.saturating_sub(2 * k))
             .filter(|&s| sim.settlement_violation(s, k))
             .count();
-        rows.push(DeltaRow { delta, effective_epsilon, theorem7, k, sim_violations });
+        rows.push(DeltaRow {
+            delta,
+            effective_epsilon,
+            theorem7,
+            k,
+            sim_violations,
+        });
     }
     rows
 }
@@ -327,8 +342,14 @@ mod tests {
         assert!(rendered.contains("50"));
         // Probabilities decrease with k within each ratio block.
         for ratio in [1.0, 0.5] {
-            let p50 = cells.iter().find(|c| c.ratio == ratio && c.k == 50).unwrap();
-            let p100 = cells.iter().find(|c| c.ratio == ratio && c.k == 100).unwrap();
+            let p50 = cells
+                .iter()
+                .find(|c| c.ratio == ratio && c.k == 50)
+                .unwrap();
+            let p100 = cells
+                .iter()
+                .find(|c| c.ratio == ratio && c.k == 100)
+                .unwrap();
             assert!(p100.probability < p50.probability);
         }
     }

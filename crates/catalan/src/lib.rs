@@ -54,7 +54,10 @@ pub struct CatalanAnalysis {
 impl CatalanAnalysis {
     /// Analyses `w`.
     pub fn new(w: &CharString) -> CatalanAnalysis {
-        CatalanAnalysis { w: w.clone(), walk: Walk::new(w) }
+        CatalanAnalysis {
+            w: w.clone(),
+            walk: Walk::new(w),
+        }
     }
 
     /// The string under analysis.
@@ -105,7 +108,9 @@ impl CatalanAnalysis {
 
     /// All uniquely honest Catalan slots, in increasing order.
     pub fn uniquely_honest_catalan_slots(&self) -> Vec<usize> {
-        (1..=self.w.len()).filter(|s| self.is_uniquely_honest_catalan(*s)).collect()
+        (1..=self.w.len())
+            .filter(|s| self.is_uniquely_honest_catalan(*s))
+            .collect()
     }
 
     /// The first uniquely honest Catalan slot in `from..=to` (inclusive,
@@ -134,14 +139,16 @@ impl CatalanAnalysis {
     /// uniquely honest Catalan slot lies in `[start, start + k − 1]`
     /// (the proof of Theorem 1 uses exactly this window).
     pub fn settles_by_unique_catalan(&self, start: usize, k: usize) -> bool {
-        self.first_uniquely_honest_catalan_in(start, start + k.saturating_sub(1)).is_some()
+        self.first_uniquely_honest_catalan_in(start, start + k.saturating_sub(1))
+            .is_some()
     }
 
     /// Theorem 4 analogue of [`Self::settles_by_unique_catalan`] for the
     /// consistent tie-breaking model: slot `start` is `k`-settled whenever
     /// two consecutive Catalan slots begin in `[start, start + k − 1]`.
     pub fn settles_by_consecutive_catalan(&self, start: usize, k: usize) -> bool {
-        self.first_consecutive_catalan_in(start, start + k.saturating_sub(1)).is_some()
+        self.first_consecutive_catalan_in(start, start + k.saturating_sub(1))
+            .is_some()
     }
 
     /// The fraction of slots that are Catalan (density statistic used by
@@ -190,7 +197,11 @@ pub fn is_catalan_naive(w: &CharString, s: usize) -> bool {
 /// shared test helper for exhaustive cross-validation, also used by the
 /// `multihonest-margin` test suite.
 pub fn exhaustive_strings(n: usize) -> Vec<CharString> {
-    let symbols = [Symbol::UniqueHonest, Symbol::MultiHonest, Symbol::Adversarial];
+    let symbols = [
+        Symbol::UniqueHonest,
+        Symbol::MultiHonest,
+        Symbol::Adversarial,
+    ];
     let total = 3usize.pow(n as u32);
     let mut out = Vec::with_capacity(total);
     for mut code in 0..total {
@@ -310,7 +321,7 @@ mod tests {
         assert!(!c.is_catalan(2)); // [1,2] = Ah balances
         assert!(c.settles_by_unique_catalan(2, 2)); // window [2,3] contains 3
         assert!(!c.settles_by_unique_catalan(1, 2)); // window [1,2]
-        // One more honest slot buys a consecutive Catalan pair at s = 3.
+                                                     // One more honest slot buys a consecutive Catalan pair at s = 3.
         let c = CatalanAnalysis::new(&w("AhhhhA"));
         assert!(c.is_catalan(3) && c.is_catalan(4));
         assert!(c.settles_by_consecutive_catalan(1, 3));
@@ -321,7 +332,10 @@ mod tests {
     fn density() {
         assert_eq!(CatalanAnalysis::new(&w("hhhh")).catalan_density(), 1.0);
         assert_eq!(CatalanAnalysis::new(&w("AAAA")).catalan_density(), 0.0);
-        assert_eq!(CatalanAnalysis::new(&CharString::new()).catalan_density(), 0.0);
+        assert_eq!(
+            CatalanAnalysis::new(&CharString::new()).catalan_density(),
+            0.0
+        );
     }
 
     #[test]
@@ -365,8 +379,10 @@ mod tests {
     fn exhaustive_strings_count() {
         assert_eq!(exhaustive_strings(0).len(), 1);
         assert_eq!(exhaustive_strings(3).len(), 27);
-        let set: std::collections::HashSet<String> =
-            exhaustive_strings(4).iter().map(|w| w.to_string()).collect();
+        let set: std::collections::HashSet<String> = exhaustive_strings(4)
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
         assert_eq!(set.len(), 81);
     }
 }

@@ -27,7 +27,9 @@ pub struct DistributionError {
 
 impl DistributionError {
     fn new(message: impl Into<String>) -> DistributionError {
-        DistributionError { message: message.into() }
+        DistributionError {
+            message: message.into(),
+        }
     }
 }
 
@@ -75,7 +77,9 @@ impl BernoulliCondition {
     /// Returns an error unless `ε ∈ (0, 1)` and `p_h ∈ [0, (1 + ε)/2]`.
     pub fn new(epsilon: f64, p_h: f64) -> Result<BernoulliCondition, DistributionError> {
         if !(epsilon > 0.0 && epsilon < 1.0) {
-            return Err(DistributionError::new(format!("epsilon = {epsilon} not in (0, 1)")));
+            return Err(DistributionError::new(format!(
+                "epsilon = {epsilon} not in (0, 1)"
+            )));
         }
         let p_h_max = (1.0 + epsilon) / 2.0;
         if !(0.0..=p_h_max + 1e-12).contains(&p_h) {
@@ -83,7 +87,26 @@ impl BernoulliCondition {
                 "p_h = {p_h} not in [0, (1 + ε)/2] = [0, {p_h_max}]"
             )));
         }
-        Ok(BernoulliCondition { epsilon, p_h: p_h.min(p_h_max) })
+        Ok(BernoulliCondition {
+            epsilon,
+            p_h: p_h.min(p_h_max),
+        })
+    }
+
+    /// Creates the condition of a paper Table-1 cell: `Pr[A] = alpha` and
+    /// `Pr[h] = ratio · (1 − alpha)` (the table's `Pr[h]/(1 − α)` row
+    /// parameter), the remainder multiply honest.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless `alpha < 1/2` and `ratio ∈ [0, 1]` (so the
+    /// three probabilities form a distribution).
+    pub fn from_alpha_ratio(
+        alpha: f64,
+        ratio: f64,
+    ) -> Result<BernoulliCondition, DistributionError> {
+        let p_h = ratio * (1.0 - alpha);
+        BernoulliCondition::from_probabilities(p_h, 1.0 - alpha - p_h, alpha)
     }
 
     /// Creates the condition from the three symbol probabilities.
@@ -102,7 +125,9 @@ impl BernoulliCondition {
         }
         let sum = p_h + p_hh + p_a;
         if (sum - 1.0).abs() > 1e-9 {
-            return Err(DistributionError::new(format!("probabilities sum to {sum}, not 1")));
+            return Err(DistributionError::new(format!(
+                "probabilities sum to {sum}, not 1"
+            )));
         }
         let epsilon = 1.0 - 2.0 * p_a;
         BernoulliCondition::new(epsilon, p_h)
@@ -202,9 +227,15 @@ impl SemiSyncCondition {
             return Err(DistributionError::new(format!("p_A = {p_a} not in [0, f)")));
         }
         if !(p_h > 0.0 && p_h <= f - p_a + 1e-12) {
-            return Err(DistributionError::new(format!("p_h = {p_h} not in (0, f − p_A]")));
+            return Err(DistributionError::new(format!(
+                "p_h = {p_h} not in (0, f − p_A]"
+            )));
         }
-        Ok(SemiSyncCondition { f, p_a, p_h: p_h.min(f - p_a) })
+        Ok(SemiSyncCondition {
+            f,
+            p_a,
+            p_h: p_h.min(f - p_a),
+        })
     }
 
     /// The active-slot coefficient `f = 1 − p_⊥`.
@@ -325,9 +356,14 @@ impl AdaptiveBiasSampler {
     /// # Errors
     ///
     /// Returns an error when `backoff ∉ [0, 1]`.
-    pub fn new(base: BernoulliCondition, backoff: f64) -> Result<AdaptiveBiasSampler, DistributionError> {
+    pub fn new(
+        base: BernoulliCondition,
+        backoff: f64,
+    ) -> Result<AdaptiveBiasSampler, DistributionError> {
         if !(0.0..=1.0).contains(&backoff) {
-            return Err(DistributionError::new(format!("backoff = {backoff} not in [0, 1]")));
+            return Err(DistributionError::new(format!(
+                "backoff = {backoff} not in [0, 1]"
+            )));
         }
         Ok(AdaptiveBiasSampler { base, backoff })
     }
@@ -346,7 +382,11 @@ impl AdaptiveBiasSampler {
         let mut last_adversarial = false;
         let mut out = CharString::new();
         for _ in 0..len {
-            let p_a = if last_adversarial { p_a_max * (1.0 - self.backoff) } else { p_a_max };
+            let p_a = if last_adversarial {
+                p_a_max * (1.0 - self.backoff)
+            } else {
+                p_a_max
+            };
             let u: f64 = rng.gen();
             let s = if u < p_a {
                 Symbol::Adversarial
@@ -396,7 +436,8 @@ mod tests {
         assert!((d.epsilon() - 0.2).abs() < 1e-12);
         assert!((d.p_unique_honest() - 0.25).abs() < 1e-12);
         assert!(BernoulliCondition::from_probabilities(0.3, 0.3, 0.3).is_err());
-        assert!(BernoulliCondition::from_probabilities(0.2, 0.2, 0.6).is_err()); // p_A > 1/2
+        assert!(BernoulliCondition::from_probabilities(0.2, 0.2, 0.6).is_err());
+        // p_A > 1/2
     }
 
     #[test]

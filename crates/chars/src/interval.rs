@@ -56,7 +56,11 @@ impl PrefixCounts {
             cum_hh.push(hh);
             cum_a.push(a);
         }
-        PrefixCounts { cum_h, cum_hh, cum_a }
+        PrefixCounts {
+            cum_h,
+            cum_hh,
+            cum_a,
+        }
     }
 
     /// The string length these counts were built for.

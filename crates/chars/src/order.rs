@@ -63,8 +63,7 @@ pub fn partial_cmp(x: &CharString, y: &CharString) -> Option<std::cmp::Ordering>
 /// adversarial as `x` in every slot). Strings of different length are
 /// incomparable.
 pub fn le(x: &CharString, y: &CharString) -> bool {
-    x.len() == y.len()
-        && x.symbols().iter().zip(y.symbols()).all(|(a, b)| a <= b)
+    x.len() == y.len() && x.symbols().iter().zip(y.symbols()).all(|(a, b)| a <= b)
 }
 
 /// Replaces every `h` by `H`: the least "more adversarial" relaxation that

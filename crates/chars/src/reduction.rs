@@ -70,7 +70,10 @@ impl Reduction {
     /// Creates the reduction map with delay bound `Δ` and the default
     /// (Proposition 4) survival rule.
     pub fn new(delta: usize) -> Reduction {
-        Reduction { delta, rule: SurvivalRule::default() }
+        Reduction {
+            delta,
+            rule: SurvivalRule::default(),
+        }
     }
 
     /// Creates the reduction map with an explicit survival rule.
@@ -102,10 +105,12 @@ impl Reduction {
                     let window_ok = slot + self.delta <= n;
                     let survives = window_ok
                         && match self.rule {
-                            SurvivalRule::EmptyRun => (slot + 1..=slot + self.delta)
-                                .all(|t| w.get(t).is_empty_slot()),
-                            SurvivalRule::NoHonestWithin => (slot + 1..=slot + self.delta)
-                                .all(|t| !w.get(t).is_honest()),
+                            SurvivalRule::EmptyRun => {
+                                (slot + 1..=slot + self.delta).all(|t| w.get(t).is_empty_slot())
+                            }
+                            SurvivalRule::NoHonestWithin => {
+                                (slot + 1..=slot + self.delta).all(|t| !w.get(t).is_honest())
+                            }
                         };
                     if survives {
                         Some(sym.to_symbol().expect("honest symbol"))
@@ -120,7 +125,12 @@ impl Reduction {
                 reduced_of_original[slot] = Some(reduced.len());
             }
         }
-        ReducedString { delta: self.delta, reduced, original_slots, reduced_of_original }
+        ReducedString {
+            delta: self.delta,
+            reduced,
+            original_slots,
+            reduced_of_original,
+        }
     }
 }
 
@@ -229,7 +239,10 @@ mod tests {
         let w = semi("hh");
         let r = Reduction::new(1).apply(&w);
         assert_eq!(r.reduced().to_string(), "AA");
-        assert_eq!(Reduction::new(3).apply(&semi("h")).reduced().to_string(), "A");
+        assert_eq!(
+            Reduction::new(3).apply(&semi("h")).reduced().to_string(),
+            "A"
+        );
     }
 
     #[test]

@@ -111,7 +111,11 @@ impl CharString {
 
     /// Iterates over `(slot, symbol)` pairs, slots 1-based and increasing.
     pub fn iter_slots(&self) -> impl Iterator<Item = (usize, Symbol)> + '_ {
-        self.symbols.iter().copied().enumerate().map(|(i, s)| (i + 1, s))
+        self.symbols
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, s)| (i + 1, s))
     }
 
     /// Returns the prefix covering slots `1..=len` (i.e. `w[1..=len]`).
@@ -120,7 +124,11 @@ impl CharString {
     ///
     /// Panics if `len > self.len()`.
     pub fn prefix(&self, len: usize) -> CharString {
-        assert!(len <= self.len(), "prefix length {len} exceeds {}", self.len());
+        assert!(
+            len <= self.len(),
+            "prefix length {len} exceeds {}",
+            self.len()
+        );
         CharString::from_symbols(self.symbols[..len].to_vec())
     }
 
@@ -132,7 +140,10 @@ impl CharString {
     ///
     /// Panics if `from == 0` or `from > n + 1`.
     pub fn suffix(&self, from: usize) -> CharString {
-        assert!(from >= 1 && from <= self.len() + 1, "suffix start {from} out of range");
+        assert!(
+            from >= 1 && from <= self.len() + 1,
+            "suffix start {from} out of range"
+        );
         CharString::from_symbols(self.symbols[from - 1..].to_vec())
     }
 
@@ -152,12 +163,18 @@ impl CharString {
 
     /// Number of `h` slots in the whole string.
     pub fn count_unique_honest(&self) -> usize {
-        self.symbols.iter().filter(|s| **s == Symbol::UniqueHonest).count()
+        self.symbols
+            .iter()
+            .filter(|s| **s == Symbol::UniqueHonest)
+            .count()
     }
 
     /// Number of `H` slots in the whole string.
     pub fn count_multi_honest(&self) -> usize {
-        self.symbols.iter().filter(|s| **s == Symbol::MultiHonest).count()
+        self.symbols
+            .iter()
+            .filter(|s| **s == Symbol::MultiHonest)
+            .count()
     }
 
     /// Number of honest (`h` or `H`) slots in the whole string.
@@ -196,7 +213,10 @@ impl CharString {
 
     /// Slots (1-based) of all honest symbols, in increasing order.
     pub fn honest_slots(&self) -> Vec<usize> {
-        self.iter_slots().filter(|(_, s)| s.is_honest()).map(|(t, _)| t).collect()
+        self.iter_slots()
+            .filter(|(_, s)| s.is_honest())
+            .map(|(t, _)| t)
+            .collect()
     }
 
     /// Slots (1-based) of all `h` symbols, in increasing order.
@@ -213,7 +233,10 @@ impl Index<usize> for CharString {
 
     /// Indexes by 1-based slot number, like [`CharString::get`].
     fn index(&self, slot: usize) -> &Symbol {
-        assert!(slot >= 1 && slot <= self.symbols.len(), "slot {slot} out of range");
+        assert!(
+            slot >= 1 && slot <= self.symbols.len(),
+            "slot {slot} out of range"
+        );
         &self.symbols[slot - 1]
     }
 }
@@ -226,7 +249,12 @@ impl FromStr for CharString {
         for (position, character) in s.chars().enumerate() {
             match Symbol::from_char(character) {
                 Some(sym) => symbols.push(sym),
-                None => return Err(ParseCharStringError { position, character }),
+                None => {
+                    return Err(ParseCharStringError {
+                        position,
+                        character,
+                    })
+                }
             }
         }
         Ok(CharString::from_symbols(symbols))
@@ -321,7 +349,11 @@ impl SemiString {
 
     /// Iterates over `(slot, symbol)` pairs, slots 1-based and increasing.
     pub fn iter_slots(&self) -> impl Iterator<Item = (usize, SemiSymbol)> + '_ {
-        self.symbols.iter().copied().enumerate().map(|(i, s)| (i + 1, s))
+        self.symbols
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, s)| (i + 1, s))
     }
 
     /// Number of non-`⊥` slots.
@@ -335,7 +367,11 @@ impl SemiString {
     ///
     /// Panics if `len > self.len()`.
     pub fn prefix(&self, len: usize) -> SemiString {
-        assert!(len <= self.len(), "prefix length {len} exceeds {}", self.len());
+        assert!(
+            len <= self.len(),
+            "prefix length {len} exceeds {}",
+            self.len()
+        );
         SemiString::from_symbols(self.symbols[..len].to_vec())
     }
 
@@ -358,7 +394,12 @@ impl FromStr for SemiString {
         for (position, character) in s.chars().enumerate() {
             match SemiSymbol::from_char(character) {
                 Some(sym) => symbols.push(sym),
-                None => return Err(ParseCharStringError { position, character }),
+                None => {
+                    return Err(ParseCharStringError {
+                        position,
+                        character,
+                    })
+                }
             }
         }
         Ok(SemiString::from_symbols(symbols))
@@ -476,7 +517,9 @@ mod tests {
 
     #[test]
     fn from_iterator_and_extend() {
-        let mut w: CharString = [Symbol::UniqueHonest, Symbol::Adversarial].into_iter().collect();
+        let mut w: CharString = [Symbol::UniqueHonest, Symbol::Adversarial]
+            .into_iter()
+            .collect();
         w.extend([Symbol::MultiHonest]);
         assert_eq!(w.to_string(), "hAH");
     }

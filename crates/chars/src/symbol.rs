@@ -34,7 +34,11 @@ pub enum Symbol {
 
 impl Symbol {
     /// All three symbols, in increasing "adversarial power" order.
-    pub const ALL: [Symbol; 3] = [Symbol::UniqueHonest, Symbol::MultiHonest, Symbol::Adversarial];
+    pub const ALL: [Symbol; 3] = [
+        Symbol::UniqueHonest,
+        Symbol::MultiHonest,
+        Symbol::Adversarial,
+    ];
 
     /// Returns `true` for `h` and `H` (the slot is *honest*).
     #[inline]
@@ -243,6 +247,9 @@ mod tests {
             SemiSymbol::MultiHonest.to_symbol(),
             Some(Symbol::MultiHonest)
         );
-        assert_eq!(SemiSymbol::from(Symbol::Adversarial), SemiSymbol::Adversarial);
+        assert_eq!(
+            SemiSymbol::from(Symbol::Adversarial),
+            SemiSymbol::Adversarial
+        );
     }
 }

@@ -64,7 +64,11 @@ impl Walk {
         for t in (0..n).rev() {
             suffix_max[t] = suffix_max[t].max(suffix_max[t + 1]);
         }
-        Walk { positions, prefix_min, suffix_max }
+        Walk {
+            positions,
+            prefix_min,
+            suffix_max,
+        }
     }
 
     /// The walk built directly from symbols.

@@ -1,0 +1,176 @@
+//! Property coverage for the Δ-reduction map `ρ_Δ` (Definition 22) and the
+//! characteristic-string distributions (Definitions 7/21): slot-bijection
+//! round-trips, monotonicity laws, and distributional sanity over
+//! deterministically sampled inputs.
+
+use multihonest_chars::order;
+use multihonest_chars::reduction::SurvivalRule;
+use multihonest_chars::{
+    BernoulliCondition, CharString, Reduction, SemiString, SemiSymbol, SemiSyncCondition, Symbol,
+};
+use proptest::prelude::*;
+
+fn arb_semi_symbol() -> impl Strategy<Value = SemiSymbol> {
+    prop_oneof![
+        Just(SemiSymbol::Empty),
+        Just(SemiSymbol::UniqueHonest),
+        Just(SemiSymbol::MultiHonest),
+        Just(SemiSymbol::Adversarial),
+    ]
+}
+
+fn arb_semi_string(max_len: usize) -> impl Strategy<Value = SemiString> {
+    prop::collection::vec(arb_semi_symbol(), 0..=max_len).prop_map(SemiString::from_symbols)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    /// The slot bijection π round-trips: every non-empty original slot has
+    /// a reduced slot mapping back to it, empty slots have none, and π is
+    /// strictly increasing.
+    #[test]
+    fn reduction_bijection_round_trips(w in arb_semi_string(48), delta in 0usize..5) {
+        let r = Reduction::new(delta).apply(&w);
+        prop_assert_eq!(r.len(), w.count_nonempty());
+        let mut last = 0usize;
+        for (t, sym) in w.iter_slots() {
+            match r.reduced_slot(t) {
+                Some(j) => {
+                    prop_assert!(sym != SemiSymbol::Empty, "empty slot {t} survived");
+                    prop_assert_eq!(r.original_slot(j), t);
+                    prop_assert!(j > last, "π not strictly increasing at slot {t}");
+                    last = j;
+                }
+                None => prop_assert_eq!(sym, SemiSymbol::Empty),
+            }
+        }
+    }
+
+    /// Δ = 0 performs no demotion at all: `ρ_0` is exactly `drop_empty`.
+    #[test]
+    fn delta_zero_is_drop_empty(w in arb_semi_string(48)) {
+        let r = Reduction::new(0).apply(&w);
+        prop_assert_eq!(r.reduced(), &w.drop_empty());
+        prop_assert_eq!(r.stable_prefix(), w.drop_empty());
+    }
+
+    /// Monotonicity in Δ: a larger delay bound demotes pointwise more
+    /// (`ρ_Δ(w) ⪯ ρ_{Δ+1}(w)` in the adversarial dominance order), and the
+    /// length never changes.
+    #[test]
+    fn reduction_monotone_in_delta(w in arb_semi_string(40), delta in 0usize..5) {
+        let smaller = Reduction::new(delta).apply(&w);
+        let larger = Reduction::new(delta + 1).apply(&w);
+        prop_assert_eq!(smaller.len(), larger.len());
+        prop_assert!(order::le(smaller.reduced(), larger.reduced()));
+    }
+
+    /// Rule comparison: the segment rule (EmptyRun) demotes at least as
+    /// much as the literal Definition-22 rule (NoHonestWithin).
+    #[test]
+    fn segment_rule_dominates_literal_rule(w in arb_semi_string(40), delta in 0usize..5) {
+        let literal = Reduction::with_rule(delta, SurvivalRule::NoHonestWithin).apply(&w);
+        let segment = Reduction::with_rule(delta, SurvivalRule::EmptyRun).apply(&w);
+        prop_assert!(order::le(literal.reduced(), segment.reduced()));
+    }
+
+    /// Reduction never invents honest slots: adversarial count only grows,
+    /// honest counts only shrink, and surviving honest slots keep their
+    /// uniqueness class.
+    #[test]
+    fn reduction_only_demotes(w in arb_semi_string(40), delta in 0usize..5) {
+        let r = Reduction::new(delta).apply(&w);
+        let reduced = r.reduced();
+        let mut nonempty_adversarial = 0usize;
+        for (t, sym) in w.iter_slots() {
+            if let Some(j) = r.reduced_slot(t) {
+                let out = reduced.get(j);
+                match sym {
+                    SemiSymbol::Adversarial => {
+                        nonempty_adversarial += 1;
+                        prop_assert_eq!(out, Symbol::Adversarial);
+                    }
+                    SemiSymbol::UniqueHonest => {
+                        prop_assert!(out == Symbol::UniqueHonest || out == Symbol::Adversarial);
+                    }
+                    SemiSymbol::MultiHonest => {
+                        prop_assert!(out == Symbol::MultiHonest || out == Symbol::Adversarial);
+                    }
+                    SemiSymbol::Empty => unreachable!("empty slots have no reduced slot"),
+                }
+            }
+        }
+        prop_assert!(reduced.count_adversarial() >= nonempty_adversarial);
+    }
+
+    /// The undistorted prefix drops exactly `min(Δ, m)` trailing symbols
+    /// and is a prefix of the reduced string.
+    #[test]
+    fn stable_prefix_shape(w in arb_semi_string(40), delta in 0usize..5) {
+        let r = Reduction::new(delta).apply(&w);
+        let stable = r.stable_prefix();
+        prop_assert_eq!(stable.len(), r.len().saturating_sub(delta));
+        prop_assert!(stable.is_prefix_of(r.reduced()));
+    }
+
+    /// Bernoulli condition: parameters round-trip through the probability
+    /// constructor and the three probabilities are a distribution with
+    /// `p_A = (1 − ε)/2`.
+    #[test]
+    fn bernoulli_parameters_round_trip(eps_pct in 1u32..100, ph_pct in 0u32..=100) {
+        let epsilon = f64::from(eps_pct) / 100.0;
+        let p_h = f64::from(ph_pct) / 100.0 * (1.0 + epsilon) / 2.0;
+        let cond = BernoulliCondition::new(epsilon, p_h).expect("parameters in range");
+        prop_assert!((cond.p_adversarial() - (1.0 - epsilon) / 2.0).abs() < 1e-12);
+        let total = cond.p_unique_honest() + cond.p_multi_honest() + cond.p_adversarial();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let back = BernoulliCondition::from_probabilities(
+            cond.p_unique_honest(),
+            cond.p_multi_honest(),
+            cond.p_adversarial(),
+        )
+        .expect("probabilities valid");
+        prop_assert!((back.epsilon() - epsilon).abs() < 1e-9);
+    }
+
+    /// Sampling a Bernoulli condition yields the requested length with
+    /// empirical symbol frequencies near the specified law (the harness is
+    /// deterministic, so the tolerance is exact for these seeds).
+    #[test]
+    fn bernoulli_samples_match_law(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let cond = BernoulliCondition::new(0.2, 0.4).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 2_000;
+        let w: CharString = cond.sample(&mut rng, n);
+        prop_assert_eq!(w.len(), n);
+        let freq_a = w.count_adversarial() as f64 / n as f64;
+        let freq_h = w.count_unique_honest() as f64 / n as f64;
+        prop_assert!((freq_a - cond.p_adversarial()).abs() < 0.05, "freq_a {freq_a}");
+        prop_assert!((freq_h - cond.p_unique_honest()).abs() < 0.05, "freq_h {freq_h}");
+    }
+
+    /// Semi-synchronous condition: samples have the requested length, the
+    /// empirical empty-slot rate tracks `1 − f`, and the Δ-reduced
+    /// condition of Proposition 4 is itself a valid distribution with a
+    /// smaller honest-majority margin.
+    #[test]
+    fn semisync_samples_and_reduction_law(seed in any::<u64>(), delta in 1usize..4) {
+        use rand::SeedableRng;
+        // A sparse condition (f = 0.1) keeps the Δ-reduced law honest-majority
+        // for every Δ < 4 (condition (20) of Theorem 7).
+        let cond = SemiSyncCondition::new(0.1, 0.005, 0.09).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = 2_000;
+        let w: SemiString = cond.sample(&mut rng, n);
+        prop_assert_eq!(w.len(), n);
+        let freq_empty = 1.0 - w.count_nonempty() as f64 / n as f64;
+        prop_assert!((freq_empty - cond.p_empty()).abs() < 0.05, "freq_empty {freq_empty}");
+
+        let reduced = cond.reduced_condition(delta).expect("reducible");
+        let total = reduced.p_unique_honest() + reduced.p_multi_honest() + reduced.p_adversarial();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(reduced.epsilon() <= cond.reduced_condition(0).expect("valid").epsilon() + 1e-12);
+    }
+}

@@ -102,7 +102,10 @@ pub struct ConsistencyAnalyzer {
 impl ConsistencyAnalyzer {
     /// Creates an analyzer from the symbol distribution directly.
     pub fn new(cond: BernoulliCondition) -> ConsistencyAnalyzer {
-        ConsistencyAnalyzer { cond, exact: ExactSettlement::new(cond) }
+        ConsistencyAnalyzer {
+            cond,
+            exact: ExactSettlement::new(cond),
+        }
     }
 
     /// Creates an analyzer from deployment-style parameters:

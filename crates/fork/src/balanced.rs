@@ -68,7 +68,11 @@ pub fn is_x_balanced(fork: &Fork, cut: usize) -> bool {
 /// The slot divergence of a pair of tines (Definition 25):
 /// `ℓ(t1) − ℓ(t1 ∩ t2)` where `t1` is the tine with the smaller label.
 pub fn slot_divergence_of(fork: &Fork, a: VertexId, b: VertexId) -> usize {
-    let (first, _) = if fork.label(a) <= fork.label(b) { (a, b) } else { (b, a) };
+    let (first, _) = if fork.label(a) <= fork.label(b) {
+        (a, b)
+    } else {
+        (b, a)
+    };
     let lca = fork.last_common_vertex(a, b);
     fork.label(first) - fork.label(lca).min(fork.label(first))
 }
@@ -241,8 +245,11 @@ mod tests {
         // Section 9: block-truncation violations imply slot-truncation
         // violations (labels increase along tines, so k blocks span ≥ k
         // slots). Check on the figures.
-        for f in [crate::figures::figure1(), crate::figures::figure2(), crate::figures::figure3()]
-        {
+        for f in [
+            crate::figures::figure1(),
+            crate::figures::figure2(),
+            crate::figures::figure3(),
+        ] {
             for k in 0..=6 {
                 if violates_k_cp(&f, k) {
                     assert!(violates_k_cp_slot(&f, k), "k = {k}");

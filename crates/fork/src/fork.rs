@@ -104,7 +104,10 @@ impl Fork {
     /// length, or if `label` is not strictly greater than the parent's
     /// label (axiom (F2)).
     pub fn push_vertex(&mut self, parent: VertexId, label: usize) -> VertexId {
-        assert!(parent.index() < self.labels.len(), "parent {parent:?} does not exist");
+        assert!(
+            parent.index() < self.labels.len(),
+            "parent {parent:?} does not exist"
+        );
         assert!(
             label >= 1 && label <= self.w.len(),
             "label {label} out of range 1..={}",
@@ -178,12 +181,15 @@ impl Fork {
     /// Returns `true` when the fork is *closed*: every leaf is honest
     /// (paper Definition 12). The trivial fork is closed.
     pub fn is_closed(&self) -> bool {
-        self.vertices().all(|v| !self.is_leaf(v) || self.is_honest(v))
+        self.vertices()
+            .all(|v| !self.is_leaf(v) || self.is_honest(v))
     }
 
     /// All vertices labelled `label`.
     pub fn vertices_with_label(&self, label: usize) -> Vec<VertexId> {
-        self.vertices().filter(|v| self.label(*v) == label).collect()
+        self.vertices()
+            .filter(|v| self.label(*v) == label)
+            .collect()
     }
 
     /// The path from the root to `v`, root first, `v` last.
@@ -301,7 +307,13 @@ impl Fork {
         if !self.w.is_prefix_of(other.string()) {
             return false;
         }
-        embed(self, other, VertexId::ROOT, VertexId::ROOT, &mut HashMap::new())
+        embed(
+            self,
+            other,
+            VertexId::ROOT,
+            VertexId::ROOT,
+            &mut HashMap::new(),
+        )
     }
 }
 
@@ -321,10 +333,14 @@ fn embed(
     if let Some(&hit) = taken.get(&(sv, bv)) {
         return hit;
     }
-    let result = match_children(small, big, small.children(sv), big.children(bv), 0, &mut vec![
-            false;
-            big.children(bv).len()
-        ]);
+    let result = match_children(
+        small,
+        big,
+        small.children(sv),
+        big.children(bv),
+        0,
+        &mut vec![false; big.children(bv).len()],
+    );
     taken.insert((sv, bv), result);
     result
 }

@@ -27,7 +27,10 @@ pub struct GenerateConfig {
 
 impl Default for GenerateConfig {
     fn default() -> GenerateConfig {
-        GenerateConfig { max_multi_honest: 2, max_adversarial: 2 }
+        GenerateConfig {
+            max_multi_honest: 2,
+            max_adversarial: 2,
+        }
     }
 }
 
@@ -222,7 +225,10 @@ mod tests {
             assert!(c.is_closed());
             assert!(c.validate().is_ok());
             assert!(c.vertex_count() <= f.vertex_count());
-            assert!(c.is_fork_prefix_of(&f), "closed sub-fork embeds into original");
+            assert!(
+                c.is_fork_prefix_of(&f),
+                "closed sub-fork embeds into original"
+            );
         }
     }
 

@@ -33,8 +33,8 @@
 #![warn(missing_docs)]
 
 pub mod balanced;
-pub mod figures;
 pub mod dot;
+pub mod figures;
 pub mod fork;
 pub mod generate;
 pub mod pinch;

@@ -135,10 +135,8 @@ pub fn balanced_fork_from_divergence(fork: &Fork, k: usize) -> Option<(usize, Fo
         while remap[p.index()].is_none() {
             p = fork.parent(p).expect("root is always kept");
         }
-        remap[v.index()] = Some(out.push_vertex(
-            remap[p.index()].expect("kept ancestor"),
-            fork.label(v),
-        ));
+        remap[v.index()] =
+            Some(out.push_vertex(remap[p.index()].expect("kept ancestor"), fork.label(v)));
     }
     let na = remap[a.index()]?;
     let nb = remap[b.index()]?;

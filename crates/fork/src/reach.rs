@@ -56,8 +56,8 @@ impl<'a> ReachAnalysis<'a> {
         let n = fork.string().len();
         let mut suffix_adversarial = vec![0i64; n + 2];
         for t in (1..=n).rev() {
-            suffix_adversarial[t] = suffix_adversarial[t + 1]
-                + i64::from(fork.string().get(t).is_adversarial());
+            suffix_adversarial[t] =
+                suffix_adversarial[t + 1] + i64::from(fork.string().get(t).is_adversarial());
         }
         let height = fork.height();
         let reach = fork
@@ -68,7 +68,12 @@ impl<'a> ReachAnalysis<'a> {
                 reserve - gap
             })
             .collect();
-        ReachAnalysis { fork, height, suffix_adversarial, reach }
+        ReachAnalysis {
+            fork,
+            height,
+            suffix_adversarial,
+            reach,
+        }
     }
 
     /// The fork under analysis.
@@ -99,7 +104,10 @@ impl<'a> ReachAnalysis<'a> {
 
     /// All tines (vertex ids) achieving reach exactly `r`.
     pub fn tines_with_reach(&self, r: i64) -> Vec<VertexId> {
-        self.fork.vertices().filter(|v| self.reach(*v) == r).collect()
+        self.fork
+            .vertices()
+            .filter(|v| self.reach(*v) == r)
+            .collect()
     }
 
     /// The relative margin `µ_x(F)` where `x` is the length-`cut` prefix of

@@ -59,21 +59,36 @@ pub enum ForkError {
 impl fmt::Display for ForkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ForkError::LabelOrder { vertex, label, parent_label } => write!(
+            ForkError::LabelOrder {
+                vertex,
+                label,
+                parent_label,
+            } => write!(
                 f,
                 "vertex {vertex:?} has label {label} not greater than parent label {parent_label}"
             ),
             ForkError::LabelOutOfRange { vertex, label, len } => {
-                write!(f, "vertex {vertex:?} has label {label} beyond string length {len}")
+                write!(
+                    f,
+                    "vertex {vertex:?} has label {label} beyond string length {len}"
+                )
             }
             ForkError::UniqueHonestMultiplicity { slot, count } => write!(
                 f,
                 "uniquely honest slot {slot} labels {count} vertices (exactly one required)"
             ),
             ForkError::MultiHonestMissing { slot } => {
-                write!(f, "multiply honest slot {slot} labels no vertex (at least one required)")
+                write!(
+                    f,
+                    "multiply honest slot {slot} labels no vertex (at least one required)"
+                )
             }
-            ForkError::HonestDepthOrder { earlier_slot, earlier_depth, later_slot, later_depth } => {
+            ForkError::HonestDepthOrder {
+                earlier_slot,
+                earlier_depth,
+                later_slot,
+                later_depth,
+            } => {
                 write!(
                     f,
                     "honest depth not increasing: slot {earlier_slot} has depth {earlier_depth}, \
@@ -108,12 +123,20 @@ impl Fork {
         for v in self.vertices() {
             let label = self.label(v);
             if label > n {
-                return Err(ForkError::LabelOutOfRange { vertex: v, label, len: n });
+                return Err(ForkError::LabelOutOfRange {
+                    vertex: v,
+                    label,
+                    len: n,
+                });
             }
             if let Some(p) = self.parent(v) {
                 let parent_label = self.label(p);
                 if label <= parent_label {
-                    return Err(ForkError::LabelOrder { vertex: v, label, parent_label });
+                    return Err(ForkError::LabelOrder {
+                        vertex: v,
+                        label,
+                        parent_label,
+                    });
                 }
             }
         }
@@ -197,7 +220,11 @@ impl Fork {
 pub fn validate_delta(fork: &Fork, w: &SemiString, delta: usize) -> Result<(), ForkError> {
     // The fork's own string must agree with the non-empty slots of w; empty
     // slots must label no vertex.
-    debug_assert_eq!(fork.string().len(), w.len(), "fork string length must match w");
+    debug_assert_eq!(
+        fork.string().len(),
+        w.len(),
+        "fork string length must match w"
+    );
     for v in fork.vertices() {
         let l = fork.label(v);
         if l >= 1 {

@@ -128,7 +128,11 @@ impl Lattice {
                     next[self.idx(r2, m2)] += p * p_a;
                 }
                 // Honest symbols: ρ decreases (absorbing at cap), µ per (14).
-                let r2 = if r == self.cap { self.cap } else { (r - 1).max(0) };
+                let r2 = if r == self.cap {
+                    self.cap
+                } else {
+                    (r - 1).max(0)
+                };
                 let positive_reach = r > 0;
                 // b = h:
                 {
@@ -411,8 +415,14 @@ mod tests {
         assert!(short <= stationary + 1e-12);
         // A long prefix approaches the stationary dominating law from below.
         assert!(long <= stationary + 1e-12);
-        assert!((long - stationary).abs() < 1e-3, "long = {long}, stat = {stationary}");
-        assert!((short - stationary).abs() > 1e-6, "prefix length must matter");
+        assert!(
+            (long - stationary).abs() < 1e-3,
+            "long = {long}, stat = {stationary}"
+        );
+        assert!(
+            (short - stationary).abs() > 1e-6,
+            "prefix length must matter"
+        );
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl MarginState {
     /// The state at the split point: `µ_x(ε) = ρ(x)`.
     pub fn at_split(rho_x: i64) -> MarginState {
         assert!(rho_x >= 0, "reach is never negative");
-        MarginState { rho: rho_x, mu: rho_x }
+        MarginState {
+            rho: rho_x,
+            mu: rho_x,
+        }
     }
 
     /// The current reach `ρ(xy)`.
@@ -128,7 +131,11 @@ pub fn rho(w: &CharString) -> i64 {
 ///
 /// Panics if `cut > |w|`.
 pub fn relative_margin(w: &CharString, cut: usize) -> i64 {
-    assert!(cut <= w.len(), "cut {cut} exceeds string length {}", w.len());
+    assert!(
+        cut <= w.len(),
+        "cut {cut} exceeds string length {}",
+        w.len()
+    );
     let mut reach = ReachState::new();
     for &s in &w.symbols()[..cut] {
         reach.step(s);
@@ -147,7 +154,11 @@ pub fn relative_margin(w: &CharString, cut: usize) -> i64 {
 ///
 /// Panics if `cut > |w|`.
 pub fn margin_trace(w: &CharString, cut: usize) -> Vec<i64> {
-    assert!(cut <= w.len(), "cut {cut} exceeds string length {}", w.len());
+    assert!(
+        cut <= w.len(),
+        "cut {cut} exceeds string length {}",
+        w.len()
+    );
     let mut reach = ReachState::new();
     for &s in &w.symbols()[..cut] {
         reach.step(s);
@@ -330,9 +341,9 @@ mod tests {
                         best[cut] = best[cut].max(margins[cut]);
                     }
                 });
-                for cut in 0..=n {
+                for (cut, &b) in best.iter().enumerate().take(n + 1) {
                     assert_eq!(
-                        best[cut],
+                        b,
                         relative_margin(&s, cut),
                         "recurrence unattained: {s}, cut {cut}"
                     );
@@ -352,8 +363,8 @@ mod tests {
                 let ra = ReachAnalysis::new(&f);
                 assert!(ra.rho() <= rho(&ws));
                 let margins = ra.relative_margins();
-                for cut in 0..=ws.len() {
-                    assert!(margins[cut] <= relative_margin(&ws, cut), "{s} cut {cut}");
+                for (cut, &m) in margins.iter().enumerate().take(ws.len() + 1) {
+                    assert!(m <= relative_margin(&ws, cut), "{s} cut {cut}");
                 }
             }
         }

@@ -90,10 +90,21 @@ impl BlockStore {
     /// signature scheme pins the slot).
     pub fn mint(&mut self, parent: BlockId, slot: usize, issuer: usize, honest: bool) -> BlockId {
         let p = &self.blocks[parent.index()];
-        assert!(slot > p.slot, "child slot {slot} must exceed parent slot {}", p.slot);
+        assert!(
+            slot > p.slot,
+            "child slot {slot} must exceed parent slot {}",
+            p.slot
+        );
         let id = BlockId(self.blocks.len() as u32);
         let height = p.height + 1;
-        self.blocks.push(Block { id, slot, parent: Some(parent), issuer, honest, height });
+        self.blocks.push(Block {
+            id,
+            slot,
+            parent: Some(parent),
+            issuer,
+            honest,
+            height,
+        });
         id
     }
 

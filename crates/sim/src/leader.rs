@@ -74,7 +74,10 @@ impl LeaderSchedule {
         seed: u64,
     ) -> LeaderSchedule {
         assert!(honest_nodes > 0, "need at least one honest node");
-        assert!((0.0..1.0).contains(&adversarial_stake), "adversarial stake in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&adversarial_stake),
+            "adversarial stake in [0, 1)"
+        );
         assert!(
             active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
             "active slot coefficient in (0, 1)"
@@ -114,7 +117,10 @@ impl LeaderSchedule {
     ///
     /// Panics if `slot` is 0 or exceeds the schedule length.
     pub fn leaders(&self, slot: usize) -> &SlotLeaders {
-        assert!(slot >= 1 && slot <= self.slots.len(), "slot {slot} out of range");
+        assert!(
+            slot >= 1 && slot <= self.slots.len(),
+            "slot {slot} out of range"
+        );
         &self.slots[slot - 1]
     }
 
@@ -130,13 +136,25 @@ mod tests {
 
     #[test]
     fn classification() {
-        let s = SlotLeaders { honest: vec![], adversarial: false };
+        let s = SlotLeaders {
+            honest: vec![],
+            adversarial: false,
+        };
         assert_eq!(s.classify(), SemiSymbol::Empty);
-        let s = SlotLeaders { honest: vec![3], adversarial: false };
+        let s = SlotLeaders {
+            honest: vec![3],
+            adversarial: false,
+        };
         assert_eq!(s.classify(), SemiSymbol::UniqueHonest);
-        let s = SlotLeaders { honest: vec![1, 2], adversarial: false };
+        let s = SlotLeaders {
+            honest: vec![1, 2],
+            adversarial: false,
+        };
         assert_eq!(s.classify(), SemiSymbol::MultiHonest);
-        let s = SlotLeaders { honest: vec![1], adversarial: true };
+        let s = SlotLeaders {
+            honest: vec![1],
+            adversarial: true,
+        };
         assert_eq!(s.classify(), SemiSymbol::Adversarial);
     }
 

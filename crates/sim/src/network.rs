@@ -31,7 +31,11 @@ pub struct Network {
 impl Network {
     /// Creates a network with delay bound `delta` over `slots` slots.
     pub fn new(delta: usize, slots: usize) -> Network {
-        Network { delta, slots, queue: vec![Vec::new(); slots] }
+        Network {
+            delta,
+            slots,
+            queue: vec![Vec::new(); slots],
+        }
     }
 
     /// The delay bound `Δ`.

@@ -32,7 +32,12 @@ impl HonestNode {
     pub fn new(index: usize, tie_break: TieBreak) -> HonestNode {
         let mut known = HashSet::new();
         known.insert(BlockId::GENESIS);
-        HonestNode { index, tie_break, known, tip: BlockId::GENESIS }
+        HonestNode {
+            index,
+            tie_break,
+            known,
+            tip: BlockId::GENESIS,
+        }
     }
 
     /// The node's index.
@@ -122,7 +127,11 @@ mod tests {
         let mut store = BlockStore::new();
         let a1 = store.mint(BlockId::GENESIS, 1, 0, true);
         let a2 = store.mint(BlockId::GENESIS, 2, 1, true);
-        let winner = if store.tie_hash(a1) < store.tie_hash(a2) { a1 } else { a2 };
+        let winner = if store.tie_hash(a1) < store.tie_hash(a2) {
+            a1
+        } else {
+            a2
+        };
         for order in [[a1, a2], [a2, a1]] {
             let mut node = HonestNode::new(0, TieBreak::Consistent);
             node.receive(&store, order[0]);

@@ -75,8 +75,9 @@ impl Simulation {
             seed,
         );
         let mut store = BlockStore::new();
-        let mut nodes: Vec<HonestNode> =
-            (0..config.honest_nodes).map(|i| HonestNode::new(i, config.tie_break)).collect();
+        let mut nodes: Vec<HonestNode> = (0..config.honest_nodes)
+            .map(|i| HonestNode::new(i, config.tie_break))
+            .collect();
         let mut network = Network::new(config.delta, config.slots);
         let mut adv = AdversaryState {
             private_tip: BlockId::GENESIS,
@@ -100,13 +101,37 @@ impl Simulation {
             //    its own, and schedules all deliveries for this slot.
             match config.strategy {
                 Strategy::Honest => {
-                    Self::act_honest(&mut store, &mut network, &mut adv, config, slot, &minted, leaders.adversarial);
+                    Self::act_honest(
+                        &mut store,
+                        &mut network,
+                        &mut adv,
+                        config,
+                        slot,
+                        &minted,
+                        leaders.adversarial,
+                    );
                 }
                 Strategy::PrivateWithholding => {
-                    Self::act_withholding(&mut store, &mut network, &mut adv, config, slot, &minted, leaders.adversarial);
+                    Self::act_withholding(
+                        &mut store,
+                        &mut network,
+                        &mut adv,
+                        config,
+                        slot,
+                        &minted,
+                        leaders.adversarial,
+                    );
                 }
                 Strategy::BalanceAttack => {
-                    Self::act_balance(&mut store, &mut network, &mut adv, config, slot, &minted, leaders.adversarial);
+                    Self::act_balance(
+                        &mut store,
+                        &mut network,
+                        &mut adv,
+                        config,
+                        slot,
+                        &minted,
+                        leaders.adversarial,
+                    );
                 }
             }
             // 3. Apply this slot's deliveries in scheduled order,
@@ -145,8 +170,11 @@ impl Simulation {
             .expect("at least one node");
         let chain = store.chain(best_tip);
         let chain_blocks = chain.len() - 1;
-        let honest_chain_blocks =
-            chain.iter().skip(1).filter(|b| store.block(**b).honest).count();
+        let honest_chain_blocks = chain
+            .iter()
+            .skip(1)
+            .filter(|b| store.block(**b).honest)
+            .count();
         let semi = schedule.characteristic_string();
         let metrics = Metrics {
             slots: config.slots,
@@ -156,7 +184,14 @@ impl Simulation {
             honest_chain_blocks,
             max_slot_divergence: max_div,
         };
-        Simulation { config: *config, schedule, store, tips_per_slot, rollbacks, metrics }
+        Simulation {
+            config: *config,
+            schedule,
+            store,
+            tips_per_slot,
+            rollbacks,
+            metrics,
+        }
     }
 
     /// Strategy `Honest`: the adversary's leaders behave like honest ones.
@@ -368,13 +403,16 @@ impl Simulation {
         let concurrent = (slot + k..=self.config.slots).any(|t| {
             let tips = self.tips_at(t);
             tips.iter().enumerate().any(|(i, &a)| {
-                tips[i + 1..].iter().any(|&b| self.store.diverge_prior_to(a, b, slot))
+                tips[i + 1..]
+                    .iter()
+                    .any(|&b| self.store.diverge_prior_to(a, b, slot))
             })
         });
         concurrent
-            || self.rollbacks.iter().any(|&(t, old, new)| {
-                t > slot + k && self.store.diverge_prior_to(old, new, slot)
-            })
+            || self
+                .rollbacks
+                .iter()
+                .any(|&(t, old, new)| t > slot + k && self.store.diverge_prior_to(old, new, slot))
     }
 
     /// Extracts the execution's fork: every minted block becomes a vertex
@@ -397,7 +435,11 @@ impl Simulation {
             let parent = vertex_of[block.parent.expect("non-genesis").index()];
             vertex_of[block.id.index()] = fork.push_vertex(parent, block.slot);
         }
-        ExtractedFork { fork, semi, delta: self.config.delta }
+        ExtractedFork {
+            fork,
+            semi,
+            delta: self.config.delta,
+        }
     }
 }
 
@@ -461,14 +503,21 @@ mod tests {
         // Chain growth ≈ active-slot density (every active slot adds 1).
         let growth = sim.metrics().chain_growth();
         let active = sim.metrics().active_slots as f64 / cfg.slots as f64;
-        assert!((growth - active).abs() < 0.02, "growth {growth} vs active {active}");
+        assert!(
+            (growth - active).abs() < 0.02,
+            "growth {growth} vs active {active}"
+        );
     }
 
     #[test]
     fn extracted_fork_satisfies_axioms() {
         for strategy in Strategy::ALL {
             for delta in [0usize, 2] {
-                let cfg = SimConfig { strategy, delta, ..base_config() };
+                let cfg = SimConfig {
+                    strategy,
+                    delta,
+                    ..base_config()
+                };
                 let sim = Simulation::run(&cfg, 11);
                 let fork = sim.fork();
                 assert_eq!(
@@ -493,10 +542,16 @@ mod tests {
         };
         let sim = Simulation::run(&cfg, 3);
         let quality = sim.metrics().chain_quality();
-        assert!(quality < 0.9, "adversarial blocks displace honest ones: {quality}");
-        let any_violation = (1..=cfg.slots.saturating_sub(5))
-            .any(|s| sim.settlement_violation(s, 3));
-        assert!(any_violation, "a 45% adversary must cause small-k violations");
+        assert!(
+            quality < 0.9,
+            "adversarial blocks displace honest ones: {quality}"
+        );
+        let any_violation =
+            (1..=cfg.slots.saturating_sub(5)).any(|s| sim.settlement_violation(s, 3));
+        assert!(
+            any_violation,
+            "a 45% adversary must cause small-k violations"
+        );
     }
 
     #[test]
@@ -558,7 +613,11 @@ mod tests {
     fn delta_delays_are_respected() {
         // With Δ = 3 and honest-only behaviour, views may lag but the
         // extracted fork still satisfies (F4Δ), and growth stays positive.
-        let cfg = SimConfig { delta: 3, slots: 600, ..base_config() };
+        let cfg = SimConfig {
+            delta: 3,
+            slots: 600,
+            ..base_config()
+        };
         let sim = Simulation::run(&cfg, 23);
         assert!(sim.fork().validate_against_axioms().is_ok());
         assert!(sim.metrics().chain_growth() > 0.0);

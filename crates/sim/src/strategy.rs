@@ -28,8 +28,11 @@ pub enum Strategy {
 
 impl Strategy {
     /// All built-in strategies.
-    pub const ALL: [Strategy; 3] =
-        [Strategy::Honest, Strategy::PrivateWithholding, Strategy::BalanceAttack];
+    pub const ALL: [Strategy; 3] = [
+        Strategy::Honest,
+        Strategy::PrivateWithholding,
+        Strategy::BalanceAttack,
+    ];
 
     /// A short machine-friendly name.
     pub fn name(&self) -> &'static str {

@@ -26,16 +26,22 @@ fn describe(name: &str, fork: &Fork) {
     eprintln!("slot divergence: {}", balanced::slot_divergence(fork));
     if fork.is_closed() {
         let ra = ReachAnalysis::new(fork);
-        eprintln!("ρ(F) = {} (recurrence ρ(w) = {})", ra.rho(), recurrence::rho(fork.string()));
+        eprintln!(
+            "ρ(F) = {} (recurrence ρ(w) = {})",
+            ra.rho(),
+            recurrence::rho(fork.string())
+        );
         eprintln!("µ_ε(F) = {}", ra.margin());
     } else {
         eprintln!("(fork is not closed; reach analysis needs a closed fork)");
     }
 }
 
+type FigureBuilder = fn() -> Fork;
+
 fn main() {
     let which = std::env::args().nth(1);
-    let all: [(&str, fn() -> Fork); 3] = [
+    let all: [(&str, FigureBuilder); 3] = [
         ("figure1", figures::figure1),
         ("figure2", figures::figure2),
         ("figure3", figures::figure3),

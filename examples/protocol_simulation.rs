@@ -37,7 +37,11 @@ fn main() {
     );
     for strategy in Strategy::ALL {
         for delta in [0usize, 3] {
-            let cfg = SimConfig { strategy, delta, ..base };
+            let cfg = SimConfig {
+                strategy,
+                delta,
+                ..base
+            };
             let sim = Simulation::run(&cfg, 1234);
             let fork = sim.fork();
             fork.validate_against_axioms()
@@ -62,7 +66,10 @@ fn main() {
     // Δ=0 execution's reduced characteristic string obeys a Bernoulli
     // condition whose exact DP bounds any real adversary.
     let sim = Simulation::run(
-        &SimConfig { strategy: Strategy::PrivateWithholding, ..base },
+        &SimConfig {
+            strategy: Strategy::PrivateWithholding,
+            ..base
+        },
         99,
     );
     let semi = sim.characteristic_string();

@@ -8,8 +8,8 @@
 //! verifies canonicity (Theorem 6) against the Theorem-5 recurrences, and
 //! prints the margin trace showing exactly which slots stay unsettled.
 
-use multihonest::prelude::*;
 use multihonest::margin::recurrence;
+use multihonest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

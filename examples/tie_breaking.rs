@@ -51,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut total_div = 0usize;
         let mut worst = 0usize;
         for seed in 0..10 {
-            let sim = Simulation::run(&SimConfig { tie_break: tie, ..base }, seed);
+            let sim = Simulation::run(
+                &SimConfig {
+                    tie_break: tie,
+                    ..base
+                },
+                seed,
+            );
             let d = sim.metrics().max_slot_divergence;
             total_div += d;
             worst = worst.max(d);

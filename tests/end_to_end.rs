@@ -4,8 +4,7 @@
 
 use multihonest::margin::recurrence;
 use multihonest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use multihonest_testutil::{invariants, rng, sample_strings};
 
 use multihonest::adversary::game::RandomAdversary;
 use multihonest::fork::generate;
@@ -16,22 +15,13 @@ fn game_forks_never_beat_the_recurrence() {
     // adversary — has definitional margins bounded by Theorem 5's
     // recurrence, at every cut.
     let cond = BernoulliCondition::new(0.2, 0.3).unwrap();
-    let mut rng = StdRng::seed_from_u64(2);
-    let mut adv = RandomAdversary::new(StdRng::seed_from_u64(3));
-    for _ in 0..25 {
-        let w = cond.sample(&mut rng, 25);
+    let mut adv = RandomAdversary::new(rng(3));
+    for w in sample_strings(&cond, 2, 25, 25) {
         let game = SettlementGame::new(w.clone());
         let fork = game.play(&mut adv);
-        assert!(fork.validate().is_ok());
+        invariants::assert_axiom_conformant(&fork);
         let closed = generate::close(&fork);
-        let ra = ReachAnalysis::new(&closed);
-        let margins = ra.relative_margins();
-        for cut in 0..=w.len() {
-            assert!(
-                margins[cut] <= recurrence::relative_margin(&w, cut),
-                "cut {cut} of {w}"
-            );
-        }
+        invariants::assert_margins_dominated(&closed, &w, "settlement game fork");
     }
 }
 
@@ -42,9 +32,7 @@ fn astar_realizes_what_catalan_slots_forbid() {
     // every suffix — so even the OPTIMAL adversary's fork shows no
     // x-balanced configuration past it.
     let cond = BernoulliCondition::new(0.3, 0.5).unwrap();
-    let mut rng = StdRng::seed_from_u64(5);
-    for _ in 0..25 {
-        let w = cond.sample(&mut rng, 40);
+    for w in sample_strings(&cond, 5, 25, 40) {
         let cat = CatalanAnalysis::new(&w);
         let fork = OptimalAdversary::build(&w);
         assert!(is_canonical(&fork));
@@ -67,9 +55,7 @@ fn settled_slots_are_never_violated_in_canonical_forks() {
     // particular not the canonical one — may witness a violation:
     // check via the balanced-fork predicate on A*'s fork.
     let cond = BernoulliCondition::new(0.25, 0.4).unwrap();
-    let mut rng = StdRng::seed_from_u64(8);
-    for _ in 0..15 {
-        let w = cond.sample(&mut rng, 30);
+    for w in sample_strings(&cond, 8, 15, 30) {
         let fork = OptimalAdversary::build(&w);
         for s in 1..=w.len() {
             if recurrence::is_slot_settled(&w, s, 1) {
@@ -88,9 +74,7 @@ fn catalan_settlement_implies_margin_settlement() {
     // Catalan slot inside the window settles the slot; the margin
     // predicate must agree (but may settle more).
     let cond = BernoulliCondition::new(0.15, 0.35).unwrap();
-    let mut rng = StdRng::seed_from_u64(13);
-    for _ in 0..40 {
-        let w = cond.sample(&mut rng, 60);
+    for w in sample_strings(&cond, 13, 40, 60) {
         let cat = CatalanAnalysis::new(&w);
         for s in 1..=w.len() {
             for k in [1usize, 5, 10] {
@@ -114,7 +98,7 @@ fn dominance_transfers_to_adaptive_adversaries() {
     use multihonest::chars::dist::AdaptiveBiasSampler;
     let ceiling = BernoulliCondition::new(0.2, 0.4).unwrap();
     let adaptive = AdaptiveBiasSampler::new(ceiling, 0.6).unwrap();
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = rng(21);
     let trials = 4000;
     let (prefix, k) = (60usize, 8usize);
     let mut hits_adaptive = 0usize;
@@ -140,9 +124,7 @@ fn dominance_transfers_to_adaptive_adversaries() {
 fn cp_violations_respect_theorem8_ordering() {
     // k-CP violation ⇒ k-CP^slot violation on the same fork.
     let cond = BernoulliCondition::new(0.2, 0.3).unwrap();
-    let mut rng = StdRng::seed_from_u64(34);
-    for _ in 0..10 {
-        let w = cond.sample(&mut rng, 20);
+    for w in sample_strings(&cond, 34, 10, 20) {
         let fork = OptimalAdversary::build(&w);
         for k in 0..6 {
             if multihonest::fork::balanced::violates_k_cp(&fork, k) {

@@ -64,8 +64,9 @@ proptest! {
         let ra = ReachAnalysis::new(&fork);
         prop_assert!(ra.rho() <= recurrence::rho(&w));
         let margins = ra.relative_margins();
-        for cut in 0..=w.len() {
-            prop_assert!(margins[cut] <= recurrence::relative_margin(&w, cut));
+        prop_assert_eq!(margins.len(), w.len() + 1);
+        for (cut, &margin) in margins.iter().enumerate() {
+            prop_assert!(margin <= recurrence::relative_margin(&w, cut));
         }
     }
 

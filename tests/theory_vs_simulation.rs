@@ -5,17 +5,10 @@
 use multihonest::fork::generate;
 use multihonest::margin::recurrence;
 use multihonest::prelude::*;
+use multihonest_testutil::{invariants, presets};
 
 fn base_config() -> SimConfig {
-    SimConfig {
-        honest_nodes: 8,
-        adversarial_stake: 0.35,
-        active_slot_coeff: 0.3,
-        delta: 0,
-        slots: 500,
-        tie_break: TieBreak::AdversarialOrder,
-        strategy: Strategy::PrivateWithholding,
-    }
+    presets::base_sim()
 }
 
 #[test]
@@ -23,7 +16,11 @@ fn every_strategy_produces_axiom_conforming_executions() {
     for strategy in Strategy::ALL {
         for delta in [0usize, 1, 4] {
             for seed in 0..3 {
-                let cfg = SimConfig { strategy, delta, ..base_config() };
+                let cfg = SimConfig {
+                    strategy,
+                    delta,
+                    ..base_config()
+                };
                 let sim = Simulation::run(&cfg, seed);
                 let fork = sim.fork();
                 assert_eq!(
@@ -41,19 +38,17 @@ fn simulated_adversaries_never_beat_the_recurrence_margins() {
     // The executed fork (closed) has definitional relative margins below
     // the Theorem-5 optimum at every cut, on the Δ-reduced string.
     for strategy in Strategy::ALL {
-        let cfg = SimConfig { strategy, slots: 200, ..base_config() };
+        let cfg = SimConfig {
+            strategy,
+            slots: 200,
+            ..base_config()
+        };
         let sim = Simulation::run(&cfg, 7);
         let fork = sim.fork().fork().clone();
+        invariants::assert_axiom_conformant(&fork);
         let closed = generate::close(&fork);
-        let ra = ReachAnalysis::new(&closed);
-        let margins = ra.relative_margins();
-        let w = closed.string();
-        for cut in 0..=w.len() {
-            assert!(
-                margins[cut] <= recurrence::relative_margin(w, cut),
-                "strategy {strategy}, cut {cut}"
-            );
-        }
+        let w = closed.string().clone();
+        invariants::assert_margins_dominated(&closed, &w, &format!("strategy {strategy}"));
     }
 }
 
@@ -65,7 +60,7 @@ fn observed_settlement_violations_are_margin_certified() {
     // some horizon ≥ the number of *active* slots in the window.
     let mut checked = 0;
     for seed in 0..10u64 {
-        let cfg = SimConfig { slots: 800, adversarial_stake: 0.45, ..base_config() };
+        let cfg = presets::high_stake_sim();
         let sim = Simulation::run(&cfg, seed);
         let semi = sim.characteristic_string();
         let reduced = Reduction::new(0).apply(&semi);
@@ -94,7 +89,10 @@ fn observed_settlement_violations_are_margin_certified() {
     }
     // The 45%-stake withholding adversary must produce at least one
     // violation across the attempted seeds for the test to be meaningful.
-    assert!(checked > 0, "expected some observed violations at 45% stake");
+    assert!(
+        checked > 0,
+        "expected some observed violations at 45% stake"
+    );
 }
 
 #[test]
@@ -109,7 +107,9 @@ fn violation_frequency_tracks_adversarial_stake() {
                 ..base_config()
             };
             let sim = Simulation::run(&cfg, seed);
-            total += (1..=560).filter(|&s| sim.settlement_violation(s, 15)).count();
+            total += (1..=560)
+                .filter(|&s| sim.settlement_violation(s, 15))
+                .count();
         }
         total
     };
@@ -125,12 +125,7 @@ fn violation_frequency_tracks_adversarial_stake() {
 fn honest_executions_match_chain_growth_theory() {
     // With no adversary interference, growth equals the active-slot
     // density and quality is 1.
-    let cfg = SimConfig {
-        adversarial_stake: 0.0,
-        strategy: Strategy::Honest,
-        slots: 2_000,
-        ..base_config()
-    };
+    let cfg = presets::honest_sim();
     let sim = Simulation::run(&cfg, 3);
     let m = sim.metrics();
     assert!((m.chain_quality() - 1.0).abs() < 1e-12);
@@ -146,9 +141,15 @@ fn delta_degrades_consistency_monotonically() {
     let run = |delta: usize| -> usize {
         (0..5)
             .map(|seed| {
-                let cfg = SimConfig { delta, slots: 500, ..base_config() };
+                let cfg = SimConfig {
+                    delta,
+                    slots: 500,
+                    ..base_config()
+                };
                 let sim = Simulation::run(&cfg, seed);
-                (1..=460).filter(|&s| sim.settlement_violation(s, 12)).count()
+                (1..=460)
+                    .filter(|&s| sim.settlement_violation(s, 12))
+                    .count()
             })
             .sum()
     };

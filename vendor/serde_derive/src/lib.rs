@@ -1,0 +1,98 @@
+//! Offline vendored `#[derive(Serialize)]`.
+//!
+//! Written directly against the compiler's `proc_macro` API because `syn`,
+//! `quote`, and `proc-macro2` are unavailable offline. Supports the shapes
+//! the workspace actually derives on: non-generic structs with named fields
+//! (plus unit structs), which covers every experiment-row struct in
+//! `multihonest-bench`. Anything fancier fails loudly at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => panic!("#[derive(Serialize)] (vendored stub): {msg}"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Locate `struct <Name>`.
+    let struct_kw = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "struct"))
+        .ok_or("only structs are supported")?;
+    let name = match tokens.get(struct_kw + 1) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("missing struct name".to_string()),
+    };
+    if matches!(tokens.get(struct_kw + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic struct `{name}` is not supported"));
+    }
+
+    // Unit struct: `struct Name;`
+    let body = tokens[struct_kw + 2..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    let fields = match body {
+        Some(stream) => named_fields(stream)?,
+        None => Vec::new(),
+    };
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{\n\
+         \t\t::serde::Value::Object(::std::vec![{entries}])\n\
+         \t}}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the token stream inside a struct's braces:
+/// comma-separated `(#[attr])* (pub (..)?)? name : Type` items.
+fn named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !current.is_empty() {
+                    fields.push(field_name(&current)?);
+                    current.clear();
+                }
+            }
+            _ => current.push(tok),
+        }
+    }
+    if !current.is_empty() {
+        fields.push(field_name(&current)?);
+    }
+    Ok(fields)
+}
+
+/// The field name is the ident immediately before the first top-level `:`
+/// (skips doc-comment attributes and visibility tokens preceding it).
+fn field_name(tokens: &[TokenTree]) -> Result<String, String> {
+    let colon = tokens
+        .iter()
+        .position(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':'))
+        .ok_or("tuple structs are not supported")?;
+    match tokens.get(colon.wrapping_sub(1)) {
+        Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+        _ => Err("could not find field name".to_string()),
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline vendored stand-in for `serde_json`: renders the vendored
+//! `serde::Value` tree as JSON text. Only the entry points used by the
+//! workspace binaries (`to_string`, `to_string_pretty`) are provided.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error. The vendored pipeline is infallible, so this type is
+/// uninhabited in practice; it exists to keep call-site signatures
+/// (`.expect("serializable")`) identical to upstream.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Shortest-roundtrip Display is valid JSON for finite floats;
+                // extreme magnitudes switch to exponent form (also valid
+                // JSON) to stay readable. NaN/Inf serialize as null.
+                let abs = x.abs();
+                if abs != 0.0 && !(1e-5..1e17).contains(&abs) {
+                    out.push_str(&format!("{x:e}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => render_seq(
+            items.iter().map(|v| (None::<&str>, v)),
+            indent,
+            depth,
+            '[',
+            ']',
+            out,
+        ),
+        Value::Object(entries) => render_seq(
+            entries.iter().map(|(k, v)| (Some(k.as_str()), v)),
+            indent,
+            depth,
+            '{',
+            '}',
+            out,
+        ),
+    }
+}
+
+fn render_seq<'a, I>(
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    out: &mut String,
+) where
+    I: Iterator<Item = (Option<&'a str>, &'a Value)>,
+{
+    out.push(open);
+    let mut first = true;
+    for (key, v) in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        if let Some(k) = key {
+            escape_into(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+        }
+        render(v, indent, depth + 1, out);
+    }
+    if !first {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_pretty_object() {
+        let v = serde::Value::Object(vec![
+            ("k".to_string(), serde::Value::UInt(100)),
+            ("p".to_string(), serde::Value::Float(0.25)),
+        ]);
+        let text = super::to_string_pretty(&Holder(v)).unwrap();
+        assert_eq!(text, "{\n  \"k\": 100,\n  \"p\": 0.25\n}");
+    }
+
+    struct Holder(serde::Value);
+
+    impl serde::Serialize for Holder {
+        fn to_value(&self) -> serde::Value {
+            self.0.clone()
+        }
+    }
+}
