@@ -96,38 +96,74 @@ impl MonteCarlo {
         self.cond
     }
 
+    /// Trials per work block. Each block derives its RNG from the block
+    /// index alone, so the estimate is a pure function of `(seed, trials)`
+    /// — identical for every thread count — while threads steal blocks
+    /// from a shared counter for load balance.
+    const BLOCK: u64 = 1024;
+
+    /// The RNG seed of work block `b` — independent of which worker runs
+    /// it (SplitMix64-style odd multiplier to decorrelate nearby blocks).
+    fn block_seed(&self, b: u64) -> u64 {
+        self.seed ^ (b.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
     /// Runs `predicate` on `trials` sampled strings of length `len` and
     /// counts hits. The predicate must be deterministic.
+    ///
+    /// The result is **seed-stable across thread counts**: trials are
+    /// partitioned into fixed-size blocks seeded by block index (not by
+    /// worker), workers claim blocks through an atomic counter, and hit
+    /// counts are summed (a commutative integer reduction), so
+    /// `with_threads(1)` and `with_threads(n)` return identical estimates.
     pub fn estimate<F>(&self, len: usize, predicate: F) -> Estimate
     where
         F: Fn(&multihonest_chars::CharString) -> bool + Sync,
     {
-        let per = self.trials / self.threads as u64;
-        let extra = self.trials % self.threads as u64;
+        use std::sync::atomic::{AtomicU64, Ordering};
         let cond = self.cond;
-        let mut hits = 0u64;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for t in 0..self.threads {
-                let quota = per + u64::from((t as u64) < extra);
-                let seed = self.seed.wrapping_add(t as u64 + 1);
-                let predicate = &predicate;
-                handles.push(scope.spawn(move || {
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    let mut local = 0u64;
-                    for _ in 0..quota {
-                        let w = cond.sample(&mut rng, len);
-                        if predicate(&w) {
-                            local += 1;
+        let blocks = self.trials.div_ceil(Self::BLOCK);
+        let workers = (self.threads as u64).min(blocks.max(1)) as usize;
+        let run_block = |b: u64| -> u64 {
+            let quota = Self::BLOCK.min(self.trials - b * Self::BLOCK);
+            let mut rng = StdRng::seed_from_u64(self.block_seed(b));
+            let mut local = 0u64;
+            for _ in 0..quota {
+                let w = cond.sample(&mut rng, len);
+                if predicate(&w) {
+                    local += 1;
+                }
+            }
+            local
+        };
+        let hits = if workers <= 1 {
+            (0..blocks).map(run_block).sum()
+        } else {
+            let counter = AtomicU64::new(0);
+            let mut hits = 0u64;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    let counter = &counter;
+                    let run_block = &run_block;
+                    handles.push(scope.spawn(move || {
+                        let mut local = 0u64;
+                        loop {
+                            let b = counter.fetch_add(1, Ordering::Relaxed);
+                            if b >= blocks {
+                                break;
+                            }
+                            local += run_block(b);
                         }
-                    }
-                    local
-                }));
-            }
-            for h in handles {
-                hits += h.join().expect("worker panicked");
-            }
-        });
+                        local
+                    }));
+                }
+                for h in handles {
+                    hits += h.join().expect("worker panicked");
+                }
+            });
+            hits
+        };
         Estimate {
             hits,
             trials: self.trials,
@@ -214,6 +250,28 @@ mod tests {
         let a = mc.settlement_violation(20, 8);
         let b = mc.settlement_violation(20, 8);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_is_stable_across_thread_counts() {
+        // Block-indexed seeding: the estimate is a pure function of
+        // (seed, trials), whatever the parallelism — including trial
+        // counts that don't divide evenly into blocks.
+        let cond = BernoulliCondition::new(0.3, 0.4).unwrap();
+        for trials in [1_000u64, 2_048, 5_000] {
+            let single = MonteCarlo::new(cond, trials, 7)
+                .with_threads(1)
+                .settlement_violation(20, 8);
+            for threads in [2usize, 3, 8] {
+                let multi = MonteCarlo::new(cond, trials, 7)
+                    .with_threads(threads)
+                    .settlement_violation(20, 8);
+                assert_eq!(
+                    single, multi,
+                    "thread count changed the estimate ({trials} trials, {threads} threads)"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,10 @@
-//! E1 timing: one exact-DP cell of Table 1 at several horizons.
+//! E1 timing: the banded exact-DP kernel on Table-1 workloads — single
+//! cells, a shared multi-checkpoint pass (one Table-1 column), and the
+//! fused-absorption cumulative-horizon variant.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use multihonest::margin::ExactSettlement;
-use multihonest_bench::table1_condition;
+use multihonest_bench::{table1_condition, TABLE1_KS};
 
 fn bench_table1_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_cell");
@@ -16,5 +18,50 @@ fn bench_table1_cell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_table1_cell);
+fn bench_table1_column(c: &mut Criterion) {
+    // One (α, ratio) pair at the full published k set — the unit of work
+    // the parallel grid fans out, and the checkpoint-only accounting's
+    // best case (5 sweeps across a 500-step pass).
+    let mut group = c.benchmark_group("table1_column");
+    group.sample_size(10);
+    for (alpha, ratio) in [(0.30, 0.8), (0.10, 1.0)] {
+        group.bench_with_input(
+            BenchmarkId::new("k100_to_500", format!("alpha_{alpha}_ratio_{ratio}")),
+            &(alpha, ratio),
+            |b, &(alpha, ratio)| {
+                let exact = ExactSettlement::new(table1_condition(alpha, ratio));
+                b.iter(|| exact.violation_probabilities(std::hint::black_box(&TABLE1_KS)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_violation_by_horizon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("violation_by_horizon");
+    group.sample_size(10);
+    for (k, horizon) in [(50usize, 150usize), (100, 300)] {
+        group.bench_with_input(
+            BenchmarkId::new("alpha_0.30_ratio_0.8", format!("{k}_{horizon}")),
+            &(k, horizon),
+            |b, &(k, horizon)| {
+                let exact = ExactSettlement::new(table1_condition(0.30, 0.8));
+                b.iter(|| {
+                    exact.violation_by_horizon(
+                        std::hint::black_box(k),
+                        std::hint::black_box(horizon),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table1_cell,
+    bench_table1_column,
+    bench_violation_by_horizon
+);
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Sections: `bound-vs-exact`, `tiebreak`, `delta-sync`, `thresholds`,
-//! `catalan-tails`.
+//! `catalan-tails`. `--threads N` bounds the worker fan-out of the
+//! DP-heavy sections (default: all cores).
 
 use multihonest_bench as bench;
 
@@ -16,11 +17,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let threads = bench::cli::flag_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(bench::default_threads);
+    let wanted = bench::cli::positionals(&args, &["--threads"]);
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);
 
     if run("bound-vs-exact") {
@@ -29,7 +29,7 @@ fn main() {
         } else {
             vec![50, 100, 200, 400]
         };
-        let rows = bench::bound_vs_exact(&ks);
+        let rows = bench::bound_vs_exact_threads(&ks, threads);
         if json {
             println!(
                 "{}",
@@ -97,7 +97,7 @@ fn main() {
 
     if run("thresholds") {
         let k = if quick { 50 } else { 100 };
-        let rows = bench::threshold_experiment(k);
+        let rows = bench::threshold_experiment_threads(k, threads);
         if json {
             println!(
                 "{}",

@@ -1,20 +1,41 @@
 //! Regenerates paper Table 1 (experiment E1).
 //!
 //! ```bash
-//! # quick subset (seconds):
+//! # quick subset (well under a second):
 //! cargo run -p multihonest-bench --release --bin table1 -- --quick
-//! # the full published grid (minutes):
+//! # the full published grid (a few seconds with the banded kernel):
 //! cargo run -p multihonest-bench --release --bin table1
 //! # machine-readable output:
 //! cargo run -p multihonest-bench --release --bin table1 -- --quick --json
+//! # timing baseline for the perf trajectory (writes BENCH_margin.json):
+//! cargo run -p multihonest-bench --release --bin table1 -- bench-report
+//! cargo run -p multihonest-bench --release --bin table1 -- bench-report --quick --out /tmp/b.json
+//! # worker threads for the (α, ratio) fan-out (default: all cores):
+//! cargo run -p multihonest-bench --release --bin table1 -- --threads 4
 //! ```
 
-use multihonest_bench::{generate_table1, render_table1, TABLE1_ALPHAS, TABLE1_KS, TABLE1_RATIOS};
+use multihonest_bench::cli::flag_value;
+use multihonest_bench::{
+    bench_report, default_threads, generate_table1_threads, render_table1, TABLE1_ALPHAS,
+    TABLE1_KS, TABLE1_RATIOS,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let report_mode = args.iter().any(|a| a == "bench-report");
+    let threads = flag_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a positive integer"))
+        .unwrap_or_else(default_threads);
+    // Quick-grid reports default to a separate file: BENCH_margin.json is
+    // the committed full-grid baseline and must not be silently clobbered
+    // with incomparable quick-grid numbers.
+    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+        "BENCH_margin_quick.json"
+    } else {
+        "BENCH_margin.json"
+    });
 
     let (alphas, ratios, ks): (Vec<f64>, Vec<f64>, Vec<usize>) = if quick {
         (vec![0.10, 0.30, 0.40], vec![1.0, 0.5], vec![100, 200])
@@ -26,8 +47,23 @@ fn main() {
         )
     };
 
+    if report_mode {
+        let (cells, report) = bench_report(&alphas, &ratios, &ks, threads);
+        let payload = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(out_path, format!("{payload}\n")).expect("write bench report");
+        eprintln!(
+            "bench-report: {} cells in {:.2}s ({:.1} cells/s, {} threads) -> {}",
+            cells.len(),
+            report.total_seconds,
+            report.cells_per_second,
+            report.threads,
+            out_path
+        );
+        return;
+    }
+
     let start = std::time::Instant::now();
-    let cells = generate_table1(&alphas, &ratios, &ks);
+    let cells = generate_table1_threads(&alphas, &ratios, &ks, threads);
     let elapsed = start.elapsed();
 
     if json {
@@ -38,7 +74,7 @@ fn main() {
     } else {
         print!("{}", render_table1(&cells, &alphas, &ratios, &ks));
         eprintln!(
-            "\n{} cells in {:.1?} (exact O(k³) DP per (α, ratio) pair)",
+            "\n{} cells in {:.1?} (banded exact DP per (α, ratio) pair, {threads} thread(s))",
             cells.len(),
             elapsed
         );

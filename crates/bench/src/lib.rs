@@ -37,26 +37,116 @@ pub fn table1_condition(alpha: f64, ratio: f64) -> BernoulliCondition {
     BernoulliCondition::from_alpha_ratio(alpha, ratio).expect("table parameters are valid")
 }
 
-/// Regenerates Table 1 (experiment E1) for the given parameter subsets,
-/// sharing one DP pass per `(α, ratio)` pair. The full published grid
-/// takes a couple of minutes; pass smaller `ks` for a quick look.
-pub fn generate_table1(alphas: &[f64], ratios: &[f64], ks: &[usize]) -> Vec<Table1Cell> {
-    let mut cells = Vec::new();
-    for &ratio in ratios {
-        for &alpha in alphas {
-            let exact = ExactSettlement::new(table1_condition(alpha, ratio));
-            let ps = exact.violation_probabilities(ks);
-            for (&k, &probability) in ks.iter().zip(&ps) {
-                cells.push(Table1Cell {
-                    alpha,
-                    ratio,
-                    k,
-                    probability,
-                });
+/// The default worker count for the parallel experiment grids: all
+/// available hardware parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs jobs `0..n` on up to `threads` scoped workers pulling from a
+/// shared atomic counter, and returns the results **in job order** —
+/// deterministic output whatever the parallelism. Used by every
+/// experiment-grid fan-out below (the repo is offline, so no rayon;
+/// `std::thread::scope` carries the borrow of `f`).
+fn run_jobs<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let counter = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads {
+            let counter = &counter;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    out.push((i, f(i)));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                slots[i] = Some(v);
             }
         }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job ran"))
+        .collect()
+}
+
+/// Regenerates Table 1 (experiment E1) for the given parameter subsets,
+/// sharing one banded DP pass per `(α, ratio)` pair, with pairs fanned
+/// out across [`default_threads`] workers. Pass smaller `ks` for a quick
+/// look.
+pub fn generate_table1(alphas: &[f64], ratios: &[f64], ks: &[usize]) -> Vec<Table1Cell> {
+    generate_table1_threads(alphas, ratios, ks, default_threads())
+}
+
+/// [`generate_table1`] with an explicit worker count (the `--threads`
+/// knob of the `table1` binary). Cell order is identical for every
+/// thread count.
+pub fn generate_table1_threads(
+    alphas: &[f64],
+    ratios: &[f64],
+    ks: &[usize],
+    threads: usize,
+) -> Vec<Table1Cell> {
+    table1_grid_timed(alphas, ratios, ks, threads).0
+}
+
+/// The parallel Table-1 grid plus per-`(α, ratio)`-pair wall-clock
+/// seconds (job order: ratio-major, matching the cell order).
+fn table1_grid_timed(
+    alphas: &[f64],
+    ratios: &[f64],
+    ks: &[usize],
+    threads: usize,
+) -> (Vec<Table1Cell>, Vec<f64>) {
+    let pairs: Vec<(f64, f64)> = ratios
+        .iter()
+        .flat_map(|&ratio| alphas.iter().map(move |&alpha| (alpha, ratio)))
+        .collect();
+    let per_pair = run_jobs(pairs.len(), threads, |i| {
+        let (alpha, ratio) = pairs[i];
+        let start = std::time::Instant::now();
+        let exact = ExactSettlement::new(table1_condition(alpha, ratio));
+        let ps = exact.violation_probabilities(ks);
+        let cells: Vec<Table1Cell> = ks
+            .iter()
+            .zip(&ps)
+            .map(|(&k, &probability)| Table1Cell {
+                alpha,
+                ratio,
+                k,
+                probability,
+            })
+            .collect();
+        (cells, start.elapsed().as_secs_f64())
+    });
+    let mut cells = Vec::with_capacity(pairs.len() * ks.len());
+    let mut seconds = Vec::with_capacity(pairs.len());
+    for (pair_cells, secs) in per_pair {
+        cells.extend(pair_cells);
+        seconds.push(secs);
     }
-    cells
+    (cells, seconds)
 }
 
 /// Formats cells in the paper's layout: one block per ratio, rows = k,
@@ -107,26 +197,37 @@ pub struct BoundVsExactRow {
     pub theorem1: f64,
 }
 
-/// Runs experiment E6 over a small grid.
+/// Runs experiment E6 over a small grid, one scoped worker per
+/// `(ε, p_h)` point (see [`bound_vs_exact_threads`]).
 pub fn bound_vs_exact(ks: &[usize]) -> Vec<BoundVsExactRow> {
-    let mut rows = Vec::new();
-    for (epsilon, p_h) in [(0.2, 0.4), (0.3, 0.3), (0.4, 0.6), (0.1, 0.2)] {
+    bound_vs_exact_threads(ks, default_threads())
+}
+
+/// [`bound_vs_exact`] with an explicit worker count; row order is
+/// identical for every thread count.
+pub fn bound_vs_exact_threads(ks: &[usize], threads: usize) -> Vec<BoundVsExactRow> {
+    let points = [(0.2, 0.4), (0.3, 0.3), (0.4, 0.6), (0.1, 0.2)];
+    run_jobs(points.len(), threads, |i| {
+        let (epsilon, p_h) = points[i];
         let cond = BernoulliCondition::new(epsilon, p_h).expect("valid");
         let exact = ExactSettlement::new(cond);
         let ps = exact.violation_probabilities(ks);
         let b1 = Bound1::new(epsilon, p_h).expect("valid");
-        for (&k, &e) in ks.iter().zip(&ps) {
-            rows.push(BoundVsExactRow {
+        ks.iter()
+            .zip(&ps)
+            .map(|(&k, &e)| BoundVsExactRow {
                 epsilon,
                 p_h,
                 k,
                 exact: e,
                 bound1_series: b1.tail_exact(k),
                 theorem1: b1.tail(k),
-            });
-        }
-    }
-    rows
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// E7: the consistent tie-breaking regime (`p_h = 0`).
@@ -261,17 +362,23 @@ pub struct ThresholdRow {
     pub k: usize,
 }
 
-/// Runs experiment E9 across a stake grid with fixed `p_A`.
+/// Runs experiment E9 across a stake grid with fixed `p_A`, one scoped
+/// worker per stake split (see [`threshold_experiment_threads`]).
 pub fn threshold_experiment(k: usize) -> Vec<ThresholdRow> {
-    let mut rows = Vec::new();
+    threshold_experiment_threads(k, default_threads())
+}
+
+/// [`threshold_experiment`] with an explicit worker count; row order is
+/// identical for every thread count.
+pub fn threshold_experiment_threads(k: usize, threads: usize) -> Vec<ThresholdRow> {
     let p_a = 0.40;
-    for split in 0..=5 {
+    run_jobs(6, threads, |split| {
         let p_h = (1.0 - p_a) * split as f64 / 5.0;
         let p_hh = 1.0 - p_a - p_h;
         let cond = BernoulliCondition::from_probabilities(p_h, p_hh, p_a).expect("valid");
         let a = multihonest::analytic::baselines::classify(&cond);
         let exact = ExactSettlement::new(cond).violation_probability(k);
-        rows.push(ThresholdRow {
+        ThresholdRow {
             p_h,
             p_hh,
             p_a,
@@ -280,9 +387,8 @@ pub fn threshold_experiment(k: usize) -> Vec<ThresholdRow> {
             snow_white: a.sleepy_snow_white,
             exact_at_k: exact,
             k,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// E10: Catalan-slot tail events, Monte Carlo vs the series tails.
@@ -329,6 +435,113 @@ pub fn catalan_tail_experiment(trials: u64) -> Vec<CatalanTailRow> {
     rows
 }
 
+/// Minimal CLI parsing shared by the `table1` and `experiments` binaries
+/// (bare `std::env::args` handling; no argument-parser crate offline).
+pub mod cli {
+    /// The value following `--flag`, if present.
+    pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Positional (non-`--`) arguments, excluding the values consumed by
+    /// the listed value-taking flags.
+    pub fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a str> {
+        args.iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && !i
+                        .checked_sub(1)
+                        .map(|p| value_flags.contains(&args[p].as_str()))
+                        .unwrap_or(false)
+            })
+            .map(|(_, a)| a.as_str())
+            .collect()
+    }
+}
+
+/// A machine-readable timing record of one Table-1 grid regeneration —
+/// the repo's margin-DP perf trajectory (`BENCH_margin.json`). Every PR
+/// that touches the kernel can diff a fresh run against the committed
+/// baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// What was timed.
+    pub name: String,
+    /// Worker threads used for the `(α, ratio)` fan-out.
+    pub threads: usize,
+    /// Grid: α columns.
+    pub alphas: Vec<f64>,
+    /// Grid: `Pr[h]/(1 − α)` rows.
+    pub ratios: Vec<f64>,
+    /// Grid: settlement horizons.
+    pub ks: Vec<usize>,
+    /// Number of cells produced (`alphas × ratios × ks`).
+    pub cells: usize,
+    /// End-to-end wall-clock seconds for the whole grid.
+    pub total_seconds: f64,
+    /// Cells per wall-clock second.
+    pub cells_per_second: f64,
+    /// Fastest single `(α, ratio)` DP pass, seconds.
+    pub pair_seconds_min: f64,
+    /// Median `(α, ratio)` DP pass, seconds.
+    pub pair_seconds_median: f64,
+    /// Mean `(α, ratio)` DP pass, seconds.
+    pub pair_seconds_mean: f64,
+    /// Slowest single `(α, ratio)` DP pass, seconds.
+    pub pair_seconds_max: f64,
+    /// Sum of all cell probabilities — a cheap cross-run equivalence
+    /// fingerprint of the kernel's numerical output.
+    pub probability_checksum: f64,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time_seconds: u64,
+}
+
+/// Times a Table-1 grid regeneration and returns the cells plus the
+/// [`BenchReport`] describing the run (the `bench-report` mode of the
+/// `table1` binary).
+pub fn bench_report(
+    alphas: &[f64],
+    ratios: &[f64],
+    ks: &[usize],
+    threads: usize,
+) -> (Vec<Table1Cell>, BenchReport) {
+    let start = std::time::Instant::now();
+    let (cells, mut pair_seconds) = table1_grid_timed(alphas, ratios, ks, threads);
+    let total_seconds = start.elapsed().as_secs_f64();
+    pair_seconds.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let pairs = pair_seconds.len().max(1) as f64;
+    let report = BenchReport {
+        schema: "multihonest-bench-margin/v1".to_string(),
+        name: "table1_grid".to_string(),
+        threads,
+        alphas: alphas.to_vec(),
+        ratios: ratios.to_vec(),
+        ks: ks.to_vec(),
+        cells: cells.len(),
+        total_seconds,
+        cells_per_second: cells.len() as f64 / total_seconds.max(f64::MIN_POSITIVE),
+        pair_seconds_min: pair_seconds.first().copied().unwrap_or(0.0),
+        pair_seconds_median: pair_seconds
+            .get(pair_seconds.len() / 2)
+            .copied()
+            .unwrap_or(0.0),
+        pair_seconds_mean: pair_seconds.iter().sum::<f64>() / pairs,
+        pair_seconds_max: pair_seconds.last().copied().unwrap_or(0.0),
+        probability_checksum: cells.iter().map(|c| c.probability).sum(),
+        unix_time_seconds: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    };
+    (cells, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +565,43 @@ mod tests {
                 .unwrap();
             assert!(p100.probability < p50.probability);
         }
+    }
+
+    #[test]
+    fn grid_output_is_thread_count_invariant() {
+        // Same cells in the same order, bitwise, for any worker count.
+        let (alphas, ratios, ks) = (&[0.2, 0.4][..], &[1.0, 0.5][..], &[30usize, 60][..]);
+        let single = generate_table1_threads(alphas, ratios, ks, 1);
+        for threads in [2usize, 3, 8] {
+            let multi = generate_table1_threads(alphas, ratios, ks, threads);
+            assert_eq!(single.len(), multi.len());
+            for (a, b) in single.iter().zip(&multi) {
+                assert_eq!((a.alpha, a.ratio, a.k), (b.alpha, b.ratio, b.k));
+                assert_eq!(a.probability, b.probability, "{threads} threads");
+            }
+        }
+        let rows1 = threshold_experiment_threads(40, 1);
+        let rows4 = threshold_experiment_threads(40, 4);
+        for (a, b) in rows1.iter().zip(&rows4) {
+            assert_eq!(a.exact_at_k, b.exact_at_k);
+        }
+    }
+
+    #[test]
+    fn bench_report_is_well_formed() {
+        let (cells, report) = bench_report(&[0.3], &[1.0], &[40, 80], 2);
+        assert_eq!(report.cells, cells.len());
+        assert_eq!(report.cells, 2);
+        assert!(report.total_seconds > 0.0);
+        assert!(report.pair_seconds_min <= report.pair_seconds_max);
+        assert!(
+            (report.probability_checksum - cells.iter().map(|c| c.probability).sum::<f64>()).abs()
+                < 1e-15
+        );
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        assert!(json.contains("\"schema\""));
+        assert!(json.contains("multihonest-bench-margin/v1"));
+        assert!(json.contains("\"total_seconds\""));
     }
 
     #[test]

@@ -27,6 +27,34 @@
 //!
 //! Both arguments rely on `|ρ' − ρ| ≤ 1` and `|µ' − µ| ≤ 1` per step, which
 //! Theorem 5's recurrence guarantees.
+//!
+//! ## Banded double-buffer kernel
+//!
+//! Within the truncated rectangle the occupied set is much smaller than
+//! `O(k²)` for most of the run, and the kernel exploits that:
+//!
+//! * **Live band bounds.** All mass starts on the diagonal `µ = ρ` and
+//!   spreads by at most one cell per step in each coordinate, and the
+//!   skew `d = ρ − µ` also grows by at most one per step. The lattice
+//!   tracks the tight rectangle `(r_lo..=r_hi) × (m_lo..=m_hi)` plus the
+//!   skew bound `d_max` of the *observed* non-zero cells and iterates only
+//!   `m ∈ [max(floor, m_lo, r − d_max), min(r, cap, m_hi)]` per row. The
+//!   bounds are re-tightened from the cells actually seen each step, so
+//!   regions whose mass underflows to exact zero (e.g. the geometric reach
+//!   tail for small `α`) are never touched again. This is lossless: a cell
+//!   outside the grown band provably holds zero mass.
+//! * **Ping-pong buffers.** `step` scatters into a pre-allocated second
+//!   buffer (zeroing only the writable band) and swaps — no heap
+//!   allocation after construction.
+//! * **Checkpoint-only accounting.** The `Pr[µ ≥ 0]` Kahan sweep runs only
+//!   at requested checkpoints; `violation_by_horizon` instead fuses the
+//!   absorption of violating mass into the step itself (an incremental
+//!   accumulator), so no per-step full sweep remains anywhere.
+//!
+//! Per source cell the kernel performs the same floating-point additions
+//! in the same order as the straightforward full-rectangle scan, so its
+//! output is bit-for-bit identical to the reference kernel (kept under
+//! `#[cfg(test)]` and compared exhaustively).
 
 use multihonest_chars::BernoulliCondition;
 
@@ -54,6 +82,12 @@ pub struct ExactSettlement {
 
 /// The joint law of `(ρ, µ)` over the truncated lattice, plus absorbed
 /// mass buckets.
+///
+/// Invariant: every cell holding non-zero mass lies inside the live band
+/// `r ∈ r_lo..=r_hi`, `m ∈ m_lo..=m_hi`, `r − m ≤ d_max` (on top of the
+/// structural `0 ≤ r ≤ cap`, `floor ≤ m ≤ min(r, cap)`). Cells outside the
+/// band may hold stale values from two steps ago and must never be read;
+/// all sweeps below are band-restricted.
 #[derive(Debug, Clone)]
 struct Lattice {
     /// Horizon this lattice was sized for.
@@ -62,9 +96,25 @@ struct Lattice {
     floor: i64,
     /// `mass[idx(r, m)]`, `r ∈ 0..=cap`, `m ∈ floor..=cap`, `m ≤ r`.
     mass: Vec<f64>,
+    /// Ping-pong partner of `mass`; holds the previous step outside the
+    /// current band.
+    next: Vec<f64>,
     /// Mass absorbed at "margin ≥ cap forever" (always a violation).
     always: f64,
+    /// Mass retired below the dynamic dead floor: cells whose margin can
+    /// no longer return to `0` within the remaining steps of the run.
+    /// Never read by any violation statistic (its margin is negative at
+    /// every remaining checkpoint); kept only so total mass is conserved.
+    dead: f64,
     width: usize,
+    /// Live band: lowest/highest occupied reach row (empty if `r_lo > r_hi`).
+    r_lo: i64,
+    r_hi: i64,
+    /// Live band: lowest/highest occupied margin column.
+    m_lo: i64,
+    m_hi: i64,
+    /// Largest observed skew `r − m` over occupied cells.
+    d_max: i64,
 }
 
 impl Lattice {
@@ -72,12 +122,20 @@ impl Lattice {
         let cap = k as i64 + 2;
         let floor = -(k as i64 + 1);
         let width = (cap - floor + 1) as usize;
+        let cells = (cap as usize + 1) * width;
         Lattice {
             cap,
             floor,
-            mass: vec![0.0; (cap as usize + 1) * width],
+            mass: vec![0.0; cells],
+            next: vec![0.0; cells],
             always: 0.0,
+            dead: 0.0,
             width,
+            r_lo: 0,
+            r_hi: -1,
+            m_lo: 0,
+            m_hi: -1,
+            d_max: 0,
         }
     }
 
@@ -88,6 +146,14 @@ impl Lattice {
         r as usize * self.width + (m - self.floor) as usize
     }
 
+    /// The live margin range of row `r` (may be empty).
+    #[inline]
+    fn band_cols(&self, r: i64) -> (i64, i64) {
+        let lo = self.m_lo.max(self.floor).max(r - self.d_max);
+        let hi = self.m_hi.min(r).min(self.cap);
+        (lo, hi)
+    }
+
     /// Seeds the diagonal `µ = ρ = r` with the given reach distribution;
     /// `tail` is the lumped mass `Pr[ρ ≥ cap]` (always a violation within
     /// the horizon).
@@ -96,67 +162,268 @@ impl Lattice {
         for (r, &p) in reach_law.iter().enumerate() {
             let i = self.idx(r as i64, r as i64);
             self.mass[i] += p;
+            if p != 0.0 {
+                let r = r as i64;
+                if self.r_lo > self.r_hi {
+                    self.r_lo = r;
+                    self.m_lo = r;
+                }
+                self.r_hi = r;
+                self.m_hi = r;
+            }
         }
         self.always += tail;
     }
 
     /// One step of the Theorem-5 Markov chain.
-    fn step(&mut self, p_h: f64, p_hh: f64, p_a: f64) {
-        let mut next = vec![0.0; self.mass.len()];
-        for r in 0..=self.cap {
-            let m_lo = self.floor;
-            let m_hi = r.min(self.cap);
-            for m in m_lo..=m_hi {
-                let p = self.mass[self.idx(r, m)];
+    ///
+    /// `remaining` is the number of steps that will follow this one before
+    /// the run's final checkpoint; cells whose margin falls below
+    /// `−remaining` can never climb back to `0` in time (margins move by
+    /// at most one per step), so the step retires them into the `dead`
+    /// bucket. This leaves every violation statistic of the run bit-for-bit
+    /// unchanged while shrinking the live band from below. Pass a
+    /// `remaining` at least as large as the true number of steps left if
+    /// the horizon is unknown (e.g. `i64::MAX >> 1` disables the trim).
+    fn step(&mut self, p_h: f64, p_hh: f64, p_a: f64, remaining: i64) {
+        self.step_impl::<false>(p_h, p_hh, p_a, remaining);
+    }
+
+    /// One step that immediately diverts any mass landing on `µ ≥ 0` into
+    /// the `always` bucket — equivalent to `step` followed by
+    /// [`Self::absorb_violations`], without the extra sweep.
+    fn step_absorbing(&mut self, p_h: f64, p_hh: f64, p_a: f64, remaining: i64) {
+        self.step_impl::<true>(p_h, p_hh, p_a, remaining);
+    }
+
+    fn step_impl<const ABSORB: bool>(&mut self, p_h: f64, p_hh: f64, p_a: f64, remaining: i64) {
+        let (cap, floor, width) = (self.cap, self.floor, self.width);
+        // Conservative bounds for this step's targets: the band grows by at
+        // most one cell per step in every tracked direction.
+        let g_r_lo = (self.r_lo - 1).max(0);
+        let g_r_hi = (self.r_hi + 1).min(cap);
+        let g_m_lo = (self.m_lo - 1).max(floor);
+        let g_m_hi = (self.m_hi + 1).min(cap);
+        let g_d = self.d_max + 1;
+        if self.r_lo > self.r_hi {
+            return; // empty band: nothing to propagate
+        }
+        // Zero exactly the writable band of the scratch buffer.
+        for r in g_r_lo..=g_r_hi {
+            let lo = g_m_lo.max(r - g_d);
+            let hi = g_m_hi.min(r);
+            if lo <= hi {
+                let base = r as usize * width;
+                let a = base + (lo - floor) as usize;
+                let b = base + (hi - floor) as usize;
+                self.next[a..=b].fill(0.0);
+            }
+        }
+        // Re-tightened bounds observed over this step's non-zero sources.
+        let (mut s_r_lo, mut s_r_hi) = (i64::MAX, i64::MIN);
+        let (mut s_m_lo, mut s_m_hi) = (i64::MAX, i64::MIN);
+        let mut s_d = 0i64;
+        // Kahan-compensated absorption accumulator (ABSORB mode only).
+        let (mut abs_acc, mut abs_c) = (0.0f64, 0.0f64);
+        let kahan_absorb = |x: f64, acc: &mut f64, c: &mut f64| {
+            let y = x - *c;
+            let t = *acc + y;
+            *c = (t - *acc) - y;
+            *acc = t;
+        };
+        let (b_m_lo, b_m_hi, b_d) = (self.m_lo, self.m_hi, self.d_max);
+        let mass = &self.mass;
+        let next = &mut self.next;
+        for r in self.r_lo..=self.r_hi {
+            // Inlined `band_cols` (field borrows stay disjoint).
+            let m_from = b_m_lo.max(floor).max(r - b_d);
+            let m_to = b_m_hi.min(r).min(cap);
+            if m_from > m_to {
+                continue;
+            }
+            let src_base = r as usize * width;
+            // Re-tighten the band from the cells actually occupied. A
+            // dedicated scan keeps the hot transition loop branch-free.
+            let row =
+                &mass[src_base + (m_from - floor) as usize..=src_base + (m_to - floor) as usize];
+            let Some(first) = row.iter().position(|&p| p != 0.0) else {
+                continue;
+            };
+            let last = row.iter().rposition(|&p| p != 0.0).expect("first exists");
+            let (row_first, row_last) = (m_from + first as i64, m_from + last as i64);
+            if s_r_lo == i64::MAX {
+                s_r_lo = r;
+            }
+            s_r_hi = r;
+            s_m_lo = s_m_lo.min(row_first);
+            s_m_hi = s_m_hi.max(row_last);
+            s_d = s_d.max(r - row_first);
+            // Row bases of the three possible target rows.
+            let r_up = (r + 1).min(cap);
+            let up_base = r_up as usize * width;
+            let r_dn = if r == cap { cap } else { (r - 1).max(0) };
+            let dn_base = r_dn as usize * width;
+            let positive_reach = r > 0;
+            if !ABSORB && r > 0 && r < cap {
+                // Fast path for interior rows: away from the edge cells
+                // (`m ∈ {floor, 0}`; `m = cap` needs `r = cap`) every source
+                // performs the same three scatter adds at fixed offsets
+                //   A: (r+1, m+1)   h: (r−1, m−1)   H: (r−1, m−1)
+                // so the row splits into contiguous segments processed over
+                // equal-length slices — no per-cell branch, no recomputed
+                // indices. Adding a zero source's `+0.0` products is a
+                // bitwise no-op (all masses are non-negative), so zero
+                // cells need no skip.
+                let mut seg_lo = m_from;
+                if seg_lo == floor {
+                    // Dead floor: absorbing in place.
+                    let i = src_base + (seg_lo - floor) as usize;
+                    next[i] += mass[i];
+                    seg_lo += 1;
+                }
+                let (low, high) = next.split_at_mut(src_base);
+                let bulk = |a: i64, b: i64, low: &mut [f64], high: &mut [f64]| {
+                    if a > b {
+                        return;
+                    }
+                    let len = (b - a + 1) as usize;
+                    let s0 = src_base + (a - floor) as usize;
+                    let src = &mass[s0..s0 + len];
+                    let d0 = dn_base + (a - 1 - floor) as usize;
+                    let dn = &mut low[d0..d0 + len];
+                    let u0 = (up_base - src_base) + (a + 1 - floor) as usize;
+                    let up = &mut high[u0..u0 + len];
+                    for ((&p, d), u) in src.iter().zip(dn.iter_mut()).zip(up.iter_mut()) {
+                        *u += p * p_a;
+                        *d += p * p_h;
+                        *d += p * p_hh;
+                    }
+                };
+                if seg_lo <= 0 && 0 <= m_to {
+                    bulk(seg_lo, -1, low, high);
+                    // m = 0 with positive reach: h and H both keep µ at 0.
+                    let p = mass[src_base + (-floor) as usize];
+                    let d0 = dn_base + (-floor) as usize;
+                    low[d0] += p * p_h;
+                    low[d0] += p * p_hh;
+                    let u0 = (up_base - src_base) + (1 - floor) as usize;
+                    high[u0] += p * p_a;
+                    bulk(1, m_to, low, high);
+                } else {
+                    // Row band entirely below or above µ = 0.
+                    bulk(seg_lo, m_to, low, high);
+                }
+                continue;
+            }
+            // General path: edge rows (`r ∈ {0, cap}`) and absorbing mode.
+            for m in m_from..=m_to {
+                let p = mass[src_base + (m - floor) as usize];
                 if p == 0.0 {
                     continue;
                 }
                 // Dead floor: absorbing (margin can never recover in time).
-                if m == self.floor {
-                    next[self.idx(r, m)] += p;
+                if m == floor {
+                    next[src_base + (m - floor) as usize] += p;
                     continue;
                 }
                 // Ceiling: absorbing (µ stays ≥ 0 through the horizon).
-                if m == self.cap {
-                    next[self.idx(r, m)] += p;
+                if m == cap {
+                    if ABSORB {
+                        kahan_absorb(p, &mut abs_acc, &mut abs_c);
+                    } else {
+                        next[src_base + (m - floor) as usize] += p;
+                    }
                     continue;
                 }
                 // Adversarial symbol: both up (capped).
                 {
-                    let r2 = (r + 1).min(self.cap);
-                    let m2 = (m + 1).min(r2);
-                    next[self.idx(r2, m2)] += p * p_a;
+                    let m2 = (m + 1).min(r_up);
+                    if ABSORB && m2 >= 0 {
+                        kahan_absorb(p * p_a, &mut abs_acc, &mut abs_c);
+                    } else {
+                        next[up_base + (m2 - floor) as usize] += p * p_a;
+                    }
                 }
                 // Honest symbols: ρ decreases (absorbing at cap), µ per (14).
-                let r2 = if r == self.cap {
-                    self.cap
-                } else {
-                    (r - 1).max(0)
-                };
-                let positive_reach = r > 0;
                 // b = h:
                 {
                     let m2 = if m == 0 && positive_reach { 0 } else { m - 1 };
-                    next[self.idx(r2, m2.max(self.floor))] += p * p_h;
+                    let m2 = m2.max(floor);
+                    if ABSORB && m2 >= 0 {
+                        kahan_absorb(p * p_h, &mut abs_acc, &mut abs_c);
+                    } else {
+                        next[dn_base + (m2 - floor) as usize] += p * p_h;
+                    }
                 }
                 // b = H:
                 {
                     let m2 = if m == 0 { 0 } else { m - 1 };
-                    next[self.idx(r2, m2.max(self.floor))] += p * p_hh;
+                    let m2 = m2.max(floor);
+                    if ABSORB && m2 >= 0 {
+                        kahan_absorb(p * p_hh, &mut abs_acc, &mut abs_c);
+                    } else {
+                        next[dn_base + (m2 - floor) as usize] += p * p_hh;
+                    }
                 }
             }
         }
-        self.mass = next;
+        if ABSORB {
+            self.always += abs_acc;
+        }
+        std::mem::swap(&mut self.mass, &mut self.next);
+        if s_r_lo == i64::MAX {
+            // All mass was previously absorbed; the band is empty.
+            self.r_lo = 0;
+            self.r_hi = -1;
+            self.m_lo = 0;
+            self.m_hi = -1;
+            self.d_max = 0;
+        } else {
+            // Targets lie within one cell of the observed sources.
+            self.r_lo = (s_r_lo - 1).max(0);
+            self.r_hi = (s_r_hi + 1).min(cap);
+            self.m_lo = (s_m_lo - 1).max(floor);
+            self.m_hi = (s_m_hi + 1).min(cap);
+            self.d_max = s_d + 1;
+        }
+        // Dynamic dead floor: a margin below `−remaining` cannot return to
+        // `0` before the run ends, so such cells never contribute to any
+        // later violation statistic (nor do their descendants, which stay
+        // below the moving floor). Retire them and lift the band's lower
+        // edge — this turns the dead lower triangle of the lattice into a
+        // scalar bucket.
+        let eff_floor = floor.max(-remaining - 1).min(self.cap);
+        if self.m_lo <= eff_floor && self.r_lo <= self.r_hi {
+            for r in self.r_lo..=self.r_hi {
+                let (m_from, m_to) = self.band_cols(r);
+                let base = r as usize * width;
+                for m in m_from..=m_to.min(eff_floor) {
+                    let i = base + (m - floor) as usize;
+                    self.dead += self.mass[i];
+                    self.mass[i] = 0.0;
+                }
+            }
+            self.m_lo = eff_floor + 1;
+            if self.m_lo > self.m_hi {
+                self.r_lo = 0;
+                self.r_hi = -1;
+                self.m_lo = 0;
+                self.m_hi = -1;
+                self.d_max = 0;
+            }
+        }
     }
 
     /// `Pr[µ ≥ 0]` right now (including the always-violated bucket).
     fn violation_mass(&self) -> f64 {
         let mut acc = self.always;
         let mut compensation = 0.0;
-        for r in 0..=self.cap {
-            for m in 0..=r.min(self.cap) {
+        for r in self.r_lo.max(0)..=self.r_hi {
+            let (m_from, m_to) = self.band_cols(r);
+            let base = r as usize * self.width;
+            for m in m_from.max(0)..=m_to {
                 // Kahan summation: the masses span ~300 orders of magnitude.
-                let y = self.mass[self.idx(r, m)] - compensation;
+                let y = self.mass[base + (m - self.floor) as usize] - compensation;
                 let t = acc + y;
                 compensation = (t - acc) - y;
                 acc = t;
@@ -168,18 +435,51 @@ impl Lattice {
     /// Moves all mass with `µ ≥ 0` into the `always` bucket (used by the
     /// absorbing "violated by horizon" variant).
     fn absorb_violations(&mut self) {
-        for r in 0..=self.cap {
-            for m in 0..=r.min(self.cap) {
-                let i = self.idx(r, m);
+        for r in self.r_lo.max(0)..=self.r_hi {
+            let (m_from, m_to) = self.band_cols(r);
+            let base = r as usize * self.width;
+            for m in m_from.max(0)..=m_to {
+                let i = base + (m - self.floor) as usize;
                 self.always += self.mass[i];
                 self.mass[i] = 0.0;
             }
         }
+        // The band above µ = −1 is now empty; tighten so subsequent steps
+        // skip it. (Mass at the negative margins, if any, is untouched.)
+        self.m_hi = self.m_hi.min(-1);
+        if self.m_lo > self.m_hi {
+            self.r_lo = 0;
+            self.r_hi = -1;
+            self.m_lo = 0;
+            self.m_hi = -1;
+            self.d_max = 0;
+        }
+    }
+
+    /// The mass currently stored for cell `(r, m)`; zero outside the live
+    /// band (the raw buffer may hold stale values there).
+    #[cfg(test)]
+    fn cell(&self, r: i64, m: i64) -> f64 {
+        if r < self.r_lo || r > self.r_hi {
+            return 0.0;
+        }
+        let (m_from, m_to) = self.band_cols(r);
+        if m < m_from || m > m_to {
+            return 0.0;
+        }
+        self.mass[self.idx(r, m)]
     }
 
     #[cfg(test)]
     fn total_mass(&self) -> f64 {
-        self.always + self.mass.iter().sum::<f64>()
+        let mut acc = self.always + self.dead;
+        for r in self.r_lo.max(0)..=self.r_hi {
+            let (m_from, m_to) = self.band_cols(r);
+            for m in m_from..=m_to {
+                acc += self.mass[self.idx(r, m)];
+            }
+        }
+        acc
     }
 }
 
@@ -271,7 +571,8 @@ impl ExactSettlement {
     }
 
     /// [`Self::violation_probability`] at several checkpoints, sharing one
-    /// DP pass sized for the largest.
+    /// DP pass sized for the largest. The full `Pr[µ ≥ 0]` sweep runs only
+    /// at the requested checkpoints, never at intermediate steps.
     ///
     /// # Panics
     ///
@@ -304,11 +605,19 @@ impl ExactSettlement {
         let p_h = self.cond.p_unique_honest();
         let p_hh = self.cond.p_multi_honest();
         let p_a = self.cond.p_adversarial();
-        let mut at = Vec::with_capacity(k_max + 1);
-        at.push(lat.violation_mass());
-        for _ in 1..=k_max {
-            lat.step(p_h, p_hh, p_a);
-            at.push(lat.violation_mass());
+        let mut needed = vec![false; k_max + 1];
+        for &k in checkpoints {
+            needed[k] = true;
+        }
+        let mut at = vec![f64::NAN; k_max + 1];
+        if needed[0] {
+            at[0] = lat.violation_mass();
+        }
+        for step in 1..=k_max {
+            lat.step(p_h, p_hh, p_a, (k_max - step) as i64);
+            if needed[step] {
+                at[step] = lat.violation_mass();
+            }
         }
         checkpoints.iter().map(|&k| at[k].min(1.0)).collect()
     }
@@ -317,6 +626,11 @@ impl ExactSettlement {
     /// `k..=horizon`** (the conservative reading of Definition 3, where
     /// the adversary may strike at any time once `k` slots have passed):
     /// `Pr[∃ L ∈ [k, horizon] : µ_x(y_L) ≥ 0]`, `|x| → ∞`.
+    ///
+    /// Violating mass is absorbed incrementally inside the step kernel
+    /// (no per-step sweep): after the one sweep at step `k`, every later
+    /// transition landing on `µ ≥ 0` is diverted straight into the
+    /// absorbed bucket with Kahan compensation.
     ///
     /// # Panics
     ///
@@ -329,15 +643,125 @@ impl ExactSettlement {
         let p_h = self.cond.p_unique_honest();
         let p_hh = self.cond.p_multi_honest();
         let p_a = self.cond.p_adversarial();
-        for _ in 0..k {
-            lat.step(p_h, p_hh, p_a);
+        for step in 1..=k {
+            lat.step(p_h, p_hh, p_a, (horizon - step) as i64);
         }
         lat.absorb_violations();
-        for _ in k..horizon {
-            lat.step(p_h, p_hh, p_a);
-            lat.absorb_violations();
+        for step in k + 1..=horizon {
+            lat.step_absorbing(p_h, p_hh, p_a, (horizon - step) as i64);
         }
         lat.always.min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod reference {
+    //! The pre-banding kernel, kept verbatim as the equivalence oracle:
+    //! full-rectangle scan, fresh allocation per step, sweep-based
+    //! absorption. The banded kernel must reproduce it bit-for-bit (modulo
+    //! the documented Kahan compensation in fused absorption).
+
+    pub(super) struct NaiveLattice {
+        pub(super) cap: i64,
+        floor: i64,
+        mass: Vec<f64>,
+        pub(super) always: f64,
+        width: usize,
+    }
+
+    impl NaiveLattice {
+        pub(super) fn new(k: usize) -> NaiveLattice {
+            let cap = k as i64 + 2;
+            let floor = -(k as i64 + 1);
+            let width = (cap - floor + 1) as usize;
+            NaiveLattice {
+                cap,
+                floor,
+                mass: vec![0.0; (cap as usize + 1) * width],
+                always: 0.0,
+                width,
+            }
+        }
+
+        fn idx(&self, r: i64, m: i64) -> usize {
+            r as usize * self.width + (m - self.floor) as usize
+        }
+
+        pub(super) fn cell(&self, r: i64, m: i64) -> f64 {
+            self.mass[self.idx(r, m)]
+        }
+
+        pub(super) fn seed(&mut self, reach_law: &[f64], tail: f64) {
+            for (r, &p) in reach_law.iter().enumerate() {
+                let i = self.idx(r as i64, r as i64);
+                self.mass[i] += p;
+            }
+            self.always += tail;
+        }
+
+        pub(super) fn step(&mut self, p_h: f64, p_hh: f64, p_a: f64) {
+            let mut next = vec![0.0; self.mass.len()];
+            for r in 0..=self.cap {
+                for m in self.floor..=r.min(self.cap) {
+                    let p = self.mass[self.idx(r, m)];
+                    if p == 0.0 {
+                        continue;
+                    }
+                    if m == self.floor || m == self.cap {
+                        next[self.idx(r, m)] += p;
+                        continue;
+                    }
+                    {
+                        let r2 = (r + 1).min(self.cap);
+                        let m2 = (m + 1).min(r2);
+                        next[self.idx(r2, m2)] += p * p_a;
+                    }
+                    let r2 = if r == self.cap {
+                        self.cap
+                    } else {
+                        (r - 1).max(0)
+                    };
+                    let positive_reach = r > 0;
+                    {
+                        let m2 = if m == 0 && positive_reach { 0 } else { m - 1 };
+                        next[self.idx(r2, m2.max(self.floor))] += p * p_h;
+                    }
+                    {
+                        let m2 = if m == 0 { 0 } else { m - 1 };
+                        next[self.idx(r2, m2.max(self.floor))] += p * p_hh;
+                    }
+                }
+            }
+            self.mass = next;
+        }
+
+        pub(super) fn violation_mass(&self) -> f64 {
+            let mut acc = self.always;
+            let mut compensation = 0.0;
+            for r in 0..=self.cap {
+                for m in 0..=r.min(self.cap) {
+                    let y = self.mass[self.idx(r, m)] - compensation;
+                    let t = acc + y;
+                    compensation = (t - acc) - y;
+                    acc = t;
+                }
+            }
+            acc
+        }
+
+        pub(super) fn absorb_violations(&mut self) {
+            for r in 0..=self.cap {
+                for m in 0..=r.min(self.cap) {
+                    let i = self.idx(r, m);
+                    self.always += self.mass[i];
+                    self.mass[i] = 0.0;
+                }
+            }
+        }
+
+        pub(super) fn total_mass(&self) -> f64 {
+            self.always + self.mass.iter().sum::<f64>()
+        }
     }
 }
 
@@ -360,10 +784,125 @@ mod tests {
         let (law, tail) = e.reach_law_stationary(lat.cap as usize);
         lat.seed(&law, tail);
         assert!((lat.total_mass() - 1.0).abs() < 1e-12);
-        for _ in 0..40 {
-            lat.step(0.35, 0.35, 0.3);
+        for step in 0..40 {
+            lat.step(0.35, 0.35, 0.3, 39 - step);
             assert!((lat.total_mass() - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn banded_kernel_matches_naive_reference_cellwise() {
+        // Exhaustive small-k agreement: every cell of the truncated
+        // rectangle, every step, several conditions — the banded kernel
+        // must be bit-for-bit the naive full-rectangle scan.
+        for (alpha, ratio) in [(0.3, 0.8), (0.05, 1.0), (0.45, 0.25), (0.2, 0.0)] {
+            let e = ExactSettlement::new(cond(alpha, ratio));
+            let p_h = e.cond.p_unique_honest();
+            let p_hh = e.cond.p_multi_honest();
+            let p_a = e.cond.p_adversarial();
+            for k in [1usize, 2, 3, 5, 9, 16] {
+                let mut banded = Lattice::new(k);
+                let mut naive = reference::NaiveLattice::new(k);
+                let (law, tail) = e.reach_law_stationary(banded.cap as usize);
+                banded.seed(&law, tail);
+                naive.seed(&law, tail);
+                for step in 0..=k {
+                    // The banded kernel retires cells below the dynamic
+                    // dead floor −(k − step) − 1; above it (every cell
+                    // that can still influence a checkpoint) agreement is
+                    // bit-for-bit.
+                    let alive_floor = -((k - step) as i64);
+                    for r in 0..=banded.cap {
+                        for m in alive_floor.max(banded.floor)..=r.min(banded.cap) {
+                            assert_eq!(
+                                banded.cell(r, m),
+                                naive.cell(r, m),
+                                "cell ({r}, {m}) diverged at step {step}, k={k}, α={alpha}"
+                            );
+                        }
+                    }
+                    // The band-restricted Kahan sweep may differ from the
+                    // full-rectangle sweep by an ulp (zero cells interact
+                    // with the compensation term), hence relative compare.
+                    let (bv, nv) = (banded.violation_mass(), naive.violation_mass());
+                    assert!(
+                        bv == nv || (bv / nv - 1.0).abs() < 1e-14,
+                        "violation mass diverged at step {step}, k={k}, α={alpha}: {bv:e} vs {nv:e}"
+                    );
+                    banded.step(p_h, p_hh, p_a, (k as i64 - step as i64 - 1).max(0));
+                    naive.step(p_h, p_hh, p_a);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn banded_kernel_matches_naive_reference_deep() {
+        // Deeper horizons: compare the end-of-run statistics only.
+        for (alpha, ratio, k) in [(0.3, 0.8, 60), (0.1, 1.0, 80), (0.4, 0.5, 50)] {
+            let e = ExactSettlement::new(cond(alpha, ratio));
+            let p_h = e.cond.p_unique_honest();
+            let p_hh = e.cond.p_multi_honest();
+            let p_a = e.cond.p_adversarial();
+            let mut banded = Lattice::new(k);
+            let mut naive = reference::NaiveLattice::new(k);
+            let (law, tail) = e.reach_law_stationary(banded.cap as usize);
+            banded.seed(&law, tail);
+            naive.seed(&law, tail);
+            for step in 1..=k {
+                banded.step(p_h, p_hh, p_a, (k - step) as i64);
+                naive.step(p_h, p_hh, p_a);
+            }
+            let (bv, nv) = (banded.violation_mass(), naive.violation_mass());
+            assert!(
+                bv == nv || (bv / nv - 1.0).abs() < 1e-14,
+                "violation mass diverged: {bv:e} vs {nv:e}"
+            );
+            assert!((banded.total_mass() - naive.total_mass()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_absorption_matches_sweep_absorption() {
+        // step_absorbing ≡ step + absorb_violations, to Kahan accuracy.
+        for (alpha, ratio, k, horizon) in [(0.3, 0.8, 10, 30), (0.2, 0.5, 8, 40)] {
+            let e = ExactSettlement::new(cond(alpha, ratio));
+            let p_h = e.cond.p_unique_honest();
+            let p_hh = e.cond.p_multi_honest();
+            let p_a = e.cond.p_adversarial();
+            let fused = e.violation_by_horizon(k, horizon);
+            let mut naive = reference::NaiveLattice::new(horizon);
+            let (law, tail) = e.reach_law_stationary(naive.cap as usize);
+            naive.seed(&law, tail);
+            for _ in 0..k {
+                naive.step(p_h, p_hh, p_a);
+            }
+            naive.absorb_violations();
+            for _ in k..horizon {
+                naive.step(p_h, p_hh, p_a);
+                naive.absorb_violations();
+            }
+            let swept = naive.always.min(1.0);
+            assert!(
+                (fused / swept - 1.0).abs() < 1e-12,
+                "fused {fused:e} vs swept {swept:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_only_accounting_matches_per_step() {
+        // Sparse checkpoints must equal the same horizons read off a dense
+        // (every-step) pass.
+        let e = ExactSettlement::new(cond(0.25, 0.7));
+        let sparse = e.violation_probabilities(&[7, 19, 40]);
+        let dense = e.violation_probabilities(&(0..=40).collect::<Vec<_>>());
+        assert_eq!(sparse[0], dense[7]);
+        assert_eq!(sparse[1], dense[19]);
+        assert_eq!(sparse[2], dense[40]);
+        // Checkpoint order is preserved even when unsorted or duplicated.
+        let shuffled = e.violation_probabilities(&[40, 7, 19, 7]);
+        assert_eq!(shuffled, vec![sparse[2], sparse[0], sparse[1], sparse[0]]);
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod recurrence;
 
 pub use crate::exact::ExactSettlement;
 pub use crate::recurrence::{
-    has_uvp, is_slot_settled, margin_trace, relative_margin, rho, violates_settlement, MarginState,
-    ReachState,
+    has_uvp, is_slot_settled, margin_trace, relative_margin, rho, settled_slots,
+    violates_settlement, MarginState, ReachState,
 };

@@ -182,6 +182,12 @@ pub fn margin_trace(w: &CharString, cut: usize) -> Vec<i64> {
 /// characterises `h` slots; `H` slots never have a *unique* vertex without
 /// the consistent tie-breaking axiom).
 ///
+/// Allocation-free: streams a [`MarginState`] over the suffix instead of
+/// materializing the margin trace, bailing out at the first prefix with
+/// `µ ≥ 0` (disqualifying) or as soon as `µ` has fallen too low to ever
+/// recover within the string (`µ` moves by at most one per symbol), which
+/// certifies the property early.
+///
 /// # Panics
 ///
 /// Panics if `s` is 0 or exceeds `|w|`.
@@ -190,7 +196,31 @@ pub fn has_uvp(w: &CharString, s: usize) -> bool {
     if w.get(s) != Symbol::UniqueHonest {
         return false;
     }
-    margin_trace(w, s - 1).iter().skip(1).all(|&m| m < 0)
+    let cut = s - 1;
+    let mut reach = ReachState::new();
+    for &sym in &w.symbols()[..cut] {
+        reach.step(sym);
+    }
+    streamed_has_uvp(reach.rho(), &w.symbols()[cut..])
+}
+
+/// Streaming core of [`has_uvp`]: all non-empty suffix prefixes must keep
+/// `µ < 0`.
+fn streamed_has_uvp(rho_x: i64, suffix: &[Symbol]) -> bool {
+    let mut st = MarginState::at_split(rho_x);
+    let n = suffix.len() as i64;
+    for (i, &sym) in suffix.iter().enumerate() {
+        st.step(sym);
+        if st.mu() >= 0 {
+            return false;
+        }
+        // µ gains at most one per remaining symbol: once it cannot reach 0
+        // again, every later prefix stays negative too.
+        if st.mu() + (n - i as i64 - 1) < 0 {
+            return true;
+        }
+    }
+    true
 }
 
 /// Returns `true` when slot `s` **can** suffer a `k`-settlement violation
@@ -205,15 +235,50 @@ pub fn has_uvp(w: &CharString, s: usize) -> bool {
 /// (`|ŵ| ≥ s + k`) corresponds to `|y| ≥ k + 1`; pass `k + 1` for that
 /// reading.
 ///
+/// Allocation-free: streams a [`MarginState`] over the suffix, returning
+/// `true` at the first qualifying horizon and `false` as soon as the
+/// margin has fallen below what the remaining symbols could ever recover
+/// (`µ` moves by at most one per symbol) — so deeply settled slots cost
+/// far less than the full `O(|w| − s)` scan.
+///
 /// # Panics
 ///
 /// Panics if `s` is 0 or exceeds `|w|`.
 pub fn violates_settlement(w: &CharString, s: usize, k: usize) -> bool {
     assert!(s >= 1 && s <= w.len(), "slot {s} out of range");
-    margin_trace(w, s - 1)
-        .iter()
-        .enumerate()
-        .any(|(len, &m)| len >= k && m >= 0)
+    let cut = s - 1;
+    let mut reach = ReachState::new();
+    for &sym in &w.symbols()[..cut] {
+        reach.step(sym);
+    }
+    streamed_violates_settlement(reach.rho(), &w.symbols()[cut..], k)
+}
+
+/// Streaming core of [`violates_settlement`]: some suffix prefix of length
+/// `≥ k` has `µ ≥ 0`.
+fn streamed_violates_settlement(rho_x: i64, suffix: &[Symbol], k: usize) -> bool {
+    // Length-0 prefix: µ_x(ε) = ρ(x) ≥ 0 always.
+    if k == 0 {
+        return true;
+    }
+    let n = suffix.len();
+    if k > n {
+        return false;
+    }
+    let mut st = MarginState::at_split(rho_x);
+    for (i, &sym) in suffix.iter().enumerate() {
+        st.step(sym);
+        let len = i + 1;
+        if len >= k && st.mu() >= 0 {
+            return true;
+        }
+        // µ gains at most one per remaining symbol: once it cannot climb
+        // back to 0 by the end of the string, no later horizon qualifies.
+        if st.mu() + ((n - len) as i64) < 0 {
+            return false;
+        }
+    }
+    false
 }
 
 /// The settled complement of [`violates_settlement`]: slot `s` is
@@ -221,6 +286,31 @@ pub fn violates_settlement(w: &CharString, s: usize, k: usize) -> bool {
 /// `≥ k`.
 pub fn is_slot_settled(w: &CharString, s: usize, k: usize) -> bool {
     !violates_settlement(w, s, k)
+}
+
+/// Batch settlement scan: the `k`-settlement status of **every** slot
+/// `s ∈ 1..=|w|`, with `result[s − 1] = true` iff slot `s` is `k`-settled
+/// (no suffix prefix of length `≥ k` has non-negative relative margin;
+/// see [`is_slot_settled`]).
+///
+/// The prefix reach `ρ(w_1 … w_{s−1})` is advanced incrementally across
+/// cuts instead of being recomputed from scratch for each slot, and each
+/// suffix walk early-exits as in [`violates_settlement`] — so a sweep over
+/// all `n` slots costs `O(n)` reach work plus typically short per-slot
+/// probes, rather than the `O(n²)` of `n` independent calls.
+pub fn settled_slots(w: &CharString, k: usize) -> Vec<bool> {
+    let syms = w.symbols();
+    let mut reach = ReachState::new();
+    let mut out = Vec::with_capacity(syms.len());
+    for s in 1..=syms.len() {
+        out.push(!streamed_violates_settlement(
+            reach.rho(),
+            &syms[s - 1..],
+            k,
+        ));
+        reach.step(syms[s - 1]);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -418,6 +508,73 @@ mod tests {
                         "margin not monotone at cut {cut}: {s} -> {up}"
                     );
                 }
+            }
+        }
+    }
+
+    /// The pre-streaming predicates, straight off the margin trace — the
+    /// equivalence oracles for the early-exit implementations.
+    fn trace_has_uvp(w: &CharString, s: usize) -> bool {
+        if w.get(s) != Symbol::UniqueHonest {
+            return false;
+        }
+        margin_trace(w, s - 1).iter().skip(1).all(|&m| m < 0)
+    }
+
+    fn trace_violates_settlement(w: &CharString, s: usize, k: usize) -> bool {
+        margin_trace(w, s - 1)
+            .iter()
+            .enumerate()
+            .any(|(len, &m)| len >= k && m >= 0)
+    }
+
+    #[test]
+    fn streaming_predicates_match_trace_definitions_exhaustively() {
+        for n in 1..=8 {
+            for s in exhaustive_strings(n) {
+                for t in 1..=n {
+                    assert_eq!(
+                        has_uvp(&s, t),
+                        trace_has_uvp(&s, t),
+                        "has_uvp diverged at slot {t} of {s}"
+                    );
+                    for k in 0..=n + 1 {
+                        assert_eq!(
+                            violates_settlement(&s, t, k),
+                            trace_violates_settlement(&s, t, k),
+                            "violates_settlement diverged at slot {t}, k={k} of {s}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settled_slots_matches_per_slot_predicate() {
+        // Exhaustive small strings plus a long random sample.
+        for n in 1..=7 {
+            for s in exhaustive_strings(n) {
+                for k in 0..=n {
+                    let batch = settled_slots(&s, k);
+                    assert_eq!(batch.len(), s.len());
+                    for t in 1..=n {
+                        assert_eq!(
+                            batch[t - 1],
+                            is_slot_settled(&s, t, k),
+                            "batch scan diverged at slot {t}, k={k} of {s}"
+                        );
+                    }
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(4242);
+        let cond = multihonest_chars::BernoulliCondition::new(0.2, 0.3).unwrap();
+        let w = cond.sample(&mut rng, 400);
+        for k in [1usize, 10, 50] {
+            let batch = settled_slots(&w, k);
+            for t in 1..=w.len() {
+                assert_eq!(batch[t - 1], is_slot_settled(&w, t, k), "slot {t}, k={k}");
             }
         }
     }

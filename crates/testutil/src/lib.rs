@@ -144,6 +144,27 @@ pub mod golden {
     /// last-few-ulp noise, not algorithmic drift.
     pub const EXACT_PIN_RTOL: f64 = 1e-12;
 
+    /// Exact regression pins for the **cumulative horizon** variant,
+    /// `(ε, p_h, k, horizon, pinned value)`: full-precision outputs of
+    /// [`ExactSettlement::violation_by_horizon`], frozen from the
+    /// pre-banding (seed) kernel so the fused incremental-absorption path
+    /// is pinned to the original sweep-based accounting at 1e-12.
+    pub const HORIZON_PIN_CELLS: &[(f64, f64, usize, usize, f64)] = &[
+        (0.2, 0.4, 20, 60, 6.438614610722835e-1),
+        (0.3, 0.3, 40, 120, 2.551925817226445e-1),
+        (0.4, 0.6, 60, 200, 1.3891542917455512e-2),
+        (0.1, 0.2, 30, 90, 8.725806631805576e-1),
+        (0.05, 0.5, 50, 150, 9.018876678179283e-1),
+    ];
+
+    /// Exact regression pins for the finite-prefix variant,
+    /// `(ε, p_h, prefix length m, k, pinned value)`, frozen from the seed
+    /// kernel like [`HORIZON_PIN_CELLS`].
+    pub const FINITE_PREFIX_PIN_CELLS: &[(f64, f64, usize, usize, f64)] = &[
+        (0.2, 0.4, 50, 40, 3.8686454521574176e-1),
+        (0.3, 0.5, 200, 80, 4.137463537709113e-2),
+    ];
+
     /// Asserts every exact-pin cell reproduces its frozen value.
     pub fn assert_exact_pins() {
         for &(epsilon, p_h, k, pinned) in EXACT_PIN_CELLS {
@@ -152,6 +173,30 @@ pub mod golden {
             assert!(
                 (p / pinned - 1.0).abs() < EXACT_PIN_RTOL,
                 "margin DP drifted at ε={epsilon} p_h={p_h} k={k}: got {p:e}, pinned {pinned:e}"
+            );
+        }
+    }
+
+    /// Asserts the horizon-variant and finite-prefix pins: together with
+    /// [`assert_exact_pins`] this freezes every public entry point of the
+    /// exact DP against kernel drift at 1e-12.
+    pub fn assert_horizon_and_prefix_pins() {
+        for &(epsilon, p_h, k, horizon, pinned) in HORIZON_PIN_CELLS {
+            let cond = BernoulliCondition::new(epsilon, p_h).expect("pin parameters are valid");
+            let p = ExactSettlement::new(cond).violation_by_horizon(k, horizon);
+            assert!(
+                (p / pinned - 1.0).abs() < EXACT_PIN_RTOL,
+                "violation_by_horizon drifted at ε={epsilon} p_h={p_h} k={k} horizon={horizon}: \
+                 got {p:e}, pinned {pinned:e}"
+            );
+        }
+        for &(epsilon, p_h, m, k, pinned) in FINITE_PREFIX_PIN_CELLS {
+            let cond = BernoulliCondition::new(epsilon, p_h).expect("pin parameters are valid");
+            let p = ExactSettlement::new(cond).violation_probabilities_finite_prefix(m, &[k])[0];
+            assert!(
+                (p / pinned - 1.0).abs() < EXACT_PIN_RTOL,
+                "finite-prefix DP drifted at ε={epsilon} p_h={p_h} m={m} k={k}: \
+                 got {p:e}, pinned {pinned:e}"
             );
         }
     }

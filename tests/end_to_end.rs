@@ -57,8 +57,15 @@ fn settled_slots_are_never_violated_in_canonical_forks() {
     let cond = BernoulliCondition::new(0.25, 0.4).unwrap();
     for w in sample_strings(&cond, 8, 15, 30) {
         let fork = OptimalAdversary::build(&w);
+        // One batch scan instead of |w| independent margin walks.
+        let settled = recurrence::settled_slots(&w, 1);
         for s in 1..=w.len() {
-            if recurrence::is_slot_settled(&w, s, 1) {
+            assert_eq!(
+                settled[s - 1],
+                recurrence::is_slot_settled(&w, s, 1),
+                "batch scan disagrees with per-slot predicate at slot {s} of {w}"
+            );
+            if settled[s - 1] {
                 assert!(
                     !multihonest::fork::balanced::violates_settlement(&fork, s),
                     "slot {s} of {w} was settled but violated"

@@ -8,9 +8,11 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is intentionally simple: each benchmark runs a short warm-up,
-//! then `sample_size` timed batches, and prints the per-iteration median.
-//! No statistics engine, plots, or HTML reports — enough to keep the perf
-//! trajectory honest until a fuller harness can be vendored.
+//! then `sample_size` timed batches, and prints per-iteration **min,
+//! median, and mean** (min is the least noisy summary on a busy machine;
+//! mean surfaces tail skew the median hides). No plots or HTML reports —
+//! enough to keep the perf trajectory honest until a fuller harness can
+//! be vendored.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -53,14 +55,23 @@ pub enum Throughput {
     Bytes(u64),
 }
 
+/// Per-iteration summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+}
+
 /// Timing loop handed to benchmark closures.
 pub struct Bencher {
     iters: u64,
-    median: Duration,
+    stats: Stats,
 }
 
 impl Bencher {
-    /// Times repeated calls of `routine` and records the median batch.
+    /// Times repeated calls of `routine` and records the per-iteration
+    /// min/median/mean over `sample_size` batches.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         // Warm-up and batch-size calibration: grow the batch until it takes
         // ≥ ~1ms so Instant overhead is amortized.
@@ -85,7 +96,12 @@ impl Bencher {
             samples.push(start.elapsed() / batch as u32);
         }
         samples.sort();
-        self.median = samples[samples.len() / 2];
+        let total: Duration = samples.iter().sum();
+        self.stats = Stats {
+            min: samples[0],
+            median: samples[samples.len() / 2],
+            mean: total / samples.len() as u32,
+        };
     }
 }
 
@@ -123,10 +139,10 @@ impl BenchmarkGroup<'_> {
         let id = id.into().0;
         let mut bencher = Bencher {
             iters: self.sample_size as u64,
-            median: Duration::ZERO,
+            stats: Stats::default(),
         };
         routine(&mut bencher);
-        self.report(&id, bencher.median);
+        self.report(&id, bencher.stats);
         self
     }
 
@@ -143,23 +159,26 @@ impl BenchmarkGroup<'_> {
         let id = id.into().0;
         let mut bencher = Bencher {
             iters: self.sample_size as u64,
-            median: Duration::ZERO,
+            stats: Stats::default(),
         };
         routine(&mut bencher, input);
-        self.report(&id, bencher.median);
+        self.report(&id, bencher.stats);
         self
     }
 
-    fn report(&self, id: &str, median: Duration) {
-        let mut line = format!("{}/{}: median {:?}", self.name, id, median);
+    fn report(&self, id: &str, stats: Stats) {
+        let mut line = format!(
+            "{}/{}: min {:?} median {:?} mean {:?}",
+            self.name, id, stats.min, stats.median, stats.mean
+        );
         if let Some(tp) = self.throughput {
             let (count, unit) = match tp {
                 Throughput::Elements(n) => (n, "elem"),
                 Throughput::Bytes(n) => (n, "B"),
             };
-            let secs = median.as_secs_f64();
+            let secs = stats.median.as_secs_f64();
             if secs > 0.0 {
-                let _ = write!(line, " ({:.3e} {unit}/s)", count as f64 / secs);
+                let _ = write!(line, " ({:.3e} {unit}/s at median)", count as f64 / secs);
             }
         }
         println!("{line}");
