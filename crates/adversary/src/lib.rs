@@ -25,4 +25,4 @@ pub mod montecarlo;
 
 pub use crate::astar::{is_canonical, OptimalAdversary};
 pub use crate::game::{GameAdversary, NoopAdversary, RandomAdversary, SettlementGame};
-pub use crate::montecarlo::MonteCarlo;
+pub use crate::montecarlo::{MonteCarlo, SimMonteCarlo};

@@ -1,18 +1,61 @@
 //! Parallel Monte-Carlo estimation of settlement, UVP and Catalan
-//! statistics over sampled characteristic strings.
+//! statistics — over sampled characteristic strings ([`MonteCarlo`]) and
+//! over full protocol executions ([`SimMonteCarlo`]).
 //!
-//! Every estimator samples i.i.d. strings from a
+//! Every string estimator samples i.i.d. strings from a
 //! [`BernoulliCondition`] and evaluates a *deterministic* predicate from
-//! the sibling crates (margin recurrence, Catalan scan). The results come
-//! with Wilson confidence intervals so that the experiment harness can
-//! print honest error bars next to the exact DP values and the analytic
-//! bounds.
+//! the sibling crates (margin recurrence, Catalan scan); the execution
+//! estimators run the slot-by-slot simulator and read its indexed
+//! consistency layer. The results come with Wilson confidence intervals
+//! so that the experiment harness can print honest error bars next to the
+//! exact DP values and the analytic bounds.
 
 use multihonest_catalan::CatalanAnalysis;
 use multihonest_chars::BernoulliCondition;
 use multihonest_margin::recurrence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Sums `f(i)` over jobs `i ∈ 0..n` with up to `workers` scoped threads
+/// claiming indices from a shared atomic counter. The reduction is a
+/// commutative integer sum over a fixed job set, so the total is a pure
+/// function of `(n, f)` — identical for every worker count. Both
+/// Monte-Carlo drivers ([`MonteCarlo`], [`SimMonteCarlo`]) reduce
+/// through this.
+fn sum_claimed<F>(n: u64, workers: usize, f: F) -> u64
+where
+    F: Fn(u64) -> u64 + Sync,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let workers = (workers as u64).clamp(1, n.max(1)) as usize;
+    if workers <= 1 {
+        return (0..n).map(f).sum();
+    }
+    let counter = AtomicU64::new(0);
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let counter = &counter;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let mut local = 0u64;
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local += f(i);
+                }
+                local
+            }));
+        }
+        for h in handles {
+            total += h.join().expect("worker panicked");
+        }
+    });
+    total
+}
 
 /// A binomial estimate with Wilson confidence intervals.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,11 +163,9 @@ impl MonteCarlo {
     where
         F: Fn(&multihonest_chars::CharString) -> bool + Sync,
     {
-        use std::sync::atomic::{AtomicU64, Ordering};
         let cond = self.cond;
         let blocks = self.trials.div_ceil(Self::BLOCK);
-        let workers = (self.threads as u64).min(blocks.max(1)) as usize;
-        let run_block = |b: u64| -> u64 {
+        let hits = sum_claimed(blocks, self.threads, |b| {
             let quota = Self::BLOCK.min(self.trials - b * Self::BLOCK);
             let mut rng = StdRng::seed_from_u64(self.block_seed(b));
             let mut local = 0u64;
@@ -135,35 +176,7 @@ impl MonteCarlo {
                 }
             }
             local
-        };
-        let hits = if workers <= 1 {
-            (0..blocks).map(run_block).sum()
-        } else {
-            let counter = AtomicU64::new(0);
-            let mut hits = 0u64;
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for _ in 0..workers {
-                    let counter = &counter;
-                    let run_block = &run_block;
-                    handles.push(scope.spawn(move || {
-                        let mut local = 0u64;
-                        loop {
-                            let b = counter.fetch_add(1, Ordering::Relaxed);
-                            if b >= blocks {
-                                break;
-                            }
-                            local += run_block(b);
-                        }
-                        local
-                    }));
-                }
-                for h in handles {
-                    hits += h.join().expect("worker panicked");
-                }
-            });
-            hits
-        };
+        });
         Estimate {
             hits,
             trials: self.trials,
@@ -224,10 +237,91 @@ impl MonteCarlo {
     }
 }
 
+/// Parallel Monte-Carlo driver over **full protocol executions** — the
+/// simulator-side counterpart of [`MonteCarlo`], which samples bare
+/// characteristic strings. Each trial runs [`Simulation::run`] on a
+/// distinct seed and reads the observed settlement statistics from the
+/// execution's pre-folded divergence index, so a whole per-trial sweep
+/// costs `O(slots)` on top of the run itself (the naive per-`(s, k)`
+/// scans would dominate at `O(slots²)` and worse).
+#[derive(Debug, Clone, Copy)]
+pub struct SimMonteCarlo {
+    cfg: multihonest_sim::SimConfig,
+    runs: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl SimMonteCarlo {
+    /// Creates a driver executing `runs` simulations with seeds
+    /// `seed, seed + 1, …`, using all available parallelism.
+    pub fn new(cfg: multihonest_sim::SimConfig, runs: u64, seed: u64) -> SimMonteCarlo {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        SimMonteCarlo {
+            cfg,
+            runs,
+            seed,
+            threads,
+        }
+    }
+
+    /// Overrides the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> SimMonteCarlo {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configuration each trial runs.
+    pub fn config(&self) -> &multihonest_sim::SimConfig {
+        &self.cfg
+    }
+
+    /// Maps every trial seed through `f` and sums the results — workers
+    /// claim seeds from a shared counter, and the commutative integer
+    /// reduction makes the total a pure function of `(cfg, seed, runs)`,
+    /// identical for every thread count.
+    fn sum_over_seeds<F>(&self, f: F) -> u64
+    where
+        F: Fn(&multihonest_sim::Simulation) -> u64 + Sync,
+    {
+        sum_claimed(self.runs, self.threads, |i| {
+            let sim = multihonest_sim::Simulation::run(&self.cfg, self.seed.wrapping_add(i));
+            f(&sim)
+        })
+    }
+
+    /// Frequency of executions exhibiting **any** `(s, k)`-settlement
+    /// violation — an `O(1)` read per trial off the execution's maximum
+    /// settlement lag.
+    pub fn any_violation(&self, k: usize) -> Estimate {
+        let hits =
+            self.sum_over_seeds(|sim| u64::from(sim.metrics().observed_settlement_violation(k)));
+        Estimate {
+            hits,
+            trials: self.runs,
+        }
+    }
+
+    /// Mean number of violated anchor slots per execution at parameter
+    /// `k`, via the batch sweep.
+    pub fn mean_violating_slots(&self, k: usize) -> f64 {
+        if self.runs == 0 {
+            return 0.0;
+        }
+        let total = self.sum_over_seeds(|sim| {
+            sim.settlement_violations(k).iter().filter(|&&v| v).count() as u64
+        });
+        total as f64 / self.runs as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use multihonest_margin::ExactSettlement;
+    use multihonest_sim::{SimConfig, Strategy, TieBreak};
 
     #[test]
     fn wilson_interval_sanity() {
@@ -297,6 +391,48 @@ mod tests {
         let point = mc.settlement_violation(50, 8).frequency();
         let horizon = mc.settlement_violation_by_horizon(50, 8, 30).frequency();
         assert!(horizon >= point - 0.02);
+    }
+
+    fn sim_mc_config() -> SimConfig {
+        SimConfig {
+            honest_nodes: 6,
+            adversarial_stake: 0.45,
+            active_slot_coeff: 0.3,
+            delta: 0,
+            slots: 300,
+            tie_break: TieBreak::AdversarialOrder,
+            strategy: Strategy::PrivateWithholding,
+        }
+    }
+
+    #[test]
+    fn sim_estimates_are_thread_count_invariant() {
+        let mc = SimMonteCarlo::new(sim_mc_config(), 12, 5);
+        let single = mc.with_threads(1).any_violation(5);
+        for threads in [2usize, 4] {
+            assert_eq!(single, mc.with_threads(threads).any_violation(5));
+        }
+        let m1 = mc.with_threads(1).mean_violating_slots(5);
+        let m4 = mc.with_threads(4).mean_violating_slots(5);
+        assert_eq!(m1, m4);
+    }
+
+    #[test]
+    fn sim_violation_frequency_decreases_with_k() {
+        let mc = SimMonteCarlo::new(sim_mc_config(), 16, 3);
+        let small = mc.any_violation(2);
+        let large = mc.any_violation(40);
+        assert!(
+            small.hits >= large.hits,
+            "larger k can only settle more: {} vs {}",
+            small.hits,
+            large.hits
+        );
+        assert!(
+            small.hits > 0,
+            "a 45% withholding adversary must violate small k"
+        );
+        assert!(mc.mean_violating_slots(2) >= mc.mean_violating_slots(40));
     }
 
     #[test]

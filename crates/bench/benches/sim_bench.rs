@@ -32,5 +32,27 @@ fn bench_simulation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulation);
+fn bench_settlement_sweep(c: &mut Criterion) {
+    // The full (1..=slots) × k violation sweep on a prebuilt execution:
+    // the indexed batch API vs the retained naive oracle.
+    let cfg = multihonest_bench::sim_bench_config(2_000);
+    let sim = Simulation::run(&cfg, 9);
+    let mut group = c.benchmark_group("settlement_sweep");
+    group.sample_size(10);
+    for k in [10usize, 80] {
+        group.bench_with_input(BenchmarkId::new("indexed", k), &k, |b, &k| {
+            b.iter(|| sim.count_violating_slots(std::hint::black_box(k), cfg.slots));
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", k), &k, |b, &k| {
+            b.iter(|| {
+                (1..=cfg.slots)
+                    .filter(|&s| sim.settlement_violation_oracle(s, std::hint::black_box(k)))
+                    .count()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_settlement_sweep);
 criterion_main!(benches);

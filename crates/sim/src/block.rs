@@ -50,6 +50,13 @@ pub struct Block {
 
 /// Append-only arena of all blocks minted during an execution.
 ///
+/// Alongside the blocks themselves the store maintains **binary-lifting
+/// jump tables** (built incrementally at mint time), so ancestor queries —
+/// [`BlockStore::last_common_block`], [`BlockStore::block_at_slot`],
+/// [`BlockStore::diverge_prior_to`] — run in `O(log n)` instead of walking
+/// parent links one at a time. The tables cost `O(n log n)` words total
+/// and `O(log n)` amortised work per mint.
+///
 /// # Examples
 ///
 /// ```
@@ -61,9 +68,20 @@ pub struct Block {
 /// assert_eq!(store.block(b2).height, 2);
 /// assert_eq!(store.chain(b2), vec![BlockId::GENESIS, b1, b2]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BlockStore {
     blocks: Vec<Block>,
+    /// Level-major jump tables: `jumps[j][i]` is the `2^j`-th ancestor of
+    /// block `i`, with genesis self-looping. Level `j` is created (and
+    /// backfilled for all existing blocks) once some block reaches height
+    /// `2^j`, so every level has exactly one entry per block.
+    jumps: Vec<Vec<u32>>,
+}
+
+impl Default for BlockStore {
+    fn default() -> BlockStore {
+        BlockStore::new()
+    }
 }
 
 impl BlockStore {
@@ -78,6 +96,7 @@ impl BlockStore {
                 honest: true,
                 height: 0,
             }],
+            jumps: vec![vec![0]],
         }
     }
 
@@ -105,7 +124,41 @@ impl BlockStore {
             honest,
             height,
         });
+        // Extend the jump tables: level 0 is the parent link, level j
+        // composes two level-(j−1) jumps (both already filled for every
+        // ancestor, as ancestors were minted earlier).
+        self.jumps[0].push(parent.0);
+        for j in 1..self.jumps.len() {
+            let half = self.jumps[j - 1][id.index()];
+            let full = self.jumps[j - 1][half as usize];
+            self.jumps[j].push(full);
+        }
+        if height >= 1 << self.jumps.len() {
+            let j = self.jumps.len();
+            let row: Vec<u32> = (0..self.blocks.len())
+                .map(|i| {
+                    let half = self.jumps[j - 1][i];
+                    self.jumps[j - 1][half as usize]
+                })
+                .collect();
+            self.jumps.push(row);
+        }
         id
+    }
+
+    /// The `steps`-th ancestor of `v`, clamped at genesis.
+    fn ancestor(&self, v: BlockId, steps: usize) -> BlockId {
+        let mut cur = v.0;
+        let mut d = steps.min(self.blocks[v.index()].height);
+        let mut j = 0;
+        while d > 0 {
+            if d & 1 == 1 {
+                cur = self.jumps[j][cur as usize];
+            }
+            d >>= 1;
+            j += 1;
+        }
+        BlockId(cur)
     }
 
     /// The block with the given id.
@@ -144,36 +197,47 @@ impl BlockStore {
         out
     }
 
-    /// The last common block of two chains.
+    /// The last common block of two chains, in `O(log n)` via the jump
+    /// tables: lift the deeper endpoint to equal height, then descend the
+    /// largest jumps that keep the endpoints distinct — afterwards both
+    /// sit one step below their meet.
     pub fn last_common_block(&self, a: BlockId, b: BlockId) -> BlockId {
-        let (mut a, mut b) = (a, b);
-        while self.block(a).height > self.block(b).height {
-            a = self.block(a).parent.expect("height > 0");
+        let (ha, hb) = (self.block(a).height, self.block(b).height);
+        let mut a = self.ancestor(a, ha.saturating_sub(hb));
+        let mut b = self.ancestor(b, hb.saturating_sub(ha));
+        if a == b {
+            return a;
         }
-        while self.block(b).height > self.block(a).height {
-            b = self.block(b).parent.expect("height > 0");
+        for j in (0..self.jumps.len()).rev() {
+            let (ja, jb) = (self.jumps[j][a.index()], self.jumps[j][b.index()]);
+            if ja != jb {
+                a = BlockId(ja);
+                b = BlockId(jb);
+            }
         }
-        while a != b {
-            a = self.block(a).parent.expect("distinct blocks share genesis");
-            b = self.block(b).parent.expect("distinct blocks share genesis");
-        }
-        a
+        BlockId(self.jumps[0][a.index()])
     }
 
-    /// The block on `tip`'s chain issued at `slot`, if any.
+    /// The block on `tip`'s chain issued at `slot`, if any, in `O(log n)`:
+    /// slots strictly increase towards the tip, so jumping to the
+    /// shallowest ancestor with slot ≥ `slot` lands on the unique
+    /// candidate.
     pub fn block_at_slot(&self, tip: BlockId, slot: usize) -> Option<BlockId> {
-        let mut cur = Some(tip);
-        while let Some(id) = cur {
-            let b = self.block(id);
-            if b.slot == slot {
-                return Some(id);
-            }
-            if b.slot < slot {
-                return None;
-            }
-            cur = b.parent;
+        if self.block(tip).slot < slot {
+            return None;
         }
-        None
+        let mut cur = tip;
+        for j in (0..self.jumps.len()).rev() {
+            let up = self.jumps[j][cur.index()];
+            if self.blocks[up as usize].slot >= slot {
+                cur = BlockId(up);
+            }
+        }
+        if self.block(cur).slot == slot {
+            Some(cur)
+        } else {
+            None
+        }
     }
 
     /// Whether the chains ending at `a` and `b` *diverge prior to slot
@@ -247,6 +311,92 @@ mod tests {
         assert!(store.diverge_prior_to(b1, b2, 2));
         assert!(!store.diverge_prior_to(b1, b2, 1));
         assert!(!store.diverge_prior_to(b1, b1, 2));
+    }
+
+    /// Parent-walk reference for [`BlockStore::last_common_block`].
+    fn lca_walk(store: &BlockStore, a: BlockId, b: BlockId) -> BlockId {
+        let (mut a, mut b) = (a, b);
+        while store.block(a).height > store.block(b).height {
+            a = store.block(a).parent.expect("height > 0");
+        }
+        while store.block(b).height > store.block(a).height {
+            b = store.block(b).parent.expect("height > 0");
+        }
+        while a != b {
+            a = store.block(a).parent.expect("share genesis");
+            b = store.block(b).parent.expect("share genesis");
+        }
+        a
+    }
+
+    /// Parent-walk reference for [`BlockStore::block_at_slot`].
+    fn block_at_slot_walk(store: &BlockStore, tip: BlockId, slot: usize) -> Option<BlockId> {
+        let mut cur = Some(tip);
+        while let Some(id) = cur {
+            let b = store.block(id);
+            if b.slot == slot {
+                return Some(id);
+            }
+            if b.slot < slot {
+                return None;
+            }
+            cur = b.parent;
+        }
+        None
+    }
+
+    #[test]
+    fn jump_tables_match_parent_walks_on_a_random_dag() {
+        // Deterministic pseudo-random DAG: each new block extends a parent
+        // chosen by a SplitMix-style hash, so chains fork and interleave.
+        let mut store = BlockStore::new();
+        let mut ids = vec![BlockId::GENESIS];
+        for i in 0..300usize {
+            let pick = {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z as usize % ids.len()
+            };
+            let parent = ids[pick];
+            let slot = store.block(parent).slot + 1 + (i % 3);
+            ids.push(store.mint(parent, slot, i % 7, i % 4 != 0));
+        }
+        for (i, &a) in ids.iter().enumerate().step_by(7) {
+            for &b in ids.iter().skip(i % 13).step_by(11) {
+                assert_eq!(
+                    store.last_common_block(a, b),
+                    lca_walk(&store, a, b),
+                    "lca({a}, {b})"
+                );
+            }
+            let max_slot = store.block(a).slot + 2;
+            for slot in 0..=max_slot {
+                assert_eq!(
+                    store.block_at_slot(a, slot),
+                    block_at_slot_walk(&store, a, slot),
+                    "block_at_slot({a}, {slot})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_ancestor_queries() {
+        // A chain long enough to exercise several jump-table levels.
+        let mut store = BlockStore::new();
+        let mut tip = BlockId::GENESIS;
+        let mut chain = vec![tip];
+        for slot in 1..=1000usize {
+            tip = store.mint(tip, slot, 0, true);
+            chain.push(tip);
+        }
+        assert_eq!(store.ancestor(tip, 0), tip);
+        assert_eq!(store.ancestor(tip, 1), chain[999]);
+        assert_eq!(store.ancestor(tip, 999), chain[1]);
+        assert_eq!(store.ancestor(tip, 1000), BlockId::GENESIS);
+        assert_eq!(store.ancestor(tip, 5000), BlockId::GENESIS);
+        assert_eq!(store.block_at_slot(tip, 731), Some(chain[731]));
+        assert_eq!(store.last_common_block(tip, chain[400]), chain[400]);
     }
 
     #[test]

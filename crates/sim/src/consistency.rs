@@ -1,0 +1,325 @@
+//! The indexed consistency-query layer: settlement sweeps in one pass.
+//!
+//! Paper Definition 3 calls slot `s` *`k`-settled* when no observation at
+//! a slot `t ≥ s + k` exhibits two honest views (or a rollback pair)
+//! whose chains diverge prior to `s`. The naive check re-scans every
+//! observation slot `t` and every tip pair per query — `O(slots² · tips²
+//! · log n)` for a full sweep over all anchors `s`, repeated per `k`.
+//!
+//! This module folds the whole execution into a [`DivergenceIndex`] once:
+//! for every anchor slot `s` it records the **earliest** and **latest**
+//! observation slots at which some pair of simultaneous honest views, or
+//! a rollback pair, diverges prior to `s`. Every settlement query then
+//! becomes an array lookup:
+//!
+//! * `settlement_violation(s, k)` ⇔ `latest[s] ≥ s + k` — `O(1)`;
+//! * a full sweep `settlement_violations(k)` — `O(slots)` for *any* `k`;
+//! * `first_violating_slot(k)` — `O(slots)` worst case, `O(1)` when the
+//!   execution has no violation at all (checked against the maximum lag).
+//!
+//! The fold rests on a structural fact about longest-chain views. Fix an
+//! observation slot `t` with distinct honest tips `T_t` and let `L_t` be
+//! the last block common to *all* of them. Blocks above `L_t` carry slots
+//! strictly greater than `slot(L_t)`, so for `s ≤ slot(L_t)` every view
+//! agrees prior to `s`; and for `s > slot(L_t)` two views differ at `s`
+//! exactly when **some** tip's chain carries a block at slot `s` (were the
+//! same slot-`s` block on every chain, it would be a common block deeper
+//! than `L_t`). The per-`t` diverging-anchor set is therefore
+//!
+//! ```text
+//! U_t = { s > slot(L_t) : some tip chain at t has a block at slot s }
+//! ```
+//!
+//! which the builder walks once per *distinct* tip set (consecutive slots
+//! with unchanged tips share their `U_t`, so only run boundaries pay),
+//! marking visited blocks so shared suffixes above `L_t` are not
+//! re-walked. Rollback pairs `(t, old, new)` contribute the slots above
+//! `lca(old, new)` on both chains directly. Total build cost:
+//! `O(blocks + Σ_{tip-set changes} |subtree above L_t| + tips · log n)` —
+//! in healthy executions the diverging subtree is a short suffix, making
+//! the pass effectively linear in `blocks + slots · tips`.
+
+use crate::block::{BlockId, BlockStore};
+
+/// Per-anchor divergence observations of one finished execution; see the
+/// [module docs](self) for the underlying characterisation.
+///
+/// Anchor slots are **1-based** (`1..=slots`), matching
+/// [`Simulation::tips_at`](crate::Simulation::tips_at); queries outside
+/// that domain report "no divergence" rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceIndex {
+    /// `earliest[s − 1]`: first observation slot with a pair diverging
+    /// prior to `s` (0 = never).
+    earliest: Vec<usize>,
+    /// `latest[s − 1]`: last such observation slot (0 = never).
+    latest: Vec<usize>,
+    /// `max_s (latest[s] − s)`, cached at build time so the emptiness
+    /// checks behind [`DivergenceIndex::first_violation`] and
+    /// [`Metrics::observed_settlement_violation`] are truly `O(1)`.
+    ///
+    /// [`Metrics::observed_settlement_violation`]:
+    /// crate::Metrics::observed_settlement_violation
+    max_lag: Option<usize>,
+}
+
+impl DivergenceIndex {
+    /// Folds the recorded per-slot honest views and rollback events into
+    /// the index, in a single forward pass.
+    pub(crate) fn build(
+        store: &BlockStore,
+        tips_per_slot: &[Vec<BlockId>],
+        rollbacks: &[(usize, BlockId, BlockId)],
+    ) -> DivergenceIndex {
+        let slots = tips_per_slot.len();
+        let mut earliest = vec![0usize; slots];
+        let mut latest = vec![0usize; slots];
+        // Anchors diverging under the currently open run of identical tip
+        // sets, plus an epoch-stamped visited mark per block so shared
+        // chain suffixes are walked once per recomputation.
+        let mut current: Vec<usize> = Vec::new();
+        let mut mark = vec![0u32; store.len()];
+        let mut epoch = 0u32;
+        for t in 1..=slots {
+            let tips = &tips_per_slot[t - 1];
+            if t > 1 && tips == &tips_per_slot[t - 2] {
+                continue; // same views, same diverging anchors: run stays open
+            }
+            // Close the previous run: its anchors were last seen at t − 1.
+            for &s in &current {
+                latest[s - 1] = latest[s - 1].max(t - 1);
+            }
+            current.clear();
+            if tips.len() > 1 {
+                let mut meet = tips[0];
+                for &tip in &tips[1..] {
+                    meet = store.last_common_block(meet, tip);
+                }
+                let meet_slot = store.block(meet).slot;
+                epoch += 1;
+                for &tip in tips {
+                    let mut cur = tip;
+                    while store.block(cur).slot > meet_slot && mark[cur.index()] != epoch {
+                        mark[cur.index()] = epoch;
+                        current.push(store.block(cur).slot);
+                        cur = store.block(cur).parent.expect("above the meet");
+                    }
+                }
+                for &s in &current {
+                    if earliest[s - 1] == 0 {
+                        earliest[s - 1] = t;
+                    }
+                }
+            }
+        }
+        for &s in &current {
+            latest[s - 1] = latest[s - 1].max(slots);
+        }
+        // Rollback pairs: the chains above their last common block
+        // diverge prior to every block slot on either side.
+        for &(t, old, new) in rollbacks {
+            let meet = store.last_common_block(old, new);
+            let meet_slot = store.block(meet).slot;
+            for tip in [old, new] {
+                let mut cur = tip;
+                while store.block(cur).slot > meet_slot {
+                    let s = store.block(cur).slot;
+                    if s <= slots {
+                        if earliest[s - 1] == 0 || t < earliest[s - 1] {
+                            earliest[s - 1] = t;
+                        }
+                        latest[s - 1] = latest[s - 1].max(t);
+                    }
+                    cur = store.block(cur).parent.expect("above the meet");
+                }
+            }
+        }
+        let max_lag = (1..=slots)
+            .filter(|&s| latest[s - 1] != 0)
+            .map(|s| latest[s - 1] - s)
+            .max();
+        DivergenceIndex {
+            earliest,
+            latest,
+            max_lag,
+        }
+    }
+
+    /// Number of simulated slots the index covers.
+    pub fn slots(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// The first observation slot at which two honest views or a rollback
+    /// pair diverged prior to `slot`, if any ever did. Slots outside
+    /// `1..=slots` report `None`.
+    pub fn earliest_diverging_observation(&self, slot: usize) -> Option<usize> {
+        match slot {
+            s if s == 0 || s > self.earliest.len() => None,
+            s => match self.earliest[s - 1] {
+                0 => None,
+                t => Some(t),
+            },
+        }
+    }
+
+    /// The last such observation slot; `settlement_violation(s, k)` holds
+    /// exactly when this is `≥ s + k`.
+    pub fn latest_diverging_observation(&self, slot: usize) -> Option<usize> {
+        match slot {
+            s if s == 0 || s > self.latest.len() => None,
+            s => match self.latest[s - 1] {
+                0 => None,
+                t => Some(t),
+            },
+        }
+    }
+
+    /// Whether the execution exhibits a `(slot, k)`-settlement violation:
+    /// some observation at `t ≥ slot + k` saw divergence prior to `slot`.
+    /// `O(1)`. Anchors outside `1..=slots` are vacuously settled.
+    pub fn violates(&self, slot: usize, k: usize) -> bool {
+        if slot == 0 || slot > self.latest.len() {
+            return false;
+        }
+        let t = self.latest[slot - 1];
+        t != 0 && t >= slot.saturating_add(k)
+    }
+
+    /// The full settlement sweep at parameter `k`: entry `s − 1` is
+    /// [`DivergenceIndex::violates`]`(s, k)` for `s ∈ 1..=slots`.
+    pub fn violations(&self, k: usize) -> Vec<bool> {
+        (1..=self.latest.len())
+            .map(|s| self.violates(s, k))
+            .collect()
+    }
+
+    /// Number of violating anchors `s ≤ upto` at parameter `k`, without
+    /// materialising the sweep; `upto` is clamped to the horizon, so
+    /// callers may pass `usize::MAX` for "all anchors".
+    pub fn count_violations(&self, k: usize, upto: usize) -> usize {
+        (1..=upto.min(self.latest.len()))
+            .filter(|&s| self.violates(s, k))
+            .count()
+    }
+
+    /// The smallest violating anchor at parameter `k`, if any — `O(1)`
+    /// when nothing violates at `k` (the cached maximum lag rules it
+    /// out), `O(slots)` otherwise.
+    pub fn first_violation(&self, k: usize) -> Option<usize> {
+        if self.max_lag.is_none_or(|lag| lag < k) {
+            return None;
+        }
+        (1..=self.latest.len()).find(|&s| self.violates(s, k))
+    }
+
+    /// The largest `k` for which *some* anchor is violated: the maximum of
+    /// `latest[s] − s` over anchors with a diverging observation, cached
+    /// at build time. `None` when the execution never showed divergence
+    /// at all, in which case every `(s, k)` is settled.
+    pub fn max_settlement_lag(&self) -> Option<usize> {
+        self.max_lag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hand-built two-chain scenario: a common prefix (slots 1, 2), a
+    /// fork at slots 3/4 per side, views split during slots 4–6, healed
+    /// from slot 7 on.
+    fn split_views() -> (BlockStore, Vec<Vec<BlockId>>) {
+        let mut store = BlockStore::new();
+        let p1 = store.mint(BlockId::GENESIS, 1, 0, true);
+        let p2 = store.mint(p1, 2, 1, true);
+        let a3 = store.mint(p2, 3, 0, true);
+        let b4 = store.mint(p2, 4, 1, true);
+        let a5 = store.mint(a3, 5, 0, true);
+        let tips = vec![
+            vec![p1],     // slot 1
+            vec![p2],     // slot 2
+            vec![a3],     // slot 3
+            vec![a3, b4], // slot 4: views split
+            vec![a3, b4], // slot 5
+            vec![a5, b4], // slot 6: one side extends
+            vec![a5],     // slot 7: healed
+            vec![a5],     // slot 8
+        ];
+        (store, tips)
+    }
+
+    #[test]
+    fn concurrent_views_are_indexed_with_earliest_and_latest() {
+        let (store, tips) = split_views();
+        let idx = DivergenceIndex::build(&store, &tips, &[]);
+        // Anchors 1, 2 sit on the common prefix: never diverging.
+        assert_eq!(idx.latest_diverging_observation(1), None);
+        assert_eq!(idx.latest_diverging_observation(2), None);
+        // Anchor 3 (and 4) diverge from observation 4 through 6.
+        assert_eq!(idx.earliest_diverging_observation(3), Some(4));
+        assert_eq!(idx.latest_diverging_observation(3), Some(6));
+        assert_eq!(idx.earliest_diverging_observation(4), Some(4));
+        assert_eq!(idx.latest_diverging_observation(4), Some(6));
+        // Anchor 5 appears once a5 joins the split views at slot 6.
+        assert_eq!(idx.earliest_diverging_observation(5), Some(6));
+        assert_eq!(idx.latest_diverging_observation(5), Some(6));
+        // Violations: anchor 3 with k ≤ 3 (6 ≥ 3 + 3), not k = 4.
+        assert!(idx.violates(3, 3));
+        assert!(!idx.violates(3, 4));
+        assert!(idx.violates(4, 2));
+        assert!(!idx.violates(4, 3));
+        assert_eq!(idx.max_settlement_lag(), Some(3));
+        assert_eq!(idx.first_violation(3), Some(3));
+        assert_eq!(idx.first_violation(4), None);
+        let sweep = idx.violations(2);
+        assert_eq!(sweep.len(), 8);
+        assert!(sweep[2] && sweep[3] && !sweep[0]);
+    }
+
+    #[test]
+    fn rollbacks_extend_the_latest_observation() {
+        let (store, mut tips) = split_views();
+        // All views sit on a5 from slot 7 on, but at slot 8 a rollback
+        // onto b4's branch is recorded.
+        let b8 = {
+            let b4 = tips[5][1];
+            let mut s = store.clone();
+            let b8 = s.mint(b4, 8, 2, false);
+            tips[7] = vec![b8];
+            (s, b8)
+        };
+        let (store, b8) = b8;
+        let a5 = tips[6][0];
+        let idx = DivergenceIndex::build(&store, &tips, &[(8, a5, b8)]);
+        // The rollback pair diverges prior to anchors 3..=5 and 8.
+        assert_eq!(idx.latest_diverging_observation(3), Some(8));
+        assert_eq!(idx.latest_diverging_observation(5), Some(8));
+        assert_eq!(idx.latest_diverging_observation(8), Some(8));
+        // Boundary: t = s + k exactly is a violation (t ≥ s + k).
+        assert!(idx.violates(3, 5));
+        assert!(!idx.violates(3, 6));
+    }
+
+    #[test]
+    fn out_of_domain_anchors_are_settled() {
+        let (store, tips) = split_views();
+        let idx = DivergenceIndex::build(&store, &tips, &[]);
+        assert!(!idx.violates(0, 0));
+        assert!(!idx.violates(9, 0));
+        assert_eq!(idx.earliest_diverging_observation(0), None);
+        assert_eq!(idx.latest_diverging_observation(100), None);
+    }
+
+    #[test]
+    fn single_views_and_empty_executions_never_diverge() {
+        let mut store = BlockStore::new();
+        let b = store.mint(BlockId::GENESIS, 1, 0, true);
+        let idx = DivergenceIndex::build(&store, &[vec![b], vec![b]], &[]);
+        assert_eq!(idx.max_settlement_lag(), None);
+        assert_eq!(idx.first_violation(0), None);
+        let empty = DivergenceIndex::build(&BlockStore::new(), &[], &[]);
+        assert_eq!(empty.slots(), 0);
+        assert!(!empty.violates(1, 0));
+    }
+}

@@ -24,7 +24,11 @@
 //!   axioms and compared with the margin/Catalan theory on identical
 //!   objects;
 //! * **metrics** ([`metrics::Metrics`]): observed settlement and
-//!   common-prefix violations, chain growth and chain quality.
+//!   common-prefix violations, chain growth and chain quality;
+//! * an indexed **consistency-query layer** ([`consistency`]): each run
+//!   folds a [`DivergenceIndex`] over its honest views and rollbacks, so
+//!   `settlement_violation(s, k)` is an `O(1)` lookup and full sweeps
+//!   ([`Simulation::settlement_violations`]) cost `O(slots)` per `k`.
 //!
 //! ## Example
 //!
@@ -50,6 +54,7 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod consistency;
 pub mod leader;
 pub mod metrics;
 pub mod network;
@@ -58,6 +63,7 @@ pub mod simulation;
 pub mod strategy;
 
 pub use crate::block::{Block, BlockId, BlockStore};
+pub use crate::consistency::DivergenceIndex;
 pub use crate::leader::{LeaderSchedule, SlotLeaders};
 pub use crate::metrics::Metrics;
 pub use crate::node::TieBreak;

@@ -18,6 +18,11 @@ pub struct Metrics {
     /// applied to the honest views): an observed `k`-CP^slot violation
     /// exists exactly when this exceeds `k`.
     pub max_slot_divergence: usize,
+    /// The largest `k` for which some anchor slot's `k`-settlement was
+    /// observably violated (paper Definition 3): the maximum over anchors
+    /// `s` of `latest diverging observation − s`, `None` when no
+    /// divergence prior to any anchor was ever observed.
+    pub max_settlement_lag: Option<usize>,
 }
 
 impl Metrics {
@@ -43,6 +48,13 @@ impl Metrics {
     pub fn observed_cp_violation(&self, k: usize) -> bool {
         self.max_slot_divergence > k
     }
+
+    /// Whether **any** anchor slot's `k`-settlement was observably
+    /// violated — the `O(1)` emptiness check behind
+    /// [`Simulation::first_violating_slot`](crate::Simulation::first_violating_slot).
+    pub fn observed_settlement_violation(&self, k: usize) -> bool {
+        self.max_settlement_lag.is_some_and(|lag| lag >= k)
+    }
 }
 
 #[cfg(test)]
@@ -58,11 +70,14 @@ mod tests {
             chain_blocks: 30,
             honest_chain_blocks: 24,
             max_slot_divergence: 5,
+            max_settlement_lag: Some(7),
         };
         assert!((m.chain_growth() - 0.3).abs() < 1e-12);
         assert!((m.chain_quality() - 0.8).abs() < 1e-12);
         assert!(m.observed_cp_violation(4));
         assert!(!m.observed_cp_violation(5));
+        assert!(m.observed_settlement_violation(7));
+        assert!(!m.observed_settlement_violation(8));
     }
 
     #[test]
@@ -74,8 +89,10 @@ mod tests {
             chain_blocks: 0,
             honest_chain_blocks: 0,
             max_slot_divergence: 0,
+            max_settlement_lag: None,
         };
         assert_eq!(m.chain_growth(), 0.0);
         assert_eq!(m.chain_quality(), 1.0);
+        assert!(!m.observed_settlement_violation(0));
     }
 }

@@ -66,8 +66,9 @@ fn observed_settlement_violations_are_margin_certified() {
         let reduced = Reduction::new(0).apply(&semi);
         let w = reduced.reduced();
         let k = 10;
+        let violations = sim.settlement_violations(k);
         for s in 1..=cfg.slots.saturating_sub(2 * k) {
-            if sim.settlement_violation(s, k) {
+            if violations[s - 1] {
                 // Anchor: the margin split just before the first active
                 // slot ≥ s.
                 let cut = (s..=cfg.slots)
@@ -107,9 +108,7 @@ fn violation_frequency_tracks_adversarial_stake() {
                 ..base_config()
             };
             let sim = Simulation::run(&cfg, seed);
-            total += (1..=560)
-                .filter(|&s| sim.settlement_violation(s, 15))
-                .count();
+            total += sim.count_violating_slots(15, 560);
         }
         total
     };
@@ -131,7 +130,15 @@ fn honest_executions_match_chain_growth_theory() {
     assert!((m.chain_quality() - 1.0).abs() < 1e-12);
     let density = m.active_slots as f64 / cfg.slots as f64;
     assert!((m.chain_growth() - density).abs() < 0.01);
-    assert_eq!(m.max_slot_divergence, 0);
+    // Concurrent honest leaders split views even with no adversary — the
+    // paper's core ambiguity (each leader keeps its own block on the
+    // first-seen tie) — but only transiently: resolution arrives with the
+    // next uniquely honest slot, well inside a moderate window.
+    assert!(
+        m.max_slot_divergence > 0,
+        "f = 0.3 must yield multi-leader slots"
+    );
+    assert!(!m.observed_settlement_violation(25));
 }
 
 #[test]
@@ -147,9 +154,7 @@ fn delta_degrades_consistency_monotonically() {
                     ..base_config()
                 };
                 let sim = Simulation::run(&cfg, seed);
-                (1..=460)
-                    .filter(|&s| sim.settlement_violation(s, 12))
-                    .count()
+                sim.count_violating_slots(12, 460)
             })
             .sum()
     };
