@@ -20,9 +20,24 @@
 //! decomposition `w = xy` simultaneously. [`is_canonical`] checks exactly
 //! this, giving the library an end-to-end cross-validation between the
 //! game-theoretic and the algebraic views.
+//!
+//! ## Two implementations, one fork
+//!
+//! [`OptimalAdversary::build`] drives an [`AstarBuilder`], which keeps an
+//! incremental [`ReachEngine`] across steps: reach values and the
+//! zero/maximum-reach sets are `O(1)` bucket lookups, the
+//! earliest-diverging pair resolves through per-bucket LCA aggregates and
+//! `O(log n)` meets, and conservative extensions take their reserve slots
+//! from a maintained adversarial-slot list instead of rescanning the
+//! string backwards — `O(n log n)`-flavoured instead of super-quadratic.
+//! The pre-engine implementation — a fresh definitional
+//! [`ReachAnalysis`] per honest symbol plus explicit pair scans — survives
+//! verbatim in [`reference`] as the equivalence oracle; the two paths are
+//! asserted **bit-identical** over exhaustive short strings and seeded
+//! random long strings.
 
 use multihonest_chars::{CharString, Symbol};
-use multihonest_fork::{Fork, ReachAnalysis, VertexId};
+use multihonest_fork::{Fork, ReachAnalysis, ReachEngine, VertexId};
 use multihonest_margin::recurrence;
 
 /// The optimal online adversary `A*` (paper Figure 4).
@@ -42,20 +57,172 @@ use multihonest_margin::recurrence;
 pub struct OptimalAdversary;
 
 impl OptimalAdversary {
-    /// Builds the canonical fork for `w`.
+    /// Builds the canonical fork for `w` through the incremental engine.
     pub fn build(w: &CharString) -> Fork {
-        let mut fork = Fork::trivial();
+        let mut builder = AstarBuilder::new();
         for (_, sym) in w.iter_slots() {
-            Self::step(&mut fork, sym);
+            builder.step(sym);
         }
-        fork
+        builder.into_fork()
     }
 
     /// Extends a canonical fork for some prefix `w` into one for `w·b`.
     ///
     /// The fork must have been produced by [`OptimalAdversary`] (or be the
     /// trivial fork); the method appends `b` to the fork's string and
-    /// performs `A*`'s move.
+    /// performs `A*`'s move. This is the definitional single-step entry
+    /// point (it re-analyses the fork from scratch); for building whole
+    /// forks or stepping in a loop, [`AstarBuilder`] amortises the
+    /// analysis across steps and produces bit-identical forks.
+    pub fn step(fork: &mut Fork, b: Symbol) {
+        reference::step(fork, b);
+    }
+}
+
+/// Incremental `A*`: one [`ReachEngine`] carried across steps.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_adversary::{is_canonical, AstarBuilder};
+/// use multihonest_chars::Symbol;
+///
+/// let mut builder = AstarBuilder::new();
+/// for sym in [Symbol::UniqueHonest, Symbol::Adversarial, Symbol::UniqueHonest] {
+///     builder.step(sym);
+/// }
+/// assert_eq!(builder.rho(), 0);
+/// assert!(is_canonical(builder.fork()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AstarBuilder {
+    engine: ReachEngine,
+    /// Reused scratch for the reserve-slot labels of one conservative
+    /// extension (avoids an allocation per honest symbol).
+    reserve_scratch: Vec<usize>,
+}
+
+impl Default for AstarBuilder {
+    fn default() -> AstarBuilder {
+        AstarBuilder::new()
+    }
+}
+
+impl AstarBuilder {
+    /// Starts from the trivial fork over the empty string.
+    pub fn new() -> AstarBuilder {
+        AstarBuilder {
+            engine: ReachEngine::new(Fork::trivial()),
+            reserve_scratch: Vec::new(),
+        }
+    }
+
+    /// Resumes from a canonical fork built by `A*` (replays it into the
+    /// incremental state in `O(V log V)`).
+    pub fn from_fork(fork: Fork) -> AstarBuilder {
+        AstarBuilder {
+            engine: ReachEngine::new(fork),
+            reserve_scratch: Vec::new(),
+        }
+    }
+
+    /// The fork built so far.
+    pub fn fork(&self) -> &Fork {
+        self.engine.fork()
+    }
+
+    /// Unwraps the canonical fork.
+    pub fn into_fork(self) -> Fork {
+        self.engine.into_fork()
+    }
+
+    /// `ρ` of the fork built so far — maintained incrementally, so
+    /// margin/ρ sweeps over long strings never re-analyse the fork.
+    pub fn rho(&self) -> i64 {
+        self.engine.rho()
+    }
+
+    /// Appends `b` and performs `A*`'s move for it.
+    pub fn step(&mut self, b: Symbol) {
+        if b == Symbol::Adversarial {
+            self.engine.push_symbol(b);
+            return;
+        }
+        // Analyse reach with respect to the current prefix — all O(1)
+        // bucket lookups plus O(log n) meets on the shared ancestry index.
+        let zero_empty = self.engine.zero_reach_tines().is_empty();
+        let selection: [Option<VertexId>; 2] = if zero_empty {
+            // No zero-reach tine (possible after a surplus of adversarial
+            // slots): extend a maximum-reach tine — the prefix-aware
+            // fallback of footnote 4.
+            [Some(self.engine.max_reach_tines()[0]), None]
+        } else {
+            let rho_positive = self.engine.rho() >= 1;
+            let (r1, z1) = self.engine.earliest_diverging_pair();
+            if b == Symbol::UniqueHonest || rho_positive {
+                [Some(z1), None]
+            } else {
+                // ρ(F) = 0 and b = H: freeze the earliest divergence into
+                // two tied zero-reach chains. When the zero-reach tine is
+                // unique (r1 = z1), extend it TWICE — Figure 4's literal
+                // "|Z| = 1 ⇒ single extension" shortcut would fail to be
+                // canonical already on w = "H" (µ_ε(H) = 0 needs two
+                // concurrent leaders); Proposition 2's proof confirms two
+                // extensions are intended whenever ρ = µ-candidate = 0.
+                [Some(z1), Some(r1)]
+            }
+        };
+        let gaps = selection.map(|tip| tip.map(|t| self.engine.gap(t)));
+        self.engine.push_symbol(b);
+        let new_label = self.engine.fork().string().len();
+        for (tip, gap) in selection.into_iter().zip(gaps).flat_map(|(t, g)| t.zip(g)) {
+            self.conservative_extend(tip, gap, new_label);
+        }
+    }
+
+    /// Conservatively extends the tine ending at `tip`: adds `gap`
+    /// adversarial vertices — the *latest* reserve slots after `ℓ(tip)`,
+    /// read off the engine's adversarial-slot list instead of a backwards
+    /// string scan — and one honest vertex labelled `new_label` on top.
+    fn conservative_extend(&mut self, tip: VertexId, gap: i64, new_label: usize) {
+        self.reserve_scratch.clear();
+        self.reserve_scratch
+            .extend_from_slice(self.engine.latest_adversarial_slots(gap as usize));
+        if let Some(&earliest) = self.reserve_scratch.first() {
+            assert!(
+                earliest > self.engine.fork().label(tip),
+                "zero-reach tine must have reserve ≥ gap (Fact 5)"
+            );
+        }
+        let mut cur = tip;
+        for i in 0..self.reserve_scratch.len() {
+            cur = self.engine.push_vertex(cur, self.reserve_scratch[i]);
+        }
+        self.engine.push_vertex(cur, new_label);
+    }
+}
+
+/// The pre-engine `A*` implementation, kept verbatim as the equivalence
+/// oracle: a fresh definitional [`ReachAnalysis`] per honest symbol,
+/// explicit `R × Z` pair scans for the earliest divergence, and a
+/// backwards string scan per conservative extension. Quadratic-and-worse —
+/// use [`OptimalAdversary::build`] for anything long — but it transcribes
+/// Figure 4 directly from the definitions, which is exactly what an oracle
+/// should do. [`OptimalAdversary::build`] is asserted to produce
+/// bit-identical forks.
+pub mod reference {
+    use super::*;
+
+    /// Builds the canonical fork for `w` by repeated definitional steps.
+    pub fn build(w: &CharString) -> Fork {
+        let mut fork = Fork::trivial();
+        for (_, sym) in w.iter_slots() {
+            step(&mut fork, sym);
+        }
+        fork
+    }
+
+    /// Performs one definitional `A*` step (see [`OptimalAdversary::step`]).
     pub fn step(fork: &mut Fork, b: Symbol) {
         if b == Symbol::Adversarial {
             fork.push_symbol(b);
@@ -72,22 +239,12 @@ impl OptimalAdversary {
         };
         let rho_positive = rho >= 1;
         let selection: Vec<VertexId> = if zero.is_empty() {
-            // No zero-reach tine (possible after a surplus of adversarial
-            // slots): extend a maximum-reach tine — the prefix-aware
-            // fallback of footnote 4.
             vec![max_reach[0]]
         } else {
             let (r1, z1) = earliest_diverging_pair(fork, &max_reach, &zero);
             if b == Symbol::UniqueHonest || rho_positive {
                 vec![z1]
             } else {
-                // ρ(F) = 0 and b = H: freeze the earliest divergence into
-                // two tied zero-reach chains. When the zero-reach tine is
-                // unique (r1 = z1), extend it TWICE — Figure 4's literal
-                // "|Z| = 1 ⇒ single extension" shortcut would fail to be
-                // canonical already on w = "H" (µ_ε(H) = 0 needs two
-                // concurrent leaders); Proposition 2's proof confirms two
-                // extensions are intended whenever ρ = µ-candidate = 0.
                 vec![z1, r1]
             }
         };
@@ -97,63 +254,65 @@ impl OptimalAdversary {
             conservative_extend(fork, tip, gaps[tip.index()], new_label);
         }
     }
-}
 
-/// Finds `(r₁, z₁) ∈ R × Z` minimising `ℓ(r₁ ∩ z₁)`.
-///
-/// Distinct pairs always weakly beat equal pairs (`ℓ(r ∩ z) ≤ ℓ(z)` since
-/// the last common vertex is an ancestor of `z`), so an equal pair is
-/// returned only when `R × Z` contains no distinct pair — i.e. when both
-/// sets are the same singleton.
-fn earliest_diverging_pair(
-    fork: &Fork,
-    max_reach: &[VertexId],
-    zero: &[VertexId],
-) -> (VertexId, VertexId) {
-    let mut best: Option<(usize, VertexId, VertexId)> = None;
-    for &r in max_reach {
-        for &z in zero {
-            if r == z {
-                continue;
-            }
-            let l = fork.label(fork.last_common_vertex(r, z));
-            if best.is_none_or(|(bl, _, _)| l < bl) {
-                best = Some((l, r, z));
+    /// Finds `(r₁, z₁) ∈ R × Z` minimising `ℓ(r₁ ∩ z₁)` by scanning every
+    /// pair.
+    ///
+    /// Distinct pairs always weakly beat equal pairs (`ℓ(r ∩ z) ≤ ℓ(z)`
+    /// since the last common vertex is an ancestor of `z`), so an equal
+    /// pair is returned only when `R × Z` contains no distinct pair —
+    /// i.e. when both sets are the same singleton.
+    fn earliest_diverging_pair(
+        fork: &Fork,
+        max_reach: &[VertexId],
+        zero: &[VertexId],
+    ) -> (VertexId, VertexId) {
+        let mut best: Option<(usize, VertexId, VertexId)> = None;
+        for &r in max_reach {
+            for &z in zero {
+                if r == z {
+                    continue;
+                }
+                let l = fork.label(fork.last_common_vertex(r, z));
+                if best.is_none_or(|(bl, _, _)| l < bl) {
+                    best = Some((l, r, z));
+                }
             }
         }
-    }
-    match best {
-        Some((_, r1, z1)) => (r1, z1),
-        // R and Z are the same singleton {z}: the "pair" is (z, z).
-        None => (zero[0], zero[0]),
-    }
-}
-
-/// Conservatively extends the tine ending at `tip`: adds `gap` adversarial
-/// vertices (consuming the latest available adversarial slots after
-/// `ℓ(tip)`) and one honest vertex labelled `new_label` on top, reaching
-/// depth `height + 1`.
-fn conservative_extend(fork: &mut Fork, tip: VertexId, gap: i64, new_label: usize) {
-    let mut labels = Vec::with_capacity(gap as usize);
-    // Latest `gap` adversarial slots strictly after ℓ(tip), before
-    // new_label.
-    let mut t = new_label - 1;
-    while labels.len() < gap as usize {
-        assert!(
-            t > fork.label(tip),
-            "zero-reach tine must have reserve ≥ gap (Fact 5)"
-        );
-        if fork.string().get(t).is_adversarial() {
-            labels.push(t);
+        match best {
+            Some((_, r1, z1)) => (r1, z1),
+            // R and Z are the same singleton {z}: the "pair" is (z, z).
+            None => (zero[0], zero[0]),
         }
-        t -= 1;
     }
-    labels.reverse();
-    let mut cur = tip;
-    for l in labels {
-        cur = fork.push_vertex(cur, l);
+
+    /// Conservatively extends the tine ending at `tip`: adds `gap`
+    /// adversarial vertices (consuming the latest available adversarial
+    /// slots after `ℓ(tip)`, found by scanning the string backwards) and
+    /// one honest vertex labelled `new_label` on top, reaching depth
+    /// `height + 1`.
+    fn conservative_extend(fork: &mut Fork, tip: VertexId, gap: i64, new_label: usize) {
+        let mut labels = Vec::with_capacity(gap as usize);
+        // Latest `gap` adversarial slots strictly after ℓ(tip), before
+        // new_label.
+        let mut t = new_label - 1;
+        while labels.len() < gap as usize {
+            assert!(
+                t > fork.label(tip),
+                "zero-reach tine must have reserve ≥ gap (Fact 5)"
+            );
+            if fork.string().get(t).is_adversarial() {
+                labels.push(t);
+            }
+            t -= 1;
+        }
+        labels.reverse();
+        let mut cur = tip;
+        for l in labels {
+            cur = fork.push_vertex(cur, l);
+        }
+        fork.push_vertex(cur, new_label);
     }
-    fork.push_vertex(cur, new_label);
 }
 
 /// Verifies that a closed fork is **canonical** (paper Definition 19):
@@ -205,6 +364,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_matches_reference_on_all_strings_up_to_length_8() {
+        // The incremental engine must replicate the definitional oracle
+        // bit for bit — same vertices, same parents, same insertion order.
+        for n in 0..=8 {
+            for s in exhaustive_strings(n) {
+                let engine = OptimalAdversary::build(&s);
+                let oracle = reference::build(&s);
+                assert_eq!(engine, oracle, "engine diverged from oracle on {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn engine_matches_reference_on_random_longer_strings() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for (eps, p_h) in [(0.1, 0.3), (0.3, 0.05), (0.05, 0.45), (0.2, 0.0)] {
+            let cond = BernoulliCondition::new(eps, p_h).unwrap();
+            for len in [60usize, 150, 400] {
+                let s = cond.sample(&mut rng, len);
+                let engine = OptimalAdversary::build(&s);
+                let oracle = reference::build(&s);
+                assert_eq!(engine, oracle, "engine diverged from oracle on {s}");
+            }
+        }
+    }
+
+    #[test]
     fn canonical_on_random_longer_strings() {
         let cond = BernoulliCondition::new(0.1, 0.3).unwrap();
         let mut rng = StdRng::seed_from_u64(77);
@@ -219,11 +405,22 @@ mod tests {
     fn incremental_steps_match_batch_build() {
         let s = w("hAHAhHA");
         let batch = OptimalAdversary::build(&s);
+        // Definitional single-step entry point.
         let mut inc = Fork::trivial();
         for &sym in s.symbols() {
             OptimalAdversary::step(&mut inc, sym);
         }
         assert_eq!(batch, inc);
+        // Engine-backed stepping, resumed from a half-built fork.
+        let mut builder = AstarBuilder::new();
+        for &sym in &s.symbols()[..3] {
+            builder.step(sym);
+        }
+        let mut resumed = AstarBuilder::from_fork(builder.into_fork());
+        for &sym in &s.symbols()[3..] {
+            resumed.step(sym);
+        }
+        assert_eq!(batch, resumed.into_fork());
     }
 
     #[test]

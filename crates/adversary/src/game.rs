@@ -147,6 +147,16 @@ impl SettlementGame {
         // invariant (checked in debug builds after every augmentation)
         // always refers to the prefix processed so far.
         let mut fork = Fork::trivial();
+        // The maximum-depth frontier, maintained incrementally: forks only
+        // ever gain vertices, so folding in each new vertex once (`synced`
+        // is the watermark) keeps `frontier` equal to the endpoints of all
+        // maximum-length tines in ascending id order — O(V) total instead
+        // of a full vertex scan per honest slot. Adversarial augmentations
+        // go through `&mut Fork` directly, which is why the frontier syncs
+        // from the arena delta rather than observing individual pushes.
+        let mut frontier: Vec<VertexId> = vec![VertexId::ROOT];
+        let mut height = 0usize;
+        let mut synced = 1usize;
         for (slot, sym) in self.w.iter_slots() {
             fork.push_symbol(sym);
             match sym {
@@ -158,17 +168,24 @@ impl SettlementGame {
                         assert!(c >= 1, "H slot must receive at least one vertex");
                         c
                     };
-                    // Maximum-length paths of A_{t−1}: computed once —
-                    // all k vertices of this slot extend tines that were
-                    // maximal *before* the slot began.
-                    let height = fork.height();
-                    let candidates: Vec<VertexId> = fork
-                        .vertices()
-                        .filter(|v| fork.depth(*v) == height && fork.label(*v) < slot)
-                        .collect();
+                    // Maximum-length paths of A_{t−1}: synced once — all k
+                    // vertices of this slot extend tines that were maximal
+                    // *before* the slot began (every vertex so far is
+                    // labelled `< slot`, so no label filter is needed).
+                    for v in fork.vertices().skip(synced) {
+                        let d = fork.depth(v);
+                        if d > height {
+                            height = d;
+                            frontier.clear();
+                        }
+                        if d == height {
+                            frontier.push(v);
+                        }
+                    }
+                    synced = fork.vertex_count();
+                    let candidates = &frontier;
                     for index in 0..count {
-                        let parent =
-                            adversary.choose_honest_parent(&fork, slot, index, &candidates);
+                        let parent = adversary.choose_honest_parent(&fork, slot, index, candidates);
                         assert!(
                             fork.depth(parent) == height && fork.label(parent) < slot,
                             "honest vertices extend maximum-length tines only"
@@ -271,6 +288,62 @@ mod tests {
             }
         }
         let _ = SettlementGame::new(w("hh")).play(&mut Cheater);
+    }
+
+    /// The pre-frontier engine, verbatim: full vertex scan per honest
+    /// slot. Oracle for the incremental max-depth frontier.
+    fn play_oracle<A: GameAdversary>(w: &CharString, adversary: &mut A) -> Fork {
+        let mut fork = Fork::trivial();
+        for (slot, sym) in w.iter_slots() {
+            fork.push_symbol(sym);
+            match sym {
+                Symbol::UniqueHonest | Symbol::MultiHonest => {
+                    let count = if sym == Symbol::UniqueHonest {
+                        1
+                    } else {
+                        let c = adversary.multi_honest_count(&fork, slot);
+                        assert!(c >= 1);
+                        c
+                    };
+                    let height = fork.height();
+                    let candidates: Vec<VertexId> = fork
+                        .vertices()
+                        .filter(|v| fork.depth(*v) == height && fork.label(*v) < slot)
+                        .collect();
+                    for index in 0..count {
+                        let parent =
+                            adversary.choose_honest_parent(&fork, slot, index, &candidates);
+                        fork.push_vertex(parent, slot);
+                    }
+                }
+                Symbol::Adversarial => {}
+            }
+            adversary.augment(&mut fork, slot);
+        }
+        fork
+    }
+
+    #[test]
+    fn incremental_frontier_matches_full_scan() {
+        // Same adversary randomness on both paths: the candidate lists —
+        // hence the tie-break choices, hence the forks — must be
+        // bit-identical.
+        for seed in 0..8u64 {
+            for s in [
+                "hAhAhHAAHhHAhhAAHH",
+                "HHHHHHHHHH",
+                "AAAAhhhhAA",
+                "hHAhHAhAhH",
+            ] {
+                let fork = SettlementGame::new(w(s))
+                    .play(&mut RandomAdversary::new(StdRng::seed_from_u64(seed)));
+                let oracle = play_oracle(
+                    &w(s),
+                    &mut RandomAdversary::new(StdRng::seed_from_u64(seed)),
+                );
+                assert_eq!(fork, oracle, "frontier diverged on {s} seed {seed}");
+            }
+        }
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod astar;
 pub mod game;
 pub mod montecarlo;
 
-pub use crate::astar::{is_canonical, OptimalAdversary};
+pub use crate::astar::{is_canonical, AstarBuilder, OptimalAdversary};
 pub use crate::game::{GameAdversary, NoopAdversary, RandomAdversary, SettlementGame};
-pub use crate::montecarlo::{MonteCarlo, SimMonteCarlo};
+pub use crate::montecarlo::{CanonicalMonteCarlo, CanonicalSummary, MonteCarlo, SimMonteCarlo};

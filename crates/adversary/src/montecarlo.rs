@@ -16,6 +16,8 @@ use multihonest_margin::recurrence;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::astar::AstarBuilder;
+
 /// Sums `f(i)` over jobs `i ∈ 0..n` with up to `workers` scoped threads
 /// claiming indices from a shared atomic counter. The reduction is a
 /// commutative integer sum over a fixed job set, so the total is a pure
@@ -26,35 +28,7 @@ fn sum_claimed<F>(n: u64, workers: usize, f: F) -> u64
 where
     F: Fn(u64) -> u64 + Sync,
 {
-    use std::sync::atomic::{AtomicU64, Ordering};
-    let workers = (workers as u64).clamp(1, n.max(1)) as usize;
-    if workers <= 1 {
-        return (0..n).map(f).sum();
-    }
-    let counter = AtomicU64::new(0);
-    let mut total = 0u64;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let counter = &counter;
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let mut local = 0u64;
-                loop {
-                    let i = counter.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    local += f(i);
-                }
-                local
-            }));
-        }
-        for h in handles {
-            total += h.join().expect("worker panicked");
-        }
-    });
-    total
+    reduce_claimed(n, workers, 0u64, f, |a, b| a + b)
 }
 
 /// A binomial estimate with Wilson confidence intervals.
@@ -237,6 +211,246 @@ impl MonteCarlo {
     }
 }
 
+/// Claims jobs `i ∈ 0..n` from a shared atomic counter across up to
+/// `workers` scoped threads and merges `f(i)` with the commutative,
+/// associative `merge` — like [`sum_claimed`], but for arbitrary
+/// aggregates. The result is a pure function of `(n, f)` whatever the
+/// parallelism, provided `merge` really is commutative and associative
+/// (integer sums, maxima and counts are; float sums are **not**).
+fn reduce_claimed<T, F, M>(n: u64, workers: usize, init: T, f: F, merge: M) -> T
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+    M: Fn(T, T) -> T + Sync + Send,
+{
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let workers = (workers as u64).clamp(1, n.max(1)) as usize;
+    let mut total = init;
+    if workers <= 1 {
+        for i in 0..n {
+            total = merge(total, f(i));
+        }
+        return total;
+    }
+    let counter = AtomicU64::new(0);
+    let mut locals: Vec<T> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let counter = &counter;
+            let f = &f;
+            let merge = &merge;
+            handles.push(scope.spawn(move || {
+                let mut local: Option<T> = None;
+                loop {
+                    let i = counter.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let v = f(i);
+                    local = Some(match local {
+                        None => v,
+                        Some(acc) => merge(acc, v),
+                    });
+                }
+                local
+            }));
+        }
+        for h in handles {
+            if let Some(local) = h.join().expect("worker panicked") {
+                locals.push(local);
+            }
+        }
+    });
+    for local in locals {
+        total = merge(total, local);
+    }
+    total
+}
+
+/// Aggregate statistics of canonical forks over sampled characteristic
+/// strings — the output of [`CanonicalMonteCarlo::summary`].
+///
+/// The `rho_agreements` field is the Theorem-6 cross-validation at scale:
+/// for every sampled string the game-side `ρ(F)` of the `A*`-built fork
+/// (read off the incremental engine in `O(1)`) is compared against the
+/// algebraic `ρ(w)` of the Theorem-5 recurrence; canonical forks must
+/// agree on all trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CanonicalSummary {
+    /// Number of sampled strings.
+    pub trials: u64,
+    /// Length of each sampled string.
+    pub len: usize,
+    /// Trials where the fork's `ρ(F)` equals the recurrence `ρ(w)`
+    /// (Theorem 6 demands all of them).
+    pub rho_agreements: u64,
+    /// Mean `ρ` over trials.
+    pub mean_rho: f64,
+    /// Maximum `ρ` over trials.
+    pub max_rho: i64,
+    /// Mean plain margin `µ_ε(w)` (Theorem-5 recurrence) over trials.
+    pub mean_margin: f64,
+    /// Trials with `µ_ε(w) ≥ 0` (an ε-balanced fork exists).
+    pub nonneg_margin_trials: u64,
+    /// Mean vertex count of the canonical forks.
+    pub mean_vertices: f64,
+}
+
+/// Per-block integer partials behind [`CanonicalSummary`] — everything is
+/// summed or maxed in integers so the reduction is exact and
+/// thread-count-invariant.
+#[derive(Debug, Clone, Copy)]
+struct CanonicalPartial {
+    rho_sum: i64,
+    rho_max: i64,
+    margin_sum: i64,
+    nonneg_margin: u64,
+    vertices: u64,
+    agreements: u64,
+}
+
+impl CanonicalPartial {
+    const ZERO: CanonicalPartial = CanonicalPartial {
+        rho_sum: 0,
+        rho_max: i64::MIN,
+        margin_sum: 0,
+        nonneg_margin: 0,
+        vertices: 0,
+        agreements: 0,
+    };
+
+    fn merge(a: CanonicalPartial, b: CanonicalPartial) -> CanonicalPartial {
+        CanonicalPartial {
+            rho_sum: a.rho_sum + b.rho_sum,
+            rho_max: a.rho_max.max(b.rho_max),
+            margin_sum: a.margin_sum + b.margin_sum,
+            nonneg_margin: a.nonneg_margin + b.nonneg_margin,
+            vertices: a.vertices + b.vertices,
+            agreements: a.agreements + b.agreements,
+        }
+    }
+}
+
+/// Parallel Monte-Carlo driver over **canonical forks**: each trial
+/// samples a characteristic string, runs the incremental `A*` engine over
+/// it, and folds margin/ρ statistics — the game-theoretic side of the
+/// theory-vs-game experiments at horizons (`n = 10⁴–10⁵`) the definitional
+/// path could never reach.
+///
+/// Seed-stable like [`MonteCarlo`]: trials are partitioned into fixed
+/// blocks seeded by block index, workers steal blocks from an atomic
+/// counter, and the reduction is exact integer arithmetic — so the
+/// summary is a pure function of `(condition, trials, seed, len)`,
+/// identical for every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::BernoulliCondition;
+/// use multihonest_adversary::CanonicalMonteCarlo;
+///
+/// let cond = BernoulliCondition::new(0.3, 0.4)?;
+/// let mc = CanonicalMonteCarlo::new(cond, 50, 11);
+/// let s = mc.summary(200);
+/// assert_eq!(s.rho_agreements, s.trials); // Theorem 6, every trial
+/// # Ok::<(), multihonest_chars::DistributionError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CanonicalMonteCarlo {
+    cond: BernoulliCondition,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+}
+
+impl CanonicalMonteCarlo {
+    /// Trials per work block — small, because a single canonical build at
+    /// `n = 10⁵` already takes ~0.1 s, and small blocks keep the workers
+    /// load-balanced.
+    const BLOCK: u64 = 4;
+
+    /// Creates a driver running `trials` canonical builds with the given
+    /// seed, using all available parallelism.
+    pub fn new(cond: BernoulliCondition, trials: u64, seed: u64) -> CanonicalMonteCarlo {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        CanonicalMonteCarlo {
+            cond,
+            trials,
+            seed,
+            threads,
+        }
+    }
+
+    /// Overrides the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> CanonicalMonteCarlo {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The condition being sampled.
+    pub fn condition(&self) -> BernoulliCondition {
+        self.cond
+    }
+
+    /// The RNG seed of work block `b` (same scheme as [`MonteCarlo`]).
+    fn block_seed(&self, b: u64) -> u64 {
+        self.seed ^ (b.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Builds canonical forks for `trials` sampled strings of length
+    /// `len` and returns the aggregated margin/ρ statistics.
+    pub fn summary(&self, len: usize) -> CanonicalSummary {
+        let cond = self.cond;
+        let blocks = self.trials.div_ceil(Self::BLOCK);
+        let total = reduce_claimed(
+            blocks,
+            self.threads,
+            CanonicalPartial::ZERO,
+            |b| {
+                let quota = Self::BLOCK.min(self.trials - b * Self::BLOCK);
+                let mut rng = StdRng::seed_from_u64(self.block_seed(b));
+                let mut acc = CanonicalPartial::ZERO;
+                for _ in 0..quota {
+                    let w = cond.sample(&mut rng, len);
+                    let mut builder = AstarBuilder::new();
+                    for &sym in w.symbols() {
+                        builder.step(sym);
+                    }
+                    let rho = builder.rho();
+                    let margin = recurrence::relative_margin(&w, 0);
+                    acc = CanonicalPartial::merge(
+                        acc,
+                        CanonicalPartial {
+                            rho_sum: rho,
+                            rho_max: rho,
+                            margin_sum: margin,
+                            nonneg_margin: u64::from(margin >= 0),
+                            vertices: builder.fork().vertex_count() as u64,
+                            agreements: u64::from(rho == recurrence::rho(&w)),
+                        },
+                    );
+                }
+                acc
+            },
+            CanonicalPartial::merge,
+        );
+        let t = self.trials.max(1) as f64;
+        CanonicalSummary {
+            trials: self.trials,
+            len,
+            rho_agreements: total.agreements,
+            mean_rho: total.rho_sum as f64 / t,
+            max_rho: total.rho_max,
+            mean_margin: total.margin_sum as f64 / t,
+            nonneg_margin_trials: total.nonneg_margin,
+            mean_vertices: total.vertices as f64 / t,
+        }
+    }
+}
+
 /// Parallel Monte-Carlo driver over **full protocol executions** — the
 /// simulator-side counterpart of [`MonteCarlo`], which samples bare
 /// characteristic strings. Each trial runs [`Simulation::run`] on a
@@ -391,6 +605,42 @@ mod tests {
         let point = mc.settlement_violation(50, 8).frequency();
         let horizon = mc.settlement_violation_by_horizon(50, 8, 30).frequency();
         assert!(horizon >= point - 0.02);
+    }
+
+    #[test]
+    fn canonical_summary_is_thread_count_invariant_and_agrees() {
+        let cond = BernoulliCondition::new(0.25, 0.35).unwrap();
+        for trials in [10u64, 33] {
+            let single = CanonicalMonteCarlo::new(cond, trials, 5)
+                .with_threads(1)
+                .summary(120);
+            assert_eq!(
+                single.rho_agreements, trials,
+                "Theorem 6 must hold on every sampled string"
+            );
+            assert_eq!(single.trials, trials);
+            assert!(single.mean_rho >= 0.0);
+            assert!(single.mean_vertices >= 121.0, "{single:?}"); // ≥ one vertex per honest slot + root
+            for threads in [2usize, 3, 8] {
+                let multi = CanonicalMonteCarlo::new(cond, trials, 5)
+                    .with_threads(threads)
+                    .summary(120);
+                assert_eq!(single, multi, "thread count changed the summary");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_summary_margin_statistics_track_epsilon() {
+        // A weak adversary (large ε) should settle: mostly negative
+        // margins; a strong one mostly non-negative.
+        let weak = CanonicalMonteCarlo::new(BernoulliCondition::new(0.6, 0.5).unwrap(), 40, 9)
+            .summary(160);
+        let strong = CanonicalMonteCarlo::new(BernoulliCondition::new(0.02, 0.3).unwrap(), 40, 9)
+            .summary(160);
+        assert!(weak.mean_margin < strong.mean_margin);
+        assert!(weak.nonneg_margin_trials <= strong.nonneg_margin_trials);
+        assert!(weak.max_rho <= strong.max_rho + 5);
     }
 
     fn sim_mc_config() -> SimConfig {

@@ -1,7 +1,13 @@
 //! E5 timing: the optimal online adversary A* building canonical forks.
+//!
+//! `astar_build` drives the incremental-engine path at sizes up to
+//! n = 10⁴; `astar_build_reference` times the definitional oracle on the
+//! small sizes (it is super-quadratic — the gap between the two groups is
+//! the engine's speedup). The committed perf baseline lives in
+//! `BENCH_astar.json`, written by `astar -- bench-report`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use multihonest::adversary::OptimalAdversary;
+use multihonest::adversary::{astar::reference, OptimalAdversary};
 use multihonest::chars::BernoulliCondition;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,7 +17,7 @@ fn bench_astar(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let mut group = c.benchmark_group("astar_build");
     group.sample_size(20);
-    for n in [50usize, 200, 800] {
+    for n in [50usize, 200, 800, 3_000, 10_000] {
         let w = cond.sample(&mut rng, n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
@@ -21,5 +27,20 @@ fn bench_astar(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_astar);
+fn bench_astar_reference(c: &mut Criterion) {
+    let cond = BernoulliCondition::new(0.2, 0.4).unwrap();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("astar_build_reference");
+    group.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let w = cond.sample(&mut rng, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| reference::build(std::hint::black_box(w)).vertex_count());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_astar, bench_astar_reference);
 criterion_main!(benches);

@@ -1,252 +1,19 @@
-//! # multihonest
+//! # multihonest-core
 //!
-//! A complete Rust implementation of *Consistency of Proof-of-Stake
-//! Blockchains with Concurrent Honest Slot Leaders* (Kiayias, Quader,
-//! Russell; ICDCS 2020): the fork framework with multiply honest slots,
-//! Catalan slots and the Unique Vertex Property, the relative-margin
-//! recurrences and the exact settlement-probability algorithm behind the
-//! paper's Table 1, the optimal online adversary `A*`, the
-//! generating-function tail bounds behind Theorems 1, 2, 7 and 8, and an
-//! executable longest-chain PoS protocol simulator.
+//! Foundational, paper-agnostic data structures shared by the rest of the
+//! workspace. The crate sits below every other `multihonest-*` crate (it
+//! depends on nothing), so both the fork framework (`multihonest-fork`)
+//! and the protocol simulator (`multihonest-sim`) can build on the same
+//! machinery instead of maintaining parallel implementations.
 //!
-//! This facade crate re-exports the subsystem crates and offers a
-//! high-level entry point, [`ConsistencyAnalyzer`].
-//!
-//! ## Quickstart
-//!
-//! ```
-//! use multihonest::ConsistencyAnalyzer;
-//!
-//! // 30% adversarial stake; 60% of honest slots have a unique leader.
-//! let analyzer = ConsistencyAnalyzer::from_stake(0.30, 0.60)?;
-//!
-//! // Exact probability that a transaction is rolled back after waiting
-//! // k = 50 slots (paper Section 6.6 / Table 1):
-//! let exact = analyzer.settlement_failure_exact(50);
-//!
-//! // The rigorous analytic bound of Theorem 1:
-//! let bound = analyzer.settlement_failure_bound(50).expect("valid parameters");
-//! assert!(exact <= bound);
-//!
-//! // Which prior analyses could even handle these parameters?
-//! let report = analyzer.threshold_report();
-//! assert!(report.optimal); // p_h + p_H > p_A always holds here
-//! # Ok::<(), multihonest::chars::DistributionError>(())
-//! ```
-//!
-//! ## Subsystem map
-//!
-//! | module | contents | paper sections |
-//! |---|---|---|
-//! | [`chars`] | characteristic strings, distributions, reduction map | 2, 8 |
-//! | [`fork`] | fork trees, axioms, reach/margin by definition | 2, 3, 6, A |
-//! | [`catalan`] | Catalan slots, UVP characterizations | 3, 4 |
-//! | [`margin`] | Theorem-5 recurrences, exact settlement DP | 6 |
-//! | [`adversary`] | settlement game, optimal adversary `A*`, Monte Carlo | 2.2, 6.5 |
-//! | [`analytic`] | generating functions, Bounds 1–3, Theorems 1/2/7/8 | 4, 5, 8, 9 |
-//! | [`sim`] | executable PoS protocol with Δ-network and attacks | 2, 8 |
+//! Currently this means [`ancestry`]: an append-only rooted-tree ancestry
+//! index with skew-binary jump pointers — one pointer per node, `O(1)`
+//! per insert — answering lowest-common-ancestor and level/key ancestor
+//! queries in `O(log n)`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use multihonest_adversary as adversary;
-pub use multihonest_analytic as analytic;
-pub use multihonest_catalan as catalan;
-pub use multihonest_chars as chars;
-pub use multihonest_fork as fork;
-pub use multihonest_margin as margin;
-pub use multihonest_sim as sim;
+pub mod ancestry;
 
-/// Convenient re-exports of the most used types.
-pub mod prelude {
-    pub use multihonest_adversary::{is_canonical, MonteCarlo, OptimalAdversary, SettlementGame};
-    pub use multihonest_analytic::{Bound1, Bound2, Bound3};
-    pub use multihonest_catalan::CatalanAnalysis;
-    pub use multihonest_chars::{
-        BernoulliCondition, CharString, Reduction, SemiString, SemiSymbol, Symbol,
-    };
-    pub use multihonest_fork::{Fork, ReachAnalysis, VertexId};
-    pub use multihonest_margin::{ExactSettlement, MarginState, ReachState};
-    pub use multihonest_sim::{SimConfig, Simulation, Strategy, TieBreak};
-}
-
-use multihonest_analytic::baselines;
-use multihonest_analytic::ParameterError;
-use multihonest_chars::{BernoulliCondition, DistributionError};
-use multihonest_margin::ExactSettlement;
-
-/// Which consistency analyses apply to a parameter point, and with what
-/// guarantees. See [`ConsistencyAnalyzer::threshold_report`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ThresholdReport {
-    /// This paper: `p_h + p_H > p_A`, error `e^{−Θ(k)}`.
-    pub optimal: bool,
-    /// Praos/Genesis: `p_h − p_H > p_A`, error `e^{−Θ(k)}`.
-    pub praos_genesis: bool,
-    /// Sleepy/Snow White: `p_h > p_A`, error `e^{−Θ(√k)}`.
-    pub sleepy_snow_white: bool,
-}
-
-/// High-level consistency analysis for a longest-chain PoS deployment.
-///
-/// Wraps the `(ε, p_h)`-Bernoulli condition together with the exact
-/// settlement DP and the analytic bounds, exposing the questions an
-/// operator actually asks: *how long must a client wait before treating a
-/// transaction as settled, and with what failure probability?*
-#[derive(Debug, Clone)]
-pub struct ConsistencyAnalyzer {
-    cond: BernoulliCondition,
-    exact: ExactSettlement,
-}
-
-impl ConsistencyAnalyzer {
-    /// Creates an analyzer from the symbol distribution directly.
-    pub fn new(cond: BernoulliCondition) -> ConsistencyAnalyzer {
-        ConsistencyAnalyzer {
-            cond,
-            exact: ExactSettlement::new(cond),
-        }
-    }
-
-    /// Creates an analyzer from deployment-style parameters:
-    /// `adversarial_stake ∈ (0, 1/2)` is `p_A`, and `unique_fraction` is
-    /// the fraction of honest-led slots with a *single* honest leader
-    /// (Table 1's `Pr[h]/(1 − α)` row parameter).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the resulting probabilities are invalid
-    /// (e.g. `adversarial_stake ≥ 1/2`).
-    pub fn from_stake(
-        adversarial_stake: f64,
-        unique_fraction: f64,
-    ) -> Result<ConsistencyAnalyzer, DistributionError> {
-        let p_h = unique_fraction * (1.0 - adversarial_stake);
-        let p_hh = 1.0 - adversarial_stake - p_h;
-        let cond = BernoulliCondition::from_probabilities(p_h, p_hh, adversarial_stake)?;
-        Ok(ConsistencyAnalyzer::new(cond))
-    }
-
-    /// The underlying Bernoulli condition.
-    pub fn condition(&self) -> BernoulliCondition {
-        self.cond
-    }
-
-    /// The **exact** probability that a slot fails to settle within `k`
-    /// slots (paper Section 6.6; the quantity tabulated in Table 1).
-    pub fn settlement_failure_exact(&self, k: usize) -> f64 {
-        self.exact.violation_probability(k)
-    }
-
-    /// Exact failure probabilities at several horizons, sharing one DP.
-    pub fn settlement_failure_exact_many(&self, ks: &[usize]) -> Vec<f64> {
-        self.exact.violation_probabilities(ks)
-    }
-
-    /// The rigorous analytic bound of Theorem 1 at horizon `k`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when `p_h = 0` (Theorem 1 needs uniquely honest
-    /// slots; see [`Self::settlement_failure_bound_tiebreak`]).
-    pub fn settlement_failure_bound(&self, k: usize) -> Result<f64, ParameterError> {
-        multihonest_analytic::settlement_insecurity_bound(
-            self.cond.epsilon(),
-            self.cond.p_unique_honest(),
-            k,
-        )
-    }
-
-    /// Theorem 2's bound (consistent tie-breaking, works with `p_h = 0`).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when `ε ∉ (0, 1)`.
-    pub fn settlement_failure_bound_tiebreak(&self, k: usize) -> Result<f64, ParameterError> {
-        multihonest_analytic::settlement_insecurity_bound_tiebreak(self.cond.epsilon(), k)
-    }
-
-    /// Theorem 8's common-prefix bound over a horizon of `total_len`
-    /// slots.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the Bound-1 parameters are out of range.
-    pub fn cp_failure_bound(&self, total_len: usize, k: usize) -> Result<f64, ParameterError> {
-        multihonest_analytic::cp_insecurity_bound(
-            self.cond.epsilon(),
-            self.cond.p_unique_honest(),
-            total_len,
-            k,
-        )
-    }
-
-    /// The smallest `k` whose **exact** settlement failure probability is
-    /// at most `target`, searched up to `max_k`; `None` if even `max_k`
-    /// does not suffice.
-    pub fn settlement_horizon(&self, target: f64, max_k: usize) -> Option<usize> {
-        let ks: Vec<usize> = (0..=max_k).collect();
-        let ps = self.exact.violation_probabilities(&ks);
-        ps.iter().position(|&p| p <= target)
-    }
-
-    /// Which prior analyses admit these parameters (paper Section 1).
-    pub fn threshold_report(&self) -> ThresholdReport {
-        let a = baselines::classify(&self.cond);
-        ThresholdReport {
-            optimal: a.optimal,
-            praos_genesis: a.praos_genesis,
-            sleepy_snow_white: a.sleepy_snow_white,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn from_stake_roundtrip() {
-        let a = ConsistencyAnalyzer::from_stake(0.3, 0.6).unwrap();
-        let c = a.condition();
-        assert!((c.p_adversarial() - 0.3).abs() < 1e-12);
-        assert!((c.p_unique_honest() - 0.42).abs() < 1e-12);
-        assert!((c.p_multi_honest() - 0.28).abs() < 1e-12);
-        assert!(ConsistencyAnalyzer::from_stake(0.6, 0.5).is_err());
-    }
-
-    #[test]
-    fn exact_below_bound() {
-        let a = ConsistencyAnalyzer::from_stake(0.25, 0.5).unwrap();
-        for k in [20, 60] {
-            let exact = a.settlement_failure_exact(k);
-            let bound = a.settlement_failure_bound(k).unwrap();
-            assert!(exact <= bound, "k = {k}: exact {exact:e} > bound {bound:e}");
-        }
-    }
-
-    #[test]
-    fn settlement_horizon_monotone() {
-        let a = ConsistencyAnalyzer::from_stake(0.2, 0.8).unwrap();
-        let k_loose = a.settlement_horizon(1e-3, 200).unwrap();
-        let k_tight = a.settlement_horizon(1e-6, 200).unwrap();
-        assert!(k_tight > k_loose, "{k_tight} > {k_loose}");
-        assert_eq!(a.settlement_horizon(1e-300, 10), None);
-    }
-
-    #[test]
-    fn threshold_report_matches_baselines() {
-        // p_h < p_A but p_h + p_H > p_A: the paper-exclusive regime.
-        let a = ConsistencyAnalyzer::from_stake(0.4, 0.2).unwrap();
-        let r = a.threshold_report();
-        assert!(r.optimal && !r.praos_genesis && !r.sleepy_snow_white);
-    }
-
-    #[test]
-    fn exact_many_matches_single() {
-        let a = ConsistencyAnalyzer::from_stake(0.3, 0.5).unwrap();
-        let many = a.settlement_failure_exact_many(&[10, 30]);
-        assert!((many[0] - a.settlement_failure_exact(10)).abs() < 1e-12);
-        assert!((many[1] - a.settlement_failure_exact(30)).abs() < 1e-12);
-    }
-}
+pub use crate::ancestry::AncestorIndex;

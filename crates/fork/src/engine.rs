@@ -1,0 +1,559 @@
+//! Incremental reach bookkeeping for growing forks.
+//!
+//! [`ReachAnalysis`](crate::ReachAnalysis) transcribes the paper's
+//! definitions and rebuilds everything from scratch on each call — the
+//! right shape for an oracle, the wrong one for the optimal adversary
+//! `A*`, which needs reach values, the zero/maximum-reach tine sets and an
+//! earliest-divergence query after *every* honest symbol. [`ReachEngine`]
+//! maintains all of that **across** [`push_symbol`]/[`push_vertex`] calls.
+//!
+//! The key observation making reach incremental: for a fork `F ⊢ w` with
+//! `|w| = n`,
+//!
+//! ```text
+//! reach(v) = reserve(v) − gap(v)
+//!          = #A(ℓ(v)+1 ..= n) − (height(F) − depth(v))
+//!          = σ(v) + #A(1 ..= n) − height(F),   σ(v) = depth(v) − #A(1 ..= ℓ(v))
+//! ```
+//!
+//! and `σ(v)` is **fixed at insertion time** — `depth(v)` and `ℓ(v)` never
+//! change, and slots `≤ ℓ(v)` are already part of `w` when `v` is pushed.
+//! So the engine buckets vertices by `σ`, and the set of tines with any
+//! given reach `r` is the bucket at `σ = r + height − #A`, found in `O(1)`
+//! however the string and the fork have grown since.
+//!
+//! The second hot query, `A*`'s *earliest-diverging pair* — the pair
+//! `(r₁, z₁)` over the maximum-reach set `R` and zero-reach set `Z`
+//! minimising `ℓ(r₁ ∩ z₁)` — is answered through per-bucket LCA
+//! aggregates: the minimum cross-pair meet label is `ℓ(lca(R ∪ Z))` and a
+//! fixed row's minimum is `ℓ(lca(r, lca(Z)))`, so each bucket lazily
+//! folds the LCA of its members (one `O(log n)` meet per member, through
+//! the fork's shared [`AncestorIndex`]) and the query needs `O(1)` LCAs
+//! plus a short witness scan instead of the `|R|·|Z|` pair walk of the
+//! definitional path.
+//!
+//! [`push_symbol`]: ReachEngine::push_symbol
+//! [`push_vertex`]: ReachEngine::push_vertex
+
+use multihonest_chars::Symbol;
+use multihonest_core::AncestorIndex;
+
+use crate::fork::{Fork, VertexId};
+
+/// Below this many `R × Z` pairs the diverging-pair query scans pairs
+/// directly (a handful of `O(log n)` meets) instead of paying the
+/// pre-order extreme machinery.
+const DIRECT_SCAN_PAIRS: usize = 16;
+
+/// One `σ`-bucket: every vertex with the same insertion-time score, in
+/// insertion (= ascending id) order, plus a lazily folded aggregate: the
+/// LCA of all members.
+///
+/// The aggregate is only needed by the diverging-pair query, and only for
+/// the two buckets it touches per honest symbol — so instead of paying an
+/// `O(log n)` LCA fold on **every** insert, the bucket keeps a `scanned`
+/// watermark and folds members in on demand. LCAs of existing vertices
+/// never change under appends, so the aggregate stays valid forever; each
+/// member is folded exactly once, and members of buckets the query never
+/// visits cost nothing at all.
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    members: Vec<VertexId>,
+    /// How many of `members` have been folded into the aggregate.
+    scanned: usize,
+    /// The LCA of `members[..scanned]` (`None` while nothing is folded).
+    lca_all: Option<VertexId>,
+}
+
+impl Bucket {
+    /// Folds unscanned members into the all-members LCA.
+    fn catch_up(&mut self, anc: &AncestorIndex) {
+        while self.scanned < self.members.len() {
+            let v = self.members[self.scanned];
+            self.scanned += 1;
+            self.lca_all = Some(match self.lca_all {
+                None => v,
+                Some(c) => VertexId(anc.lca(c.index(), v.index()) as u32),
+            });
+        }
+    }
+}
+
+static EMPTY: &[VertexId] = &[];
+
+/// Incrementally maintained reach state over a growing [`Fork`].
+///
+/// The engine owns the fork; grow both together through
+/// [`push_symbol`](Self::push_symbol) and
+/// [`push_vertex`](Self::push_vertex). All reach quantities refer to the
+/// fork's *current* string, exactly like a fresh
+/// [`ReachAnalysis`](crate::ReachAnalysis) would — and like the
+/// definitional analysis they are meaningful when the fork is closed.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_fork::{Fork, ReachEngine, VertexId};
+///
+/// let mut eng = ReachEngine::new(Fork::new("hA".parse()?));
+/// let a = eng.push_vertex(VertexId::ROOT, 1);
+/// assert_eq!(eng.reach(a), 1); // gap 0, reserve 1 (slot 2 is A)
+/// assert_eq!(eng.reach(VertexId::ROOT), 0);
+/// assert_eq!(eng.rho(), 1);
+/// assert_eq!(eng.tines_with_reach(1), &[a]);
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReachEngine {
+    fork: Fork,
+    /// `a_upto[l]` = #A among slots `1..=l`; `a_upto.len() = |w| + 1`.
+    a_upto: Vec<i64>,
+    /// Adversarial slot indices, ascending.
+    adv_slots: Vec<usize>,
+    /// `σ(v) = depth(v) − a_upto[ℓ(v)]`, fixed at insertion.
+    sigma: Vec<i64>,
+    /// Buckets for `σ ≥ 0`, indexed by `σ`.
+    buckets_pos: Vec<Bucket>,
+    /// Buckets for `σ < 0`, indexed by `−σ − 1`.
+    buckets_neg: Vec<Bucket>,
+    /// Maximum `σ` over all vertices (monotone: vertices never leave).
+    sigma_max: i64,
+}
+
+impl ReachEngine {
+    /// Wraps an existing fork, replaying its string and vertices into the
+    /// incremental state (`O(V log V + |w|)`).
+    pub fn new(fork: Fork) -> ReachEngine {
+        let n = fork.string().len();
+        let mut a_upto = Vec::with_capacity(n + 1);
+        a_upto.push(0);
+        let mut adv_slots = Vec::new();
+        for (slot, sym) in fork.string().iter_slots() {
+            a_upto.push(a_upto[slot - 1] + i64::from(sym.is_adversarial()));
+            if sym.is_adversarial() {
+                adv_slots.push(slot);
+            }
+        }
+        let mut engine = ReachEngine {
+            fork,
+            a_upto,
+            adv_slots,
+            sigma: Vec::new(),
+            buckets_pos: Vec::new(),
+            buckets_neg: Vec::new(),
+            sigma_max: i64::MIN,
+        };
+        for v in engine.fork.vertices().collect::<Vec<_>>() {
+            engine.index_vertex(v);
+        }
+        engine
+    }
+
+    /// The fork under analysis.
+    pub fn fork(&self) -> &Fork {
+        &self.fork
+    }
+
+    /// Unwraps the fork.
+    pub fn into_fork(self) -> Fork {
+        self.fork
+    }
+
+    /// Extends the underlying characteristic string by one symbol,
+    /// updating the adversarial prefix counts in `O(1)`.
+    pub fn push_symbol(&mut self, s: Symbol) {
+        self.fork.push_symbol(s);
+        let slot = self.fork.string().len();
+        self.a_upto
+            .push(self.a_upto[slot - 1] + i64::from(s.is_adversarial()));
+        if s.is_adversarial() {
+            self.adv_slots.push(slot);
+        }
+    }
+
+    /// Adds a vertex labelled `label` under `parent` (see
+    /// [`Fork::push_vertex`] for the panics) and indexes it in `O(log n)`.
+    pub fn push_vertex(&mut self, parent: VertexId, label: usize) -> VertexId {
+        let v = self.fork.push_vertex(parent, label);
+        self.index_vertex(v);
+        v
+    }
+
+    fn index_vertex(&mut self, v: VertexId) {
+        let s = self.fork.depth(v) as i64 - self.a_upto[self.fork.label(v)];
+        debug_assert_eq!(self.sigma.len(), v.index());
+        self.sigma.push(s);
+        self.sigma_max = self.sigma_max.max(s);
+        // Membership only: extremes are folded in lazily by the
+        // diverging-pair query, so inserts stay O(1).
+        let slot = if s >= 0 {
+            let i = s as usize;
+            if i >= self.buckets_pos.len() {
+                self.buckets_pos.resize_with(i + 1, Bucket::default);
+            }
+            &mut self.buckets_pos[i]
+        } else {
+            let i = (-s - 1) as usize;
+            if i >= self.buckets_neg.len() {
+                self.buckets_neg.resize_with(i + 1, Bucket::default);
+            }
+            &mut self.buckets_neg[i]
+        };
+        slot.members.push(v);
+    }
+
+    /// The bucket at score `s`, if any vertex ever landed there.
+    fn bucket(&self, s: i64) -> Option<&Bucket> {
+        let b = if s >= 0 {
+            self.buckets_pos.get(s as usize)
+        } else {
+            self.buckets_neg.get((-s - 1) as usize)
+        };
+        b.filter(|b| !b.members.is_empty())
+    }
+
+    /// Folds any new members of the bucket at `s` into its pre-order
+    /// extremes (no-op when the bucket is absent).
+    fn catch_up_bucket(&mut self, s: i64) {
+        let anc = self.fork.ancestry();
+        let b = if s >= 0 {
+            self.buckets_pos.get_mut(s as usize)
+        } else {
+            self.buckets_neg.get_mut((-s - 1) as usize)
+        };
+        if let Some(b) = b {
+            b.catch_up(anc);
+        }
+    }
+
+    /// Total adversarial slots in the current string.
+    fn a_total(&self) -> i64 {
+        *self.a_upto.last().expect("a_upto holds at least slot 0")
+    }
+
+    /// The `σ`-bucket holding all tines of reach `r`.
+    fn sigma_of_reach(&self, r: i64) -> i64 {
+        r + self.fork.height() as i64 - self.a_total()
+    }
+
+    /// `gap(t)` for the tine ending at `v`.
+    pub fn gap(&self, v: VertexId) -> i64 {
+        (self.fork.height() - self.fork.depth(v)) as i64
+    }
+
+    /// `reserve(t)` for the tine ending at `v`.
+    pub fn reserve(&self, v: VertexId) -> i64 {
+        self.a_total() - self.a_upto[self.fork.label(v)]
+    }
+
+    /// `reach(t) = reserve(t) − gap(t)` for the tine ending at `v`.
+    pub fn reach(&self, v: VertexId) -> i64 {
+        self.sigma[v.index()] + self.a_total() - self.fork.height() as i64
+    }
+
+    /// `ρ(F) = max_t reach(t)`.
+    pub fn rho(&self) -> i64 {
+        self.sigma_max + self.a_total() - self.fork.height() as i64
+    }
+
+    /// All tines with reach exactly `r`, in ascending vertex-id order
+    /// (matching [`ReachAnalysis::tines_with_reach`]), as an `O(1)`
+    /// bucket lookup.
+    ///
+    /// [`ReachAnalysis::tines_with_reach`]:
+    /// crate::ReachAnalysis::tines_with_reach
+    pub fn tines_with_reach(&self, r: i64) -> &[VertexId] {
+        self.bucket(self.sigma_of_reach(r))
+            .map_or(EMPTY, |b| &b.members)
+    }
+
+    /// The zero-reach tine set `Z` of `A*`'s honest move.
+    pub fn zero_reach_tines(&self) -> &[VertexId] {
+        self.tines_with_reach(0)
+    }
+
+    /// The maximum-reach tine set `R` (never empty).
+    pub fn max_reach_tines(&self) -> &[VertexId] {
+        &self
+            .bucket(self.sigma_max)
+            .expect("fork has vertices")
+            .members
+    }
+
+    /// The `gap` latest adversarial slots of the current string,
+    /// ascending — the reserve slots a conservative extension materialises
+    /// (Definition 15 consumes the *latest* available reserve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `count` adversarial slots exist.
+    pub fn latest_adversarial_slots(&self, count: usize) -> &[usize] {
+        assert!(
+            count <= self.adv_slots.len(),
+            "requested {count} reserve slots, only {} adversarial slots exist",
+            self.adv_slots.len()
+        );
+        &self.adv_slots[self.adv_slots.len() - count..]
+    }
+
+    /// `ℓ(a ∩ b)` — the label of the last common vertex.
+    fn meet_label(&self, a: VertexId, b: VertexId) -> usize {
+        self.fork.label(self.fork.last_common_vertex(a, b))
+    }
+
+    /// Finds `(r₁, z₁) ∈ R × Z` minimising `ℓ(r₁ ∩ z₁)` over *distinct*
+    /// pairs, where `R` is the maximum-reach set and `Z` the zero-reach
+    /// set — `A*`'s tine selection (paper Figure 4). Ties resolve exactly
+    /// as the definitional pair scan does (first minimising pair in
+    /// `R`-major, ascending-id iteration order), so forks built from this
+    /// query are bit-identical to the oracle's. Returns an equal pair
+    /// `(z, z)` only when `R = Z = {z}`.
+    ///
+    /// The query leans on two exact identities (labels are monotone along
+    /// tines, so comparing meet labels is comparing meet depths):
+    ///
+    /// * the minimum meet label over distinct cross pairs is
+    ///   `ℓ(lca(R ∪ Z))` — below the set's LCA the members split into at
+    ///   least two child subtrees, and some cross pair must straddle the
+    ///   split;
+    /// * for a fixed `r`, the minimum over `z ∈ Z` of `ℓ(r ∩ z)` is
+    ///   `ℓ(lca(r, lca(Z)))` — if `r` leaves the `Z`-subtree at or above
+    ///   `lca(Z)` every `z` meets it exactly there, and otherwise some
+    ///   `z` sits in a different child subtree of `lca(Z)` than `r`.
+    ///
+    /// So the engine maintains a lazily folded per-bucket LCA and answers
+    /// with a handful of `O(log n)` meets plus short witness scans.
+    /// Takes `&mut self` because the folds advance bucket watermarks;
+    /// small instances short-circuit into a direct pair scan instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the zero-reach set is empty (the caller handles that case
+    /// by extending a maximum-reach tine instead).
+    pub fn earliest_diverging_pair(&mut self) -> (VertexId, VertexId) {
+        let sigma_zero = self.sigma_of_reach(0);
+        let z_len = self.bucket(sigma_zero).map_or(0, |b| b.members.len());
+        assert!(z_len > 0, "no zero-reach tine");
+        if self.rho() == 0 {
+            // R and Z are the same bucket: distinct pairs from one set.
+            if z_len == 1 {
+                let z = self.bucket(sigma_zero).expect("non-empty").members[0];
+                return (z, z);
+            }
+            if z_len * z_len <= DIRECT_SCAN_PAIRS {
+                let zb = self.bucket(sigma_zero).expect("non-empty");
+                return self.scan_pairs(&zb.members, &zb.members);
+            }
+            self.catch_up_bucket(sigma_zero);
+            let zb = self.bucket(sigma_zero).expect("non-empty");
+            let best = self
+                .fork
+                .label(zb.lca_all.expect("caught-up non-empty bucket"));
+            // Every row attains ℓ(lca(S)): for any r,
+            // min_z ℓ(r ∩ z) = ℓ(lca(r, lca(S \ {r}))) = ℓ(lca(S)).
+            let r1 = zb.members[0];
+            let z1 = self.first_witness(&zb.members, r1, best, true);
+            (r1, z1)
+        } else {
+            let r_len = self
+                .bucket(self.sigma_max)
+                .expect("fork has vertices")
+                .members
+                .len();
+            if r_len * z_len <= DIRECT_SCAN_PAIRS {
+                let rb = self.bucket(self.sigma_max).expect("non-empty");
+                let zb = self.bucket(sigma_zero).expect("non-empty");
+                return self.scan_pairs(&rb.members, &zb.members);
+            }
+            self.catch_up_bucket(sigma_zero);
+            self.catch_up_bucket(self.sigma_max);
+            let rb = self.bucket(self.sigma_max).expect("non-empty");
+            let zb = self.bucket(sigma_zero).expect("non-empty");
+            let z_lca = zb.lca_all.expect("caught-up non-empty bucket");
+            let r_lca = rb.lca_all.expect("caught-up non-empty bucket");
+            let best = self.meet_label(r_lca, z_lca);
+            // First row whose minimum — ℓ(lca(r, lca(Z))) — attains it.
+            let r1 = *rb
+                .members
+                .iter()
+                .find(|&&r| self.meet_label(r, z_lca) == best)
+                .expect("some row attains the overall minimum meet label");
+            let z1 = self.first_witness(&zb.members, r1, best, false);
+            (r1, z1)
+        }
+    }
+
+    /// The definitional pair scan over small `R × Z` (identical iteration
+    /// order to the oracle; also its tie-breaking).
+    fn scan_pairs(&self, max_reach: &[VertexId], zero: &[VertexId]) -> (VertexId, VertexId) {
+        let mut best: Option<(usize, VertexId, VertexId)> = None;
+        for &r in max_reach {
+            for &z in zero {
+                if r == z {
+                    continue;
+                }
+                let l = self.meet_label(r, z);
+                if best.is_none_or(|(bl, _, _)| l < bl) {
+                    best = Some((l, r, z));
+                }
+            }
+        }
+        let (_, r1, z1) = best.expect("caller rules out the singleton case");
+        (r1, z1)
+    }
+
+    /// First `z` (ascending id, `z ≠ r1` when the sets coincide) with
+    /// `ℓ(r1 ∩ z) = best`.
+    fn first_witness(
+        &self,
+        zs: &[VertexId],
+        r1: VertexId,
+        best: usize,
+        same_set: bool,
+    ) -> VertexId {
+        for &z in zs {
+            if same_set && z == r1 {
+                continue;
+            }
+            if self.meet_label(r1, z) == best {
+                return z;
+            }
+        }
+        unreachable!("the minimising row must contain a witness")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{close, random_fork, GenerateConfig};
+    use crate::reach::ReachAnalysis;
+    use multihonest_chars::{BernoulliCondition, CharString};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn w(s: &str) -> CharString {
+        s.parse().unwrap()
+    }
+
+    /// The definitional earliest-diverging pair: the pair scan of the
+    /// pre-engine `A*` implementation, verbatim.
+    fn naive_pair(fork: &Fork, max_reach: &[VertexId], zero: &[VertexId]) -> (VertexId, VertexId) {
+        let mut best: Option<(usize, VertexId, VertexId)> = None;
+        for &r in max_reach {
+            for &z in zero {
+                if r == z {
+                    continue;
+                }
+                let l = fork.label(fork.last_common_vertex(r, z));
+                if best.is_none_or(|(bl, _, _)| l < bl) {
+                    best = Some((l, r, z));
+                }
+            }
+        }
+        match best {
+            Some((_, r1, z1)) => (r1, z1),
+            None => (zero[0], zero[0]),
+        }
+    }
+
+    /// Asserts the engine agrees with a fresh definitional analysis on
+    /// every maintained quantity, including the diverging-pair selection.
+    fn assert_matches_analysis(eng: &mut ReachEngine) {
+        let ra = ReachAnalysis::new(eng.fork());
+        assert_eq!(eng.rho(), ra.rho(), "rho for {}", eng.fork().string());
+        for v in eng.fork().vertices() {
+            assert_eq!(eng.reach(v), ra.reach(v), "reach({v:?})");
+            assert_eq!(eng.gap(v), ra.gap(v), "gap({v:?})");
+            assert_eq!(eng.reserve(v), ra.reserve(v), "reserve({v:?})");
+        }
+        for r in [-2, -1, 0, 1, 2, eng.rho()] {
+            assert_eq!(
+                eng.tines_with_reach(r),
+                ra.tines_with_reach(r).as_slice(),
+                "tines_with_reach({r})"
+            );
+        }
+        let zero = ra.tines_with_reach(0);
+        if !zero.is_empty() {
+            let max_reach = ra.tines_with_reach(ra.rho());
+            assert_eq!(
+                eng.earliest_diverging_pair(),
+                naive_pair(eng.fork(), &max_reach, &zero),
+                "diverging pair for {}",
+                eng.fork().string()
+            );
+        }
+    }
+
+    #[test]
+    fn trivial_and_tiny_forks() {
+        for s in ["", "A", "h", "H", "AA", "hA", "Ah"] {
+            let mut eng = ReachEngine::new(Fork::new(w(s)));
+            assert_matches_analysis(&mut eng);
+        }
+    }
+
+    #[test]
+    fn matches_analysis_while_growing() {
+        // Grow a fork symbol by symbol with a deterministic policy that
+        // keeps it closed, checking the engine after every mutation batch.
+        let mut eng = ReachEngine::new(Fork::trivial());
+        let syms = [
+            Symbol::UniqueHonest,
+            Symbol::Adversarial,
+            Symbol::MultiHonest,
+            Symbol::Adversarial,
+            Symbol::UniqueHonest,
+            Symbol::MultiHonest,
+            Symbol::Adversarial,
+            Symbol::UniqueHonest,
+        ];
+        let mut tips = vec![VertexId::ROOT];
+        for (i, &s) in syms.iter().enumerate() {
+            eng.push_symbol(s);
+            let label = eng.fork().string().len();
+            if s.is_honest() {
+                // Extend an alternating tip with the honest vertex; on H
+                // slots extend two.
+                let t = tips[i % tips.len()];
+                let v = eng.push_vertex(t, label);
+                tips.push(v);
+                if s == Symbol::MultiHonest {
+                    let u = tips[(i + 1) % tips.len()];
+                    if eng.fork().label(u) < label {
+                        tips.push(eng.push_vertex(u, label));
+                    }
+                }
+                assert_matches_analysis(&mut eng);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_analysis_on_random_closed_forks() {
+        let cond = BernoulliCondition::new(0.15, 0.35).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..40 {
+            let s = cond.sample(&mut rng, 18);
+            let f = close(&random_fork(&s, &mut rng, GenerateConfig::default()));
+            let mut eng = ReachEngine::new(f);
+            assert_matches_analysis(&mut eng);
+        }
+    }
+
+    #[test]
+    fn latest_adversarial_slots_are_the_suffix() {
+        let eng = ReachEngine::new(Fork::new(w("hAAhA")));
+        assert_eq!(eng.latest_adversarial_slots(0), &[] as &[usize]);
+        assert_eq!(eng.latest_adversarial_slots(2), &[3, 5]);
+        assert_eq!(eng.latest_adversarial_slots(3), &[2, 3, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserve slots")]
+    fn latest_adversarial_slots_checks_budget() {
+        let eng = ReachEngine::new(Fork::new(w("hA")));
+        let _ = eng.latest_adversarial_slots(2);
+    }
+}

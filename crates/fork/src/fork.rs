@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use multihonest_chars::{CharString, Symbol};
+use multihonest_core::AncestorIndex;
 
 /// Identifier of a fork vertex; the root (genesis) is always
 /// [`VertexId::ROOT`].
@@ -51,9 +52,12 @@ impl VertexId {
 pub struct Fork {
     w: CharString,
     labels: Vec<usize>,
-    parents: Vec<Option<VertexId>>,
     children: Vec<Vec<VertexId>>,
-    depths: Vec<usize>,
+    /// Shared ancestry layer: parent links, depths and the binary-lifting
+    /// jump tables behind every `O(log n)` ancestry query below.
+    anc: AncestorIndex,
+    /// Maximum depth over all vertices, maintained incrementally.
+    height: usize,
 }
 
 impl Fork {
@@ -62,9 +66,9 @@ impl Fork {
         Fork {
             w,
             labels: vec![0],
-            parents: vec![None],
             children: vec![Vec::new()],
-            depths: vec![0],
+            anc: AncestorIndex::new(),
+            height: 0,
         }
     }
 
@@ -120,9 +124,10 @@ impl Fork {
         );
         let id = VertexId(self.labels.len() as u32);
         self.labels.push(label);
-        self.parents.push(Some(parent));
         self.children.push(Vec::new());
-        self.depths.push(self.depths[parent.index()] + 1);
+        let idx = self.anc.push(parent.index());
+        debug_assert_eq!(idx, id.index());
+        self.height = self.height.max(self.anc.depth(idx));
         self.children[parent.index()].push(id);
         id
     }
@@ -136,7 +141,16 @@ impl Fork {
     /// The parent of `v`, or `None` for the root.
     #[inline]
     pub fn parent(&self, v: VertexId) -> Option<VertexId> {
-        self.parents[v.index()]
+        self.anc.parent(v.index()).map(|i| VertexId(i as u32))
+    }
+
+    /// The shared ancestry index underlying this fork's `O(log n)`
+    /// ancestry queries (jump tables over parent links). Exposed so
+    /// analyses layered on top (e.g. the incremental reach engine) can
+    /// run their own LCA / pre-order queries without duplicating it.
+    #[inline]
+    pub fn ancestry(&self) -> &AncestorIndex {
+        &self.anc
     }
 
     /// The children of `v`.
@@ -149,7 +163,7 @@ impl Fork {
     /// `v` (paper Definition 9).
     #[inline]
     pub fn depth(&self, v: VertexId) -> usize {
-        self.depths[v.index()]
+        self.anc.depth(v.index())
     }
 
     /// Returns `true` when `v` is a leaf.
@@ -167,8 +181,9 @@ impl Fork {
     }
 
     /// The height of the fork: the length of its longest tine.
+    #[inline]
     pub fn height(&self) -> usize {
-        self.depths.iter().copied().max().unwrap_or(0)
+        self.height
     }
 
     /// All vertices of maximum depth (the endpoints of maximum-length
@@ -205,48 +220,32 @@ impl Fork {
     }
 
     /// Returns `true` when `anc` lies on the tine ending at `v`
-    /// (i.e. the tine `anc` is a non-strict prefix of the tine `v`).
+    /// (i.e. the tine `anc` is a non-strict prefix of the tine `v`),
+    /// in `O(log n)` via the shared ancestry index.
     pub fn is_ancestor_or_equal(&self, anc: VertexId, v: VertexId) -> bool {
-        let mut cur = v;
-        while self.depth(cur) > self.depth(anc) {
-            cur = self.parent(cur).expect("depth > 0 implies parent");
-        }
-        cur == anc
+        self.anc.is_ancestor_or_equal(anc.index(), v.index())
     }
 
-    /// The last common vertex `t1 ∩ t2` of the tines ending at `a` and `b`.
+    /// The last common vertex `t1 ∩ t2` of the tines ending at `a` and
+    /// `b`, in `O(log n)` via the shared ancestry index.
     pub fn last_common_vertex(&self, a: VertexId, b: VertexId) -> VertexId {
-        let (mut a, mut b) = (a, b);
-        while self.depth(a) > self.depth(b) {
-            a = self.parent(a).expect("deeper vertex has a parent");
-        }
-        while self.depth(b) > self.depth(a) {
-            b = self.parent(b).expect("deeper vertex has a parent");
-        }
-        while a != b {
-            a = self.parent(a).expect("non-root mismatch");
-            b = self.parent(b).expect("non-root mismatch");
-        }
-        a
+        VertexId(self.anc.lca(a.index(), b.index()) as u32)
     }
 
     /// The deepest vertex on the tine ending at `v` whose label is at most
-    /// `max_label` (possibly the root).
+    /// `max_label` (possibly the root), in `O(log n)`: labels strictly
+    /// increase along tines, so the jump tables can descend on them.
     pub fn truncate_to_label(&self, v: VertexId, max_label: usize) -> VertexId {
-        let mut cur = v;
-        while self.label(cur) > max_label {
-            cur = self.parent(cur).expect("root has label 0 <= max_label");
-        }
-        cur
+        VertexId(
+            self.anc
+                .last_key_at_most(v.index(), max_label, |i| self.labels[i]) as u32,
+        )
     }
 
-    /// The ancestor of `v` at depth `depth` (clamped at the root).
+    /// The ancestor of `v` at depth `depth` (clamped at the root), in
+    /// `O(log n)` via the shared ancestry index.
     pub fn ancestor_at_depth(&self, v: VertexId, depth: usize) -> VertexId {
-        let mut cur = v;
-        while self.depth(cur) > depth {
-            cur = self.parent(cur).expect("depth > 0 implies parent");
-        }
-        cur
+        VertexId(self.anc.ancestor_at_depth(v.index(), depth) as u32)
     }
 
     /// The vertex with label `slot` on the tine ending at `v`, if any.

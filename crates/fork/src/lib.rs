@@ -23,6 +23,10 @@
 //! * the reach/margin calculus of Sections 6.1–6.2 computed **by
 //!   definition** on closed forks ([`reach`]) — the independent ground
 //!   truth against which `multihonest-margin`'s recurrences are verified;
+//! * an incremental [`ReachEngine`] ([`engine`]) maintaining reach
+//!   values, the zero/maximum-reach tine sets and `A*`'s
+//!   earliest-divergence selection across fork growth, equivalence-tested
+//!   against the definitional analysis;
 //! * balanced forks, slot divergence, settlement and common-prefix
 //!   violation predicates ([`balanced`], Sections 2.1, 6.3, 9, Appendix A);
 //! * Graphviz/DOT rendering of the paper's figures ([`dot`]);
@@ -34,6 +38,7 @@
 
 pub mod balanced;
 pub mod dot;
+pub mod engine;
 pub mod figures;
 pub mod fork;
 pub mod generate;
@@ -41,6 +46,7 @@ pub mod pinch;
 pub mod reach;
 pub mod validate;
 
+pub use crate::engine::ReachEngine;
 pub use crate::fork::{Fork, VertexId};
 pub use crate::reach::ReachAnalysis;
 pub use crate::validate::ForkError;

@@ -10,6 +10,8 @@
 
 use std::fmt;
 
+use multihonest_core::AncestorIndex;
+
 /// Identifier of a block inside a [`BlockStore`]; the genesis block is
 /// [`BlockId::GENESIS`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -50,12 +52,13 @@ pub struct Block {
 
 /// Append-only arena of all blocks minted during an execution.
 ///
-/// Alongside the blocks themselves the store maintains **binary-lifting
-/// jump tables** (built incrementally at mint time), so ancestor queries —
-/// [`BlockStore::last_common_block`], [`BlockStore::block_at_slot`],
-/// [`BlockStore::diverge_prior_to`] — run in `O(log n)` instead of walking
-/// parent links one at a time. The tables cost `O(n log n)` words total
-/// and `O(log n)` amortised work per mint.
+/// Alongside the blocks themselves the store maintains a shared
+/// [`AncestorIndex`] (jump tables built incrementally at mint time), so
+/// ancestor queries — [`BlockStore::last_common_block`],
+/// [`BlockStore::block_at_slot`], [`BlockStore::diverge_prior_to`] — run
+/// in `O(log n)` instead of walking parent links one at a time. The index
+/// costs `O(n log n)` words total and `O(log n)` amortised work per mint,
+/// and is the same machinery `multihonest-fork` uses for tine ancestry.
 ///
 /// # Examples
 ///
@@ -71,11 +74,7 @@ pub struct Block {
 #[derive(Debug, Clone)]
 pub struct BlockStore {
     blocks: Vec<Block>,
-    /// Level-major jump tables: `jumps[j][i]` is the `2^j`-th ancestor of
-    /// block `i`, with genesis self-looping. Level `j` is created (and
-    /// backfilled for all existing blocks) once some block reaches height
-    /// `2^j`, so every level has exactly one entry per block.
-    jumps: Vec<Vec<u32>>,
+    anc: AncestorIndex,
 }
 
 impl Default for BlockStore {
@@ -96,7 +95,7 @@ impl BlockStore {
                 honest: true,
                 height: 0,
             }],
-            jumps: vec![vec![0]],
+            anc: AncestorIndex::new(),
         }
     }
 
@@ -124,41 +123,15 @@ impl BlockStore {
             honest,
             height,
         });
-        // Extend the jump tables: level 0 is the parent link, level j
-        // composes two level-(j−1) jumps (both already filled for every
-        // ancestor, as ancestors were minted earlier).
-        self.jumps[0].push(parent.0);
-        for j in 1..self.jumps.len() {
-            let half = self.jumps[j - 1][id.index()];
-            let full = self.jumps[j - 1][half as usize];
-            self.jumps[j].push(full);
-        }
-        if height >= 1 << self.jumps.len() {
-            let j = self.jumps.len();
-            let row: Vec<u32> = (0..self.blocks.len())
-                .map(|i| {
-                    let half = self.jumps[j - 1][i];
-                    self.jumps[j - 1][half as usize]
-                })
-                .collect();
-            self.jumps.push(row);
-        }
+        let idx = self.anc.push(parent.index());
+        debug_assert_eq!(idx, id.index());
+        debug_assert_eq!(self.anc.depth(idx), height);
         id
     }
 
-    /// The `steps`-th ancestor of `v`, clamped at genesis.
-    fn ancestor(&self, v: BlockId, steps: usize) -> BlockId {
-        let mut cur = v.0;
-        let mut d = steps.min(self.blocks[v.index()].height);
-        let mut j = 0;
-        while d > 0 {
-            if d & 1 == 1 {
-                cur = self.jumps[j][cur as usize];
-            }
-            d >>= 1;
-            j += 1;
-        }
-        BlockId(cur)
+    /// The `steps`-th ancestor of `v`, clamped at genesis, in `O(log n)`.
+    pub fn ancestor(&self, v: BlockId, steps: usize) -> BlockId {
+        BlockId(self.anc.ancestor(v.index(), steps) as u32)
     }
 
     /// The block with the given id.
@@ -197,47 +170,21 @@ impl BlockStore {
         out
     }
 
-    /// The last common block of two chains, in `O(log n)` via the jump
-    /// tables: lift the deeper endpoint to equal height, then descend the
-    /// largest jumps that keep the endpoints distinct — afterwards both
-    /// sit one step below their meet.
+    /// The last common block of two chains, in `O(log n)` via the shared
+    /// ancestry index.
     pub fn last_common_block(&self, a: BlockId, b: BlockId) -> BlockId {
-        let (ha, hb) = (self.block(a).height, self.block(b).height);
-        let mut a = self.ancestor(a, ha.saturating_sub(hb));
-        let mut b = self.ancestor(b, hb.saturating_sub(ha));
-        if a == b {
-            return a;
-        }
-        for j in (0..self.jumps.len()).rev() {
-            let (ja, jb) = (self.jumps[j][a.index()], self.jumps[j][b.index()]);
-            if ja != jb {
-                a = BlockId(ja);
-                b = BlockId(jb);
-            }
-        }
-        BlockId(self.jumps[0][a.index()])
+        BlockId(self.anc.lca(a.index(), b.index()) as u32)
     }
 
     /// The block on `tip`'s chain issued at `slot`, if any, in `O(log n)`:
-    /// slots strictly increase towards the tip, so jumping to the
-    /// shallowest ancestor with slot ≥ `slot` lands on the unique
-    /// candidate.
+    /// slots strictly increase towards the tip, so the ancestry index can
+    /// descend on them to the deepest ancestor with slot ≤ `slot`, the
+    /// unique candidate.
     pub fn block_at_slot(&self, tip: BlockId, slot: usize) -> Option<BlockId> {
-        if self.block(tip).slot < slot {
-            return None;
-        }
-        let mut cur = tip;
-        for j in (0..self.jumps.len()).rev() {
-            let up = self.jumps[j][cur.index()];
-            if self.blocks[up as usize].slot >= slot {
-                cur = BlockId(up);
-            }
-        }
-        if self.block(cur).slot == slot {
-            Some(cur)
-        } else {
-            None
-        }
+        let cur = self
+            .anc
+            .last_key_at_most(tip.index(), slot, |i| self.blocks[i].slot);
+        (self.blocks[cur].slot == slot).then_some(BlockId(cur as u32))
     }
 
     /// Whether the chains ending at `a` and `b` *diverge prior to slot

@@ -251,6 +251,70 @@ pub mod golden {
         }
     }
 
+    /// The condition behind the canonical-fork Monte-Carlo presets (the
+    /// `astar` bench condition: ε = 0.2, p_h = 0.4).
+    pub fn canonical_mc_condition() -> BernoulliCondition {
+        BernoulliCondition::new(0.2, 0.4).expect("valid condition")
+    }
+
+    /// Frozen canonical-fork pins: `(seed, len, ρ(w), vertex count)` for
+    /// strings sampled from [`canonical_mc_condition`] through the
+    /// [`sample_strings`](super::sample_strings) fixture. The `A*` engine
+    /// must reproduce these exactly — and the resulting forks must pass
+    /// the full `is_canonical` check (Theorem 6) — so any drift in the
+    /// incremental reach engine, the diverging-pair selection or the
+    /// conservative-extension order shows up here.
+    pub const CANONICAL_PINS: &[(u64, usize, i64, usize)] = &[
+        (1, 40, 1, 84),
+        (1, 60, 0, 155),
+        (2, 60, 2, 190),
+        (3, 120, 2, 220),
+    ];
+
+    /// Asserts every [`CANONICAL_PINS`] entry: the engine-built fork is
+    /// canonical and reproduces its frozen `(ρ, vertices)` fingerprint,
+    /// bit-identically to the definitional oracle.
+    pub fn assert_canonical_pins() {
+        use multihonest::adversary::{astar, is_canonical, OptimalAdversary};
+        let cond = canonical_mc_condition();
+        for &(seed, len, rho, vertices) in CANONICAL_PINS {
+            let w = &super::sample_strings(&cond, seed, 1, len)[0];
+            let fork = OptimalAdversary::build(w);
+            assert_eq!(fork, astar::reference::build(w), "oracle drift on {w}");
+            assert!(is_canonical(&fork), "A* fork not canonical for {w}");
+            let ra = multihonest::fork::ReachAnalysis::new(&fork);
+            assert_eq!(
+                (ra.rho(), fork.vertex_count()),
+                (rho, vertices),
+                "canonical fingerprint drifted on seed {seed} len {len}"
+            );
+        }
+    }
+
+    /// Frozen [`CanonicalMonteCarlo`] summary pins:
+    /// `(trials, seed, len, ρ agreements, max ρ, µ_ε(w) ≥ 0 trials)`.
+    /// The driver's integer aggregates are exact and thread-count
+    /// invariant, so these values are stable whatever the parallelism.
+    ///
+    /// [`CanonicalMonteCarlo`]: multihonest::adversary::CanonicalMonteCarlo
+    pub const CANONICAL_MC_PINS: &[(u64, u64, usize, u64, i64, u64)] =
+        &[(16, 5, 300, 16, 12, 0), (24, 9, 150, 24, 6, 2)];
+
+    /// Asserts every [`CANONICAL_MC_PINS`] entry through the parallel
+    /// driver.
+    pub fn assert_canonical_mc_pins() {
+        use multihonest::adversary::CanonicalMonteCarlo;
+        let cond = canonical_mc_condition();
+        for &(trials, seed, len, agreements, max_rho, nonneg) in CANONICAL_MC_PINS {
+            let s = CanonicalMonteCarlo::new(cond, trials, seed).summary(len);
+            assert_eq!(
+                (s.rho_agreements, s.max_rho, s.nonneg_margin_trials),
+                (agreements, max_rho, nonneg),
+                "canonical MC summary drifted at trials {trials} seed {seed} len {len}"
+            );
+        }
+    }
+
     /// Asserts every golden cell within relative tolerance `rtol`.
     pub fn assert_cells_match(cells: &[GoldenCell], rtol: f64) {
         for &(alpha, ratio, k, expected) in cells {

@@ -8,11 +8,13 @@
 //! `criterion_main!` macros.
 //!
 //! Measurement is intentionally simple: each benchmark runs a short warm-up,
-//! then `sample_size` timed batches, and prints per-iteration **min,
-//! median, and mean** (min is the least noisy summary on a busy machine;
-//! mean surfaces tail skew the median hides). No plots or HTML reports —
-//! enough to keep the perf trajectory honest until a fuller harness can
-//! be vendored.
+//! then `sample_size` timed batches. Samples outside the Tukey fences
+//! (1.5 × IQR beyond the quartiles) are rejected as outliers — scheduler
+//! preemptions, not the code under test — and the report prints
+//! per-iteration **min, median, mean and standard deviation** over the
+//! surviving samples, plus how many samples were rejected, so regressions
+//! stand out against run-to-run noise instead of hiding inside it. No
+//! plots or HTML reports — enough to keep the perf trajectory honest.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -55,12 +57,49 @@ pub enum Throughput {
     Bytes(u64),
 }
 
-/// Per-iteration summary statistics of one benchmark run.
+/// Per-iteration summary statistics of one benchmark run, computed over
+/// the samples surviving IQR outlier rejection.
 #[derive(Debug, Clone, Copy, Default)]
 struct Stats {
     min: Duration,
     median: Duration,
     mean: Duration,
+    /// Standard deviation of the surviving samples.
+    stddev: Duration,
+    /// Samples rejected by the Tukey fences (beyond 1.5 × IQR).
+    outliers: usize,
+}
+
+impl Stats {
+    /// Summarises sorted per-iteration samples: reject everything outside
+    /// `[q1 − 1.5·IQR, q3 + 1.5·IQR]`, then report min/median/mean/stddev
+    /// of the survivors. With fewer than 4 samples the fences degenerate
+    /// to keeping everything.
+    fn from_sorted(samples: &[Duration]) -> Stats {
+        let n = samples.len();
+        let q1 = samples[n / 4].as_secs_f64();
+        let q3 = samples[(3 * n) / 4].as_secs_f64();
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let kept: Vec<f64> = samples
+            .iter()
+            .map(Duration::as_secs_f64)
+            .filter(|&s| lo <= s && s <= hi)
+            .collect();
+        debug_assert!(
+            !kept.is_empty(),
+            "quartiles always survive their own fences"
+        );
+        let mean = kept.iter().sum::<f64>() / kept.len() as f64;
+        let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / kept.len() as f64;
+        Stats {
+            min: Duration::from_secs_f64(kept[0]),
+            median: Duration::from_secs_f64(kept[kept.len() / 2]),
+            mean: Duration::from_secs_f64(mean),
+            stddev: Duration::from_secs_f64(var.sqrt()),
+            outliers: n - kept.len(),
+        }
+    }
 }
 
 /// Timing loop handed to benchmark closures.
@@ -96,12 +135,7 @@ impl Bencher {
             samples.push(start.elapsed() / batch as u32);
         }
         samples.sort();
-        let total: Duration = samples.iter().sum();
-        self.stats = Stats {
-            min: samples[0],
-            median: samples[samples.len() / 2],
-            mean: total / samples.len() as u32,
-        };
+        self.stats = Stats::from_sorted(&samples);
     }
 }
 
@@ -168,9 +202,12 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &str, stats: Stats) {
         let mut line = format!(
-            "{}/{}: min {:?} median {:?} mean {:?}",
-            self.name, id, stats.min, stats.median, stats.mean
+            "{}/{}: min {:?} median {:?} mean {:?} stddev {:?}",
+            self.name, id, stats.min, stats.median, stats.mean, stats.stddev
         );
+        if stats.outliers > 0 {
+            let _ = write!(line, " [{} outlier(s) rejected]", stats.outliers);
+        }
         if let Some(tp) = self.throughput {
             let (count, unit) = match tp {
                 Throughput::Elements(n) => (n, "elem"),
@@ -283,5 +320,30 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn iqr_rejects_preemption_spikes() {
+        // 19 tight samples and one 100× spike: the spike must be rejected
+        // and the survivors' stats stay tight.
+        let mut samples: Vec<Duration> = (0..19).map(|i| Duration::from_micros(100 + i)).collect();
+        samples.push(Duration::from_millis(10));
+        samples.sort();
+        let stats = Stats::from_sorted(&samples);
+        assert_eq!(stats.outliers, 1);
+        assert!(stats.mean < Duration::from_micros(200), "{stats:?}");
+        assert!(stats.stddev < Duration::from_micros(50), "{stats:?}");
+        assert_eq!(stats.min, Duration::from_micros(100));
+
+        // A clean run rejects nothing, and stddev reflects the spread.
+        let clean: Vec<Duration> = (0..16).map(|i| Duration::from_micros(100 + i)).collect();
+        let stats = Stats::from_sorted(&clean);
+        assert_eq!(stats.outliers, 0);
+        assert!(stats.stddev > Duration::ZERO);
+
+        // Tiny sample counts degenerate gracefully.
+        let two = [Duration::from_micros(1), Duration::from_micros(1000)];
+        let stats = Stats::from_sorted(&two);
+        assert_eq!(stats.outliers, 0);
     }
 }
