@@ -318,6 +318,12 @@ pub mod reference {
 /// Verifies that a closed fork is **canonical** (paper Definition 19):
 /// `ρ(F) = ρ(w)` and `µ_x(F) = µ_x(y)` for every decomposition `w = xy`,
 /// where the right-hand sides are computed by the Theorem 5 recurrences.
+///
+/// The definitional `µ` side is the `O(V²)` pair scan — the bottleneck
+/// when verifying long canonical forks — so it runs through the
+/// thread-parallel [`ReachAnalysis::relative_margins_parallel`] (exact:
+/// an integer max-reduction, identical to the serial oracle for every
+/// thread count).
 pub fn is_canonical(fork: &Fork) -> bool {
     if !fork.is_closed() {
         return false;
@@ -327,7 +333,7 @@ pub fn is_canonical(fork: &Fork) -> bool {
     if ra.rho() != recurrence::rho(w) {
         return false;
     }
-    let definitional = ra.relative_margins();
+    let definitional = ra.relative_margins_parallel();
     (0..=w.len()).all(|cut| definitional[cut] == recurrence::relative_margin(w, cut))
 }
 

@@ -453,11 +453,16 @@ impl CanonicalMonteCarlo {
 
 /// Parallel Monte-Carlo driver over **full protocol executions** — the
 /// simulator-side counterpart of [`MonteCarlo`], which samples bare
-/// characteristic strings. Each trial runs [`Simulation::run`] on a
-/// distinct seed and reads the observed settlement statistics from the
-/// execution's pre-folded divergence index, so a whole per-trial sweep
-/// costs `O(slots)` on top of the run itself (the naive per-`(s, k)`
-/// scans would dominate at `O(slots²)` and worse).
+/// characteristic strings. Each trial runs the **columnar scenario
+/// engine** ([`ColumnarSimulation`], bit-identical to `sim::reference`
+/// by the scenario crate's equivalence suite, and several times faster)
+/// on a distinct seed in streaming mode — no per-slot traces are
+/// retained — and reads the observed settlement statistics from the
+/// online-folded divergence index, so a whole per-trial sweep costs
+/// `O(slots)` on top of the run itself (the naive per-`(s, k)` scans
+/// would dominate at `O(slots²)` and worse).
+///
+/// [`ColumnarSimulation`]: multihonest_scenario::ColumnarSimulation
 #[derive(Debug, Clone, Copy)]
 pub struct SimMonteCarlo {
     cfg: multihonest_sim::SimConfig,
@@ -492,17 +497,32 @@ impl SimMonteCarlo {
         &self.cfg
     }
 
-    /// Maps every trial seed through `f` and sums the results — workers
-    /// claim seeds from a shared counter, and the commutative integer
-    /// reduction makes the total a pure function of `(cfg, seed, runs)`,
-    /// identical for every thread count.
+    /// Maps every trial seed through `f` (given the trial's end-of-run
+    /// metrics and settlement index) and sums the results — workers claim
+    /// seeds from a shared counter, and the commutative integer reduction
+    /// makes the total a pure function of `(cfg, seed, runs)`, identical
+    /// for every thread count.
     fn sum_over_seeds<F>(&self, f: F) -> u64
     where
-        F: Fn(&multihonest_sim::Simulation) -> u64 + Sync,
+        F: Fn(&multihonest_sim::Metrics, &multihonest_sim::DivergenceIndex) -> u64 + Sync,
     {
         sum_claimed(self.runs, self.threads, |i| {
-            let sim = multihonest_sim::Simulation::run(&self.cfg, self.seed.wrapping_add(i));
-            f(&sim)
+            let seed = self.seed.wrapping_add(i);
+            let schedule = multihonest_scenario::ColumnarSchedule::sample(
+                self.cfg.honest_nodes,
+                self.cfg.adversarial_stake,
+                self.cfg.active_slot_coeff,
+                self.cfg.slots,
+                seed,
+            );
+            let mut strategy = self.cfg.strategy.instantiate();
+            let (metrics, index) = multihonest_scenario::ColumnarSimulation::run_streaming(
+                &self.cfg,
+                &schedule,
+                strategy.as_mut(),
+                &mut (),
+            );
+            f(&metrics, &index)
         })
     }
 
@@ -510,8 +530,7 @@ impl SimMonteCarlo {
     /// violation — an `O(1)` read per trial off the execution's maximum
     /// settlement lag.
     pub fn any_violation(&self, k: usize) -> Estimate {
-        let hits =
-            self.sum_over_seeds(|sim| u64::from(sim.metrics().observed_settlement_violation(k)));
+        let hits = self.sum_over_seeds(|m, _| u64::from(m.observed_settlement_violation(k)));
         Estimate {
             hits,
             trials: self.runs,
@@ -524,9 +543,7 @@ impl SimMonteCarlo {
         if self.runs == 0 {
             return 0.0;
         }
-        let total = self.sum_over_seeds(|sim| {
-            sim.settlement_violations(k).iter().filter(|&&v| v).count() as u64
-        });
+        let total = self.sum_over_seeds(|_, index| index.count_violations(k, usize::MAX) as u64);
         total as f64 / self.runs as f64
     }
 }
@@ -665,6 +682,24 @@ mod tests {
         let m1 = mc.with_threads(1).mean_violating_slots(5);
         let m4 = mc.with_threads(4).mean_violating_slots(5);
         assert_eq!(m1, m4);
+    }
+
+    #[test]
+    fn sim_mc_columnar_trials_match_the_reference_engine() {
+        // The driver now runs the columnar engine per trial; its per-seed
+        // statistics must match reference executions exactly.
+        let cfg = sim_mc_config();
+        let mc = SimMonteCarlo::new(cfg, 6, 11).with_threads(1);
+        let k = 5;
+        let mut ref_hits = 0u64;
+        let mut ref_total = 0u64;
+        for i in 0..6u64 {
+            let sim = multihonest_sim::Simulation::run(&cfg, 11 + i);
+            ref_hits += u64::from(sim.metrics().observed_settlement_violation(k));
+            ref_total += sim.count_violating_slots(k, cfg.slots) as u64;
+        }
+        assert_eq!(mc.any_violation(k).hits, ref_hits);
+        assert!((mc.mean_violating_slots(k) - ref_total as f64 / 6.0).abs() < 1e-12);
     }
 
     #[test]

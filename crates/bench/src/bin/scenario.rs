@@ -1,0 +1,107 @@
+//! The scenario engine's grid sweep: columnar million-slot executions
+//! across the scenario library, with engine-equivalence enforcement.
+//!
+//! ```bash
+//! # the scenario grid table (200k-slot rows, headline at 10^6 slots):
+//! cargo run -p multihonest-bench --release --bin scenario
+//! # reduced grid:
+//! cargo run -p multihonest-bench --release --bin scenario -- --quick
+//! # timing baseline for the perf trajectory (writes BENCH_scenario.json):
+//! cargo run -p multihonest-bench --release --bin scenario -- bench-report
+//! cargo run -p multihonest-bench --release --bin scenario -- bench-report --quick --out /tmp/b.json
+//! ```
+
+use multihonest_bench::cli::flag_value;
+use multihonest_scenario::{scenario_bench_report, ScenarioBenchReport};
+
+fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
+    let ks: Vec<usize> = vec![5, 20, 80];
+    if quick {
+        scenario_bench_report(600, 20_000, 100_000, seed, &ks, threads)
+    } else {
+        scenario_bench_report(2_000, 200_000, 1_000_000, seed, &ks, threads)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let report_mode = args.iter().any(|a| a == "bench-report");
+    let seed = flag_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes a u64"))
+        .unwrap_or(9);
+    let threads = flag_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a count"))
+        .unwrap_or_else(multihonest_bench::default_threads);
+    // Quick-grid reports default to a separate file: BENCH_scenario.json
+    // is the committed full-grid baseline and must not be silently
+    // clobbered with incomparable quick-grid numbers.
+    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+        "BENCH_scenario_quick.json"
+    } else {
+        "BENCH_scenario.json"
+    });
+
+    let report = build_report(quick, seed, threads);
+
+    if report_mode {
+        let payload = serde_json::to_string_pretty(&report).expect("serializable");
+        std::fs::write(out_path, format!("{payload}\n")).expect("write bench report");
+        eprintln!(
+            "bench-report: {} scenarios bit-identical at {} slots ({:.1}x vs reference); \
+             {}-slot headline {:.2}s ({:.2} Mslots/s) -> {}",
+            report.equivalence_scenarios,
+            report.equivalence_slots,
+            report.speedup,
+            report.million_slots,
+            report.million_run_seconds,
+            report.million_slots_per_second / 1e6,
+            out_path
+        );
+        return;
+    }
+
+    println!(
+        "== scenario grid ({} slots per row, seed {seed}, {} threads) ==",
+        report.grid_slots, report.threads
+    );
+    println!(
+        "equivalence: {} scenarios bit-identical to sim::reference at {} slots \
+         (reference {:.2}s vs columnar {:.3}s, {:.0}x)",
+        report.equivalence_scenarios,
+        report.equivalence_slots,
+        report.reference_seconds,
+        report.columnar_seconds,
+        report.speedup
+    );
+    println!(
+        "throughput headline: {} slots of private-withholding in {:.2}s ({:.2} Mslots/s)\n",
+        report.million_slots,
+        report.million_run_seconds,
+        report.million_slots_per_second / 1e6
+    );
+    println!(
+        "{:<24} | {:>8} | {:>9} | {:>7} | {:>9} | {:>7} | {:>8} | {:>12}",
+        "scenario",
+        "run s",
+        "Mslots/s",
+        "quality",
+        "rollbacks",
+        "max lag",
+        "viol@k20",
+        "fingerprint"
+    );
+    for row in &report.rows {
+        println!(
+            "{:<24} | {:>8.3} | {:>9.2} | {:>7.3} | {:>9} | {:>7} | {:>8} | {:>12x}",
+            row.name,
+            row.run_seconds,
+            row.mslots_per_second,
+            row.chain_quality,
+            row.rollbacks,
+            row.max_settlement_lag,
+            row.violating_anchors[1],
+            row.fingerprint
+        );
+    }
+}

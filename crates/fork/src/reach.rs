@@ -138,6 +138,11 @@ impl<'a> ReachAnalysis<'a> {
     /// A pair with last common vertex labelled `L` is disjoint over the
     /// suffix for every cut `≥ L`, so `µ_cut` is the prefix maximum over
     /// `L ≤ cut` of the best pair with that meeting label.
+    ///
+    /// This is the serial, definitional `O(V²)` pair scan — retained as
+    /// the oracle for [`ReachAnalysis::relative_margins_threads`], which
+    /// parallelises the scan for the long canonical forks where verifying
+    /// `µ` is the bottleneck.
     pub fn relative_margins(&self) -> Vec<i64> {
         let n = self.fork.string().len();
         let mut best_at_label = vec![i64::MIN; n + 1];
@@ -155,6 +160,88 @@ impl<'a> ReachAnalysis<'a> {
                 }
             }
         }
+        Self::prefix_max(&best_at_label, n)
+    }
+
+    /// [`ReachAnalysis::relative_margins`] with the `O(V²)` pair scan
+    /// fanned out over up to `threads` scoped workers. Workers claim
+    /// row blocks from a shared atomic counter (rows shrink with `i`, so
+    /// dynamic claiming load-balances the triangle) and fold private
+    /// `best_at_label` tables that are merged by `max` — an exact integer
+    /// reduction, so the result is **identical to the serial oracle for
+    /// every thread count**.
+    pub fn relative_margins_threads(&self, threads: usize) -> Vec<i64> {
+        let n = self.fork.string().len();
+        let ids: Vec<VertexId> = self.fork.vertices().collect();
+        let v = ids.len();
+        let threads = threads.max(1).min(v.max(1));
+        if threads <= 1 {
+            return self.relative_margins();
+        }
+        // Enough rows per claim to amortise the atomic, few enough that
+        // the shrinking triangle still balances.
+        let block = (v / (threads * 8)).max(1);
+        let blocks = v.div_ceil(block);
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let mut best_at_label = vec![i64::MIN; n + 1];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..threads {
+                let counter = &counter;
+                let ids = &ids;
+                let this = &*self;
+                handles.push(scope.spawn(move || {
+                    let mut local = vec![i64::MIN; n + 1];
+                    loop {
+                        let blk = counter.fetch_add(1, Ordering::Relaxed);
+                        if blk >= blocks {
+                            break;
+                        }
+                        for i in blk * block..((blk + 1) * block).min(v) {
+                            let a = ids[i];
+                            let ra = this.reach(a);
+                            for &b in &ids[i..] {
+                                let lca = this.fork.last_common_vertex(a, b);
+                                let l = this.fork.label(lca);
+                                let m = ra.min(this.reach(b));
+                                if m > local[l] {
+                                    local[l] = m;
+                                }
+                            }
+                        }
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                let local = h.join().expect("worker panicked");
+                for (best, l) in best_at_label.iter_mut().zip(local) {
+                    *best = (*best).max(l);
+                }
+            }
+        });
+        Self::prefix_max(&best_at_label, n)
+    }
+
+    /// [`ReachAnalysis::relative_margins_threads`] at the machine's full
+    /// parallelism — with a serial cutoff: below a few thousand vertices
+    /// the whole `O(V²)` scan costs less than spawning a thread team, so
+    /// small forks (the exhaustive/proptest grids, the golden pins) take
+    /// the serial path unchanged.
+    pub fn relative_margins_parallel(&self) -> Vec<i64> {
+        const SERIAL_CUTOFF_VERTICES: usize = 4_096;
+        if self.fork.vertex_count() < SERIAL_CUTOFF_VERTICES {
+            return self.relative_margins();
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        self.relative_margins_threads(threads)
+    }
+
+    /// Folds a per-meeting-label best table into the cut-indexed margins.
+    fn prefix_max(best_at_label: &[i64], n: usize) -> Vec<i64> {
         let mut out = Vec::with_capacity(n + 1);
         let mut acc = i64::MIN;
         for &best in best_at_label.iter().take(n + 1) {
@@ -261,6 +348,39 @@ mod tests {
         assert_eq!(r.relative_margin(0), 0);
         let (p, q) = r.margin_witness(1);
         assert_eq!(r.reach(p).min(r.reach(q)), 1);
+    }
+
+    #[test]
+    fn parallel_margins_match_the_serial_oracle() {
+        use crate::generate::{close, random_fork, GenerateConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Hand-built and random closed forks, several sizes: the
+        // thread-parallel pair scan must reproduce the serial oracle
+        // exactly, for every thread count.
+        let mut forks = vec![
+            crate::generate::close(&crate::figures::figure1()),
+            Fork::trivial(),
+            Fork::new(w("A")),
+        ];
+        let mut rng = StdRng::seed_from_u64(42);
+        let cond = multihonest_chars::BernoulliCondition::new(0.25, 0.35).unwrap();
+        for len in [30usize, 90, 240] {
+            let s = cond.sample(&mut rng, len);
+            forks.push(close(&random_fork(&s, &mut rng, GenerateConfig::default())));
+        }
+        for fork in &forks {
+            let r = ReachAnalysis::new(fork);
+            let oracle = r.relative_margins();
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    r.relative_margins_threads(threads),
+                    oracle,
+                    "thread count {threads} changed the margins"
+                );
+            }
+            assert_eq!(r.relative_margins_parallel(), oracle);
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 //! | [`adversary`] | settlement game, optimal adversary `A*`, Monte Carlo | 2.2, 6.5 |
 //! | [`analytic`] | generating functions, Bounds 1–3, Theorems 1/2/7/8 | 4, 5, 8, 9 |
 //! | [`sim`] | executable PoS protocol with Δ-network and attacks | 2, 8 |
+//! | [`scenario`] | columnar million-slot engine + scenario library | 2, 8 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -57,6 +58,7 @@ pub use multihonest_chars as chars;
 pub use multihonest_core as core;
 pub use multihonest_fork as fork;
 pub use multihonest_margin as margin;
+pub use multihonest_scenario as scenario;
 pub use multihonest_sim as sim;
 
 /// Convenient re-exports of the most used types.

@@ -1,0 +1,528 @@
+//! The columnar execution engine: million-slot runs in seconds.
+//!
+//! [`ColumnarSimulation`] replays exactly the abstract protocol of the
+//! reference engine ([`multihonest_sim::Simulation`], kept as
+//! `sim::reference`) over the SoA arenas of this crate:
+//!
+//! * blocks live in a [`ColumnarStore`] (flat `u32` columns over the
+//!   shared `AncestorIndex`) instead of per-block structs;
+//! * the leader schedule is a [`ColumnarSchedule`] (flat leader column)
+//!   instead of one heap `Vec` per slot;
+//! * deliveries flow through a [`DeliveryRing`] (bounded window of reused
+//!   buckets) instead of `O(slots)` live queues;
+//! * per-node known-sets are growable bitsets instead of hash sets;
+//! * the consistency index is folded **online** through the shared
+//!   [`DivergenceFold`], and metrics stream through
+//!   [`MetricsSink`]/[`MetricsAccumulator`] — a streaming run retains no
+//!   per-slot state at all.
+//!
+//! Both engines drive the *same* [`AdversaryStrategy`] objects through
+//! their own [`SlotContext`]s, and both contexts clamp honest deliveries
+//! into the `[slot, slot + Δ]` window (axiom A4Δ) — the **Δ-window clamp
+//! invariant**: no strategy, built-in or user-supplied, can break the Δ
+//! axiom, because the clamp is engine-side. Identical strategy decisions
+//! over identical schedules therefore give identical block arenas,
+//! delivery orders, tip trajectories and rollback records — the
+//! bit-identical-trace guarantee that `tests/scenario_engine.rs` and the
+//! committed `BENCH_scenario.json` both enforce against the reference.
+
+use multihonest_sim::consistency::{DivergenceFold, DivergenceIndex};
+use multihonest_sim::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
+use multihonest_sim::strategy::{AdversaryStrategy, SlotContext};
+use multihonest_sim::{BlockId, SimConfig, TieBreak};
+
+use crate::ring::DeliveryRing;
+use crate::schedule::ColumnarSchedule;
+use crate::store::{ColumnarStore, ADVERSARY};
+
+/// A growable bitset over block ids — the columnar engine's per-node
+/// known-set (the reference engine uses a `HashSet<BlockId>`).
+#[derive(Debug, Clone, Default)]
+struct BlockSet {
+    words: Vec<u64>,
+}
+
+impl BlockSet {
+    /// Inserts `b`; returns `true` when it was newly inserted.
+    #[inline]
+    fn insert(&mut self, b: u32) -> bool {
+        let (word, bit) = (b as usize / 64, b as usize % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        fresh
+    }
+
+    #[cfg(test)]
+    fn contains(&self, b: u32) -> bool {
+        let (word, bit) = (b as usize / 64, b as usize % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+}
+
+/// The engine-side [`SlotContext`] of the columnar core: mints into the
+/// [`ColumnarStore`] and schedules through the [`DeliveryRing`] (whose
+/// honest path clamps into the Δ window, enforcing axiom A4Δ).
+struct ColumnarSlotContext<'a> {
+    store: &'a mut ColumnarStore,
+    ring: &'a mut DeliveryRing,
+    delta: usize,
+    honest_nodes: usize,
+    slot: usize,
+    adversarial_leader: bool,
+}
+
+impl SlotContext for ColumnarSlotContext<'_> {
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
+    fn delta(&self) -> usize {
+        self.delta
+    }
+
+    fn honest_nodes(&self) -> usize {
+        self.honest_nodes
+    }
+
+    fn adversarial_leader(&self) -> bool {
+        self.adversarial_leader
+    }
+
+    fn height_of(&self, block: BlockId) -> usize {
+        self.store.height(block.index() as u32)
+    }
+
+    fn parent_of(&self, block: BlockId) -> Option<BlockId> {
+        self.store
+            .parent(block.index() as u32)
+            .map(|p| BlockId::from_index(p as usize))
+    }
+
+    fn mint_adversarial(&mut self, parent: BlockId) -> BlockId {
+        let id = self
+            .store
+            .mint(parent.index() as u32, self.slot, ADVERSARY, false);
+        BlockId::from_index(id as usize)
+    }
+
+    fn deliver_honest(&mut self, requested_slot: usize, recipient: usize, block: BlockId) {
+        self.ring
+            .schedule_honest(self.slot, requested_slot, recipient, block.index() as u32);
+    }
+
+    fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId) {
+        self.ring
+            .schedule_adversarial(self.slot, at_slot, recipient, block.index() as u32);
+    }
+}
+
+/// The longest-chain rule of one columnar honest node, bit-compatible
+/// with the reference `HonestNode::receive`.
+#[inline]
+fn receive(
+    store: &ColumnarStore,
+    tie_break: TieBreak,
+    known: &mut BlockSet,
+    tip: &mut u32,
+    block: u32,
+) {
+    if !known.insert(block) {
+        return;
+    }
+    // Receiving a chain means knowing every block on it.
+    let mut cur = store.parent(block);
+    while let Some(b) = cur {
+        if !known.insert(b) {
+            break;
+        }
+        cur = store.parent(b);
+    }
+    let new_height = store.height(block);
+    let cur_height = store.height(*tip);
+    let adopt = match new_height.cmp(&cur_height) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => match tie_break {
+            TieBreak::AdversarialOrder => false, // first seen stays
+            TieBreak::Consistent => {
+                multihonest_sim::block::tie_hash(block) < multihonest_sim::block::tie_hash(*tip)
+            }
+        },
+    };
+    if adopt {
+        *tip = block;
+    }
+}
+
+/// A finished columnar execution with full traces retained — the
+/// query-compatible counterpart of the reference `Simulation`, produced
+/// by [`ColumnarSimulation::run`]. For runs where no per-slot trace is
+/// wanted (the million-slot regime), use
+/// [`ColumnarSimulation::run_streaming`].
+#[derive(Debug, Clone)]
+pub struct ColumnarSimulation {
+    config: SimConfig,
+    store: ColumnarStore,
+    /// Distinct honest tips per slot, flattened; slot `t` (1-based) owns
+    /// `tips_flat[tips_end[t − 1] as usize..tips_end[t] as usize]`.
+    tips_flat: Vec<u32>,
+    tips_end: Vec<u32>,
+    rollbacks: Vec<(u32, u32, u32)>,
+    divergence: DivergenceIndex,
+    metrics: Metrics,
+}
+
+impl ColumnarSimulation {
+    /// Runs an execution with the given seed, instantiating the
+    /// configured built-in strategy — the drop-in columnar counterpart of
+    /// `Simulation::run`, with bit-identical traces.
+    pub fn run(config: &SimConfig, seed: u64) -> ColumnarSimulation {
+        let mut strategy = config.strategy.instantiate();
+        ColumnarSimulation::run_with(config, seed, strategy.as_mut())
+    }
+
+    /// Runs an execution with an arbitrary [`AdversaryStrategy`].
+    pub fn run_with(
+        config: &SimConfig,
+        seed: u64,
+        strategy: &mut dyn AdversaryStrategy,
+    ) -> ColumnarSimulation {
+        let schedule = ColumnarSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            seed,
+        );
+        ColumnarSimulation::run_with_schedule(config, &schedule, strategy)
+    }
+
+    /// Runs an execution over an explicit columnar schedule
+    /// (heterogeneous stake profiles sample theirs with
+    /// [`ColumnarSchedule::sample_weighted`]) and an arbitrary strategy,
+    /// retaining the full tip/rollback traces.
+    pub fn run_with_schedule(
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+    ) -> ColumnarSimulation {
+        let mut sink = ();
+        execute(config, schedule, strategy, true, &mut sink)
+    }
+
+    /// Runs a **streaming** execution: no per-slot traces are retained —
+    /// constant-size working state beyond the block arena and the
+    /// `O(slots)` divergence index — and every per-slot observation is
+    /// forwarded to `sink`. Returns the end-of-run metrics and the
+    /// settlement index.
+    pub fn run_streaming<S: MetricsSink>(
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        sink: &mut S,
+    ) -> (Metrics, DivergenceIndex) {
+        let out = execute(config, schedule, strategy, false, sink);
+        (out.metrics, out.divergence)
+    }
+
+    /// The configuration used.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The SoA block arena.
+    pub fn store(&self) -> &ColumnarStore {
+        &self.store
+    }
+
+    /// Execution metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Distinct honest tips at the end of `slot` (1-based; slot 0 reports
+    /// none), matching the reference `Simulation::tips_at`.
+    pub fn tips_at(&self, slot: usize) -> &[u32] {
+        if slot == 0 {
+            return &[];
+        }
+        &self.tips_flat[self.tips_end[slot - 1] as usize..self.tips_end[slot] as usize]
+    }
+
+    /// All recorded rollbacks: `(slot, previous tip, new tip)`.
+    pub fn rollbacks(&self) -> &[(u32, u32, u32)] {
+        &self.rollbacks
+    }
+
+    /// The execution's settlement index.
+    pub fn divergence_index(&self) -> &DivergenceIndex {
+        &self.divergence
+    }
+
+    /// Whether the execution exhibits a `(slot, k)`-settlement violation
+    /// (paper Definition 3, observed) — `O(1)`.
+    pub fn settlement_violation(&self, slot: usize, k: usize) -> bool {
+        self.divergence.violates(slot, k)
+    }
+
+    /// The full settlement sweep at parameter `k`; `O(slots)`.
+    pub fn settlement_violations(&self, k: usize) -> Vec<bool> {
+        self.divergence.violations(k)
+    }
+
+    /// Number of violating anchors `s ≤ upto` at parameter `k`.
+    pub fn count_violating_slots(&self, k: usize, upto: usize) -> usize {
+        self.divergence.count_violations(k, upto)
+    }
+
+    /// The smallest violating anchor at parameter `k`, if any.
+    pub fn first_violating_slot(&self, k: usize) -> Option<usize> {
+        self.divergence.first_violation(k)
+    }
+}
+
+/// The engine loop shared by the trace-retaining and streaming modes.
+fn execute<S: MetricsSink>(
+    config: &SimConfig,
+    schedule: &ColumnarSchedule,
+    strategy: &mut dyn AdversaryStrategy,
+    keep_trace: bool,
+    sink: &mut S,
+) -> ColumnarSimulation {
+    assert_eq!(
+        schedule.len(),
+        config.slots,
+        "schedule must cover the configured horizon"
+    );
+    let n = config.honest_nodes;
+    assert!(n > 0, "need at least one honest node");
+    // Expected blocks ≈ one per leader flag; reserve with headroom.
+    let expected = schedule.active_slots() + schedule.len() / 8 + 16;
+    let mut store = ColumnarStore::with_capacity(expected);
+    let mut ring = DeliveryRing::new(config.delta, strategy.lookahead(config.delta), config.slots);
+    let mut tips: Vec<u32> = vec![0; n];
+    let mut known: Vec<BlockSet> = vec![BlockSet::default(); n];
+    for k in &mut known {
+        k.insert(0); // genesis
+    }
+    let mut fold = DivergenceFold::new(config.slots);
+    let mut acc = MetricsAccumulator::new();
+    let mut rollbacks: Vec<(u32, u32, u32)> = Vec::new();
+    let mut tips_flat: Vec<u32> = Vec::new();
+    let mut tips_end: Vec<u32> = Vec::with_capacity(if keep_trace { config.slots + 1 } else { 1 });
+    tips_end.push(0);
+    // Reused per-slot buffers — the steady-state loop allocates nothing.
+    let mut minted: Vec<BlockId> = Vec::new();
+    let mut before: Vec<u32> = vec![0; n];
+    let mut due: Vec<(u32, u32)> = Vec::new();
+    let mut uniq: Vec<u32> = Vec::with_capacity(n);
+
+    for slot in 1..=config.slots {
+        // 1. Honest leaders mint on their current tips and adopt their
+        //    own block at mint time (no rushed same-height injection can
+        //    win the first-seen tie against a minter).
+        minted.clear();
+        for &leader in schedule.leaders(slot) {
+            let l = leader as usize;
+            let b = store.mint(tips[l], slot, leader, true);
+            receive(&store, config.tie_break, &mut known[l], &mut tips[l], b);
+            minted.push(BlockId::from_index(b as usize));
+        }
+        // 2. The rushing adversary observes the minted blocks and acts —
+        //    through the same trait the reference engine drives.
+        let mut ctx = ColumnarSlotContext {
+            store: &mut store,
+            ring: &mut ring,
+            delta: config.delta,
+            honest_nodes: n,
+            slot,
+            adversarial_leader: schedule.adversarial(slot),
+        };
+        strategy.on_slot(&mut ctx, &minted);
+        // 3. Apply this slot's deliveries in scheduled order, recording
+        //    chain rollbacks.
+        before.copy_from_slice(&tips);
+        ring.drain_into(slot, &mut due);
+        for &(recipient, block) in &due {
+            let r = recipient as usize;
+            receive(&store, config.tie_break, &mut known[r], &mut tips[r], block);
+        }
+        for i in 0..n {
+            let (old, new) = (before[i], tips[i]);
+            if new != old && store.last_common_block(old, new) != old {
+                if keep_trace {
+                    rollbacks.push((slot as u32, old, new));
+                }
+                fold.observe_rollback(&store, slot, old, new);
+                TeeSink {
+                    a: &mut acc,
+                    b: &mut *sink,
+                }
+                .on_rollback(slot, store.height(old), store.height(new));
+            }
+        }
+        if config.tie_break == TieBreak::AdversarialOrder {
+            for (&leader, &b) in schedule.leaders(slot).iter().zip(&minted) {
+                let tip = tips[leader as usize];
+                debug_assert!(
+                    tip == b.index() as u32 || store.height(tip) > store.height(b.index() as u32),
+                    "leader {leader} lost its own slot-{slot} block to an equal-height tie"
+                );
+            }
+        }
+        // 4. Fold the distinct honest views.
+        uniq.clear();
+        uniq.extend_from_slice(&tips);
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut div = 0usize;
+        let mut best_height = 0usize;
+        for (i, &a) in uniq.iter().enumerate() {
+            best_height = best_height.max(store.height(a));
+            for &b in &uniq[i + 1..] {
+                let lca = store.last_common_block(a, b);
+                let first = store.slot(a).min(store.slot(b));
+                div = div.max(first.saturating_sub(store.slot(lca)));
+            }
+        }
+        fold.observe_tips(&store, slot, &uniq);
+        TeeSink {
+            a: &mut acc,
+            b: &mut *sink,
+        }
+        .on_slot(slot, uniq.len(), best_height, div);
+        if keep_trace {
+            tips_flat.extend_from_slice(&uniq);
+            tips_end.push(tips_flat.len() as u32);
+        }
+    }
+
+    // Final metrics: best tip over node views, later nodes winning height
+    // ties (matching the reference's `max_by_key`).
+    let mut best_tip = tips[0];
+    for &t in &tips {
+        if store.height(t) >= store.height(best_tip) {
+            best_tip = t;
+        }
+    }
+    let mut chain_blocks = 0usize;
+    let mut honest_chain_blocks = 0usize;
+    let mut cur = best_tip;
+    while let Some(p) = store.parent(cur) {
+        chain_blocks += 1;
+        honest_chain_blocks += usize::from(store.is_honest(cur));
+        cur = p;
+    }
+    let divergence = fold.finish();
+    let metrics = acc.finish(
+        schedule.active_slots(),
+        store.height(best_tip),
+        chain_blocks,
+        honest_chain_blocks,
+        divergence.max_settlement_lag(),
+    );
+    ColumnarSimulation {
+        config: *config,
+        store,
+        tips_flat,
+        tips_end,
+        rollbacks,
+        divergence,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_sim::{Simulation, Strategy};
+
+    fn cfg(strategy: Strategy, delta: usize, slots: usize) -> SimConfig {
+        SimConfig {
+            honest_nodes: 6,
+            adversarial_stake: 0.3,
+            active_slot_coeff: 0.3,
+            delta,
+            slots,
+            tie_break: TieBreak::AdversarialOrder,
+            strategy,
+        }
+    }
+
+    /// Asserts a columnar run is trace-identical to the reference engine.
+    fn assert_matches_reference(config: &SimConfig, seed: u64) {
+        let cols = ColumnarSimulation::run(config, seed);
+        let refr = Simulation::run(config, seed);
+        for t in 0..=config.slots {
+            let expect: Vec<u32> = refr.tips_at(t).iter().map(|b| b.index() as u32).collect();
+            assert_eq!(cols.tips_at(t), expect.as_slice(), "tips at slot {t}");
+        }
+        let expect_rb: Vec<(u32, u32, u32)> = refr
+            .rollbacks()
+            .iter()
+            .map(|&(t, o, n)| (t as u32, o.index() as u32, n.index() as u32))
+            .collect();
+        assert_eq!(cols.rollbacks(), expect_rb.as_slice(), "rollbacks");
+        assert_eq!(cols.metrics(), refr.metrics(), "metrics");
+        assert_eq!(cols.divergence_index(), refr.divergence_index(), "index");
+        for k in [0usize, 1, 5, 20] {
+            assert_eq!(
+                cols.settlement_violations(k),
+                refr.settlement_violations(k),
+                "violations at k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_all_builtin_strategies() {
+        for strategy in Strategy::ALL {
+            for delta in [0usize, 2] {
+                assert_matches_reference(&cfg(strategy, delta, 300), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_mode_matches_trace_mode() {
+        let config = cfg(Strategy::PrivateWithholding, 2, 500);
+        let schedule = ColumnarSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            3,
+        );
+        let mut s1 = config.strategy.instantiate();
+        let traced = ColumnarSimulation::run_with_schedule(&config, &schedule, s1.as_mut());
+        let mut s2 = config.strategy.instantiate();
+        let mut acc = MetricsAccumulator::new();
+        let (metrics, index) =
+            ColumnarSimulation::run_streaming(&config, &schedule, s2.as_mut(), &mut acc);
+        assert_eq!(&metrics, traced.metrics());
+        assert_eq!(&index, traced.divergence_index());
+        assert_eq!(acc.max_slot_divergence(), metrics.max_slot_divergence);
+    }
+
+    #[test]
+    fn consistent_tie_break_matches_reference() {
+        let mut config = cfg(Strategy::BalanceAttack, 1, 400);
+        config.tie_break = TieBreak::Consistent;
+        config.active_slot_coeff = 0.5;
+        assert_matches_reference(&config, 7);
+    }
+
+    #[test]
+    fn block_set_semantics() {
+        let mut s = BlockSet::default();
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert!(!s.contains(999));
+    }
+}

@@ -1,0 +1,158 @@
+//! The ring-buffer delivery queue of the columnar engine.
+//!
+//! The reference [`Network`](multihonest_sim::network::Network) keeps one
+//! `Vec` per simulated slot for the whole horizon — `O(slots)` queues
+//! alive at once, each heap-allocated on first use. Every strategy's
+//! deliveries land within a bounded window of the current slot
+//! (`AdversaryStrategy::lookahead`), so the columnar engine keeps only
+//! `window` bucket vectors and reuses them as the execution sweeps
+//! forward: `O(1)` amortized work and zero steady-state allocation per
+//! delivery.
+//!
+//! Like the reference network, [`DeliveryRing::schedule_honest`]
+//! **clamps** every requested slot into `[broadcast, broadcast + Δ]` and
+//! the horizon — the engine-side enforcement of axiom A4Δ that no
+//! strategy can bypass.
+
+/// A bounded-lookahead delivery queue over `(recipient, block)` pairs.
+#[derive(Debug, Clone)]
+pub struct DeliveryRing {
+    delta: usize,
+    slots: usize,
+    /// `buckets[t % window]` holds the deliveries due at the end of slot
+    /// `t`, for the `window` slots starting at the current one.
+    buckets: Vec<Vec<(u32, u32)>>,
+}
+
+impl DeliveryRing {
+    /// A ring covering deliveries up to `lookahead` slots ahead, with
+    /// delay bound `delta`, over a horizon of `slots`.
+    pub fn new(delta: usize, lookahead: usize, slots: usize) -> DeliveryRing {
+        let window = lookahead.max(delta) + 1;
+        DeliveryRing {
+            delta,
+            slots,
+            buckets: vec![Vec::new(); window],
+        }
+    }
+
+    /// The ring's window (maximum schedulable offset + 1).
+    pub fn window(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Schedules an honest broadcast from `broadcast_slot` to `recipient`
+    /// at the end of `requested_slot`, clamped into
+    /// `[broadcast_slot, broadcast_slot + Δ]` and the horizon — identical
+    /// semantics to the reference network's `schedule_honest`.
+    pub fn schedule_honest(
+        &mut self,
+        broadcast_slot: usize,
+        requested_slot: usize,
+        recipient: usize,
+        block: u32,
+    ) {
+        let latest = (broadcast_slot + self.delta).min(self.slots);
+        let at = requested_slot.clamp(broadcast_slot, latest);
+        debug_assert!(at - broadcast_slot < self.window());
+        let w = self.window();
+        self.buckets[at % w].push((recipient as u32, block));
+    }
+
+    /// Schedules an adversarial delivery at `at_slot` (which must be at
+    /// or after the current slot `now` and within the ring's window);
+    /// requests beyond the horizon or before `now` are dropped, matching
+    /// the reference network's effective semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_slot` lies beyond the ring's window — a strategy
+    /// scheduling further ahead must raise its
+    /// [`lookahead`](multihonest_sim::AdversaryStrategy::lookahead).
+    pub fn schedule_adversarial(
+        &mut self,
+        now: usize,
+        at_slot: usize,
+        recipient: usize,
+        block: u32,
+    ) {
+        if at_slot < now || at_slot > self.slots {
+            return;
+        }
+        assert!(
+            at_slot - now < self.window(),
+            "delivery at slot {at_slot} exceeds the ring window ({} from {now}); \
+             raise the strategy's lookahead",
+            self.window()
+        );
+        let w = self.window();
+        self.buckets[at_slot % w].push((recipient as u32, block));
+    }
+
+    /// Swaps the deliveries due at the end of `slot` into `out` (cleared
+    /// first) and leaves the bucket empty for reuse one window later.
+    /// Must be called once per slot, in increasing order.
+    pub fn drain_into(&mut self, slot: usize, out: &mut Vec<(u32, u32)>) {
+        out.clear();
+        let w = self.window();
+        std::mem::swap(&mut self.buckets[slot % w], out);
+        self.buckets[slot % w].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn honest_delivery_is_clamped_to_delta() {
+        let mut ring = DeliveryRing::new(2, 2, 10);
+        let mut out = Vec::new();
+        ring.schedule_honest(3, 9, 0, 7); // clamped to 5
+        ring.drain_into(4, &mut out);
+        assert!(out.is_empty());
+        ring.drain_into(5, &mut out);
+        assert_eq!(out, vec![(0, 7)]);
+        ring.schedule_honest(6, 1, 1, 8); // clamped up to broadcast slot
+        ring.drain_into(6, &mut out);
+        assert_eq!(out, vec![(1, 8)]);
+    }
+
+    #[test]
+    fn adversarial_outside_window_or_horizon() {
+        let mut ring = DeliveryRing::new(0, 4, 5);
+        let mut out = Vec::new();
+        ring.schedule_adversarial(2, 1, 0, 1); // past: dropped
+        ring.schedule_adversarial(2, 9, 0, 2); // beyond horizon: dropped
+        ring.schedule_adversarial(2, 5, 0, 3);
+        for t in 2..5 {
+            ring.drain_into(t, &mut out);
+            assert!(out.is_empty(), "slot {t}");
+        }
+        ring.drain_into(5, &mut out);
+        assert_eq!(out, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn order_is_preserved_and_buckets_are_reused() {
+        let mut ring = DeliveryRing::new(1, 1, 20);
+        let mut out = Vec::new();
+        ring.schedule_adversarial(3, 3, 0, 1); // rushing: injected first
+        ring.schedule_honest(3, 3, 0, 2);
+        ring.drain_into(3, &mut out);
+        assert_eq!(out, vec![(0, 1), (0, 2)]);
+        // One window later, the same bucket serves a new slot cleanly.
+        ring.schedule_honest(5, 5, 1, 9);
+        ring.drain_into(4, &mut out);
+        assert!(out.is_empty());
+        ring.drain_into(5, &mut out);
+        assert_eq!(out, vec![(1, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "raise the strategy's lookahead")]
+    fn window_overflow_panics() {
+        let mut ring = DeliveryRing::new(1, 1, 100);
+        ring.schedule_adversarial(3, 8, 0, 1);
+    }
+}

@@ -1,0 +1,226 @@
+//! Columnar leader schedules: the flat-array counterpart of
+//! [`LeaderSchedule`](multihonest_sim::LeaderSchedule).
+//!
+//! The reference schedule allocates one `Vec<usize>` per slot; over a
+//! million slots that is a million heap objects read once each. The
+//! columnar schedule stores all honest leaders in one flat column plus a
+//! prefix-offset column, and the adversarial flags in a third — three
+//! allocations total, with the **same sampling draw order** as the
+//! reference (per-node Bernoulli draws in node order, then the
+//! adversarial draw, per slot), so equal seeds give equal schedules.
+
+use multihonest_chars::{SemiString, SemiSymbol};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A full leader schedule in Structure-of-Arrays layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnarSchedule {
+    /// All honest leaders, slot-major.
+    honest: Vec<u32>,
+    /// `start[t − 1]..start[t]` indexes `honest` for slot `t` (1-based);
+    /// length `slots + 1`.
+    start: Vec<u32>,
+    /// Whether adversarial stake leads each slot.
+    adversarial: Vec<bool>,
+}
+
+impl ColumnarSchedule {
+    /// Samples a schedule with honest stake split equally — draw-for-draw
+    /// identical to [`LeaderSchedule::sample`] for the same parameters
+    /// and seed.
+    ///
+    /// [`LeaderSchedule::sample`]: multihonest_sim::LeaderSchedule::sample
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges (matching
+    /// the reference schedule's validation).
+    pub fn sample(
+        honest_nodes: usize,
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+        slots: usize,
+        seed: u64,
+    ) -> ColumnarSchedule {
+        assert!(honest_nodes > 0, "need at least one honest node");
+        let share = (1.0 - adversarial_stake) / honest_nodes as f64;
+        ColumnarSchedule::sample_weighted(
+            &vec![share; honest_nodes],
+            adversarial_stake,
+            active_slot_coeff,
+            slots,
+            seed,
+        )
+    }
+
+    /// Samples a schedule with **heterogeneous** honest stake — the
+    /// columnar counterpart of [`LeaderSchedule::sample_weighted`], with
+    /// identical draw order.
+    ///
+    /// [`LeaderSchedule::sample_weighted`]:
+    /// multihonest_sim::LeaderSchedule::sample_weighted
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges, a stake is
+    /// negative, or the stakes do not sum (with the adversary) to 1.
+    pub fn sample_weighted(
+        honest_stakes: &[f64],
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+        slots: usize,
+        seed: u64,
+    ) -> ColumnarSchedule {
+        assert!(!honest_stakes.is_empty(), "need at least one honest node");
+        assert!(
+            (0.0..1.0).contains(&adversarial_stake),
+            "adversarial stake in [0, 1)"
+        );
+        assert!(
+            active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
+            "active slot coefficient in (0, 1)"
+        );
+        assert!(
+            honest_stakes.iter().all(|&s| s >= 0.0),
+            "stakes are non-negative"
+        );
+        let total: f64 = honest_stakes.iter().sum::<f64>() + adversarial_stake;
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "stakes must partition the total (got {total})"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
+        let p_honest: Vec<f64> = honest_stakes.iter().map(|&s| phi(s)).collect();
+        let p_adv = phi(adversarial_stake);
+        // Expected leaders ≈ slots × Σ p_i; reserve with headroom so the
+        // flat column settles after at most one growth step.
+        let expected = (slots as f64 * p_honest.iter().sum::<f64>() * 1.1) as usize + 16;
+        let mut honest = Vec::with_capacity(expected);
+        let mut start = Vec::with_capacity(slots + 1);
+        let mut adversarial = Vec::with_capacity(slots);
+        start.push(0);
+        for _ in 0..slots {
+            for (node, &p) in p_honest.iter().enumerate() {
+                if rng.gen::<f64>() < p {
+                    honest.push(node as u32);
+                }
+            }
+            start.push(honest.len() as u32);
+            adversarial.push(rng.gen::<f64>() < p_adv);
+        }
+        ColumnarSchedule {
+            honest,
+            start,
+            adversarial,
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.adversarial.len()
+    }
+
+    /// Returns `true` when the schedule covers no slots.
+    pub fn is_empty(&self) -> bool {
+        self.adversarial.is_empty()
+    }
+
+    /// The honest leaders of `slot` (1-based), in node order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is 0 or exceeds the schedule length.
+    #[inline]
+    pub fn leaders(&self, slot: usize) -> &[u32] {
+        &self.honest[self.start[slot - 1] as usize..self.start[slot] as usize]
+    }
+
+    /// Whether adversarial stake leads `slot` (1-based).
+    #[inline]
+    pub fn adversarial(&self, slot: usize) -> bool {
+        self.adversarial[slot - 1]
+    }
+
+    /// The characteristic-string classification of `slot`.
+    pub fn classify(&self, slot: usize) -> SemiSymbol {
+        if self.adversarial(slot) {
+            SemiSymbol::Adversarial
+        } else {
+            match self.leaders(slot).len() {
+                0 => SemiSymbol::Empty,
+                1 => SemiSymbol::UniqueHonest,
+                _ => SemiSymbol::MultiHonest,
+            }
+        }
+    }
+
+    /// Slots with at least one leader.
+    pub fn active_slots(&self) -> usize {
+        (1..=self.len())
+            .filter(|&t| self.adversarial(t) || !self.leaders(t).is_empty())
+            .count()
+    }
+
+    /// The semi-synchronous characteristic string of the schedule.
+    pub fn characteristic_string(&self) -> SemiString {
+        (1..=self.len()).map(|t| self.classify(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_sim::LeaderSchedule;
+
+    #[test]
+    fn matches_reference_schedule_bit_for_bit() {
+        for seed in [0u64, 7, 99] {
+            let cols = ColumnarSchedule::sample(6, 0.3, 0.25, 400, seed);
+            let aos = LeaderSchedule::sample(6, 0.3, 0.25, 400, seed);
+            assert_eq!(cols.len(), aos.len());
+            for t in 1..=400 {
+                let expect: Vec<u32> = aos.leaders(t).honest.iter().map(|&n| n as u32).collect();
+                assert_eq!(cols.leaders(t), expect.as_slice(), "slot {t} seed {seed}");
+                assert_eq!(cols.adversarial(t), aos.leaders(t).adversarial);
+                assert_eq!(cols.classify(t), aos.leaders(t).classify());
+            }
+            assert_eq!(
+                cols.characteristic_string(),
+                aos.characteristic_string(),
+                "seed {seed}"
+            );
+            assert_eq!(
+                cols.active_slots(),
+                aos.characteristic_string().count_nonempty()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_matches_reference_weighted() {
+        let stakes = [0.4, 0.2, 0.1, 0.05];
+        let adv = 0.25;
+        let cols = ColumnarSchedule::sample_weighted(&stakes, adv, 0.3, 300, 5);
+        let aos = LeaderSchedule::sample_weighted(&stakes, adv, 0.3, 300, 5);
+        for t in 1..=300 {
+            let expect: Vec<u32> = aos.leaders(t).honest.iter().map(|&n| n as u32).collect();
+            assert_eq!(cols.leaders(t), expect.as_slice(), "slot {t}");
+            assert_eq!(cols.adversarial(t), aos.leaders(t).adversarial);
+        }
+        // Heavier nodes lead more often.
+        let lead_count = |node: u32| {
+            (1..=300)
+                .filter(|&t| cols.leaders(t).contains(&node))
+                .count()
+        };
+        assert!(lead_count(0) > lead_count(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the total")]
+    fn mismatched_stakes_rejected() {
+        let _ = ColumnarSchedule::sample_weighted(&[0.5, 0.4], 0.3, 0.2, 10, 1);
+    }
+}

@@ -25,6 +25,12 @@ impl BlockId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The id at a given arena index — how external arenas (the columnar
+    /// scenario core) speak the same block-id currency as [`BlockStore`].
+    pub fn from_index(index: usize) -> BlockId {
+        BlockId(u32::try_from(index).expect("arena index fits in u32"))
+    }
 }
 
 impl fmt::Display for BlockId {
@@ -203,12 +209,19 @@ impl BlockStore {
     /// tie-breaking rule (stands in for the block's real hash; any fixed
     /// total order works for axiom A0′).
     pub fn tie_hash(&self, id: BlockId) -> u64 {
-        // SplitMix64 of the id: fixed, implementation-defined total order.
-        let mut z = (id.0 as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        tie_hash(id.0)
     }
+}
+
+/// SplitMix64 of a raw block id: the fixed, implementation-defined total
+/// order behind the consistent tie-breaking rule (axiom A0′). A free
+/// function so the columnar scenario core breaks ties **identically** to
+/// [`BlockStore::tie_hash`] — a prerequisite for bit-identical traces.
+pub fn tie_hash(id: u32) -> u64 {
+    let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]

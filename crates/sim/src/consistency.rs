@@ -41,6 +41,170 @@
 
 use crate::block::{BlockId, BlockStore};
 
+/// The store-side ancestry queries the divergence fold needs, over bare
+/// `u32` block ids (the common currency of the reference [`BlockStore`]
+/// and the scenario crate's columnar arena). Implementations must satisfy
+/// the arena invariants the fold relies on: id `0` is genesis at slot 0,
+/// parents exist before children, and slots strictly increase along
+/// parent links.
+pub trait DivergenceOps {
+    /// Number of blocks including genesis (sizes the visited-mark table).
+    fn block_count(&self) -> usize;
+    /// The slot of block `b`.
+    fn slot_of(&self, b: u32) -> usize;
+    /// The parent of `b`; genesis may return itself (the fold never walks
+    /// past a block whose slot is at or below the meet slot).
+    fn parent_of(&self, b: u32) -> u32;
+    /// The last common block of `a` and `b`.
+    fn lca(&self, a: u32, b: u32) -> u32;
+}
+
+impl DivergenceOps for BlockStore {
+    fn block_count(&self) -> usize {
+        self.len()
+    }
+
+    fn slot_of(&self, b: u32) -> usize {
+        self.block(BlockId(b)).slot
+    }
+
+    fn parent_of(&self, b: u32) -> u32 {
+        self.block(BlockId(b)).parent.unwrap_or(BlockId(0)).0
+    }
+
+    fn lca(&self, a: u32, b: u32) -> u32 {
+        self.last_common_block(BlockId(a), BlockId(b)).0
+    }
+}
+
+/// The **streaming** builder behind [`DivergenceIndex`]: observations are
+/// fed in chronological slot order ([`DivergenceFold::observe_tips`] once
+/// per slot, [`DivergenceFold::observe_rollback`] as rollbacks happen)
+/// and folded into `O(slots)` state on the fly — no per-slot trace needs
+/// to be retained. The reference simulator's batch
+/// [`DivergenceIndex::build`] and the columnar scenario engine's
+/// streaming mode both drive this same fold, which is what makes their
+/// indices identical by construction.
+///
+/// Chronological interleaving is equivalent to the batch order
+/// (all tip runs, then all rollbacks): `latest` updates are pure maxima,
+/// and `earliest` updates are pure minima — the run branch only writes an
+/// unset entry, and in chronological order any earlier rollback write is
+/// already the minimum.
+#[derive(Debug, Clone)]
+pub struct DivergenceFold {
+    slots: usize,
+    earliest: Vec<usize>,
+    latest: Vec<usize>,
+    /// Anchors diverging under the currently open run of identical tip
+    /// sets.
+    current: Vec<usize>,
+    /// Epoch-stamped visited mark per block so shared chain suffixes are
+    /// walked once per recomputation; grown lazily as the arena grows.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// The previous slot's distinct tip set (runs of identical sets share
+    /// one recomputation).
+    prev: Vec<u32>,
+    prev_slot: usize,
+}
+
+impl DivergenceFold {
+    /// A fold covering anchor slots `1..=slots`.
+    pub fn new(slots: usize) -> DivergenceFold {
+        DivergenceFold {
+            slots,
+            earliest: vec![0; slots],
+            latest: vec![0; slots],
+            current: Vec::new(),
+            mark: Vec::new(),
+            epoch: 0,
+            prev: Vec::new(),
+            prev_slot: 0,
+        }
+    }
+
+    /// Observes the distinct honest tips at the end of slot `t`. Must be
+    /// called exactly once per slot, in increasing order.
+    pub fn observe_tips<S: DivergenceOps>(&mut self, store: &S, t: usize, tips: &[u32]) {
+        debug_assert_eq!(t, self.prev_slot + 1, "tips must arrive in slot order");
+        if t > 1 && tips == self.prev {
+            self.prev_slot = t;
+            return; // same views, same diverging anchors: run stays open
+        }
+        // Close the previous run: its anchors were last seen at t − 1.
+        for &s in &self.current {
+            self.latest[s - 1] = self.latest[s - 1].max(t - 1);
+        }
+        self.current.clear();
+        if tips.len() > 1 {
+            if self.mark.len() < store.block_count() {
+                self.mark.resize(store.block_count(), 0);
+            }
+            let mut meet = tips[0];
+            for &tip in &tips[1..] {
+                meet = store.lca(meet, tip);
+            }
+            let meet_slot = store.slot_of(meet);
+            self.epoch += 1;
+            for &tip in tips {
+                let mut cur = tip;
+                while store.slot_of(cur) > meet_slot && self.mark[cur as usize] != self.epoch {
+                    self.mark[cur as usize] = self.epoch;
+                    self.current.push(store.slot_of(cur));
+                    cur = store.parent_of(cur);
+                }
+            }
+            for &s in &self.current {
+                if self.earliest[s - 1] == 0 {
+                    self.earliest[s - 1] = t;
+                }
+            }
+        }
+        self.prev.clear();
+        self.prev.extend_from_slice(tips);
+        self.prev_slot = t;
+    }
+
+    /// Observes a rollback at slot `t`: an honest node abandoned the
+    /// chain at `old` for the non-descendant chain at `new`. The chains
+    /// above their last common block diverge prior to every block slot on
+    /// either side.
+    pub fn observe_rollback<S: DivergenceOps>(&mut self, store: &S, t: usize, old: u32, new: u32) {
+        let meet = store.lca(old, new);
+        let meet_slot = store.slot_of(meet);
+        for tip in [old, new] {
+            let mut cur = tip;
+            while store.slot_of(cur) > meet_slot {
+                let s = store.slot_of(cur);
+                if s <= self.slots {
+                    if self.earliest[s - 1] == 0 || t < self.earliest[s - 1] {
+                        self.earliest[s - 1] = t;
+                    }
+                    self.latest[s - 1] = self.latest[s - 1].max(t);
+                }
+                cur = store.parent_of(cur);
+            }
+        }
+    }
+
+    /// Closes the final run and produces the queryable index.
+    pub fn finish(mut self) -> DivergenceIndex {
+        for &s in &self.current {
+            self.latest[s - 1] = self.latest[s - 1].max(self.slots);
+        }
+        let max_lag = (1..=self.slots)
+            .filter(|&s| self.latest[s - 1] != 0)
+            .map(|s| self.latest[s - 1] - s)
+            .max();
+        DivergenceIndex {
+            earliest: self.earliest,
+            latest: self.latest,
+            max_lag,
+        }
+    }
+}
+
 /// Per-anchor divergence observations of one finished execution; see the
 /// [module docs](self) for the underlying characterisation.
 ///
@@ -65,84 +229,25 @@ pub struct DivergenceIndex {
 
 impl DivergenceIndex {
     /// Folds the recorded per-slot honest views and rollback events into
-    /// the index, in a single forward pass.
+    /// the index, in a single forward pass — a batch driver over the
+    /// streaming [`DivergenceFold`].
     pub(crate) fn build(
         store: &BlockStore,
         tips_per_slot: &[Vec<BlockId>],
         rollbacks: &[(usize, BlockId, BlockId)],
     ) -> DivergenceIndex {
         let slots = tips_per_slot.len();
-        let mut earliest = vec![0usize; slots];
-        let mut latest = vec![0usize; slots];
-        // Anchors diverging under the currently open run of identical tip
-        // sets, plus an epoch-stamped visited mark per block so shared
-        // chain suffixes are walked once per recomputation.
-        let mut current: Vec<usize> = Vec::new();
-        let mut mark = vec![0u32; store.len()];
-        let mut epoch = 0u32;
-        for t in 1..=slots {
-            let tips = &tips_per_slot[t - 1];
-            if t > 1 && tips == &tips_per_slot[t - 2] {
-                continue; // same views, same diverging anchors: run stays open
-            }
-            // Close the previous run: its anchors were last seen at t − 1.
-            for &s in &current {
-                latest[s - 1] = latest[s - 1].max(t - 1);
-            }
-            current.clear();
-            if tips.len() > 1 {
-                let mut meet = tips[0];
-                for &tip in &tips[1..] {
-                    meet = store.last_common_block(meet, tip);
-                }
-                let meet_slot = store.block(meet).slot;
-                epoch += 1;
-                for &tip in tips {
-                    let mut cur = tip;
-                    while store.block(cur).slot > meet_slot && mark[cur.index()] != epoch {
-                        mark[cur.index()] = epoch;
-                        current.push(store.block(cur).slot);
-                        cur = store.block(cur).parent.expect("above the meet");
-                    }
-                }
-                for &s in &current {
-                    if earliest[s - 1] == 0 {
-                        earliest[s - 1] = t;
-                    }
-                }
-            }
+        let mut fold = DivergenceFold::new(slots);
+        let mut buf: Vec<u32> = Vec::new();
+        for (t, tips) in tips_per_slot.iter().enumerate() {
+            buf.clear();
+            buf.extend(tips.iter().map(|b| b.0));
+            fold.observe_tips(store, t + 1, &buf);
         }
-        for &s in &current {
-            latest[s - 1] = latest[s - 1].max(slots);
-        }
-        // Rollback pairs: the chains above their last common block
-        // diverge prior to every block slot on either side.
         for &(t, old, new) in rollbacks {
-            let meet = store.last_common_block(old, new);
-            let meet_slot = store.block(meet).slot;
-            for tip in [old, new] {
-                let mut cur = tip;
-                while store.block(cur).slot > meet_slot {
-                    let s = store.block(cur).slot;
-                    if s <= slots {
-                        if earliest[s - 1] == 0 || t < earliest[s - 1] {
-                            earliest[s - 1] = t;
-                        }
-                        latest[s - 1] = latest[s - 1].max(t);
-                    }
-                    cur = store.block(cur).parent.expect("above the meet");
-                }
-            }
+            fold.observe_rollback(store, t, old.0, new.0);
         }
-        let max_lag = (1..=slots)
-            .filter(|&s| latest[s - 1] != 0)
-            .map(|s| latest[s - 1] - s)
-            .max();
-        DivergenceIndex {
-            earliest,
-            latest,
-            max_lag,
-        }
+        fold.finish()
     }
 
     /// Number of simulated slots the index covers.

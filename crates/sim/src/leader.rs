@@ -74,6 +74,37 @@ impl LeaderSchedule {
         seed: u64,
     ) -> LeaderSchedule {
         assert!(honest_nodes > 0, "need at least one honest node");
+        let honest_share = (1.0 - adversarial_stake) / honest_nodes as f64;
+        LeaderSchedule::sample_weighted(
+            &vec![honest_share; honest_nodes],
+            adversarial_stake,
+            active_slot_coeff,
+            slots,
+            seed,
+        )
+    }
+
+    /// Samples a schedule with **heterogeneous** honest stake: node `i`
+    /// holds absolute relative stake `honest_stakes[i]`, leading each slot
+    /// independently with probability `φ_f(honest_stakes[i])`. The stakes
+    /// plus the adversarial stake must partition the total (sum to 1).
+    ///
+    /// [`LeaderSchedule::sample`] is the uniform special case and draws
+    /// **identically** for equal stakes: the per-node Bernoulli draws
+    /// happen in node order, then the adversarial draw, per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges, a stake is
+    /// negative, or the stakes do not sum (with the adversary) to 1.
+    pub fn sample_weighted(
+        honest_stakes: &[f64],
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+        slots: usize,
+        seed: u64,
+    ) -> LeaderSchedule {
+        assert!(!honest_stakes.is_empty(), "need at least one honest node");
         assert!(
             (0.0..1.0).contains(&adversarial_stake),
             "adversarial stake in [0, 1)"
@@ -82,16 +113,24 @@ impl LeaderSchedule {
             active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
             "active slot coefficient in (0, 1)"
         );
+        assert!(
+            honest_stakes.iter().all(|&s| s >= 0.0),
+            "stakes are non-negative"
+        );
+        let total: f64 = honest_stakes.iter().sum::<f64>() + adversarial_stake;
+        assert!(
+            (total - 1.0).abs() < 1e-9,
+            "stakes must partition the total (got {total})"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
-        let honest_share = (1.0 - adversarial_stake) / honest_nodes as f64;
-        let p_honest = phi(honest_share);
+        let p_honest: Vec<f64> = honest_stakes.iter().map(|&s| phi(s)).collect();
         let p_adv = phi(adversarial_stake);
         let mut out = Vec::with_capacity(slots);
         for _ in 0..slots {
             let mut leaders = SlotLeaders::default();
-            for node in 0..honest_nodes {
-                if rng.gen::<f64>() < p_honest {
+            for (node, &p) in p_honest.iter().enumerate() {
+                if rng.gen::<f64>() < p {
                     leaders.honest.push(node);
                 }
             }

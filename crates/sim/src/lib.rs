@@ -62,10 +62,18 @@ pub mod node;
 pub mod simulation;
 pub mod strategy;
 
+/// The reference engine, by its role-name: the allocation-per-slot,
+/// trace-retaining executor that serves as the equivalence oracle for the
+/// columnar scenario core (`multihonest-scenario`). Alias of
+/// [`simulation`].
+pub use self::simulation as reference;
+
 pub use crate::block::{Block, BlockId, BlockStore};
-pub use crate::consistency::DivergenceIndex;
+pub use crate::consistency::{DivergenceFold, DivergenceIndex, DivergenceOps};
 pub use crate::leader::{LeaderSchedule, SlotLeaders};
-pub use crate::metrics::Metrics;
+pub use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
 pub use crate::node::TieBreak;
 pub use crate::simulation::{ExtractedFork, SimConfig, Simulation};
-pub use crate::strategy::Strategy;
+pub use crate::strategy::{
+    AdversaryStrategy, BalanceStrategy, HonestStrategy, SlotContext, Strategy, WithholdingStrategy,
+};

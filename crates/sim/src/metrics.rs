@@ -1,4 +1,137 @@
 //! Execution metrics: chain growth, chain quality, divergence.
+//!
+//! Metrics are **streamed**: both execution engines (the reference
+//! [`Simulation`](crate::Simulation) and the columnar scenario core) fold
+//! their per-slot observations through a [`MetricsAccumulator`] as the run
+//! progresses, so finishing a million-slot execution never requires
+//! holding `O(slots)` metric buffers. Callers that want their own per-slot
+//! hooks (progress bars, histogram sinks, trace writers) implement
+//! [`MetricsSink`] and receive the same observation stream the accumulator
+//! does.
+
+/// A per-slot observation stream from an execution engine.
+///
+/// Implementations must not assume anything beyond the documented call
+/// order: `on_slot` fires exactly once per simulated slot, in increasing
+/// slot order, after that slot's deliveries have been applied;
+/// `on_rollback` fires zero or more times per slot, *before* that slot's
+/// `on_slot` call, once per honest node that switched onto a
+/// non-descendant chain.
+///
+/// The unit type `()` is the no-op sink.
+pub trait MetricsSink {
+    /// One honest node rolled its chain back at `slot`: its previous tip
+    /// (height `old_height`) was abandoned for a non-descendant chain of
+    /// height `new_height`.
+    fn on_rollback(&mut self, slot: usize, old_height: usize, new_height: usize) {
+        let _ = (slot, old_height, new_height);
+    }
+
+    /// End-of-slot summary: the number of distinct honest tips, the best
+    /// (maximum) height among them, and the largest slot divergence
+    /// between any two of them observed at this boundary.
+    fn on_slot(
+        &mut self,
+        slot: usize,
+        distinct_tips: usize,
+        best_height: usize,
+        divergence: usize,
+    ) {
+        let _ = (slot, distinct_tips, best_height, divergence);
+    }
+}
+
+/// The no-op sink: million-slot runs that only want the final [`Metrics`]
+/// pass `&mut ()` and pay nothing per slot.
+impl MetricsSink for () {}
+
+/// Streaming accumulator behind [`Metrics`]: folds the per-slot
+/// observation stream into `O(1)` state. Engines drive it through the
+/// [`MetricsSink`] impl and call [`MetricsAccumulator::finish`] with the
+/// end-of-run facts (final chain shape, settlement lag) once the loop
+/// ends.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsAccumulator {
+    slots: usize,
+    max_divergence: usize,
+    rollbacks: usize,
+}
+
+impl MetricsAccumulator {
+    /// A fresh accumulator (no slots observed).
+    pub fn new() -> MetricsAccumulator {
+        MetricsAccumulator::default()
+    }
+
+    /// The largest slot divergence observed so far.
+    pub fn max_slot_divergence(&self) -> usize {
+        self.max_divergence
+    }
+
+    /// Completes the fold with the end-of-run facts that are not per-slot
+    /// observations: active-slot count (a schedule property), the final
+    /// chain shape read off the best tip, and the maximum settlement lag
+    /// read off the divergence index.
+    pub fn finish(
+        self,
+        active_slots: usize,
+        final_height: usize,
+        chain_blocks: usize,
+        honest_chain_blocks: usize,
+        max_settlement_lag: Option<usize>,
+    ) -> Metrics {
+        Metrics {
+            slots: self.slots,
+            active_slots,
+            final_height,
+            chain_blocks,
+            honest_chain_blocks,
+            max_slot_divergence: self.max_divergence,
+            rollback_count: self.rollbacks,
+            max_settlement_lag,
+        }
+    }
+}
+
+impl MetricsSink for MetricsAccumulator {
+    fn on_rollback(&mut self, _slot: usize, _old_height: usize, _new_height: usize) {
+        self.rollbacks += 1;
+    }
+
+    fn on_slot(
+        &mut self,
+        slot: usize,
+        _distinct_tips: usize,
+        _best_height: usize,
+        divergence: usize,
+    ) {
+        self.slots = self.slots.max(slot);
+        self.max_divergence = self.max_divergence.max(divergence);
+    }
+}
+
+/// Fans the observation stream out to two sinks — how an engine drives
+/// its internal [`MetricsAccumulator`] and a caller-supplied sink in one
+/// pass.
+#[derive(Debug)]
+pub struct TeeSink<'a, A, B> {
+    /// First sink.
+    pub a: &'a mut A,
+    /// Second sink.
+    pub b: &'a mut B,
+}
+
+impl<A: MetricsSink, B: MetricsSink> MetricsSink for TeeSink<'_, A, B> {
+    fn on_rollback(&mut self, slot: usize, old_height: usize, new_height: usize) {
+        self.a.on_rollback(slot, old_height, new_height);
+        self.b.on_rollback(slot, old_height, new_height);
+    }
+
+    fn on_slot(&mut self, slot: usize, distinct_tips: usize, best_height: usize, div: usize) {
+        self.a.on_slot(slot, distinct_tips, best_height, div);
+        self.b.on_slot(slot, distinct_tips, best_height, div);
+    }
+}
 
 /// Summary statistics of a finished execution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -18,6 +151,9 @@ pub struct Metrics {
     /// applied to the honest views): an observed `k`-CP^slot violation
     /// exists exactly when this exceeds `k`.
     pub max_slot_divergence: usize,
+    /// Number of recorded honest rollbacks (tip switches onto
+    /// non-descendant chains) across the whole execution.
+    pub rollback_count: usize,
     /// The largest `k` for which some anchor slot's `k`-settlement was
     /// observably violated (paper Definition 3): the maximum over anchors
     /// `s` of `latest diverging observation − s`, `None` when no
@@ -70,6 +206,7 @@ mod tests {
             chain_blocks: 30,
             honest_chain_blocks: 24,
             max_slot_divergence: 5,
+            rollback_count: 2,
             max_settlement_lag: Some(7),
         };
         assert!((m.chain_growth() - 0.3).abs() < 1e-12);
@@ -89,10 +226,41 @@ mod tests {
             chain_blocks: 0,
             honest_chain_blocks: 0,
             max_slot_divergence: 0,
+            rollback_count: 0,
             max_settlement_lag: None,
         };
         assert_eq!(m.chain_growth(), 0.0);
         assert_eq!(m.chain_quality(), 1.0);
         assert!(!m.observed_settlement_violation(0));
+    }
+
+    #[test]
+    fn accumulator_streams_divergence_and_rollbacks() {
+        let mut acc = MetricsAccumulator::new();
+        acc.on_slot(1, 1, 1, 0);
+        acc.on_rollback(2, 3, 4);
+        acc.on_slot(2, 2, 2, 5);
+        acc.on_rollback(3, 1, 2);
+        acc.on_slot(3, 1, 3, 2);
+        assert_eq!(acc.max_slot_divergence(), 5);
+        let m = acc.finish(2, 3, 3, 2, Some(1));
+        assert_eq!(m.slots, 3);
+        assert_eq!(m.max_slot_divergence, 5);
+        assert_eq!(m.rollback_count, 2);
+        assert_eq!(m.chain_blocks, 3);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        let mut a = MetricsAccumulator::new();
+        let mut b = MetricsAccumulator::new();
+        let mut tee = TeeSink {
+            a: &mut a,
+            b: &mut b,
+        };
+        tee.on_slot(1, 1, 1, 7);
+        tee.on_rollback(1, 0, 1);
+        assert_eq!(a.max_slot_divergence(), 7);
+        assert_eq!(b.max_slot_divergence(), 7);
     }
 }

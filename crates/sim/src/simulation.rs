@@ -1,17 +1,15 @@
 //! The slot-driven execution engine.
 
-use std::collections::HashMap;
-
 use multihonest_chars::{CharString, SemiString, Symbol};
 use multihonest_fork::{Fork, ForkError, VertexId};
 
 use crate::block::{BlockId, BlockStore};
 use crate::consistency::DivergenceIndex;
 use crate::leader::LeaderSchedule;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink};
 use crate::network::Network;
 use crate::node::{HonestNode, TieBreak};
-use crate::strategy::Strategy;
+use crate::strategy::{AdversaryStrategy, SlotContext, Strategy};
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,27 +48,79 @@ pub struct Simulation {
     metrics: Metrics,
 }
 
-/// Internal mutable state of the adversary across slots.
-#[derive(Debug)]
-struct AdversaryState {
-    /// Private chain tip (withholding strategy).
-    private_tip: BlockId,
-    /// Branch tips (balance strategy).
-    branch_tips: [BlockId; 2],
-    /// Block → branch assignment (balance strategy).
-    branch_of: HashMap<BlockId, usize>,
-    /// Highest publicly released block.
-    public_best: BlockId,
+/// The engine-side [`SlotContext`] of the reference simulator: mints into
+/// the [`BlockStore`] and schedules through the [`Network`] (whose
+/// `schedule_honest` clamp enforces the Δ axiom against any strategy).
+struct RefSlotContext<'a> {
+    store: &'a mut BlockStore,
+    network: &'a mut Network,
+    config: &'a SimConfig,
+    slot: usize,
+    adversarial_leader: bool,
+}
+
+impl SlotContext for RefSlotContext<'_> {
+    fn slot(&self) -> usize {
+        self.slot
+    }
+
+    fn delta(&self) -> usize {
+        self.config.delta
+    }
+
+    fn honest_nodes(&self) -> usize {
+        self.config.honest_nodes
+    }
+
+    fn adversarial_leader(&self) -> bool {
+        self.adversarial_leader
+    }
+
+    fn height_of(&self, block: BlockId) -> usize {
+        self.store.block(block).height
+    }
+
+    fn parent_of(&self, block: BlockId) -> Option<BlockId> {
+        self.store.block(block).parent
+    }
+
+    fn mint_adversarial(&mut self, parent: BlockId) -> BlockId {
+        self.store.mint(parent, self.slot, usize::MAX - 1, false)
+    }
+
+    fn deliver_honest(&mut self, requested_slot: usize, recipient: usize, block: BlockId) {
+        self.network
+            .schedule_honest(self.slot, requested_slot, recipient, block);
+    }
+
+    fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId) {
+        if at_slot >= self.slot {
+            self.network.schedule_adversarial(at_slot, recipient, block);
+        }
+    }
 }
 
 impl Simulation {
-    /// Runs an execution with the given seed.
+    /// Runs an execution with the given seed, instantiating the
+    /// configured built-in [`Strategy`].
     ///
     /// # Panics
     ///
     /// Panics if the configuration is out of range (see the field docs of
     /// [`SimConfig`]; validation mirrors [`LeaderSchedule::sample`]).
     pub fn run(config: &SimConfig, seed: u64) -> Simulation {
+        let mut strategy = config.strategy.instantiate();
+        Simulation::run_with(config, seed, strategy.as_mut())
+    }
+
+    /// Runs an execution with an arbitrary [`AdversaryStrategy`] — the
+    /// open strategy surface. `config.strategy` is recorded but not
+    /// consulted; the trait object drives every adversarial decision.
+    pub fn run_with(
+        config: &SimConfig,
+        seed: u64,
+        strategy: &mut dyn AdversaryStrategy,
+    ) -> Simulation {
         let schedule = LeaderSchedule::sample(
             config.honest_nodes,
             config.adversarial_stake,
@@ -78,20 +128,34 @@ impl Simulation {
             config.slots,
             seed,
         );
+        Simulation::run_with_schedule(config, schedule, strategy)
+    }
+
+    /// Runs an execution over an explicit leader schedule (heterogeneous
+    /// stake profiles sample theirs with
+    /// [`LeaderSchedule::sample_weighted`]) and an arbitrary strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule length differs from `config.slots`.
+    pub fn run_with_schedule(
+        config: &SimConfig,
+        schedule: LeaderSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+    ) -> Simulation {
+        assert_eq!(
+            schedule.len(),
+            config.slots,
+            "schedule must cover the configured horizon"
+        );
         let mut store = BlockStore::new();
         let mut nodes: Vec<HonestNode> = (0..config.honest_nodes)
             .map(|i| HonestNode::new(i, config.tie_break))
             .collect();
         let mut network = Network::new(config.delta, config.slots);
-        let mut adv = AdversaryState {
-            private_tip: BlockId::GENESIS,
-            branch_tips: [BlockId::GENESIS; 2],
-            branch_of: HashMap::from([(BlockId::GENESIS, 0)]),
-            public_best: BlockId::GENESIS,
-        };
         let mut tips_per_slot = Vec::with_capacity(config.slots);
         let mut rollbacks: Vec<(usize, BlockId, BlockId)> = Vec::new();
-        let mut max_div = 0usize;
+        let mut acc = MetricsAccumulator::new();
 
         for slot in 1..=config.slots {
             let leaders = schedule.leaders(slot).clone();
@@ -112,42 +176,16 @@ impl Simulation {
                 })
                 .collect();
             // 2. The rushing adversary observes the minted blocks, mints
-            //    its own, and schedules all deliveries for this slot.
-            match config.strategy {
-                Strategy::Honest => {
-                    Self::act_honest(
-                        &mut store,
-                        &mut network,
-                        &mut adv,
-                        config,
-                        slot,
-                        &minted,
-                        leaders.adversarial,
-                    );
-                }
-                Strategy::PrivateWithholding => {
-                    Self::act_withholding(
-                        &mut store,
-                        &mut network,
-                        &mut adv,
-                        config,
-                        slot,
-                        &minted,
-                        leaders.adversarial,
-                    );
-                }
-                Strategy::BalanceAttack => {
-                    Self::act_balance(
-                        &mut store,
-                        &mut network,
-                        &mut adv,
-                        config,
-                        slot,
-                        &minted,
-                        leaders.adversarial,
-                    );
-                }
-            }
+            //    its own, and schedules all deliveries for this slot —
+            //    through the trait, against the Δ-clamping context.
+            let mut ctx = RefSlotContext {
+                store: &mut store,
+                network: &mut network,
+                config,
+                slot,
+                adversarial_leader: leaders.adversarial,
+            };
+            strategy.on_slot(&mut ctx, &minted);
             // 3. Apply this slot's deliveries in scheduled order,
             //    recording chain rollbacks (tip switches onto chains that
             //    do not extend the previous tip).
@@ -159,6 +197,7 @@ impl Simulation {
                 let new = node.tip();
                 if new != old && store.last_common_block(old, new) != old {
                     rollbacks.push((slot, old, new));
+                    acc.on_rollback(slot, store.block(old).height, store.block(new).height);
                 }
             }
             // Mint-time adoption makes this invariant: under first-seen
@@ -178,13 +217,17 @@ impl Simulation {
             let mut tips: Vec<BlockId> = nodes.iter().map(|n| n.tip()).collect();
             tips.sort_unstable();
             tips.dedup();
+            let mut div = 0usize;
+            let mut best_height = 0usize;
             for (i, &a) in tips.iter().enumerate() {
+                best_height = best_height.max(store.block(a).height);
                 for &b in &tips[i + 1..] {
                     let lca = store.last_common_block(a, b);
                     let first = store.block(a).slot.min(store.block(b).slot);
-                    max_div = max_div.max(first.saturating_sub(store.block(lca).slot));
+                    div = div.max(first.saturating_sub(store.block(lca).slot));
                 }
             }
+            acc.on_slot(slot, tips.len(), best_height, div);
             tips_per_slot.push(tips);
         }
 
@@ -204,15 +247,13 @@ impl Simulation {
             .count();
         let semi = schedule.characteristic_string();
         let divergence = DivergenceIndex::build(&store, &tips_per_slot, &rollbacks);
-        let metrics = Metrics {
-            slots: config.slots,
-            active_slots: semi.count_nonempty(),
-            final_height: store.block(best_tip).height,
+        let metrics = acc.finish(
+            semi.count_nonempty(),
+            store.block(best_tip).height,
             chain_blocks,
             honest_chain_blocks,
-            max_slot_divergence: max_div,
-            max_settlement_lag: divergence.max_settlement_lag(),
-        };
+            divergence.max_settlement_lag(),
+        );
         Simulation {
             config: *config,
             schedule,
@@ -252,6 +293,7 @@ impl Simulation {
             chain_blocks: 0,
             honest_chain_blocks: 0,
             max_slot_divergence: 0,
+            rollback_count: rollbacks.len(),
             max_settlement_lag: divergence.max_settlement_lag(),
         };
         Simulation {
@@ -262,176 +304,6 @@ impl Simulation {
             rollbacks,
             divergence,
             metrics,
-        }
-    }
-
-    /// Strategy `Honest`: the adversary's leaders behave like honest ones.
-    fn act_honest(
-        store: &mut BlockStore,
-        network: &mut Network,
-        adv: &mut AdversaryState,
-        config: &SimConfig,
-        slot: usize,
-        minted: &[BlockId],
-        adversarial_leader: bool,
-    ) {
-        // Adversarial leaders extend the best pre-slot public block (a
-        // chain may not contain two blocks of the same slot, axiom A2).
-        if adversarial_leader {
-            let b = store.mint(adv.public_best, slot, usize::MAX - 1, false);
-            for r in 0..config.honest_nodes {
-                network.schedule_adversarial(slot, r, b);
-            }
-            Self::update_public_best(store, adv, b);
-        }
-        // Honest broadcasts: delivered to everyone immediately.
-        for &b in minted {
-            Self::update_public_best(store, adv, b);
-            for r in 0..config.honest_nodes {
-                network.schedule_honest(slot, slot, r, b);
-            }
-        }
-    }
-
-    /// Strategy `PrivateWithholding`: grow a private chain, release when
-    /// it overtakes the public one.
-    fn act_withholding(
-        store: &mut BlockStore,
-        network: &mut Network,
-        adv: &mut AdversaryState,
-        config: &SimConfig,
-        slot: usize,
-        minted: &[BlockId],
-        adversarial_leader: bool,
-    ) {
-        // Adversarial minting first, on pre-slot blocks only (axiom A2
-        // forbids extending a block of the same slot).
-        if adversarial_leader {
-            // Restart the private branch from the public tip once it has
-            // fallen irrecoverably behind (it was overtaken and the gap
-            // keeps growing).
-            if store.block(adv.private_tip).height + 2 < store.block(adv.public_best).height {
-                adv.private_tip = adv.public_best;
-            }
-            adv.private_tip = store.mint(adv.private_tip, slot, usize::MAX - 1, false);
-        }
-        // Honest broadcasts flow normally (delayed to the edge of the Δ
-        // window — the adversary always slows honest progress; the minter
-        // already adopted its own block at mint time, so the Δ delay only
-        // bites the *other* honest nodes).
-        for &b in minted {
-            Self::update_public_best(store, adv, b);
-            for r in 0..config.honest_nodes {
-                network.schedule_honest(slot, slot + config.delta, r, b);
-            }
-        }
-        // Release when strictly longer than everything public (the rushing
-        // adversary has already seen this slot's honest blocks).
-        if store.block(adv.private_tip).height > store.block(adv.public_best).height {
-            let released = adv.private_tip;
-            for r in 0..config.honest_nodes {
-                network.schedule_adversarial(slot, r, released);
-            }
-            Self::update_public_best(store, adv, released);
-        }
-    }
-
-    /// Strategy `BalanceAttack`: keep two branches alive by routing the
-    /// blocks of concurrent honest leaders to different halves of the
-    /// network first, propping up the trailing branch with adversarial
-    /// blocks.
-    fn act_balance(
-        store: &mut BlockStore,
-        network: &mut Network,
-        adv: &mut AdversaryState,
-        config: &SimConfig,
-        slot: usize,
-        minted: &[BlockId],
-        adversarial_leader: bool,
-    ) {
-        let half = config.honest_nodes / 2;
-        let group = |branch: usize| -> std::ops::Range<usize> {
-            if branch == 0 {
-                0..half
-            } else {
-                half..config.honest_nodes
-            }
-        };
-        // Adversarial leaders prop up whichever branch trails, minting on
-        // the *pre-slot* branch tip (axiom A2 forbids same-slot parents).
-        let mut blocks_of_branch: [Vec<BlockId>; 2] = [Vec::new(), Vec::new()];
-        if adversarial_leader {
-            let trailing = if store.block(adv.branch_tips[0]).height
-                <= store.block(adv.branch_tips[1]).height
-            {
-                0
-            } else {
-                1
-            };
-            let b = store.mint(adv.branch_tips[trailing], slot, usize::MAX - 1, false);
-            adv.branch_of.insert(b, trailing);
-            blocks_of_branch[trailing].push(b);
-        }
-        // Assign each honest block to its parent's branch; when several
-        // honest leaders minted on the same parent (a tie the adversary
-        // engineered), split them across branches.
-        let mut assigned_this_slot = [false, false];
-        for &b in minted {
-            let parent = store.block(b).parent.expect("minted blocks have parents");
-            let mut branch = *adv.branch_of.get(&parent).unwrap_or(&0);
-            if assigned_this_slot[branch] && !assigned_this_slot[1 - branch] {
-                branch = 1 - branch;
-            }
-            assigned_this_slot[branch] = true;
-            adv.branch_of.insert(b, branch);
-            blocks_of_branch[branch].push(b);
-            Self::update_public_best(store, adv, b);
-        }
-        // Update branch tips with everything minted this slot.
-        for branch in [0usize, 1] {
-            for &b in &blocks_of_branch[branch] {
-                if store.block(b).height > store.block(adv.branch_tips[branch]).height {
-                    adv.branch_tips[branch] = b;
-                }
-                Self::update_public_best(store, adv, b);
-            }
-        }
-        // Delivery: same-branch group receives its branch's blocks first
-        // (winning first-seen ties); the other group receives them as late
-        // as the Δ window allows, after its own branch's blocks.
-        for branch in [0usize, 1] {
-            for &b in &blocks_of_branch[branch] {
-                let honest = store.block(b).honest;
-                for r in group(branch) {
-                    if honest {
-                        network.schedule_honest(slot, slot, r, b);
-                    } else {
-                        network.schedule_adversarial(slot, r, b);
-                    }
-                }
-            }
-        }
-        for branch in [0usize, 1] {
-            for &b in &blocks_of_branch[branch] {
-                let honest = store.block(b).honest;
-                for r in group(1 - branch) {
-                    if honest {
-                        // A minter may sit in this cross group (its block
-                        // is routed by its parent's branch, not by the
-                        // minter's half); it already adopted its own block
-                        // at mint time, so the Δ delay cannot stall it.
-                        network.schedule_honest(slot, slot + config.delta, r, b);
-                    } else {
-                        network.schedule_adversarial(slot + config.delta, r, b);
-                    }
-                }
-            }
-        }
-    }
-
-    fn update_public_best(store: &BlockStore, adv: &mut AdversaryState, b: BlockId) {
-        if store.block(b).height > store.block(adv.public_best).height {
-            adv.public_best = b;
         }
     }
 

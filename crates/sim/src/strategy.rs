@@ -1,11 +1,326 @@
-//! Adversarial strategies.
+//! Adversarial strategies: the open [`AdversaryStrategy`] trait and the
+//! built-in implementations.
 //!
 //! Strategies decide (a) where adversarial leaders mint blocks (including
 //! equivocation — one adversarial leader may sign many blocks in its
 //! slot), (b) when each honest broadcast reaches each honest node (within
 //! the Δ window), and (c) when adversarial blocks are revealed to whom.
+//!
+//! A strategy is pure decision logic over an abstract [`SlotContext`] —
+//! it never touches an engine's storage directly. Both execution engines
+//! (the reference [`Simulation`](crate::Simulation) and the columnar
+//! scenario core) drive the **same** strategy objects through their own
+//! context implementations, which is what makes their traces comparable
+//! bit for bit. Crucially, a context's [`SlotContext::deliver_honest`]
+//! clamps every requested delivery into the `[slot, slot + Δ]` window
+//! (axiom A4Δ), so *no strategy, however adversarial, can break the Δ
+//! axiom* — the clamp lives in the engines, not in strategy goodwill.
 
-/// The built-in adversarial strategies.
+use std::collections::HashMap;
+
+use crate::block::BlockId;
+
+/// What a strategy may observe and do during one slot. Implemented by
+/// each execution engine over its own storage; all ids are engine-arena
+/// [`BlockId`]s, identical across engines for identical histories.
+pub trait SlotContext {
+    /// The current slot (1-based).
+    fn slot(&self) -> usize;
+    /// The network delay bound Δ.
+    fn delta(&self) -> usize;
+    /// Number of honest nodes (delivery recipients `0..honest_nodes`).
+    fn honest_nodes(&self) -> usize;
+    /// Whether adversarial stake leads the current slot.
+    fn adversarial_leader(&self) -> bool;
+    /// Chain height of a block.
+    fn height_of(&self, block: BlockId) -> usize;
+    /// Parent of a block (`None` for genesis).
+    fn parent_of(&self, block: BlockId) -> Option<BlockId>;
+    /// Mints an adversarial block on `parent` at the current slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` does not predate the current slot (axiom A2).
+    fn mint_adversarial(&mut self, parent: BlockId) -> BlockId;
+    /// Schedules delivery of an honest broadcast from the current slot to
+    /// `recipient` at the end of `requested_slot` — **clamped** by the
+    /// engine into `[slot, slot + Δ]` and the horizon, enforcing axiom
+    /// A4Δ against any strategy.
+    fn deliver_honest(&mut self, requested_slot: usize, recipient: usize, block: BlockId);
+    /// Schedules delivery of an adversarial block at any slot from the
+    /// current one onwards; requests beyond the horizon (or before the
+    /// current slot) are dropped — the adversary may simply never
+    /// deliver.
+    fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId);
+}
+
+/// Per-slot adversarial decision logic (observe → act).
+///
+/// The engine calls [`AdversaryStrategy::on_slot`] once per slot, after
+/// the slot's honest leaders have minted (`minted`, in leader order) and
+/// before any delivery is applied — the *rushing* adversary sees the
+/// slot's honest blocks before anyone else. The strategy mints, routes
+/// honest broadcasts and reveals its own blocks through the context.
+pub trait AdversaryStrategy {
+    /// A short machine-friendly name for reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// The largest future offset (slots beyond the current one) at which
+    /// this strategy may schedule a delivery. Engines size ring buffers
+    /// from it; the default covers anything within the Δ window.
+    fn lookahead(&self, delta: usize) -> usize {
+        delta
+    }
+
+    /// One slot of adversarial activity; see the trait docs for the
+    /// calling convention.
+    fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]);
+}
+
+/// Raises `best` to `candidate` when the candidate's chain is strictly
+/// higher — the public-tip bookkeeping every built-in strategy shares.
+fn raise_best(ctx: &dyn SlotContext, best: &mut BlockId, candidate: BlockId) {
+    if ctx.height_of(candidate) > ctx.height_of(*best) {
+        *best = candidate;
+    }
+}
+
+/// Strategy `Honest`: adversarial leaders behave exactly like honest
+/// ones — extend the public longest chain, broadcast immediately, deliver
+/// honest broadcasts at once. The baseline for growth/quality statistics.
+#[derive(Debug, Clone)]
+pub struct HonestStrategy {
+    public_best: BlockId,
+}
+
+impl HonestStrategy {
+    /// A fresh instance (public tip at genesis).
+    pub fn new() -> HonestStrategy {
+        HonestStrategy {
+            public_best: BlockId::GENESIS,
+        }
+    }
+}
+
+impl Default for HonestStrategy {
+    fn default() -> HonestStrategy {
+        HonestStrategy::new()
+    }
+}
+
+impl AdversaryStrategy for HonestStrategy {
+    fn name(&self) -> &'static str {
+        "honest"
+    }
+
+    fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {
+        let slot = ctx.slot();
+        // Adversarial leaders extend the best pre-slot public block (a
+        // chain may not contain two blocks of the same slot, axiom A2).
+        if ctx.adversarial_leader() {
+            let b = ctx.mint_adversarial(self.public_best);
+            for r in 0..ctx.honest_nodes() {
+                ctx.deliver_adversarial(slot, r, b);
+            }
+            raise_best(ctx, &mut self.public_best, b);
+        }
+        // Honest broadcasts: delivered to everyone immediately.
+        for &b in minted {
+            raise_best(ctx, &mut self.public_best, b);
+            for r in 0..ctx.honest_nodes() {
+                ctx.deliver_honest(slot, r, b);
+            }
+        }
+    }
+}
+
+/// Strategy `PrivateWithholding`: grow a private chain, release when it
+/// overtakes the public one — the classic settlement attack, rolling back
+/// every honest block since the fork point.
+#[derive(Debug, Clone)]
+pub struct WithholdingStrategy {
+    private_tip: BlockId,
+    public_best: BlockId,
+}
+
+impl WithholdingStrategy {
+    /// A fresh instance (both chains at genesis).
+    pub fn new() -> WithholdingStrategy {
+        WithholdingStrategy {
+            private_tip: BlockId::GENESIS,
+            public_best: BlockId::GENESIS,
+        }
+    }
+}
+
+impl Default for WithholdingStrategy {
+    fn default() -> WithholdingStrategy {
+        WithholdingStrategy::new()
+    }
+}
+
+impl AdversaryStrategy for WithholdingStrategy {
+    fn name(&self) -> &'static str {
+        "private-withholding"
+    }
+
+    fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {
+        let slot = ctx.slot();
+        let delta = ctx.delta();
+        // Adversarial minting first, on pre-slot blocks only (axiom A2
+        // forbids extending a block of the same slot).
+        if ctx.adversarial_leader() {
+            // Restart the private branch from the public tip once it has
+            // fallen irrecoverably behind (it was overtaken and the gap
+            // keeps growing).
+            if ctx.height_of(self.private_tip) + 2 < ctx.height_of(self.public_best) {
+                self.private_tip = self.public_best;
+            }
+            self.private_tip = ctx.mint_adversarial(self.private_tip);
+        }
+        // Honest broadcasts flow normally (delayed to the edge of the Δ
+        // window — the adversary always slows honest progress; the minter
+        // already adopted its own block at mint time, so the Δ delay only
+        // bites the *other* honest nodes).
+        for &b in minted {
+            raise_best(ctx, &mut self.public_best, b);
+            for r in 0..ctx.honest_nodes() {
+                ctx.deliver_honest(slot + delta, r, b);
+            }
+        }
+        // Release when strictly longer than everything public (the rushing
+        // adversary has already seen this slot's honest blocks).
+        if ctx.height_of(self.private_tip) > ctx.height_of(self.public_best) {
+            let released = self.private_tip;
+            for r in 0..ctx.honest_nodes() {
+                ctx.deliver_adversarial(slot, r, released);
+            }
+            raise_best(ctx, &mut self.public_best, released);
+        }
+    }
+}
+
+/// Strategy `BalanceAttack`: keep two branches alive by routing the
+/// blocks of concurrent honest leaders to different halves of the network
+/// first, propping up the trailing branch with adversarial blocks.
+/// Devastating under adversarial tie-breaking (axiom A0), blunted by a
+/// consistent rule (axiom A0′, Theorem 2).
+#[derive(Debug, Clone)]
+pub struct BalanceStrategy {
+    branch_tips: [BlockId; 2],
+    branch_of: HashMap<BlockId, usize>,
+    public_best: BlockId,
+}
+
+impl BalanceStrategy {
+    /// A fresh instance (both branch tips at genesis).
+    pub fn new() -> BalanceStrategy {
+        BalanceStrategy {
+            branch_tips: [BlockId::GENESIS; 2],
+            branch_of: HashMap::from([(BlockId::GENESIS, 0)]),
+            public_best: BlockId::GENESIS,
+        }
+    }
+}
+
+impl Default for BalanceStrategy {
+    fn default() -> BalanceStrategy {
+        BalanceStrategy::new()
+    }
+}
+
+impl AdversaryStrategy for BalanceStrategy {
+    fn name(&self) -> &'static str {
+        "balance-attack"
+    }
+
+    fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {
+        let slot = ctx.slot();
+        let delta = ctx.delta();
+        let nodes = ctx.honest_nodes();
+        let half = nodes / 2;
+        let group = |branch: usize| -> std::ops::Range<usize> {
+            if branch == 0 {
+                0..half
+            } else {
+                half..nodes
+            }
+        };
+        // Adversarial leaders prop up whichever branch trails, minting on
+        // the *pre-slot* branch tip (axiom A2 forbids same-slot parents).
+        // Each entry carries its honesty flag for the routing below.
+        let mut blocks_of_branch: [Vec<(BlockId, bool)>; 2] = [Vec::new(), Vec::new()];
+        if ctx.adversarial_leader() {
+            let trailing =
+                if ctx.height_of(self.branch_tips[0]) <= ctx.height_of(self.branch_tips[1]) {
+                    0
+                } else {
+                    1
+                };
+            let b = ctx.mint_adversarial(self.branch_tips[trailing]);
+            self.branch_of.insert(b, trailing);
+            blocks_of_branch[trailing].push((b, false));
+        }
+        // Assign each honest block to its parent's branch; when several
+        // honest leaders minted on the same parent (a tie the adversary
+        // engineered), split them across branches.
+        let mut assigned_this_slot = [false, false];
+        for &b in minted {
+            let parent = ctx.parent_of(b).expect("minted blocks have parents");
+            let mut branch = *self.branch_of.get(&parent).unwrap_or(&0);
+            if assigned_this_slot[branch] && !assigned_this_slot[1 - branch] {
+                branch = 1 - branch;
+            }
+            assigned_this_slot[branch] = true;
+            self.branch_of.insert(b, branch);
+            blocks_of_branch[branch].push((b, true));
+            raise_best(ctx, &mut self.public_best, b);
+        }
+        // Update branch tips with everything minted this slot.
+        for branch in [0usize, 1] {
+            for &(b, _) in &blocks_of_branch[branch] {
+                if ctx.height_of(b) > ctx.height_of(self.branch_tips[branch]) {
+                    self.branch_tips[branch] = b;
+                }
+                raise_best(ctx, &mut self.public_best, b);
+            }
+        }
+        // Delivery: same-branch group receives its branch's blocks first
+        // (winning first-seen ties); the other group receives them as late
+        // as the Δ window allows, after its own branch's blocks.
+        for branch in [0usize, 1] {
+            for &(b, honest) in &blocks_of_branch[branch] {
+                for r in group(branch) {
+                    if honest {
+                        ctx.deliver_honest(slot, r, b);
+                    } else {
+                        ctx.deliver_adversarial(slot, r, b);
+                    }
+                }
+            }
+        }
+        for branch in [0usize, 1] {
+            for &(b, honest) in &blocks_of_branch[branch] {
+                for r in group(1 - branch) {
+                    if honest {
+                        // A minter may sit in this cross group (its block
+                        // is routed by its parent's branch, not by the
+                        // minter's half); it already adopted its own block
+                        // at mint time, so the Δ delay cannot stall it.
+                        ctx.deliver_honest(slot + delta, r, b);
+                    } else {
+                        ctx.deliver_adversarial(slot + delta, r, b);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The built-in adversarial strategies — a convenience factory over the
+/// open [`AdversaryStrategy`] trait (kept as a `Copy` enum so it can ride
+/// inside [`SimConfig`](crate::SimConfig); the execution engines only
+/// ever see the trait object it [instantiates](Strategy::instantiate)).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Strategy {
     /// Adversarial leaders behave exactly like honest ones: extend the
@@ -42,6 +357,17 @@ impl Strategy {
             Strategy::BalanceAttack => "balance-attack",
         }
     }
+
+    /// A fresh strategy object for one execution. This is the only place
+    /// the engines consult the enum; everything downstream of it runs
+    /// against the [`AdversaryStrategy`] trait.
+    pub fn instantiate(&self) -> Box<dyn AdversaryStrategy> {
+        match self {
+            Strategy::Honest => Box::new(HonestStrategy::new()),
+            Strategy::PrivateWithholding => Box::new(WithholdingStrategy::new()),
+            Strategy::BalanceAttack => Box::new(BalanceStrategy::new()),
+        }
+    }
 }
 
 impl std::fmt::Display for Strategy {
@@ -60,5 +386,13 @@ mod tests {
             Strategy::ALL.iter().map(Strategy::name).collect();
         assert_eq!(names.len(), Strategy::ALL.len());
         assert_eq!(Strategy::BalanceAttack.to_string(), "balance-attack");
+    }
+
+    #[test]
+    fn instantiate_matches_enum_names() {
+        for s in Strategy::ALL {
+            assert_eq!(s.instantiate().name(), s.name());
+            assert_eq!(s.instantiate().lookahead(3), 3);
+        }
     }
 }

@@ -315,6 +315,45 @@ pub mod golden {
         }
     }
 
+    /// Frozen **columnar-engine execution fingerprints**:
+    /// `(scenario name, seed, slots, fingerprint)` over the scenario
+    /// library presets, computed by
+    /// [`execution_fingerprint`](multihonest::scenario::execution_fingerprint)
+    /// (a SplitMix fold over the full tip trace, rollback record and
+    /// headline metrics). The first entry pins a **10⁵-slot**
+    /// withholding execution — the scenario engine's long-horizon
+    /// regression: any drift in leader sampling, ring scheduling, the
+    /// longest-chain rule, the Δ clamp or the divergence fold flips it.
+    pub const SCENARIO_FINGERPRINT_PINS: &[(&str, u64, usize, u64)] = &[
+        ("private-withholding", 1, 100_000, 0x02da_cf55_beea_4679),
+        ("balance-attack", 2, 20_000, 0x41d6_8ae8_9d8c_3944),
+        ("honest", 3, 20_000, 0xd7f0_7176_061e_7d3f),
+        ("withholding-lag16", 1, 20_000, 0x1bc4_815f_db6d_c38d),
+        ("withholding-zipf-stake", 1, 20_000, 0x62bc_a0dd_482f_a7aa),
+    ];
+
+    /// Asserts every [`SCENARIO_FINGERPRINT_PINS`] entry: the columnar
+    /// engine reproduces each frozen execution exactly.
+    pub fn assert_scenario_fingerprints() {
+        use multihonest::scenario::{execution_fingerprint, scenario_library, ColumnarSimulation};
+        for &(name, seed, slots, pinned) in SCENARIO_FINGERPRINT_PINS {
+            let lib = scenario_library(slots);
+            let sc = lib
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("unknown scenario pin {name:?}"));
+            let mut strategy = sc.strategy();
+            let schedule = sc.schedule(seed);
+            let sim =
+                ColumnarSimulation::run_with_schedule(&sc.config, &schedule, strategy.as_mut());
+            assert_eq!(
+                execution_fingerprint(&sim),
+                pinned,
+                "columnar execution drifted on scenario {name:?} seed {seed} slots {slots}"
+            );
+        }
+    }
+
     /// Asserts every golden cell within relative tolerance `rtol`.
     pub fn assert_cells_match(cells: &[GoldenCell], rtol: f64) {
         for &(alpha, ratio, k, expected) in cells {
