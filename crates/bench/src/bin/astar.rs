@@ -12,23 +12,21 @@
 //! ```
 
 use multihonest::adversary::CanonicalMonteCarlo;
-use multihonest_bench::cli::flag_value;
+use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
 use multihonest_bench::{astar_bench_condition, astar_bench_report, default_threads};
+
+const USAGE: &str = "astar [bench-report] [--quick] [--seed <u64>] [--threads <n>] [--out <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let report_mode = args.iter().any(|a| a == "bench-report");
-    let seed = flag_value(&args, "--seed")
-        .map(|v| v.parse().expect("--seed takes a u64"))
-        .unwrap_or(4);
-    let threads = flag_value(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes a positive integer"))
-        .unwrap_or_else(default_threads);
+    let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(4);
+    let threads = or_usage(parsed_flag(&args, "--threads"), USAGE).unwrap_or_else(default_threads);
     // Quick-grid reports default to a separate file: BENCH_astar.json is
     // the committed full-grid baseline and must not be silently clobbered
     // with incomparable quick-grid numbers.
-    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+    let out_path = or_usage(flag_value(&args, "--out"), USAGE).unwrap_or(if quick {
         "BENCH_astar_quick.json"
     } else {
         "BENCH_astar.json"

@@ -13,12 +13,13 @@
 
 use multihonest_bench as bench;
 
+const USAGE: &str = "experiments [--quick] [--json] [--threads <n>] [experiment-names...]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let threads = bench::cli::flag_value(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes a positive integer"))
+    let threads = bench::cli::or_usage(bench::cli::parsed_flag(&args, "--threads"), USAGE)
         .unwrap_or_else(bench::default_threads);
     let wanted = bench::cli::positionals(&args, &["--threads"]);
     let run = |name: &str| wanted.is_empty() || wanted.contains(&name);

@@ -11,7 +11,7 @@
 //! cargo run -p multihonest-bench --release --bin scenario -- bench-report --quick --out /tmp/b.json
 //! ```
 
-use multihonest_bench::cli::flag_value;
+use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
 use multihonest_scenario::{scenario_bench_report, ScenarioBenchReport};
 
 fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
@@ -23,20 +23,20 @@ fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
     }
 }
 
+const USAGE: &str =
+    "scenario [bench-report] [--quick] [--seed <u64>] [--threads <n>] [--out <path>]";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let report_mode = args.iter().any(|a| a == "bench-report");
-    let seed = flag_value(&args, "--seed")
-        .map(|v| v.parse().expect("--seed takes a u64"))
-        .unwrap_or(9);
-    let threads = flag_value(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes a count"))
+    let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(9);
+    let threads = or_usage(parsed_flag(&args, "--threads"), USAGE)
         .unwrap_or_else(multihonest_bench::default_threads);
     // Quick-grid reports default to a separate file: BENCH_scenario.json
     // is the committed full-grid baseline and must not be silently
     // clobbered with incomparable quick-grid numbers.
-    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+    let out_path = or_usage(flag_value(&args, "--out"), USAGE).unwrap_or(if quick {
         "BENCH_scenario_quick.json"
     } else {
         "BENCH_scenario.json"

@@ -13,20 +13,20 @@
 //! ```
 
 use multihonest::prelude::*;
-use multihonest_bench::cli::flag_value;
+use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
 use multihonest_bench::{sim_bench_config, sim_bench_report};
+
+const USAGE: &str = "settlement [bench-report] [--quick] [--seed <u64>] [--out <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let report_mode = args.iter().any(|a| a == "bench-report");
-    let seed = flag_value(&args, "--seed")
-        .map(|v| v.parse().expect("--seed takes a u64"))
-        .unwrap_or(9);
+    let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(9);
     // Quick-grid reports default to a separate file: BENCH_sim.json is the
     // committed full-grid baseline and must not be silently clobbered with
     // incomparable quick-grid numbers.
-    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+    let out_path = or_usage(flag_value(&args, "--out"), USAGE).unwrap_or(if quick {
         "BENCH_sim_quick.json"
     } else {
         "BENCH_sim.json"

@@ -14,24 +14,24 @@
 //! cargo run -p multihonest-bench --release --bin table1 -- --threads 4
 //! ```
 
-use multihonest_bench::cli::flag_value;
+use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
 use multihonest_bench::{
     bench_report, default_threads, generate_table1_threads, render_table1, TABLE1_ALPHAS,
     TABLE1_KS, TABLE1_RATIOS,
 };
+
+const USAGE: &str = "table1 [bench-report] [--quick] [--json] [--threads <n>] [--out <path>]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let report_mode = args.iter().any(|a| a == "bench-report");
-    let threads = flag_value(&args, "--threads")
-        .map(|v| v.parse().expect("--threads takes a positive integer"))
-        .unwrap_or_else(default_threads);
+    let threads = or_usage(parsed_flag(&args, "--threads"), USAGE).unwrap_or_else(default_threads);
     // Quick-grid reports default to a separate file: BENCH_margin.json is
     // the committed full-grid baseline and must not be silently clobbered
     // with incomparable quick-grid numbers.
-    let out_path = flag_value(&args, "--out").unwrap_or(if quick {
+    let out_path = or_usage(flag_value(&args, "--out"), USAGE).unwrap_or(if quick {
         "BENCH_margin_quick.json"
     } else {
         "BENCH_margin.json"

@@ -435,15 +435,68 @@ pub fn catalan_tail_experiment(trials: u64) -> Vec<CatalanTailRow> {
     rows
 }
 
-/// Minimal CLI parsing shared by the `table1` and `experiments` binaries
-/// (bare `std::env::args` handling; no argument-parser crate offline).
+/// Minimal CLI parsing shared by the bench binaries (bare
+/// `std::env::args` handling; no argument-parser crate offline).
+///
+/// Malformed command lines are reported, not panicked on: every parser
+/// returns a [`CliError`](cli::CliError) describing what was wrong, and
+/// the binaries convert it into a usage message plus exit status 2 via
+/// [`or_usage`](cli::or_usage). A value-taking flag followed by another
+/// `--`-prefixed token is an error — `--seed --quick` used to silently
+/// parse `--quick` as the seed.
 pub mod cli {
-    /// The value following `--flag`, if present.
-    pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
+    use std::fmt;
+    use std::str::FromStr;
+
+    /// A malformed command line, human-readable.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct CliError(String);
+
+    impl fmt::Display for CliError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// The value following `--flag`.
+    ///
+    /// `Ok(None)` when the flag is absent; an error when the flag is
+    /// present but followed by nothing or by another `--`-prefixed
+    /// token (which is a flag, not a value).
+    pub fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
+        let Some(i) = args.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        match args.get(i + 1).map(String::as_str) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v)),
+            Some(v) => Err(CliError(format!(
+                "{flag} expects a value, found flag '{v}'"
+            ))),
+            None => Err(CliError(format!("{flag} expects a value"))),
+        }
+    }
+
+    /// The value of `--flag` parsed as `T`; `Ok(None)` when absent.
+    pub fn parsed_flag<T: FromStr>(args: &[String], flag: &str) -> Result<Option<T>, CliError> {
+        match flag_value(args, flag)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| CliError(format!("{flag}: invalid value '{v}'"))),
+        }
+    }
+
+    /// Fails on any `--` token outside `known` — catches typos like
+    /// `--thread` before they are silently ignored.
+    pub fn reject_unknown_flags(args: &[String], known: &[&str]) -> Result<(), CliError> {
+        match args
+            .iter()
+            .find(|a| a.starts_with("--") && !known.contains(&a.as_str()))
+        {
+            Some(flag) => Err(CliError(format!("unknown flag '{flag}'"))),
+            None => Ok(()),
+        }
     }
 
     /// Positional (non-`--`) arguments, excluding the values consumed by
@@ -460,6 +513,76 @@ pub mod cli {
             })
             .map(|(_, a)| a.as_str())
             .collect()
+    }
+
+    /// Unwraps a parse result or prints `error: ...` plus the usage
+    /// string to stderr and exits with status 2.
+    pub fn or_usage<T>(result: Result<T, CliError>, usage: &str) -> T {
+        match result {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn args(tokens: &[&str]) -> Vec<String> {
+            tokens.iter().map(|t| t.to_string()).collect()
+        }
+
+        #[test]
+        fn absent_flag_is_none() {
+            assert_eq!(flag_value(&args(&["--quick"]), "--seed"), Ok(None));
+            assert_eq!(parsed_flag::<u64>(&args(&[]), "--seed"), Ok(None));
+        }
+
+        #[test]
+        fn present_flag_yields_its_value() {
+            let a = args(&["--seed", "17", "--quick"]);
+            assert_eq!(flag_value(&a, "--seed"), Ok(Some("17")));
+            assert_eq!(parsed_flag::<u64>(&a, "--seed"), Ok(Some(17)));
+        }
+
+        #[test]
+        fn flag_shaped_value_rejected() {
+            // The bug this module's rewrite fixes: "--seed --quick" must
+            // not parse "--quick" as the seed.
+            let a = args(&["--seed", "--quick"]);
+            let err = flag_value(&a, "--seed").unwrap_err();
+            assert!(err.to_string().contains("found flag '--quick'"), "{err}");
+            assert!(parsed_flag::<u64>(&a, "--seed").is_err());
+        }
+
+        #[test]
+        fn trailing_flag_without_value_rejected() {
+            let err = flag_value(&args(&["--out"]), "--out").unwrap_err();
+            assert_eq!(err.to_string(), "--out expects a value");
+        }
+
+        #[test]
+        fn unparseable_value_names_the_flag() {
+            let err = parsed_flag::<u64>(&args(&["--seed", "abc"]), "--seed").unwrap_err();
+            assert_eq!(err.to_string(), "--seed: invalid value 'abc'");
+        }
+
+        #[test]
+        fn unknown_flags_are_caught() {
+            let a = args(&["--thread", "4"]);
+            assert!(reject_unknown_flags(&a, &["--threads"]).is_err());
+            assert_eq!(reject_unknown_flags(&a, &["--thread"]), Ok(()));
+        }
+
+        #[test]
+        fn positionals_skip_flag_values() {
+            let a = args(&["run", "--seed", "3", "fast", "--quick"]);
+            assert_eq!(positionals(&a, &["--seed"]), vec!["run", "fast"]);
+        }
     }
 }
 
@@ -836,6 +959,174 @@ pub fn astar_bench_report(
             .map(|d| d.as_secs())
             .unwrap_or(0),
     }
+}
+
+/// A machine-readable timing record of one campaign sweep — the
+/// orchestrator's perf trajectory (`BENCH_sweep.json`), mirroring
+/// [`BenchReport`] for the margin DP. The builder first replays a tiny
+/// grid through an interrupt + resume and asserts the rendered report is
+/// **byte-identical** to a straight run before timing anything, so a
+/// broken checkpoint path can never produce a plausible-looking
+/// baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepBenchReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// What was timed.
+    pub name: String,
+    /// Worker threads used for the campaign.
+    pub threads: usize,
+    /// Root seed of the seed-sharding scheme.
+    pub seed: u64,
+    /// Spec fingerprint (ties the numbers to one exact grid).
+    pub spec_fingerprint: u64,
+    /// Grid cells (strategy × Δ × stake-profile).
+    pub cells: usize,
+    /// Trials per cell.
+    pub trials_per_cell: u64,
+    /// Total executions (`cells × trials_per_cell`).
+    pub executions: u64,
+    /// Slots per execution.
+    pub slots: usize,
+    /// Settlement parameters per cell.
+    pub ks: Vec<usize>,
+    /// Cells of the interrupt/resume equivalence pre-check grid.
+    pub resume_check_cells: usize,
+    /// Wall-clock seconds of that pre-check (two short campaigns).
+    pub resume_check_seconds: f64,
+    /// End-to-end wall-clock seconds for the timed campaign.
+    pub run_seconds: f64,
+    /// Executions per wall-clock second.
+    pub executions_per_second: f64,
+    /// Simulated slots per wall-clock second, in millions.
+    pub mslots_per_second: f64,
+    /// Executions with ≥ 1 violating anchor at the smallest `k`, summed
+    /// over the grid — a cheap cross-run equivalence fingerprint.
+    pub violations_at_smallest_k: u64,
+    /// Wrapping sum of the per-cell aggregate fingerprints — the strong
+    /// cross-run equivalence fingerprint (thread-count invariant).
+    pub aggregate_checksum: u64,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time_seconds: u64,
+}
+
+/// The interrupt/resume equivalence pre-check: runs a tiny campaign
+/// straight, then interrupted-and-resumed on a different thread count,
+/// and asserts the rendered reports are byte-identical.
+///
+/// # Panics
+///
+/// Panics if the two report byte streams differ, or if the scratch
+/// checkpoint cannot be written.
+fn sweep_resume_precheck(seed: u64) -> (usize, f64) {
+    use multihonest_sweep::{campaign_report, report_json, run_campaign, CampaignSpec, RunOptions};
+    let start = std::time::Instant::now();
+    let mut spec = CampaignSpec::quick_grid();
+    spec.seed = seed ^ 0x5EED_CAFE;
+    spec.slots = 120;
+    spec.trials_per_cell = 12;
+    let straight = run_campaign(&spec, &RunOptions::default()).expect("no checkpoint involved");
+    let oracle = report_json(&campaign_report(&spec, &straight));
+
+    let path = std::env::temp_dir().join(format!("multihonest-sweep-precheck-{seed}.json"));
+    let _ = std::fs::remove_file(&path);
+    let interrupted = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: Some(2),
+        },
+    )
+    .expect("write scratch checkpoint");
+    assert!(!interrupted.is_complete(), "interrupt did not interrupt");
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: None,
+        },
+    )
+    .expect("resume from scratch checkpoint");
+    let _ = std::fs::remove_file(&path);
+    assert!(resumed.is_complete());
+    assert_eq!(
+        report_json(&campaign_report(&spec, &resumed)),
+        oracle,
+        "interrupted + resumed campaign diverged from the straight run"
+    );
+    (spec.cell_count(), start.elapsed().as_secs_f64())
+}
+
+/// Runs the campaign-sweep benchmark: the resume pre-check, then one
+/// timed campaign over `spec`, returning the campaign report plus the
+/// [`SweepBenchReport`] describing the run (the `bench-report` mode of
+/// the `sweep` binary).
+///
+/// # Panics
+///
+/// Panics if the pre-check finds an interrupt/resume divergence or the
+/// campaign does not complete.
+pub fn sweep_bench_report(
+    spec: &multihonest_sweep::CampaignSpec,
+    threads: usize,
+) -> (multihonest_sweep::CampaignReport, SweepBenchReport) {
+    use multihonest_sweep::{campaign_report, run_campaign, RunOptions};
+    let (resume_check_cells, resume_check_seconds) = sweep_resume_precheck(spec.seed);
+
+    let start = std::time::Instant::now();
+    let outcome = run_campaign(
+        spec,
+        &RunOptions {
+            threads,
+            checkpoint: None,
+            stop_after_cells: None,
+        },
+    )
+    .expect("no checkpoint involved");
+    let run_seconds = start.elapsed().as_secs_f64();
+    assert!(outcome.is_complete(), "untimed-out campaign must complete");
+    let report = campaign_report(spec, &outcome);
+
+    let executions = spec.executions();
+    let aggregate_checksum = outcome
+        .aggregates
+        .iter()
+        .flatten()
+        .fold(0u64, |acc, a| acc.wrapping_add(a.fingerprint));
+    let violations_at_smallest_k = outcome
+        .aggregates
+        .iter()
+        .flatten()
+        .map(|a| a.violating_executions.first().copied().unwrap_or(0))
+        .sum();
+    let bench = SweepBenchReport {
+        schema: "multihonest-bench-sweep/v1".to_string(),
+        name: "campaign_sweep".to_string(),
+        threads,
+        seed: spec.seed,
+        spec_fingerprint: spec.fingerprint(),
+        cells: spec.cell_count(),
+        trials_per_cell: spec.trials_per_cell,
+        executions,
+        slots: spec.slots,
+        ks: spec.ks.clone(),
+        resume_check_cells,
+        resume_check_seconds,
+        run_seconds,
+        executions_per_second: executions as f64 / run_seconds.max(f64::MIN_POSITIVE),
+        mslots_per_second: executions as f64 * spec.slots as f64
+            / run_seconds.max(f64::MIN_POSITIVE)
+            / 1e6,
+        violations_at_smallest_k,
+        aggregate_checksum,
+        unix_time_seconds: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    };
+    (report, bench)
 }
 
 #[cfg(test)]

@@ -1,0 +1,117 @@
+//! Property coverage for the hardened CLI parser: over arbitrary
+//! flag/value/positional interleavings, `flag_value` never hands a flag
+//! back as a value, errors exactly when the grammar says it must, and
+//! `positionals` partitions cleanly against the flags.
+
+use multihonest_bench::cli::{flag_value, parsed_flag, positionals, reject_unknown_flags};
+use proptest::prelude::*;
+
+/// A small but adversarial token alphabet: value-taking flags, boolean
+/// flags, plausible values, and things that look like values of the
+/// wrong type.
+fn arb_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("--seed".to_string()),
+        Just("--threads".to_string()),
+        Just("--out".to_string()),
+        Just("--quick".to_string()),
+        Just("--json".to_string()),
+        Just("bench-report".to_string()),
+        Just("abc".to_string()),
+        Just("out.json".to_string()),
+        (0u64..10_000).prop_map(|n| n.to_string()),
+    ]
+}
+
+fn arb_args() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec(arb_token(), 0..=8)
+}
+
+const VALUE_FLAGS: [&str; 3] = ["--seed", "--threads", "--out"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    /// The bugfix property: whatever the interleaving, a returned value
+    /// is never `--`-prefixed, and an error is returned exactly when the
+    /// token after the flag's first occurrence is missing or a flag.
+    #[test]
+    fn values_are_never_flags(args in arb_args(), which in 0usize..3) {
+        let flag = VALUE_FLAGS[which];
+        let parsed = flag_value(&args, flag);
+        match args.iter().position(|a| a == flag) {
+            None => prop_assert_eq!(parsed, Ok(None)),
+            Some(i) => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    prop_assert_eq!(parsed, Ok(Some(v.as_str())));
+                }
+                _ => prop_assert!(parsed.is_err(), "{flag} at {i} in {args:?}"),
+            },
+        }
+    }
+
+    /// Planting `flag value` into any argument vector that does not
+    /// already mention the flag always parses back to exactly `value`.
+    #[test]
+    fn planted_flag_round_trips(
+        base in arb_args(),
+        at in 0usize..9,
+        which in 0usize..3,
+        value in 0u64..1_000_000,
+    ) {
+        let flag = VALUE_FLAGS[which];
+        let mut args: Vec<String> = base.into_iter().filter(|a| a != flag).collect();
+        let at = at.min(args.len());
+        args.splice(at..at, [flag.to_string(), value.to_string()]);
+        prop_assert_eq!(flag_value(&args, flag), Ok(Some(value.to_string().as_str())));
+        prop_assert_eq!(parsed_flag::<u64>(&args, flag), Ok(Some(value)));
+    }
+
+    /// `parsed_flag` agrees with `flag_value` + `str::parse` everywhere.
+    #[test]
+    fn parsed_flag_matches_manual_parse(args in arb_args(), which in 0usize..3) {
+        let flag = VALUE_FLAGS[which];
+        let manual = match flag_value(&args, flag) {
+            Err(_) => None,
+            Ok(None) => Some(None),
+            Ok(Some(v)) => v.parse::<u64>().ok().map(Some),
+        };
+        match (parsed_flag::<u64>(&args, flag), manual) {
+            (Ok(got), Some(want)) => prop_assert_eq!(got, want),
+            (Err(_), None) => {}
+            (got, want) => prop_assert!(false, "{got:?} vs {want:?} on {args:?}"),
+        }
+    }
+
+    /// `positionals` returns exactly the non-flag tokens that do not sit
+    /// immediately after a value-taking flag, in order.
+    #[test]
+    fn positionals_partition_the_vector(args in arb_args()) {
+        let pos = positionals(&args, &VALUE_FLAGS);
+        let expected: Vec<&str> = args
+            .iter()
+            .enumerate()
+            .filter(|(i, a)| {
+                !a.starts_with("--")
+                    && (*i == 0 || !VALUE_FLAGS.contains(&args[i - 1].as_str()))
+            })
+            .map(|(_, a)| a.as_str())
+            .collect();
+        prop_assert_eq!(pos.clone(), expected);
+        for p in pos {
+            prop_assert!(!p.starts_with("--"));
+        }
+    }
+
+    /// The unknown-flag guard accepts exactly the vectors whose `--`
+    /// tokens all come from the known set.
+    #[test]
+    fn unknown_flag_guard_is_exact(args in arb_args()) {
+        let known = ["--seed", "--threads", "--out", "--quick"];
+        let ok = reject_unknown_flags(&args, &known).is_ok();
+        let expect = args
+            .iter()
+            .all(|a| !a.starts_with("--") || known.contains(&a.as_str()));
+        prop_assert_eq!(ok, expect, "{:?}", args);
+    }
+}

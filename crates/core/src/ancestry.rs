@@ -77,6 +77,25 @@ impl AncestorIndex {
         self.depths.len()
     }
 
+    /// Reserves room for at least `additional` more nodes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.parents.reserve(additional);
+        self.depths.reserve(additional);
+        self.jumps.reserve(additional);
+    }
+
+    /// Resets the index to the root-only state of [`AncestorIndex::new`]
+    /// while keeping the column allocations — the reuse hook batch
+    /// drivers call between executions instead of allocating afresh.
+    pub fn clear(&mut self) {
+        self.parents.clear();
+        self.depths.clear();
+        self.jumps.clear();
+        self.parents.push(0);
+        self.depths.push(0);
+        self.jumps.push(0);
+    }
+
     /// Always `false`: the root is always present.
     pub fn is_empty(&self) -> bool {
         false
@@ -383,6 +402,24 @@ mod tests {
         for (&(a, b), &ord) in pairs.iter().zip(&before) {
             assert_eq!(idx.preorder_cmp(a, b), ord, "({a}, {b}) reordered");
         }
+    }
+
+    #[test]
+    fn clear_restores_root_only_state() {
+        let mut idx = random_tree(200);
+        idx.clear();
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.depth(0), 0);
+        assert_eq!(idx.parent(0), None);
+        // Rebuilding after clear matches a fresh build exactly.
+        let rebuilt = {
+            for i in 0..200 {
+                let parent = (mix(i as u64) % idx.len() as u64) as usize;
+                idx.push(parent);
+            }
+            idx
+        };
+        assert_eq!(rebuilt, random_tree(200));
     }
 
     #[test]

@@ -47,6 +47,7 @@
 //! | [`analytic`] | generating functions, Bounds 1–3, Theorems 1/2/7/8 | 4, 5, 8, 9 |
 //! | [`sim`] | executable PoS protocol with Δ-network and attacks | 2, 8 |
 //! | [`scenario`] | columnar million-slot engine + scenario library | 2, 8 |
+//! | [`sweep`] | campaign orchestrator: seeded grids, checkpoints, reports | 6.6, 8 |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -60,6 +61,7 @@ pub use multihonest_fork as fork;
 pub use multihonest_margin as margin;
 pub use multihonest_scenario as scenario;
 pub use multihonest_sim as sim;
+pub use multihonest_sweep as sweep;
 
 /// Convenient re-exports of the most used types.
 pub mod prelude {

@@ -56,6 +56,12 @@ impl BlockSet {
         fresh
     }
 
+    /// Empties the set, keeping its allocation (re-inserts re-zero it).
+    #[inline]
+    fn clear(&mut self) {
+        self.words.clear();
+    }
+
     #[cfg(test)]
     fn contains(&self, b: u32) -> bool {
         let (word, bit) = (b as usize / 64, b as usize % 64);
@@ -210,8 +216,17 @@ impl ColumnarSimulation {
         schedule: &ColumnarSchedule,
         strategy: &mut dyn AdversaryStrategy,
     ) -> ColumnarSimulation {
-        let mut sink = ();
-        execute(config, schedule, strategy, true, &mut sink)
+        let mut arena = ExecutionArena::new();
+        let out = execute(&mut arena, config, schedule, strategy, true, &mut ());
+        ColumnarSimulation {
+            config: *config,
+            store: arena.store,
+            tips_flat: out.tips_flat,
+            tips_end: out.tips_end,
+            rollbacks: out.rollbacks,
+            divergence: out.divergence,
+            metrics: out.metrics,
+        }
     }
 
     /// Runs a **streaming** execution: no per-slot traces are retained —
@@ -225,7 +240,25 @@ impl ColumnarSimulation {
         strategy: &mut dyn AdversaryStrategy,
         sink: &mut S,
     ) -> (Metrics, DivergenceIndex) {
-        let out = execute(config, schedule, strategy, false, sink);
+        let mut arena = ExecutionArena::new();
+        ColumnarSimulation::run_streaming_in(&mut arena, config, schedule, strategy, sink)
+    }
+
+    /// The **batch** entry point: a streaming execution that reuses the
+    /// caller's [`ExecutionArena`] instead of allocating block/delivery
+    /// arenas afresh — trace-identical to [`run_streaming`], amortizing
+    /// heap traffic to zero across a campaign of seeds. This is the
+    /// kernel campaign sweeps drive once per trial.
+    ///
+    /// [`run_streaming`]: ColumnarSimulation::run_streaming
+    pub fn run_streaming_in<S: MetricsSink>(
+        arena: &mut ExecutionArena,
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        sink: &mut S,
+    ) -> (Metrics, DivergenceIndex) {
+        let out = execute(arena, config, schedule, strategy, false, sink);
         (out.metrics, out.divergence)
     }
 
@@ -285,14 +318,85 @@ impl ColumnarSimulation {
     }
 }
 
+/// Reusable working state for batch execution: the block store, delivery
+/// ring, per-node views and per-slot scratch buffers of one execution,
+/// reset in place between seeds. One arena per worker thread turns a
+/// campaign of millions of executions into zero steady-state allocation —
+/// see [`ColumnarSimulation::run_streaming_in`].
+#[derive(Debug)]
+pub struct ExecutionArena {
+    store: ColumnarStore,
+    ring: DeliveryRing,
+    tips: Vec<u32>,
+    known: Vec<BlockSet>,
+    minted: Vec<BlockId>,
+    before: Vec<u32>,
+    due: Vec<(u32, u32)>,
+    uniq: Vec<u32>,
+}
+
+impl Default for ExecutionArena {
+    fn default() -> ExecutionArena {
+        ExecutionArena::new()
+    }
+}
+
+impl ExecutionArena {
+    /// An empty arena; the first execution sizes it, later ones reuse it.
+    pub fn new() -> ExecutionArena {
+        ExecutionArena {
+            store: ColumnarStore::new(),
+            ring: DeliveryRing::new(0, 0, 0),
+            tips: Vec::new(),
+            known: Vec::new(),
+            minted: Vec::new(),
+            before: Vec::new(),
+            due: Vec::new(),
+            uniq: Vec::new(),
+        }
+    }
+
+    /// Resets every component for a fresh execution, keeping allocations.
+    fn reset(&mut self, config: &SimConfig, lookahead: usize, expected_blocks: usize) {
+        let n = config.honest_nodes;
+        self.store.reset();
+        self.store.reserve(expected_blocks);
+        self.ring.reset(config.delta, lookahead, config.slots);
+        self.tips.clear();
+        self.tips.resize(n, 0);
+        self.known.truncate(n);
+        for k in &mut self.known {
+            k.clear();
+        }
+        self.known.resize_with(n, BlockSet::default);
+        for k in &mut self.known {
+            k.insert(0); // genesis
+        }
+        self.before.clear();
+        self.before.resize(n, 0);
+        self.uniq.reserve(n);
+    }
+}
+
+/// The per-run outputs of [`execute`] (the block store stays in the
+/// arena; trace columns are empty in streaming mode).
+struct ExecOutput {
+    tips_flat: Vec<u32>,
+    tips_end: Vec<u32>,
+    rollbacks: Vec<(u32, u32, u32)>,
+    divergence: DivergenceIndex,
+    metrics: Metrics,
+}
+
 /// The engine loop shared by the trace-retaining and streaming modes.
 fn execute<S: MetricsSink>(
+    arena: &mut ExecutionArena,
     config: &SimConfig,
     schedule: &ColumnarSchedule,
     strategy: &mut dyn AdversaryStrategy,
     keep_trace: bool,
     sink: &mut S,
-) -> ColumnarSimulation {
+) -> ExecOutput {
     assert_eq!(
         schedule.len(),
         config.slots,
@@ -302,24 +406,23 @@ fn execute<S: MetricsSink>(
     assert!(n > 0, "need at least one honest node");
     // Expected blocks ≈ one per leader flag; reserve with headroom.
     let expected = schedule.active_slots() + schedule.len() / 8 + 16;
-    let mut store = ColumnarStore::with_capacity(expected);
-    let mut ring = DeliveryRing::new(config.delta, strategy.lookahead(config.delta), config.slots);
-    let mut tips: Vec<u32> = vec![0; n];
-    let mut known: Vec<BlockSet> = vec![BlockSet::default(); n];
-    for k in &mut known {
-        k.insert(0); // genesis
-    }
+    arena.reset(config, strategy.lookahead(config.delta), expected);
+    let ExecutionArena {
+        store,
+        ring,
+        tips,
+        known,
+        minted,
+        before,
+        due,
+        uniq,
+    } = arena;
     let mut fold = DivergenceFold::new(config.slots);
     let mut acc = MetricsAccumulator::new();
     let mut rollbacks: Vec<(u32, u32, u32)> = Vec::new();
     let mut tips_flat: Vec<u32> = Vec::new();
     let mut tips_end: Vec<u32> = Vec::with_capacity(if keep_trace { config.slots + 1 } else { 1 });
     tips_end.push(0);
-    // Reused per-slot buffers — the steady-state loop allocates nothing.
-    let mut minted: Vec<BlockId> = Vec::new();
-    let mut before: Vec<u32> = vec![0; n];
-    let mut due: Vec<(u32, u32)> = Vec::new();
-    let mut uniq: Vec<u32> = Vec::with_capacity(n);
 
     for slot in 1..=config.slots {
         // 1. Honest leaders mint on their current tips and adopt their
@@ -329,27 +432,27 @@ fn execute<S: MetricsSink>(
         for &leader in schedule.leaders(slot) {
             let l = leader as usize;
             let b = store.mint(tips[l], slot, leader, true);
-            receive(&store, config.tie_break, &mut known[l], &mut tips[l], b);
+            receive(store, config.tie_break, &mut known[l], &mut tips[l], b);
             minted.push(BlockId::from_index(b as usize));
         }
         // 2. The rushing adversary observes the minted blocks and acts —
         //    through the same trait the reference engine drives.
         let mut ctx = ColumnarSlotContext {
-            store: &mut store,
-            ring: &mut ring,
+            store: &mut *store,
+            ring: &mut *ring,
             delta: config.delta,
             honest_nodes: n,
             slot,
             adversarial_leader: schedule.adversarial(slot),
         };
-        strategy.on_slot(&mut ctx, &minted);
+        strategy.on_slot(&mut ctx, minted);
         // 3. Apply this slot's deliveries in scheduled order, recording
         //    chain rollbacks.
-        before.copy_from_slice(&tips);
-        ring.drain_into(slot, &mut due);
-        for &(recipient, block) in &due {
+        before.copy_from_slice(tips);
+        ring.drain_into(slot, due);
+        for &(recipient, block) in due.iter() {
             let r = recipient as usize;
-            receive(&store, config.tie_break, &mut known[r], &mut tips[r], block);
+            receive(store, config.tie_break, &mut known[r], &mut tips[r], block);
         }
         for i in 0..n {
             let (old, new) = (before[i], tips[i]);
@@ -357,7 +460,7 @@ fn execute<S: MetricsSink>(
                 if keep_trace {
                     rollbacks.push((slot as u32, old, new));
                 }
-                fold.observe_rollback(&store, slot, old, new);
+                fold.observe_rollback(store, slot, old, new);
                 TeeSink {
                     a: &mut acc,
                     b: &mut *sink,
@@ -366,7 +469,7 @@ fn execute<S: MetricsSink>(
             }
         }
         if config.tie_break == TieBreak::AdversarialOrder {
-            for (&leader, &b) in schedule.leaders(slot).iter().zip(&minted) {
+            for (&leader, &b) in schedule.leaders(slot).iter().zip(minted.iter()) {
                 let tip = tips[leader as usize];
                 debug_assert!(
                     tip == b.index() as u32 || store.height(tip) > store.height(b.index() as u32),
@@ -376,7 +479,7 @@ fn execute<S: MetricsSink>(
         }
         // 4. Fold the distinct honest views.
         uniq.clear();
-        uniq.extend_from_slice(&tips);
+        uniq.extend_from_slice(tips);
         uniq.sort_unstable();
         uniq.dedup();
         let mut div = 0usize;
@@ -389,14 +492,14 @@ fn execute<S: MetricsSink>(
                 div = div.max(first.saturating_sub(store.slot(lca)));
             }
         }
-        fold.observe_tips(&store, slot, &uniq);
+        fold.observe_tips(store, slot, uniq);
         TeeSink {
             a: &mut acc,
             b: &mut *sink,
         }
         .on_slot(slot, uniq.len(), best_height, div);
         if keep_trace {
-            tips_flat.extend_from_slice(&uniq);
+            tips_flat.extend_from_slice(uniq);
             tips_end.push(tips_flat.len() as u32);
         }
     }
@@ -404,7 +507,7 @@ fn execute<S: MetricsSink>(
     // Final metrics: best tip over node views, later nodes winning height
     // ties (matching the reference's `max_by_key`).
     let mut best_tip = tips[0];
-    for &t in &tips {
+    for &t in tips.iter() {
         if store.height(t) >= store.height(best_tip) {
             best_tip = t;
         }
@@ -425,9 +528,7 @@ fn execute<S: MetricsSink>(
         honest_chain_blocks,
         divergence.max_settlement_lag(),
     );
-    ColumnarSimulation {
-        config: *config,
-        store,
+    ExecOutput {
         tips_flat,
         tips_end,
         rollbacks,
@@ -506,6 +607,42 @@ mod tests {
         assert_eq!(&metrics, traced.metrics());
         assert_eq!(&index, traced.divergence_index());
         assert_eq!(acc.max_slot_divergence(), metrics.max_slot_divergence);
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_runs() {
+        // One arena driven across runs with different seeds, strategies,
+        // Δs and node counts (the shape of a campaign cell sweep) must
+        // reproduce each fresh streaming run exactly.
+        let mut arena = ExecutionArena::new();
+        for (seed, strategy, delta, nodes) in [
+            (1u64, Strategy::PrivateWithholding, 2usize, 6usize),
+            (2, Strategy::BalanceAttack, 0, 6),
+            (3, Strategy::Honest, 4, 3),
+            (4, Strategy::PrivateWithholding, 1, 9),
+        ] {
+            let mut config = cfg(strategy, delta, 350);
+            config.honest_nodes = nodes;
+            let schedule = ColumnarSchedule::sample(
+                config.honest_nodes,
+                config.adversarial_stake,
+                config.active_slot_coeff,
+                config.slots,
+                seed,
+            );
+            let mut s1 = strategy.instantiate();
+            let fresh = ColumnarSimulation::run_streaming(&config, &schedule, s1.as_mut(), &mut ());
+            let mut s2 = strategy.instantiate();
+            let reused = ColumnarSimulation::run_streaming_in(
+                &mut arena,
+                &config,
+                &schedule,
+                s2.as_mut(),
+                &mut (),
+            );
+            assert_eq!(fresh.0, reused.0, "metrics diverged at seed {seed}");
+            assert_eq!(fresh.1, reused.1, "index diverged at seed {seed}");
+        }
     }
 
     #[test]

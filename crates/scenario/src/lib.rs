@@ -61,7 +61,7 @@ pub mod scenario;
 pub mod schedule;
 pub mod store;
 
-pub use crate::engine::ColumnarSimulation;
+pub use crate::engine::{ColumnarSimulation, ExecutionArena};
 pub use crate::report::{scenario_bench_report, ScenarioBenchReport, ScenarioRow};
 pub use crate::ring::DeliveryRing;
 pub use crate::scenario::{

@@ -41,6 +41,18 @@ impl DeliveryRing {
         self.buckets.len()
     }
 
+    /// Reconfigures the ring in place for a new execution, clearing every
+    /// bucket but keeping their allocations — the batch-execution reuse
+    /// hook mirroring [`ColumnarStore::reset`](crate::ColumnarStore::reset).
+    pub fn reset(&mut self, delta: usize, lookahead: usize, slots: usize) {
+        self.delta = delta;
+        self.slots = slots;
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.buckets.resize(lookahead.max(delta) + 1, Vec::new());
+    }
+
     /// Schedules an honest broadcast from `broadcast_slot` to `recipient`
     /// at the end of `requested_slot`, clamped into
     /// `[broadcast_slot, broadcast_slot + Δ]` and the horizon — identical

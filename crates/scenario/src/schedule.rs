@@ -26,6 +26,18 @@ pub struct ColumnarSchedule {
 }
 
 impl ColumnarSchedule {
+    /// An empty (0-slot) schedule — the placeholder batch drivers hold
+    /// before their first [`resample_weighted`] call.
+    ///
+    /// [`resample_weighted`]: ColumnarSchedule::resample_weighted
+    pub fn empty() -> ColumnarSchedule {
+        ColumnarSchedule {
+            honest: Vec::new(),
+            start: vec![0],
+            adversarial: Vec::new(),
+        }
+    }
+
     /// Samples a schedule with honest stake split equally — draw-for-draw
     /// identical to [`LeaderSchedule::sample`] for the same parameters
     /// and seed.
@@ -72,6 +84,38 @@ impl ColumnarSchedule {
         slots: usize,
         seed: u64,
     ) -> ColumnarSchedule {
+        let mut schedule = ColumnarSchedule {
+            honest: Vec::new(),
+            start: Vec::new(),
+            adversarial: Vec::new(),
+        };
+        schedule.resample_weighted(
+            honest_stakes,
+            adversarial_stake,
+            active_slot_coeff,
+            slots,
+            seed,
+        );
+        schedule
+    }
+
+    /// Resamples `self` in place with the same semantics (and draw order)
+    /// as [`ColumnarSchedule::sample_weighted`], reusing the existing
+    /// column allocations — the batch entry point campaign sweeps use to
+    /// run millions of seeds without re-allocating a schedule per trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges, a stake is
+    /// negative, or the stakes do not sum (with the adversary) to 1.
+    pub fn resample_weighted(
+        &mut self,
+        honest_stakes: &[f64],
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+        slots: usize,
+        seed: u64,
+    ) {
         assert!(!honest_stakes.is_empty(), "need at least one honest node");
         assert!(
             (0.0..1.0).contains(&adversarial_stake),
@@ -81,15 +125,9 @@ impl ColumnarSchedule {
             active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
             "active slot coefficient in (0, 1)"
         );
-        assert!(
-            honest_stakes.iter().all(|&s| s >= 0.0),
-            "stakes are non-negative"
-        );
-        let total: f64 = honest_stakes.iter().sum::<f64>() + adversarial_stake;
-        assert!(
-            (total - 1.0).abs() < 1e-9,
-            "stakes must partition the total (got {total})"
-        );
+        // Kahan-compensated, size-scaled validation shared with the
+        // reference schedule (the two copies had drifted; see the helper).
+        multihonest_sim::validate_stake_partition(honest_stakes, adversarial_stake);
         let mut rng = StdRng::seed_from_u64(seed);
         let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
         let p_honest: Vec<f64> = honest_stakes.iter().map(|&s| phi(s)).collect();
@@ -97,23 +135,21 @@ impl ColumnarSchedule {
         // Expected leaders ≈ slots × Σ p_i; reserve with headroom so the
         // flat column settles after at most one growth step.
         let expected = (slots as f64 * p_honest.iter().sum::<f64>() * 1.1) as usize + 16;
-        let mut honest = Vec::with_capacity(expected);
-        let mut start = Vec::with_capacity(slots + 1);
-        let mut adversarial = Vec::with_capacity(slots);
-        start.push(0);
+        self.honest.clear();
+        self.honest.reserve(expected);
+        self.start.clear();
+        self.start.reserve(slots + 1);
+        self.adversarial.clear();
+        self.adversarial.reserve(slots);
+        self.start.push(0);
         for _ in 0..slots {
             for (node, &p) in p_honest.iter().enumerate() {
                 if rng.gen::<f64>() < p {
-                    honest.push(node as u32);
+                    self.honest.push(node as u32);
                 }
             }
-            start.push(honest.len() as u32);
-            adversarial.push(rng.gen::<f64>() < p_adv);
-        }
-        ColumnarSchedule {
-            honest,
-            start,
-            adversarial,
+            self.start.push(self.honest.len() as u32);
+            self.adversarial.push(rng.gen::<f64>() < p_adv);
         }
     }
 

@@ -63,6 +63,33 @@ impl ColumnarStore {
         s
     }
 
+    /// Reserves room for at least `additional` more blocks.
+    pub fn reserve(&mut self, additional: usize) {
+        self.slot.reserve(additional);
+        self.parent.reserve(additional);
+        self.height.reserve(additional);
+        self.issuer.reserve(additional);
+        self.honest.reserve(additional);
+        self.anc.reserve(additional);
+    }
+
+    /// Resets the store to the genesis-only state, keeping every column
+    /// allocation — the batch-execution reuse hook: a store that has run
+    /// one execution resets in `O(1)` heap traffic for the next seed.
+    pub fn reset(&mut self) {
+        self.slot.clear();
+        self.parent.clear();
+        self.height.clear();
+        self.issuer.clear();
+        self.honest.clear();
+        self.anc.clear();
+        self.slot.push(0);
+        self.parent.push(0);
+        self.height.push(0);
+        self.issuer.push(GENESIS_ISSUER);
+        self.honest.push(true);
+    }
+
     /// Mints a block on `parent` at `slot` by `issuer` and returns its id.
     ///
     /// # Panics
@@ -195,6 +222,24 @@ mod tests {
         assert_eq!(s.chain(b), vec![0, a, b]);
         assert_eq!(s.block_at_slot(b, 2), Some(b));
         assert_eq!(s.block_at_slot(c, 2), None);
+    }
+
+    #[test]
+    fn reset_matches_fresh_store() {
+        let mut s = ColumnarStore::with_capacity(8);
+        let a = s.mint(0, 1, 0, true);
+        let _ = s.mint(a, 2, ADVERSARY, false);
+        s.reset();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.parent(0), None);
+        assert_eq!(s.issuer(0), GENESIS_ISSUER);
+        // Rebuilding after reset gives the same ids and ancestry answers.
+        let a = s.mint(0, 1, 0, true);
+        let b = s.mint(a, 2, 1, true);
+        let c = s.mint(a, 3, ADVERSARY, false);
+        assert_eq!((a, b, c), (1, 2, 3));
+        assert_eq!(s.last_common_block(b, c), a);
+        assert_eq!(s.block_at_slot(b, 2), Some(b));
     }
 
     #[test]

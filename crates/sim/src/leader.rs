@@ -18,6 +18,47 @@ use multihonest_chars::{SemiString, SemiSymbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Validates a heterogeneous stake partition: every honest stake is
+/// non-negative and the stakes plus the adversarial stake sum to 1.
+///
+/// The sum is computed with **compensated (Kahan) summation** and checked
+/// against a tolerance that scales with the profile size: a naive f64 sum
+/// of `n` normalized weights carries `O(n·ε)` rounding, so for large
+/// profiles (e.g. a 10⁴-node Zipf stake distribution) an absolute `1e-9`
+/// check on the naive sum can spuriously reject stakes that *do*
+/// partition the total. This helper is the single validation path shared
+/// by [`LeaderSchedule::sample_weighted`] and the columnar schedule's
+/// counterpart, so the two can never drift apart again.
+///
+/// # Panics
+///
+/// Panics if a stake is negative or the compensated total differs from 1
+/// beyond the size-scaled tolerance.
+pub fn validate_stake_partition(honest_stakes: &[f64], adversarial_stake: f64) {
+    assert!(
+        honest_stakes.iter().all(|&s| s >= 0.0),
+        "stakes are non-negative"
+    );
+    // Kahan summation: the compensated error is O(ε), independent of n.
+    let mut sum = adversarial_stake;
+    let mut c = 0.0f64;
+    for &s in honest_stakes {
+        let y = s - c;
+        let t = sum + y;
+        c = (t - sum) - y;
+        sum = t;
+    }
+    // The target total is 1, so this is a relative tolerance too: 1e-9
+    // for algorithmic mistakes (stakes that genuinely don't partition),
+    // plus an n-scaled ulp allowance for the rounding already baked into
+    // the caller's normalization of the individual stakes.
+    let tolerance = 1e-9 + 4.0 * honest_stakes.len() as f64 * f64::EPSILON;
+    assert!(
+        (sum - 1.0).abs() <= tolerance,
+        "stakes must partition the total (got {sum})"
+    );
+}
+
 /// The leaders of a single slot.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SlotLeaders {
@@ -113,15 +154,7 @@ impl LeaderSchedule {
             active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
             "active slot coefficient in (0, 1)"
         );
-        assert!(
-            honest_stakes.iter().all(|&s| s >= 0.0),
-            "stakes are non-negative"
-        );
-        let total: f64 = honest_stakes.iter().sum::<f64>() + adversarial_stake;
-        assert!(
-            (total - 1.0).abs() < 1e-9,
-            "stakes must partition the total (got {total})"
-        );
+        validate_stake_partition(honest_stakes, adversarial_stake);
         let mut rng = StdRng::seed_from_u64(seed);
         let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
         let p_honest: Vec<f64> = honest_stakes.iter().map(|&s| phi(s)).collect();
@@ -243,5 +276,33 @@ mod tests {
     #[should_panic(expected = "at least one honest node")]
     fn zero_honest_nodes_rejected() {
         let _ = LeaderSchedule::sample(0, 0.2, 0.1, 10, 1);
+    }
+
+    #[test]
+    fn large_normalized_profiles_validate() {
+        // Regression: the old validation summed naively and checked an
+        // absolute 1e-9, which large normalized profiles can exceed
+        // through accumulated rounding alone. A 10⁴-node Zipf-like
+        // profile must sample without a stake-sum panic.
+        let n = 10_000usize;
+        let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i + 1) as f64).collect();
+        let sum: f64 = weights.iter().sum();
+        let stakes: Vec<f64> = weights.iter().map(|&w| 0.7 * w / sum).collect();
+        let sched = LeaderSchedule::sample_weighted(&stakes, 0.3, 0.25, 3, 7);
+        assert_eq!(sched.len(), 3);
+        // The n-scaled tolerance also covers a million-entry profile.
+        validate_stake_partition(&vec![0.6 / 1e6; 1_000_000], 0.4);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the total")]
+    fn genuinely_broken_partition_still_rejected() {
+        validate_stake_partition(&[0.35, 0.35], 0.3 - 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_stake_rejected() {
+        validate_stake_partition(&[0.8, -0.1], 0.3);
     }
 }

@@ -70,7 +70,7 @@ pub use self::simulation as reference;
 
 pub use crate::block::{Block, BlockId, BlockStore};
 pub use crate::consistency::{DivergenceFold, DivergenceIndex, DivergenceOps};
-pub use crate::leader::{LeaderSchedule, SlotLeaders};
+pub use crate::leader::{validate_stake_partition, LeaderSchedule, SlotLeaders};
 pub use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
 pub use crate::node::TieBreak;
 pub use crate::simulation::{ExtractedFork, SimConfig, Simulation};

@@ -1,0 +1,262 @@
+//! Campaign checkpoints: atomic JSON snapshots of completed cells.
+//!
+//! ## Format (`multihonest-sweep-checkpoint/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "multihonest-sweep-checkpoint/v1",
+//!   "spec_fingerprint": 1234567890,
+//!   "completed": [ { "cell": 0, "aggregate": { ...CellAggregate... } } ]
+//! }
+//! ```
+//!
+//! Only **whole completed cells** are checkpointed: a cell's aggregate is
+//! flushed once its last trial chunk lands, so every snapshot is a valid
+//! prefix of the campaign regardless of where execution was interrupted.
+//! Writes go to a temp file in the same directory followed by a rename,
+//! so a kill mid-write leaves the previous snapshot intact. On resume the
+//! embedded [`CampaignSpec::fingerprint`] is compared; a mismatch is an
+//! error rather than a silent merge of incompatible aggregates.
+//!
+//! [`CampaignSpec::fingerprint`]: crate::CampaignSpec::fingerprint
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+use serde::Value;
+
+use crate::aggregate::CellAggregate;
+
+/// Schema tag of the checkpoint format.
+pub const CHECKPOINT_SCHEMA: &str = "multihonest-sweep-checkpoint/v1";
+
+/// One completed cell in a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CompletedCell {
+    /// The cell's row-major grid index.
+    pub cell: u64,
+    /// Its finished aggregate.
+    pub aggregate: CellAggregate,
+}
+
+/// A checkpoint: the completed prefix of a campaign.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Checkpoint {
+    /// Always [`CHECKPOINT_SCHEMA`].
+    pub schema: String,
+    /// [`CampaignSpec::fingerprint`](crate::CampaignSpec::fingerprint)
+    /// of the campaign this snapshot belongs to.
+    pub spec_fingerprint: u64,
+    /// Completed cells, sorted by cell index.
+    pub completed: Vec<CompletedCell>,
+}
+
+impl Checkpoint {
+    /// A checkpoint with no completed cells.
+    pub fn empty(spec_fingerprint: u64) -> Checkpoint {
+        Checkpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            spec_fingerprint,
+            completed: Vec::new(),
+        }
+    }
+
+    /// Writes the checkpoint atomically: temp file + rename.
+    pub fn write(&self, path: &Path) -> io::Result<()> {
+        let rendered = serde_json::to_string_pretty(self).expect("serializable");
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        fs::write(&tmp, rendered + "\n")?;
+        fs::rename(&tmp, path)
+    }
+
+    /// Loads and validates a checkpoint. Returns `Ok(None)` when `path`
+    /// does not exist (a fresh campaign), an error when the file exists
+    /// but is malformed or belongs to a different campaign spec.
+    pub fn load(path: &Path, spec_fingerprint: u64) -> io::Result<Option<Checkpoint>> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let value = serde_json::from_str(&text)
+            .map_err(|e| bad_data(format!("checkpoint is not valid JSON: {e}")))?;
+        let checkpoint = parse_checkpoint(&value)?;
+        if checkpoint.spec_fingerprint != spec_fingerprint {
+            return Err(bad_data(format!(
+                "checkpoint belongs to a different campaign \
+                 (spec fingerprint {:#x}, expected {:#x})",
+                checkpoint.spec_fingerprint, spec_fingerprint
+            )));
+        }
+        Ok(Some(checkpoint))
+    }
+}
+
+fn bad_data(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn field<'a>(value: &'a Value, key: &str) -> io::Result<&'a Value> {
+    value
+        .get(key)
+        .ok_or_else(|| bad_data(format!("checkpoint field '{key}' is missing")))
+}
+
+fn field_u64(value: &Value, key: &str) -> io::Result<u64> {
+    field(value, key)?.as_u64().ok_or_else(|| {
+        bad_data(format!(
+            "checkpoint field '{key}' is not an unsigned integer"
+        ))
+    })
+}
+
+fn field_i64(value: &Value, key: &str) -> io::Result<i64> {
+    field(value, key)?
+        .as_i64()
+        .ok_or_else(|| bad_data(format!("checkpoint field '{key}' is not an integer")))
+}
+
+fn field_u64_array(value: &Value, key: &str) -> io::Result<Vec<u64>> {
+    field(value, key)?
+        .as_array()
+        .ok_or_else(|| bad_data(format!("checkpoint field '{key}' is not an array")))?
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .ok_or_else(|| bad_data(format!("'{key}' holds a non-integer entry")))
+        })
+        .collect()
+}
+
+fn parse_checkpoint(value: &Value) -> io::Result<Checkpoint> {
+    let schema = field(value, "schema")?
+        .as_str()
+        .ok_or_else(|| bad_data("checkpoint schema is not a string".to_string()))?;
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(bad_data(format!(
+            "unsupported checkpoint schema '{schema}' (expected '{CHECKPOINT_SCHEMA}')"
+        )));
+    }
+    let completed = field(value, "completed")?
+        .as_array()
+        .ok_or_else(|| bad_data("checkpoint 'completed' is not an array".to_string()))?
+        .iter()
+        .map(parse_completed_cell)
+        .collect::<io::Result<Vec<CompletedCell>>>()?;
+    Ok(Checkpoint {
+        schema: schema.to_string(),
+        spec_fingerprint: field_u64(value, "spec_fingerprint")?,
+        completed,
+    })
+}
+
+fn parse_completed_cell(value: &Value) -> io::Result<CompletedCell> {
+    let agg = field(value, "aggregate")?;
+    let violating_executions = field_u64_array(agg, "violating_executions")?;
+    let violating_anchors = field_u64_array(agg, "violating_anchors")?;
+    if violating_executions.len() != violating_anchors.len() {
+        return Err(bad_data(
+            "aggregate per-k arrays have mismatched lengths".to_string(),
+        ));
+    }
+    Ok(CompletedCell {
+        cell: field_u64(value, "cell")?,
+        aggregate: CellAggregate {
+            trials: field_u64(agg, "trials")?,
+            violating_executions,
+            violating_anchors,
+            rollbacks: field_u64(agg, "rollbacks")?,
+            max_slot_divergence: field_u64(agg, "max_slot_divergence")?,
+            max_settlement_lag: field_i64(agg, "max_settlement_lag")?,
+            chain_blocks: field_u64(agg, "chain_blocks")?,
+            honest_chain_blocks: field_u64(agg, "honest_chain_blocks")?,
+            final_height: field_u64(agg, "final_height")?,
+            active_slots: field_u64(agg, "active_slots")?,
+            fingerprint: field_u64(agg, "fingerprint")?,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut agg = CellAggregate::new(3);
+        agg.trials = 40;
+        agg.violating_executions = vec![5, 2, 0];
+        agg.violating_anchors = vec![31, 7, 0];
+        agg.rollbacks = 12;
+        agg.max_slot_divergence = 9;
+        agg.max_settlement_lag = 17;
+        agg.chain_blocks = 4000;
+        agg.honest_chain_blocks = 3300;
+        agg.final_height = 3900;
+        agg.active_slots = 11_000;
+        agg.fingerprint = u64::MAX - 3; // exercise full u64 range
+        let mut none_yet = CellAggregate::new(3);
+        none_yet.trials = 40;
+        none_yet.max_settlement_lag = -1;
+        Checkpoint {
+            schema: CHECKPOINT_SCHEMA.to_string(),
+            spec_fingerprint: 0xDEAD_BEEF_DEAD_BEEF,
+            completed: vec![
+                CompletedCell {
+                    cell: 0,
+                    aggregate: agg,
+                },
+                CompletedCell {
+                    cell: 3,
+                    aggregate: none_yet,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        let original = sample();
+        original.write(&path).unwrap();
+        let loaded = Checkpoint::load(&path, original.spec_fingerprint)
+            .unwrap()
+            .expect("file exists");
+        assert_eq!(loaded, original);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_fresh_campaign() {
+        let path = std::env::temp_dir().join("multihonest-sweep-ckpt-missing.json");
+        assert_eq!(Checkpoint::load(&path, 7).unwrap(), None);
+    }
+
+    #[test]
+    fn wrong_spec_fingerprint_rejected() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wrong-spec.json");
+        sample().write(&path).unwrap();
+        let err = Checkpoint::load(&path, 1).unwrap_err();
+        assert!(err.to_string().contains("different campaign"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("malformed.json");
+        std::fs::write(&path, "{\"schema\": 12").unwrap();
+        assert!(Checkpoint::load(&path, 7).is_err());
+        std::fs::write(&path, "{\"schema\": \"other/v9\"}").unwrap();
+        let err = Checkpoint::load(&path, 7).unwrap_err();
+        assert!(err.to_string().contains("unsupported checkpoint schema"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

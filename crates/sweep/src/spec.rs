@@ -1,0 +1,356 @@
+//! Campaign grid specifications with deterministic seed sharding.
+//!
+//! A [`CampaignSpec`] names a full (strategy × Δ × stake-profile) grid,
+//! a per-cell trial count, and a root seed. The per-trial seed of trial
+//! `j` in cell `i` is the **pure function** [`CampaignSpec::trial_seed`]
+//! of `(root, i, j)` — never of which worker ran it, how many threads
+//! exist, or what order chunks were claimed in. That is the same design
+//! that makes `CanonicalMonteCarlo` thread-count-invariant: the work
+//! partition can change freely while every execution's randomness stays
+//! pinned, so campaign aggregates (all commutative integer folds) come
+//! out identical for 1, 4 or 8 workers and across interrupt/resume.
+
+use multihonest_scenario::{LaggedWithholding, NetworkSchedule, NodeProfile};
+use multihonest_sim::strategy::AdversaryStrategy;
+use multihonest_sim::{SimConfig, Strategy, TieBreak};
+
+/// SplitMix64 finalizer — the workspace's standard stateless mixer.
+#[inline]
+pub(crate) fn mix(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An adversary axis value of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepStrategy {
+    /// The honest baseline ([`Strategy::Honest`]).
+    Honest,
+    /// The generalized withholding attack with the given release lag
+    /// (`lag = 0` is exactly [`Strategy::PrivateWithholding`]).
+    Withholding {
+        /// Slots between the release decision and delivery.
+        release_lag: usize,
+    },
+    /// The multi-leader balance attack ([`Strategy::BalanceAttack`]).
+    Balance,
+}
+
+impl SweepStrategy {
+    /// A stable display/serialization name (also part of the spec
+    /// fingerprint, so renaming invalidates old checkpoints by design).
+    pub fn name(&self) -> String {
+        match *self {
+            SweepStrategy::Honest => "honest".to_string(),
+            SweepStrategy::Withholding { release_lag } => format!("withhold-lag{release_lag}"),
+            SweepStrategy::Balance => "balance".to_string(),
+        }
+    }
+
+    /// A fresh strategy object for one execution.
+    pub fn instantiate(&self) -> Box<dyn AdversaryStrategy> {
+        match *self {
+            SweepStrategy::Honest => Strategy::Honest.instantiate(),
+            SweepStrategy::Withholding { release_lag } => Box::new(LaggedWithholding::new(
+                release_lag,
+                NetworkSchedule::EdgeOfWindow,
+                NodeProfile::uniform(),
+            )),
+            SweepStrategy::Balance => Strategy::BalanceAttack.instantiate(),
+        }
+    }
+
+    /// The nearest built-in [`Strategy`] (stored in the cell's
+    /// [`SimConfig`] for display; execution drives [`instantiate`]).
+    ///
+    /// [`instantiate`]: SweepStrategy::instantiate
+    pub fn nearest_builtin(&self) -> Strategy {
+        match *self {
+            SweepStrategy::Honest => Strategy::Honest,
+            SweepStrategy::Withholding { .. } => Strategy::PrivateWithholding,
+            SweepStrategy::Balance => Strategy::BalanceAttack,
+        }
+    }
+}
+
+/// A stake-distribution axis value of the campaign grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StakeProfile {
+    /// Honest stake split equally.
+    Uniform,
+    /// Zipf-skewed honest stake (node `i` weighs `1 / (i + 1)`).
+    Zipf,
+}
+
+impl StakeProfile {
+    /// A stable display/serialization name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StakeProfile::Uniform => "uniform",
+            StakeProfile::Zipf => "zipf",
+        }
+    }
+
+    /// The absolute honest stake shares under this profile.
+    pub fn stakes(&self, nodes: usize, adversarial_stake: f64) -> Vec<f64> {
+        match self {
+            StakeProfile::Uniform => NodeProfile::uniform().stakes(nodes, adversarial_stake),
+            StakeProfile::Zipf => NodeProfile::zipf(nodes).stakes(nodes, adversarial_stake),
+        }
+    }
+}
+
+/// One cell of the flattened grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Row-major cell index (strategy-major, profile-minor).
+    pub index: usize,
+    /// The adversary strategy of this cell.
+    pub strategy: SweepStrategy,
+    /// The network delay bound Δ of this cell.
+    pub delta: usize,
+    /// The honest stake distribution of this cell.
+    pub profile: StakeProfile,
+}
+
+/// A full campaign: the grid axes, the shared protocol parameters, and
+/// the seed-sharding root. See the module docs for the determinism
+/// contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Strategy axis (outermost in cell order).
+    pub strategies: Vec<SweepStrategy>,
+    /// Δ axis.
+    pub deltas: Vec<usize>,
+    /// Stake-profile axis (innermost in cell order).
+    pub profiles: Vec<StakeProfile>,
+    /// Honest node count (every cell).
+    pub honest_nodes: usize,
+    /// Adversarial relative stake in `[0, 1)`.
+    pub adversarial_stake: f64,
+    /// Active-slot coefficient `f ∈ (0, 1)`.
+    pub active_slot_coeff: f64,
+    /// Honest tie-breaking rule.
+    pub tie_break: TieBreak,
+    /// Slots per execution.
+    pub slots: usize,
+    /// Seeded executions per cell.
+    pub trials_per_cell: u64,
+    /// Settlement parameters `k` to estimate violation tails for.
+    pub ks: Vec<usize>,
+    /// Root seed of the seed-sharding scheme.
+    pub seed: u64,
+}
+
+impl CampaignSpec {
+    /// The default 24-cell campaign grid: {honest, withhold-lag0,
+    /// withhold-lag8, balance} × Δ ∈ {0, 2, 4} × {uniform, zipf}, at the
+    /// workspace's standard 10-node / 0.3-adversary / f = 0.25 setting.
+    /// With the default `trials_per_cell` the campaign totals just over
+    /// 10⁵ executions.
+    pub fn default_grid() -> CampaignSpec {
+        CampaignSpec {
+            strategies: vec![
+                SweepStrategy::Honest,
+                SweepStrategy::Withholding { release_lag: 0 },
+                SweepStrategy::Withholding { release_lag: 8 },
+                SweepStrategy::Balance,
+            ],
+            deltas: vec![0, 2, 4],
+            profiles: vec![StakeProfile::Uniform, StakeProfile::Zipf],
+            honest_nodes: 10,
+            adversarial_stake: 0.3,
+            active_slot_coeff: 0.25,
+            tie_break: TieBreak::AdversarialOrder,
+            slots: 1_000,
+            trials_per_cell: 4_200,
+            ks: vec![8, 16, 32, 64],
+            seed: 20_200_712, // ICDCS 2020 virtual-conference week
+        }
+    }
+
+    /// The reduced CI smoke grid: the same 24 cells at 300 slots and a
+    /// few dozen trials, finishing in seconds.
+    pub fn quick_grid() -> CampaignSpec {
+        CampaignSpec {
+            slots: 300,
+            trials_per_cell: 40,
+            ks: vec![8, 16, 32],
+            ..CampaignSpec::default_grid()
+        }
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.strategies.len() * self.deltas.len() * self.profiles.len()
+    }
+
+    /// Total executions the campaign runs.
+    pub fn executions(&self) -> u64 {
+        self.cell_count() as u64 * self.trials_per_cell
+    }
+
+    /// The flattened grid, row-major: strategies outermost, then Δ,
+    /// then stake profiles.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for &strategy in &self.strategies {
+            for &delta in &self.deltas {
+                for &profile in &self.profiles {
+                    out.push(CellSpec {
+                        index: out.len(),
+                        strategy,
+                        delta,
+                        profile,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The simulator configuration of `cell` (the embedded `strategy`
+    /// field is display-only: execution instantiates
+    /// [`SweepStrategy::instantiate`] directly).
+    pub fn config_for(&self, cell: &CellSpec) -> SimConfig {
+        SimConfig {
+            honest_nodes: self.honest_nodes,
+            adversarial_stake: self.adversarial_stake,
+            active_slot_coeff: self.active_slot_coeff,
+            delta: cell.delta,
+            slots: self.slots,
+            tie_break: self.tie_break,
+            strategy: cell.strategy.nearest_builtin(),
+        }
+    }
+
+    /// The honest stake shares of `cell`.
+    pub fn stakes_for(&self, cell: &CellSpec) -> Vec<f64> {
+        cell.profile
+            .stakes(self.honest_nodes, self.adversarial_stake)
+    }
+
+    /// The seed of trial `trial` in cell `cell` — a pure function of
+    /// `(root seed, cell, trial)`, independent of workers, thread counts
+    /// and claim order. Two mixing rounds decorrelate the lattice: a
+    /// single SplitMix64 of `root + cell·C₁ + trial·C₂` would leave
+    /// collinear inputs for adjacent `(cell, trial)` pairs.
+    pub fn trial_seed(&self, cell: usize, trial: u64) -> u64 {
+        mix(mix(self.seed ^ mix(cell as u64)) ^ trial)
+    }
+
+    /// A 64-bit fingerprint of every field that affects execution
+    /// results. Checkpoints embed it; resuming under a different spec is
+    /// rejected instead of silently merging incompatible aggregates.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0u64;
+        let mut fold = |v: u64| h = mix(h ^ v);
+        fold(self.seed);
+        fold(self.honest_nodes as u64);
+        fold(self.adversarial_stake.to_bits());
+        fold(self.active_slot_coeff.to_bits());
+        fold(match self.tie_break {
+            TieBreak::AdversarialOrder => 0,
+            TieBreak::Consistent => 1,
+        });
+        fold(self.slots as u64);
+        fold(self.trials_per_cell);
+        fold(self.ks.len() as u64);
+        for &k in &self.ks {
+            fold(k as u64);
+        }
+        fold(self.deltas.len() as u64);
+        for &d in &self.deltas {
+            fold(d as u64);
+        }
+        fold(self.strategies.len() as u64);
+        for s in &self.strategies {
+            for b in s.name().bytes() {
+                fold(b as u64);
+            }
+            fold(u64::MAX);
+        }
+        fold(self.profiles.len() as u64);
+        for p in &self.profiles {
+            for b in p.name().bytes() {
+                fold(b as u64);
+            }
+            fold(u64::MAX);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_shape() {
+        let spec = CampaignSpec::default_grid();
+        assert_eq!(spec.cell_count(), 24);
+        assert!(spec.executions() > 100_000, "10⁵-execution floor");
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 24);
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        // Row-major: the innermost axis (profile) flips fastest.
+        assert_eq!(cells[0].profile, StakeProfile::Uniform);
+        assert_eq!(cells[1].profile, StakeProfile::Zipf);
+        assert_eq!(cells[0].delta, cells[1].delta);
+    }
+
+    #[test]
+    fn trial_seeds_are_pure_and_distinct() {
+        let spec = CampaignSpec::quick_grid();
+        let mut seen = std::collections::HashSet::new();
+        for cell in 0..spec.cell_count() {
+            for trial in 0..spec.trials_per_cell {
+                assert_eq!(
+                    spec.trial_seed(cell, trial),
+                    spec.trial_seed(cell, trial),
+                    "pure function"
+                );
+                assert!(
+                    seen.insert(spec.trial_seed(cell, trial)),
+                    "seed collision at cell {cell} trial {trial}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_execution_relevant_fields() {
+        let base = CampaignSpec::quick_grid();
+        assert_eq!(base.fingerprint(), CampaignSpec::quick_grid().fingerprint());
+        let mut other = base.clone();
+        other.seed += 1;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = base.clone();
+        other.trials_per_cell += 1;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = base.clone();
+        other
+            .strategies
+            .push(SweepStrategy::Withholding { release_lag: 3 });
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            CampaignSpec::default_grid().fingerprint()
+        );
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(SweepStrategy::Honest.name(), "honest");
+        assert_eq!(
+            SweepStrategy::Withholding { release_lag: 8 }.name(),
+            "withhold-lag8"
+        );
+        assert_eq!(SweepStrategy::Balance.name(), "balance");
+        assert_eq!(StakeProfile::Zipf.name(), "zipf");
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end campaign contracts: the rendered report is a pure
+//! function of the [`CampaignSpec`] — byte-identical across thread
+//! counts and across any interrupt/resume history — and large
+//! heterogeneous stake profiles run without tripping the stake-sum
+//! validation.
+
+use std::path::PathBuf;
+
+use multihonest_sim::TieBreak;
+use multihonest_sweep::{
+    campaign_report, report_csv, report_json, run_campaign, CampaignSpec, Checkpoint, RunOptions,
+    StakeProfile, SweepStrategy,
+};
+
+/// A 6-cell grid small enough for CI but wide enough to exercise every
+/// strategy kind, both stake profiles, and a non-zero Δ.
+fn test_spec() -> CampaignSpec {
+    CampaignSpec {
+        strategies: vec![
+            SweepStrategy::Honest,
+            SweepStrategy::Withholding { release_lag: 2 },
+            SweepStrategy::Balance,
+        ],
+        deltas: vec![0, 3],
+        profiles: vec![StakeProfile::Uniform, StakeProfile::Zipf],
+        honest_nodes: 6,
+        adversarial_stake: 0.25,
+        active_slot_coeff: 0.2,
+        tie_break: TieBreak::AdversarialOrder,
+        slots: 200,
+        trials_per_cell: 70, // not a multiple of the chunk size
+        ks: vec![4, 12],
+        seed: 0xC0FFEE,
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("multihonest-sweep-itest");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn report_bytes_are_thread_count_invariant() {
+    let spec = test_spec();
+    let mut rendered = Vec::new();
+    for threads in [1usize, 4, 8] {
+        let opts = RunOptions {
+            threads,
+            ..RunOptions::default()
+        };
+        let outcome = run_campaign(&spec, &opts).unwrap();
+        assert!(outcome.is_complete(), "threads = {threads}");
+        assert_eq!(outcome.executions_run, spec.executions());
+        let report = campaign_report(&spec, &outcome);
+        rendered.push((threads, report_json(&report), report_csv(&report)));
+    }
+    let (_, base_json, base_csv) = &rendered[0];
+    for (threads, json, csv) in &rendered[1..] {
+        assert_eq!(json, base_json, "JSON differs at {threads} threads");
+        assert_eq!(csv, base_csv, "CSV differs at {threads} threads");
+    }
+}
+
+#[test]
+fn interrupted_campaign_resumes_byte_identically() {
+    let spec = test_spec();
+
+    // The oracle: one uninterrupted single-threaded run.
+    let straight = run_campaign(&spec, &RunOptions::default()).unwrap();
+    let oracle = report_json(&campaign_report(&spec, &straight));
+
+    // Interrupt after 1, 2, … cells; resume with a different thread
+    // count each time. Every history must reproduce the oracle bytes.
+    for (interrupt_after, resume_threads) in [(1usize, 4usize), (2, 1), (4, 8)] {
+        let path = scratch(&format!("resume-{interrupt_after}-{resume_threads}.json"));
+        let _ = std::fs::remove_file(&path);
+
+        let first = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                checkpoint: Some(path.clone()),
+                stop_after_cells: Some(interrupt_after),
+            },
+        )
+        .unwrap();
+        assert!(
+            !first.is_complete(),
+            "stop_after_cells = {interrupt_after} must interrupt the 6-cell grid"
+        );
+        assert!(first.completed_cells >= interrupt_after);
+
+        // The checkpoint on disk holds exactly the completed cells.
+        let snapshot = Checkpoint::load(&path, spec.fingerprint())
+            .unwrap()
+            .expect("checkpoint written");
+        assert_eq!(snapshot.completed.len(), first.completed_cells);
+
+        let resumed = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: resume_threads,
+                checkpoint: Some(path.clone()),
+                stop_after_cells: None,
+            },
+        )
+        .unwrap();
+        assert!(resumed.is_complete());
+        assert_eq!(resumed.resumed_cells, first.completed_cells);
+        assert_eq!(
+            resumed.executions_run,
+            spec.executions() - first.completed_cells as u64 * spec.trials_per_cell
+        );
+
+        let rendered = report_json(&campaign_report(&spec, &resumed));
+        assert_eq!(
+            rendered, oracle,
+            "interrupt after {interrupt_after} cells, resume on {resume_threads} threads"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[test]
+fn resuming_a_complete_campaign_runs_nothing() {
+    let spec = test_spec();
+    let path = scratch("complete.json");
+    let _ = std::fs::remove_file(&path);
+    let opts = RunOptions {
+        threads: 2,
+        checkpoint: Some(path.clone()),
+        stop_after_cells: None,
+    };
+    let first = run_campaign(&spec, &opts).unwrap();
+    assert!(first.is_complete());
+    let again = run_campaign(&spec, &opts).unwrap();
+    assert!(again.is_complete());
+    assert_eq!(
+        again.executions_run, 0,
+        "everything came from the checkpoint"
+    );
+    assert_eq!(again.resumed_cells, spec.cell_count());
+    assert_eq!(
+        report_json(&campaign_report(&spec, &again)),
+        report_json(&campaign_report(&spec, &first)),
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn checkpoint_from_a_different_spec_is_rejected() {
+    let spec = test_spec();
+    let path = scratch("foreign.json");
+    let _ = std::fs::remove_file(&path);
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: Some(1),
+        },
+    )
+    .unwrap();
+
+    let mut other = test_spec();
+    other.seed ^= 1;
+    let err = run_campaign(
+        &other,
+        &RunOptions {
+            threads: 1,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: None,
+        },
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("different campaign"), "{err}");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The regression the stake-validation bugfix protects: a zipf stake
+/// profile over 10⁴ honest nodes must pass `validate_stake_partition`
+/// (the old absolute-tolerance naive sum was one refactor away from
+/// rejecting exactly this) and run to completion.
+#[test]
+fn zipf_ten_thousand_nodes_campaign_runs() {
+    let spec = CampaignSpec {
+        strategies: vec![SweepStrategy::Withholding { release_lag: 0 }],
+        deltas: vec![1],
+        profiles: vec![StakeProfile::Zipf],
+        honest_nodes: 10_000,
+        adversarial_stake: 0.3,
+        active_slot_coeff: 0.25,
+        tie_break: TieBreak::AdversarialOrder,
+        slots: 40,
+        trials_per_cell: 2,
+        ks: vec![4],
+        seed: 99,
+    };
+    let stakes = spec.stakes_for(&spec.cells()[0]);
+    assert_eq!(stakes.len(), 10_000);
+    multihonest_sim::validate_stake_partition(&stakes, spec.adversarial_stake);
+
+    let outcome = run_campaign(&spec, &RunOptions::default()).unwrap();
+    assert!(outcome.is_complete());
+    let report = campaign_report(&spec, &outcome);
+    assert_eq!(report.cells.len(), 1);
+    assert_eq!(report.cells[0].trials, 2);
+}

@@ -354,6 +354,77 @@ pub mod golden {
         }
     }
 
+    /// The frozen campaign-pin spec: a 4-cell sweep small enough for
+    /// tier-1 but crossing both stake profiles, a withholding strategy
+    /// and a non-zero Δ.
+    pub fn campaign_pin_spec() -> multihonest::sweep::CampaignSpec {
+        use multihonest::sweep::{CampaignSpec, StakeProfile, SweepStrategy};
+        CampaignSpec {
+            strategies: vec![
+                SweepStrategy::Honest,
+                SweepStrategy::Withholding { release_lag: 4 },
+            ],
+            deltas: vec![2],
+            profiles: vec![StakeProfile::Uniform, StakeProfile::Zipf],
+            honest_nodes: 8,
+            adversarial_stake: 0.3,
+            active_slot_coeff: 0.25,
+            tie_break: multihonest::sim::TieBreak::AdversarialOrder,
+            slots: 150,
+            trials_per_cell: 8,
+            ks: vec![8, 24],
+            seed: 77,
+        }
+    }
+
+    /// Frozen **campaign aggregate fingerprints**: `(cell index,
+    /// CellAggregate fingerprint)` of [`campaign_pin_spec`], preceded by
+    /// the pinned spec fingerprint. The per-cell value is an
+    /// order-invariant SplitMix fold over every trial's seed, violating
+    /// anchors and headline metrics, so any drift in seed sharding, the
+    /// columnar engine, the arena reset path or the settlement index
+    /// flips it — whatever the thread count used to run the campaign.
+    pub const CAMPAIGN_SPEC_PIN: u64 = 0xea7d_88fe_47ff_7413;
+    /// See [`CAMPAIGN_SPEC_PIN`].
+    pub const CAMPAIGN_AGGREGATE_PINS: &[(u64, u64)] = &[
+        (0, 0x31d1_5ec1_1d19_b71b),
+        (1, 0xae42_3cae_7b33_811f),
+        (2, 0xf163_9ac6_4b2c_f756),
+        (3, 0xfb67_d467_6760_c1ac),
+    ];
+
+    /// Asserts every [`CAMPAIGN_AGGREGATE_PINS`] entry through the
+    /// work-stealing executor (2 workers, so the claim order differs
+    /// from the single-threaded pin run that froze the values).
+    pub fn assert_campaign_pins() {
+        use multihonest::sweep::{run_campaign, RunOptions};
+        let spec = campaign_pin_spec();
+        assert_eq!(
+            spec.fingerprint(),
+            CAMPAIGN_SPEC_PIN,
+            "campaign pin spec drifted (grid or parameter change)"
+        );
+        let outcome = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                checkpoint: None,
+                stop_after_cells: None,
+            },
+        )
+        .expect("no checkpoint involved");
+        assert!(outcome.is_complete());
+        for &(cell, pinned) in CAMPAIGN_AGGREGATE_PINS {
+            let agg = outcome.aggregates[cell as usize]
+                .as_ref()
+                .expect("complete campaign");
+            assert_eq!(
+                agg.fingerprint, pinned,
+                "campaign aggregate drifted at cell {cell}"
+            );
+        }
+    }
+
     /// Asserts every golden cell within relative tolerance `rtol`.
     pub fn assert_cells_match(cells: &[GoldenCell], rtol: f64) {
         for &(alpha, ratio, k, expected) in cells {

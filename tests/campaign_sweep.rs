@@ -1,0 +1,51 @@
+//! Repo-level coverage of the campaign sweep orchestrator through the
+//! facade crate: frozen aggregate pins, end-to-end grid behavior, and
+//! the adversarial-dominance sanity the paper's evaluation relies on.
+
+use multihonest::sweep::{campaign_report, report_csv, run_campaign, RunOptions};
+use multihonest_testutil::golden;
+
+/// The frozen 4-cell campaign pins: seed sharding, the arena-reused
+/// columnar engine, the settlement index and the commutative aggregate
+/// fold all reproduce exactly — through the 2-worker stealing executor.
+#[test]
+fn campaign_aggregates_reproduce() {
+    golden::assert_campaign_pins();
+}
+
+/// End-to-end over the pin spec: the report orders cells by index,
+/// matches the grid axes, and withholding dominates honest play on the
+/// same Δ and stake profile.
+#[test]
+fn pinned_campaign_report_is_coherent() {
+    let spec = golden::campaign_pin_spec();
+    let outcome = run_campaign(&spec, &RunOptions::default()).unwrap();
+    let report = campaign_report(&spec, &outcome);
+    assert_eq!(report.total_cells, 4);
+    assert_eq!(report.completed_cells, 4);
+    assert_eq!(report.spec_fingerprint, golden::CAMPAIGN_SPEC_PIN);
+    let indices: Vec<u64> = report.cells.iter().map(|c| c.cell).collect();
+    assert_eq!(indices, vec![0, 1, 2, 3]);
+
+    // Strategy-major, profile-minor cell order: honest/uniform,
+    // honest/zipf, withhold/uniform, withhold/zipf.
+    assert_eq!(report.cells[0].strategy, "honest");
+    assert_eq!(report.cells[0].profile, "uniform");
+    assert_eq!(report.cells[1].profile, "zipf");
+    assert_eq!(report.cells[2].strategy, "withhold-lag4");
+
+    // Withholding only ever adds adversarial depth: on each stake
+    // profile it must violate settlement at least as often as honest
+    // play at the smallest k.
+    for profile in 0..2 {
+        let honest = &report.cells[profile].settlement[0];
+        let withhold = &report.cells[2 + profile].settlement[0];
+        assert!(
+            withhold.violating_executions >= honest.violating_executions,
+            "withholding weaker than honest play on profile {profile}"
+        );
+    }
+
+    // CSV shape: header + cells × ks rows.
+    assert_eq!(report_csv(&report).lines().count(), 1 + 4 * 2);
+}

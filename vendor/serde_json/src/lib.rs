@@ -1,23 +1,258 @@
 //! Offline vendored stand-in for `serde_json`: renders the vendored
-//! `serde::Value` tree as JSON text. Only the entry points used by the
-//! workspace binaries (`to_string`, `to_string_pretty`) are provided.
+//! `serde::Value` tree as JSON text and parses JSON text back into a
+//! `Value` tree. Only the entry points used by the workspace (`to_string`,
+//! `to_string_pretty`, `from_str`) are provided.
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. The vendored pipeline is infallible, so this type is
-/// uninhabited in practice; it exists to keep call-site signatures
-/// (`.expect("serializable")`) identical to upstream.
+/// Serialization/parse error. The serialization pipeline is infallible;
+/// [`from_str`] produces a message describing the first malformed token.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Integral numbers without sign become `UInt`, negative integrals `Int`,
+/// everything else (fractions, exponents, overflow) `Float` — matching how
+/// the serializer distinguishes the numeric variants.
+///
+/// # Errors
+///
+/// Returns an error describing the first malformed token, including
+/// trailing garbage after a complete value.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let v = self.value()?;
+            entries.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((code - 0xD800) << 10)
+                                        + (low.wrapping_sub(0xDC00) & 0x3FF);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(code)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // slicing at a char boundary is safe via chars()).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.err("unescaped control character"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let d = self.peek().ok_or_else(|| self.err("bad \\u escape"))?;
+            let v = (d as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("bad hex digit in \\u escape"))?;
+            code = code * 16 + v;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII slice");
+        if integral {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number {text:?} at byte {start}")))
+    }
+}
 
 /// Renders `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
@@ -133,6 +368,54 @@ fn escape_into(s: &str, out: &mut String) {
 
 #[cfg(test)]
 mod tests {
+    use serde::Value;
+
+    #[test]
+    fn parses_what_it_renders() {
+        let v = Value::Object(vec![
+            ("name".to_string(), Value::Str("grid \"x\"\n".to_string())),
+            ("trials".to_string(), Value::UInt(u64::MAX)),
+            ("lag".to_string(), Value::Int(-3)),
+            ("p".to_string(), Value::Float(0.125)),
+            ("tiny".to_string(), Value::Float(3.5e-20)),
+            ("flag".to_string(), Value::Bool(true)),
+            ("none".to_string(), Value::Null),
+            (
+                "cells".to_string(),
+                Value::Array(vec![Value::UInt(1), Value::UInt(2)]),
+            ),
+        ]);
+        for text in [
+            super::to_string(&v).unwrap(),
+            super::to_string_pretty(&v).unwrap(),
+        ] {
+            let back = super::from_str(&text).unwrap();
+            assert_eq!(back, v, "round-trip through {text}");
+        }
+    }
+
+    #[test]
+    fn parser_accessors_and_escapes() {
+        let v = super::from_str(
+            "  {\"a\": [1, -2, 2.5], \"s\": \"x\\u0041\\n\", \"pair\": \"\\ud83d\\ude00\"} ",
+        )
+        .unwrap();
+        let arr = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_i64(), Some(-2));
+        assert_eq!(arr[2].as_f64(), Some(2.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("xA\n"));
+        assert_eq!(v.get("pair").unwrap().as_str(), Some("\u{1F600}"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,]", "{\"a\" 1}", "12 34", "\"open", "tru"] {
+            assert!(super::from_str(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
     #[test]
     fn renders_pretty_object() {
         let v = serde::Value::Object(vec![
