@@ -1129,6 +1129,155 @@ pub fn sweep_bench_report(
     (report, bench)
 }
 
+/// A machine-readable record of the fault-injection conservatism sweep —
+/// the robustness trajectory (`BENCH_faults.json`), mirroring
+/// [`SweepBenchReport`] for the campaign orchestrator. Before measuring
+/// anything the builder replays every library scenario through **both**
+/// engines and asserts their degradation ledgers are identical, and the
+/// conservatism harness itself must return `Some(true)` for every
+/// scenario — a drifting fault runtime or a broken Δ′ reduction can
+/// never produce a plausible-looking baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct FaultsBenchReport {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// What was measured.
+    pub name: String,
+    /// Worker threads for the per-scenario fan-out.
+    pub threads: usize,
+    /// Root seed of the per-trial seed derivation.
+    pub seed: u64,
+    /// Slots per execution (the fault library scales its windows to it).
+    pub slots: usize,
+    /// Seeded trials per scenario.
+    pub trials_per_scenario: u64,
+    /// Settlement parameters checked per scenario.
+    pub ks: Vec<usize>,
+    /// Per-scenario conservatism verdicts (the payload).
+    pub scenarios: Vec<multihonest_sweep::ScenarioConservatism>,
+    /// Wall-clock seconds per scenario's trial batch.
+    pub scenario_seconds: Vec<f64>,
+    /// Every scenario's verdict was `Some(true)` (asserted by the
+    /// builder; recorded for downstream diffing).
+    pub all_conservative: bool,
+    /// Scenarios replayed through both engines in the equivalence
+    /// pre-check.
+    pub equivalence_checked: usize,
+    /// Deferred deliveries observed in the pre-check replays (both
+    /// engines agreed on every ledger).
+    pub equivalence_deferred: u64,
+    /// Wrapping sum of the columnar execution fingerprints of the
+    /// pre-check replays — the cross-run equivalence fingerprint.
+    pub fingerprint_checksum: u64,
+    /// Wall-clock seconds of the equivalence pre-check.
+    pub equivalence_seconds: f64,
+    /// End-to-end wall-clock seconds.
+    pub total_seconds: f64,
+    /// Seconds since the Unix epoch when the run finished.
+    pub unix_time_seconds: u64,
+}
+
+/// Runs the fault-injection benchmark: the dual-engine equivalence
+/// pre-check over the whole [`fault_library`], then the Δ-conservatism
+/// harness ([`check_conservatism`]) per scenario, fanned out across
+/// `threads` workers (the `faults` binary).
+///
+/// # Panics
+///
+/// Panics if the two engines disagree on any scenario's degradation
+/// ledger, or if any scenario's conservatism verdict is not
+/// `Some(true)`.
+///
+/// [`fault_library`]: multihonest_scenario::fault_library
+/// [`check_conservatism`]: multihonest_sweep::check_conservatism
+pub fn faults_bench_report(
+    slots: usize,
+    trials_per_scenario: u64,
+    ks: &[usize],
+    threads: usize,
+    seed: u64,
+) -> FaultsBenchReport {
+    use multihonest_scenario::{execution_fingerprint, fault_library, ColumnarSimulation};
+    use multihonest_sweep::check_conservatism;
+
+    let start = std::time::Instant::now();
+    let library = fault_library(slots);
+
+    // Equivalence pre-check: one replay of every scenario on each
+    // engine; the ledgers (deferral/drop/window accounting) must match
+    // event for event.
+    let eq_start = std::time::Instant::now();
+    let eq_seed = seed ^ 0xFA_17;
+    let mut equivalence_deferred = 0u64;
+    let mut fingerprint_checksum = 0u64;
+    for sc in &library {
+        let schedule = sc.schedule(eq_seed);
+        let mut strategy = sc.config.strategy.instantiate();
+        let (sim, ledger) = ColumnarSimulation::run_with_schedule_faults(
+            &sc.config,
+            &schedule,
+            strategy.as_mut(),
+            &sc.plan,
+        );
+        fingerprint_checksum = fingerprint_checksum.wrapping_add(execution_fingerprint(&sim));
+        let mut ref_strategy = sc.config.strategy.instantiate();
+        let (_, ref_ledger) = Simulation::run_with_schedule_faults(
+            &sc.config,
+            sc.reference_schedule(eq_seed),
+            ref_strategy.as_mut(),
+            &sc.plan,
+        );
+        assert_eq!(
+            ref_ledger, ledger,
+            "engines disagree on the '{}' degradation ledger",
+            sc.name
+        );
+        equivalence_deferred += ledger.deferred;
+    }
+    let equivalence_seconds = eq_start.elapsed().as_secs_f64();
+
+    let per_scenario = run_jobs(library.len(), threads, |i| {
+        let t0 = std::time::Instant::now();
+        let verdict = check_conservatism(&library[i], trials_per_scenario, ks, seed);
+        (verdict, t0.elapsed().as_secs_f64())
+    });
+    let mut scenarios = Vec::with_capacity(per_scenario.len());
+    let mut scenario_seconds = Vec::with_capacity(per_scenario.len());
+    for (verdict, secs) in per_scenario {
+        assert_eq!(
+            verdict.conservative,
+            Some(true),
+            "'{}' exceeded its Δ′-model prediction: {:?}",
+            verdict.scenario,
+            verdict.rows
+        );
+        scenarios.push(verdict);
+        scenario_seconds.push(secs);
+    }
+
+    FaultsBenchReport {
+        schema: "multihonest-bench-faults/v1".to_string(),
+        name: "fault_conservatism".to_string(),
+        threads,
+        seed,
+        slots,
+        trials_per_scenario,
+        ks: ks.to_vec(),
+        all_conservative: scenarios.iter().all(|s| s.conservative == Some(true)),
+        equivalence_checked: library.len(),
+        equivalence_deferred,
+        fingerprint_checksum,
+        equivalence_seconds,
+        scenarios,
+        scenario_seconds,
+        total_seconds: start.elapsed().as_secs_f64(),
+        unix_time_seconds: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1256,6 +1405,28 @@ mod tests {
         let json = serde_json::to_string_pretty(&report).expect("serializable");
         assert!(json.contains("multihonest-bench-astar/v1"));
         assert!(json.contains("\"speedup_at_largest_oracle_n\""));
+    }
+
+    #[test]
+    fn faults_bench_report_is_well_formed_and_conservative() {
+        // A reduced version of the committed BENCH_faults.json run: the
+        // dual-engine ledger equality and the Some(true) verdicts are
+        // asserted inside the builder.
+        let report = faults_bench_report(160, 4, &[8, 24], 2, 5);
+        assert_eq!(report.schema, "multihonest-bench-faults/v1");
+        assert_eq!(report.scenarios.len(), 7);
+        assert_eq!(report.scenario_seconds.len(), 7);
+        assert!(report.all_conservative);
+        assert_eq!(report.equivalence_checked, 7);
+        assert!(
+            report.equivalence_deferred > 0,
+            "the pre-check replays must exercise the fault path"
+        );
+        assert!(report.scenarios.iter().all(|s| s.dropped == 0));
+        let json = serde_json::to_string_pretty(&report).expect("serializable");
+        assert!(json.contains("multihonest-bench-faults/v1"));
+        assert!(json.contains("\"all_conservative\": true"));
+        assert!(json.contains("partition-withholding"));
     }
 
     #[test]

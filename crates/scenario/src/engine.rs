@@ -27,6 +27,7 @@
 //! committed `BENCH_scenario.json` both enforce against the reference.
 
 use multihonest_sim::consistency::{DivergenceFold, DivergenceIndex};
+use multihonest_sim::fault::{DegradationLedger, DeliveryMeta, FaultPlan, FaultRuntime};
 use multihonest_sim::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
 use multihonest_sim::strategy::{AdversaryStrategy, SlotContext};
 use multihonest_sim::{BlockId, SimConfig, TieBreak};
@@ -77,6 +78,7 @@ struct ColumnarSlotContext<'a> {
     ring: &'a mut DeliveryRing,
     delta: usize,
     honest_nodes: usize,
+    faults: &'a FaultRuntime<'a>,
     slot: usize,
     adversarial_leader: bool,
 }
@@ -123,6 +125,14 @@ impl SlotContext for ColumnarSlotContext<'_> {
     fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId) {
         self.ring
             .schedule_adversarial(self.slot, at_slot, recipient, block.index() as u32);
+    }
+
+    fn node_is_live(&self, node: usize) -> bool {
+        self.faults.node_is_live(self.slot, node)
+    }
+
+    fn node_is_reachable(&self, node: usize) -> bool {
+        self.faults.node_is_reachable(self.slot, node)
     }
 }
 
@@ -216,17 +226,46 @@ impl ColumnarSimulation {
         schedule: &ColumnarSchedule,
         strategy: &mut dyn AdversaryStrategy,
     ) -> ColumnarSimulation {
+        let empty = FaultPlan::default();
+        ColumnarSimulation::run_with_schedule_faults(config, schedule, strategy, &empty).0
+    }
+
+    /// Runs a trace-retaining execution under a [`FaultPlan`]: crashed
+    /// nodes skip their leadership slots and every due delivery passes
+    /// through the plan's predicate, exactly as in the reference engine's
+    /// `run_with_schedule_faults` — faulty executions stay
+    /// trace-identical across engines. The empty plan is bit-identical to
+    /// [`ColumnarSimulation::run_with_schedule`]. Returns the execution
+    /// together with its [`DegradationLedger`].
+    pub fn run_with_schedule_faults(
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+    ) -> (ColumnarSimulation, DegradationLedger) {
         let mut arena = ExecutionArena::new();
-        let out = execute(&mut arena, config, schedule, strategy, true, &mut ());
-        ColumnarSimulation {
-            config: *config,
-            store: arena.store,
-            tips_flat: out.tips_flat,
-            tips_end: out.tips_end,
-            rollbacks: out.rollbacks,
-            divergence: out.divergence,
-            metrics: out.metrics,
-        }
+        let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
+        let out = execute(
+            &mut arena,
+            config,
+            schedule,
+            strategy,
+            true,
+            &mut (),
+            &mut faults,
+        );
+        (
+            ColumnarSimulation {
+                config: *config,
+                store: arena.store,
+                tips_flat: out.tips_flat,
+                tips_end: out.tips_end,
+                rollbacks: out.rollbacks,
+                divergence: out.divergence,
+                metrics: out.metrics,
+            },
+            faults.finish(),
+        )
     }
 
     /// Runs a **streaming** execution: no per-slot traces are retained —
@@ -258,8 +297,44 @@ impl ColumnarSimulation {
         strategy: &mut dyn AdversaryStrategy,
         sink: &mut S,
     ) -> (Metrics, DivergenceIndex) {
-        let out = execute(arena, config, schedule, strategy, false, sink);
-        (out.metrics, out.divergence)
+        let empty = FaultPlan::default();
+        let (metrics, divergence, _) = ColumnarSimulation::run_streaming_faults_in(
+            arena, config, schedule, strategy, &empty, sink,
+        );
+        (metrics, divergence)
+    }
+
+    /// A streaming execution under a [`FaultPlan`] — the fault-aware
+    /// sibling of [`ColumnarSimulation::run_streaming`]. Deferral events
+    /// reach the sink through
+    /// [`MetricsSink::on_fault_deferral`].
+    pub fn run_streaming_faults<S: MetricsSink>(
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+        sink: &mut S,
+    ) -> (Metrics, DivergenceIndex, DegradationLedger) {
+        let mut arena = ExecutionArena::new();
+        ColumnarSimulation::run_streaming_faults_in(
+            &mut arena, config, schedule, strategy, plan, sink,
+        )
+    }
+
+    /// The batch fault-aware entry point: a streaming faulty execution
+    /// over a reused [`ExecutionArena`] — what the campaign sweep drives
+    /// when its fault axis is non-empty.
+    pub fn run_streaming_faults_in<S: MetricsSink>(
+        arena: &mut ExecutionArena,
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+        sink: &mut S,
+    ) -> (Metrics, DivergenceIndex, DegradationLedger) {
+        let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
+        let out = execute(arena, config, schedule, strategy, false, sink, &mut faults);
+        (out.metrics, out.divergence, faults.finish())
     }
 
     /// The configuration used.
@@ -396,6 +471,7 @@ fn execute<S: MetricsSink>(
     strategy: &mut dyn AdversaryStrategy,
     keep_trace: bool,
     sink: &mut S,
+    faults: &mut FaultRuntime<'_>,
 ) -> ExecOutput {
     assert_eq!(
         schedule.len(),
@@ -431,6 +507,9 @@ fn execute<S: MetricsSink>(
         minted.clear();
         for &leader in schedule.leaders(slot) {
             let l = leader as usize;
+            if !faults.can_mint(slot, l) {
+                continue;
+            }
             let b = store.mint(tips[l], slot, leader, true);
             receive(store, config.tie_break, &mut known[l], &mut tips[l], b);
             minted.push(BlockId::from_index(b as usize));
@@ -442,14 +521,32 @@ fn execute<S: MetricsSink>(
             ring: &mut *ring,
             delta: config.delta,
             honest_nodes: n,
+            faults: &*faults,
             slot,
             adversarial_leader: schedule.adversarial(slot),
         };
         strategy.on_slot(&mut ctx, minted);
-        // 3. Apply this slot's deliveries in scheduled order, recording
-        //    chain rollbacks.
+        // 3. Apply this slot's deliveries in scheduled order — filtered
+        //    through the fault plan when one is active — recording chain
+        //    rollbacks.
         before.copy_from_slice(tips);
         ring.drain_into(slot, due);
+        if !faults.is_empty() {
+            let mut tee = TeeSink {
+                a: &mut acc,
+                b: &mut *sink,
+            };
+            faults.apply(
+                slot,
+                due,
+                |b| DeliveryMeta {
+                    src: store.issuer(b) as usize,
+                    honest: store.is_honest(b),
+                    broadcast_slot: store.slot(b),
+                },
+                &mut tee,
+            );
+        }
         for &(recipient, block) in due.iter() {
             let r = recipient as usize;
             receive(store, config.tie_break, &mut known[r], &mut tips[r], block);
@@ -469,8 +566,9 @@ fn execute<S: MetricsSink>(
             }
         }
         if config.tie_break == TieBreak::AdversarialOrder {
-            for (&leader, &b) in schedule.leaders(slot).iter().zip(minted.iter()) {
-                let tip = tips[leader as usize];
+            for &b in minted.iter() {
+                let leader = store.issuer(b.index() as u32) as usize;
+                let tip = tips[leader];
                 debug_assert!(
                     tip == b.index() as u32 || store.height(tip) > store.height(b.index() as u32),
                     "leader {leader} lost its own slot-{slot} block to an equal-height tie"
@@ -540,7 +638,7 @@ fn execute<S: MetricsSink>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use multihonest_sim::{Simulation, Strategy};
+    use multihonest_sim::{FaultDirective, Simulation, Strategy};
 
     fn cfg(strategy: Strategy, delta: usize, slots: usize) -> SimConfig {
         SimConfig {
@@ -643,6 +741,126 @@ mod tests {
             assert_eq!(fresh.0, reused.0, "metrics diverged at seed {seed}");
             assert_eq!(fresh.1, reused.1, "index diverged at seed {seed}");
         }
+    }
+
+    /// Asserts a *faulty* columnar run is trace-identical to the
+    /// reference engine under the same plan — including the degradation
+    /// ledgers.
+    fn assert_faulty_matches_reference(config: &SimConfig, plan: &FaultPlan, seed: u64) {
+        let cs = ColumnarSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            seed,
+        );
+        let rs = multihonest_sim::LeaderSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            seed,
+        );
+        let mut s1 = config.strategy.instantiate();
+        let (cols, cl) =
+            ColumnarSimulation::run_with_schedule_faults(config, &cs, s1.as_mut(), plan);
+        let mut s2 = config.strategy.instantiate();
+        let (refr, rl) = Simulation::run_with_schedule_faults(config, rs, s2.as_mut(), plan);
+        for t in 0..=config.slots {
+            let expect: Vec<u32> = refr.tips_at(t).iter().map(|b| b.index() as u32).collect();
+            assert_eq!(cols.tips_at(t), expect.as_slice(), "tips at slot {t}");
+        }
+        let expect_rb: Vec<(u32, u32, u32)> = refr
+            .rollbacks()
+            .iter()
+            .map(|&(t, o, n)| (t as u32, o.index() as u32, n.index() as u32))
+            .collect();
+        assert_eq!(cols.rollbacks(), expect_rb.as_slice(), "rollbacks");
+        assert_eq!(cols.metrics(), refr.metrics(), "metrics");
+        assert_eq!(cols.divergence_index(), refr.divergence_index(), "index");
+        assert_eq!(cl, rl, "degradation ledgers");
+    }
+
+    #[test]
+    fn faulty_runs_match_reference_on_all_builtin_strategies() {
+        let plan = FaultPlan::new()
+            .with(FaultDirective::Partition {
+                groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+                start: 40,
+                heal_slot: 44,
+            })
+            .with(FaultDirective::Eclipse {
+                node: 2,
+                start: 90,
+                until: 95,
+            })
+            .with(FaultDirective::Crash {
+                node: 5,
+                at: 150,
+                recover_slot: 156,
+            })
+            .with(FaultDirective::MessageLoss {
+                p: 0.5,
+                salt: 0xFA11,
+                start: 200,
+                until: 205,
+            });
+        for strategy in Strategy::ALL {
+            for delta in [0usize, 2] {
+                assert_faulty_matches_reference(&cfg(strategy, delta, 300), &plan, 13);
+            }
+        }
+    }
+
+    #[test]
+    fn never_recovering_crash_matches_reference() {
+        let plan = FaultPlan::new().with(FaultDirective::Crash {
+            node: 0,
+            at: 50,
+            recover_slot: usize::MAX,
+        });
+        assert_faulty_matches_reference(&cfg(Strategy::PrivateWithholding, 2, 250), &plan, 5);
+    }
+
+    #[test]
+    fn streaming_faulty_mode_matches_traced_faulty_mode() {
+        let config = cfg(Strategy::PrivateWithholding, 2, 400);
+        let plan = FaultPlan::new().with(FaultDirective::Partition {
+            groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            start: 60,
+            heal_slot: 66,
+        });
+        let schedule = ColumnarSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            17,
+        );
+        let mut s1 = config.strategy.instantiate();
+        let (traced, tl) =
+            ColumnarSimulation::run_with_schedule_faults(&config, &schedule, s1.as_mut(), &plan);
+        let mut s2 = config.strategy.instantiate();
+        let mut deferrals = 0u64;
+        struct CountSink<'a>(&'a mut u64);
+        impl MetricsSink for CountSink<'_> {
+            fn on_fault_deferral(&mut self, _slot: usize, _recipient: usize, _to: usize) {
+                *self.0 += 1;
+            }
+        }
+        let mut sink = CountSink(&mut deferrals);
+        let (metrics, index, sl) = ColumnarSimulation::run_streaming_faults(
+            &config,
+            &schedule,
+            s2.as_mut(),
+            &plan,
+            &mut sink,
+        );
+        assert_eq!(&metrics, traced.metrics());
+        assert_eq!(&index, traced.divergence_index());
+        assert_eq!(tl, sl, "ledgers across modes");
+        assert_eq!(deferrals, sl.deferred, "sink sees every deferral");
+        assert!(deferrals > 0, "the partition must bite");
     }
 
     #[test]

@@ -65,7 +65,8 @@ pub use crate::engine::{ColumnarSimulation, ExecutionArena};
 pub use crate::report::{scenario_bench_report, ScenarioBenchReport, ScenarioRow};
 pub use crate::ring::DeliveryRing;
 pub use crate::scenario::{
-    scenario_library, LaggedWithholding, NetworkSchedule, NodeProfile, Scenario, ScheduledHonest,
+    fault_library, scenario_library, FaultScenario, LaggedWithholding, NetworkSchedule,
+    NodeProfile, Scenario, ScheduledHonest,
 };
 pub use crate::schedule::ColumnarSchedule;
 pub use crate::store::ColumnarStore;

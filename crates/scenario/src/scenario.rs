@@ -20,7 +20,7 @@
 //! `[slot, slot + Δ]` regardless of what a strategy requests.
 
 use multihonest_sim::strategy::{AdversaryStrategy, SlotContext};
-use multihonest_sim::{BlockId, SimConfig, Strategy};
+use multihonest_sim::{BlockId, FaultDirective, FaultPlan, SimConfig, Strategy};
 
 use crate::schedule::ColumnarSchedule;
 
@@ -445,6 +445,191 @@ pub fn scenario_library(slots: usize) -> Vec<Scenario> {
     ]
 }
 
+/// A named faulty workload: a base config plus a [`FaultPlan`]. Unlike
+/// [`Scenario`] (whose knobs ride *inside* the Δ window), a fault
+/// scenario degrades the network *beyond* Δ — which is exactly what the
+/// conservatism harness quantifies: every plan here is **bounded**
+/// ([`FaultPlan::worst_case_delta`] is `Some`), and the induced Δ′ stays
+/// inside Theorem 7's admissible region for the sparse base parameters
+/// (`f = 0.05`, 10% adversarial stake admit `Δ′ ≲ 11`).
+#[derive(Debug, Clone)]
+pub struct FaultScenario {
+    /// Report/table name.
+    pub name: &'static str,
+    /// Base configuration (sparse `f`, small Δ — see [`fault_library`]).
+    pub config: SimConfig,
+    /// The injected faults.
+    pub plan: FaultPlan,
+}
+
+impl FaultScenario {
+    /// Samples the scenario's columnar leader schedule.
+    pub fn schedule(&self, seed: u64) -> ColumnarSchedule {
+        ColumnarSchedule::sample(
+            self.config.honest_nodes,
+            self.config.adversarial_stake,
+            self.config.active_slot_coeff,
+            self.config.slots,
+            seed,
+        )
+    }
+
+    /// Samples the same schedule in the reference engine's layout — how
+    /// the equivalence harness replays a faulty scenario on
+    /// `sim::reference`.
+    pub fn reference_schedule(&self, seed: u64) -> multihonest_sim::LeaderSchedule {
+        multihonest_sim::LeaderSchedule::sample(
+            self.config.honest_nodes,
+            self.config.adversarial_stake,
+            self.config.active_slot_coeff,
+            self.config.slots,
+            seed,
+        )
+    }
+
+    /// The plan's static Δ′ bound over the scenario's base Δ.
+    pub fn worst_case_delta(&self) -> Option<usize> {
+        self.plan.worst_case_delta(self.config.delta)
+    }
+}
+
+/// The canonical fault grid swept by the `faults` binary: partitions,
+/// eclipses, crash–recovery (including a crash at genesis), windowed
+/// message loss, a chained compound window, and one fault × attack
+/// combination — all over the same sparse base (10 nodes, 10%
+/// adversarial stake, `f = 0.05`, `Δ = 1`) so the Δ′-model stays
+/// admissible. Windows are placed at fixed fractions of the horizon and
+/// kept short (≤ 6 slots): the static Δ′ bound is a window-run length,
+/// not a fraction of the run.
+///
+/// # Panics
+///
+/// Panics when `slots < 80` (the windows would collide or escape the
+/// horizon).
+pub fn fault_library(slots: usize) -> Vec<FaultScenario> {
+    assert!(slots >= 80, "fault_library needs at least 80 slots");
+    let base = SimConfig {
+        honest_nodes: 10,
+        adversarial_stake: 0.1,
+        active_slot_coeff: 0.05,
+        delta: 1,
+        slots,
+        tie_break: multihonest_sim::TieBreak::AdversarialOrder,
+        strategy: Strategy::Honest,
+    };
+    let withholding = SimConfig {
+        strategy: Strategy::PrivateWithholding,
+        ..base
+    };
+    let halves = || {
+        vec![
+            (0..base.honest_nodes / 2).collect::<Vec<_>>(),
+            (base.honest_nodes / 2..base.honest_nodes).collect(),
+        ]
+    };
+    let stride = slots / 8;
+    vec![
+        FaultScenario {
+            name: "partition-halves",
+            config: base,
+            plan: FaultPlan::new()
+                .with(FaultDirective::Partition {
+                    groups: halves(),
+                    start: stride,
+                    heal_slot: stride + 4,
+                })
+                .with(FaultDirective::Partition {
+                    groups: halves(),
+                    start: 4 * stride,
+                    heal_slot: 4 * stride + 4,
+                }),
+        },
+        FaultScenario {
+            name: "eclipse-victim",
+            config: base,
+            plan: FaultPlan::new()
+                .with(FaultDirective::Eclipse {
+                    node: 3,
+                    start: 2 * stride,
+                    until: 2 * stride + 5,
+                })
+                .with(FaultDirective::Eclipse {
+                    node: 3,
+                    start: 6 * stride,
+                    until: 6 * stride + 3,
+                }),
+        },
+        FaultScenario {
+            name: "crash-recover",
+            config: base,
+            plan: FaultPlan::new().with(FaultDirective::Crash {
+                node: 7,
+                at: 3 * stride,
+                recover_slot: 3 * stride + 6,
+            }),
+        },
+        FaultScenario {
+            name: "crash-at-genesis",
+            config: base,
+            plan: FaultPlan::new().with(FaultDirective::Crash {
+                node: 0,
+                at: 1,
+                recover_slot: 5,
+            }),
+        },
+        FaultScenario {
+            name: "lossy-window",
+            config: base,
+            plan: FaultPlan::new()
+                .with(FaultDirective::MessageLoss {
+                    p: 0.4,
+                    salt: 0xFA17,
+                    start: 2 * stride,
+                    until: 2 * stride + 5,
+                })
+                .with(FaultDirective::MessageLoss {
+                    p: 0.4,
+                    salt: 0x5EED,
+                    start: 5 * stride,
+                    until: 5 * stride + 5,
+                }),
+        },
+        FaultScenario {
+            name: "compound-chain",
+            config: base,
+            // Eclipse chains into an overlapping loss window: the merged
+            // run [stride, stride + 6) bounds the extra delay at 6, not
+            // at the longest single window.
+            plan: FaultPlan::new()
+                .with(FaultDirective::Eclipse {
+                    node: 1,
+                    start: stride,
+                    until: stride + 3,
+                })
+                .with(FaultDirective::MessageLoss {
+                    p: 0.5,
+                    salt: 0xC0DE,
+                    start: stride + 2,
+                    until: stride + 6,
+                })
+                .with(FaultDirective::Crash {
+                    node: 4,
+                    at: 5 * stride,
+                    recover_slot: 5 * stride + 3,
+                }),
+        },
+        FaultScenario {
+            name: "partition-withholding",
+            config: withholding,
+            plan: FaultPlan::new().with(FaultDirective::Partition {
+                groups: halves(),
+                start: 3 * stride,
+                heal_slot: 3 * stride + 4,
+            }),
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,6 +764,77 @@ mod tests {
         assert!(stakes[0] > stakes[3]);
         let u = NodeProfile::uniform().stakes(4, 0.2);
         assert!(u.iter().all(|&s| (s - 0.2).abs() < 1e-12));
+    }
+
+    #[test]
+    fn fault_library_is_bounded_and_admissible() {
+        let lib = fault_library(400);
+        assert!(lib.len() >= 7);
+        let names: std::collections::HashSet<&str> = lib.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names.len(),
+            lib.len(),
+            "fault scenario names must be unique"
+        );
+        for sc in &lib {
+            sc.plan.validate(sc.config.honest_nodes);
+            assert!(
+                !sc.plan.is_empty(),
+                "{}: library plans must inject",
+                sc.name
+            );
+            let dp = sc
+                .worst_case_delta()
+                .unwrap_or_else(|| panic!("{}: library plans must be bounded", sc.name));
+            assert!(
+                dp <= 11,
+                "{}: Δ′ = {dp} escapes the admissible region of the sparse base",
+                sc.name
+            );
+        }
+        let compound = lib.iter().find(|s| s.name == "compound-chain").unwrap();
+        assert_eq!(
+            compound.plan.worst_case_extra_delay(),
+            Some(6),
+            "chained windows must merge in the bound"
+        );
+    }
+
+    #[test]
+    fn fault_scenarios_degrade_but_stay_within_the_static_bound() {
+        for sc in fault_library(400) {
+            let schedule = sc.schedule(11);
+            let mut strategy = sc.config.strategy.instantiate();
+            let (sim, ledger) = ColumnarSimulation::run_with_schedule_faults(
+                &sc.config,
+                &schedule,
+                strategy.as_mut(),
+                &sc.plan,
+            );
+            assert_eq!(sim.metrics().slots, 400, "{}", sc.name);
+            assert_eq!(ledger.dropped, 0, "{}: bounded plans drop nothing", sc.name);
+            let bound = sc.worst_case_delta().unwrap();
+            assert!(
+                ledger.worst_effective_delta <= bound,
+                "{}: observed effective Δ {} exceeds the static bound {bound}",
+                sc.name,
+                ledger.worst_effective_delta
+            );
+            // A chained window may re-park what an earlier one released,
+            // so per-window healing is bounded by the latest window end
+            // in the plan, not by each window's own end.
+            let last_end = ledger.windows.iter().map(|w| w.end).max().unwrap();
+            for w in &ledger.windows {
+                if let Some(healed) = w.healed_by {
+                    assert!(
+                        healed <= last_end,
+                        "{}: window {} healed at {healed}, after the last window end {last_end}",
+                        sc.name,
+                        w.directive
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,963 @@
+//! Fault injection: declarative, slot-windowed network faults shared by
+//! both execution engines.
+//!
+//! The paper's delivery model is an idealized Δ-synchronous network
+//! (axiom A4Δ). Real networks partition, eclipse individual nodes, crash
+//! and recover, and lose messages — and the interesting robustness claim
+//! is *conservatism*: as long as every fault resolves quickly enough that
+//! the worst induced delivery delay stays below some Δ′, the Δ′-model
+//! settlement predictions (exact margin DP, Theorem 7 bounds) still
+//! dominate what the faulty executions exhibit.
+//!
+//! A [`FaultPlan`] is a list of slot-windowed [`FaultDirective`]s. Each
+//! engine compiles the plan into a [`FaultRuntime`] and consults it at
+//! two points of the slot loop:
+//!
+//! * **minting** — a crashed node cannot lead its slot
+//!   ([`FaultRuntime::can_mint`]);
+//! * **delivery** — after draining the slot's due deliveries, the engine
+//!   passes them through [`FaultRuntime::apply`], which *parks* every
+//!   delivery blocked by an active directive and re-injects it (ahead of
+//!   that slot's fresh deliveries, in park order) once its directive
+//!   window closes. Crash recovery therefore performs a state resync for
+//!   free: everything the node missed while down lands in its recovery
+//!   slot.
+//!
+//! Faults **defer** deliveries, they never forge or reorder them across
+//! park batches — so both engines produce identical faulty traces for
+//! identical plans, and the empty plan leaves the delivery stream
+//! untouched (bit-identical to a fault-free run; the fingerprint pins in
+//! `multihonest-testutil` enforce this).
+//!
+//! The runtime tracks the degradation it induced in a
+//! [`DegradationLedger`]: per-directive deferral counts and healed-by
+//! slots, the worst effective Δ (actual delivery slot minus broadcast
+//! slot over all fault-deferred honest deliveries), and drop counts for
+//! deliveries parked past the horizon. Callers that want the deferral
+//! stream live implement [`MetricsSink::on_fault_deferral`].
+
+use std::collections::BTreeMap;
+
+use crate::consistency::DivergenceIndex;
+use crate::metrics::MetricsSink;
+
+/// One slot-windowed fault. All windows are half-open slot intervals
+/// `[start, end)` over the 1-based slot clock of the engines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultDirective {
+    /// Network partition: honest deliveries between nodes of *different*
+    /// groups are withheld during `[start, heal_slot)` and delivered at
+    /// `heal_slot`. Nodes listed in no group are unrestricted, and the
+    /// adversary spans partitions (adversarial deliveries pass).
+    Partition {
+        /// Disjoint groups of honest node indices.
+        groups: Vec<Vec<usize>>,
+        /// First slot of the partition.
+        start: usize,
+        /// The partition heals at the start of this slot.
+        heal_slot: usize,
+    },
+    /// Eclipse: honest traffic to *and from* `node` is withheld during
+    /// `[start, until)`. Adversarial deliveries still reach the node —
+    /// an eclipse attacker controls its victim's view, it does not
+    /// silence itself.
+    Eclipse {
+        /// The eclipsed honest node.
+        node: usize,
+        /// First eclipsed slot.
+        start: usize,
+        /// The eclipse lifts at the start of this slot.
+        until: usize,
+    },
+    /// Crash–recovery: `node` is down during `[at, recover_slot)` — it
+    /// receives nothing (honest or adversarial) and cannot mint. At
+    /// `recover_slot` every delivery it missed arrives (state resync);
+    /// its pre-crash chain state is retained. `recover_slot = usize::MAX`
+    /// means the node never recovers.
+    Crash {
+        /// The crashing honest node.
+        node: usize,
+        /// First down slot.
+        at: usize,
+        /// The node is back up at the start of this slot.
+        recover_slot: usize,
+    },
+    /// Seeded message loss: during `[start, until)` each honest delivery
+    /// is independently dropped with probability `p` (a deterministic
+    /// per-`(slot, src, dst)` coin seeded by `salt`) and retried the next
+    /// slot — the rebroadcast model. Adversarial deliveries are exempt
+    /// (the adversary's channel is its own).
+    MessageLoss {
+        /// Per-delivery loss probability, in `[0, 1]`.
+        p: f64,
+        /// Seed of the deterministic loss coin.
+        salt: u64,
+        /// First lossy slot.
+        start: usize,
+        /// Loss stops at the start of this slot.
+        until: usize,
+    },
+}
+
+impl FaultDirective {
+    /// The directive's active window `[start, end)`.
+    pub fn window(&self) -> (usize, usize) {
+        match *self {
+            FaultDirective::Partition {
+                start, heal_slot, ..
+            } => (start, heal_slot),
+            FaultDirective::Eclipse { start, until, .. } => (start, until),
+            FaultDirective::Crash {
+                at, recover_slot, ..
+            } => (at, recover_slot),
+            FaultDirective::MessageLoss { start, until, .. } => (start, until),
+        }
+    }
+
+    /// A short label for ledger rows and reports.
+    pub fn label(&self) -> String {
+        match self {
+            FaultDirective::Partition { groups, .. } => {
+                format!("partition/{}", groups.len())
+            }
+            FaultDirective::Eclipse { node, .. } => format!("eclipse/{node}"),
+            FaultDirective::Crash { node, .. } => format!("crash/{node}"),
+            FaultDirective::MessageLoss { p, .. } => format!("loss/{p}"),
+        }
+    }
+}
+
+/// A declarative fault schedule: zero or more [`FaultDirective`]s.
+/// The default (empty) plan injects nothing and leaves engine traces
+/// bit-identical to fault-free runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    directives: Vec<FaultDirective>,
+}
+
+impl FaultPlan {
+    /// The empty plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Builder-style push.
+    #[must_use]
+    pub fn with(mut self, directive: FaultDirective) -> FaultPlan {
+        self.directives.push(directive);
+        self
+    }
+
+    /// Appends a directive.
+    pub fn push(&mut self, directive: FaultDirective) {
+        self.directives.push(directive);
+    }
+
+    /// The directives, in insertion order.
+    pub fn directives(&self) -> &[FaultDirective] {
+        &self.directives
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.directives.is_empty()
+    }
+
+    /// Validates the plan against an engine configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed plans: more than 64 directives (the runtime
+    /// attributes deferrals through a 64-bit directive mask), empty or
+    /// inverted windows, windows starting before slot 1, node indices out
+    /// of `0..honest_nodes`, overlapping partition groups, or a loss
+    /// probability outside `[0, 1]`.
+    pub fn validate(&self, honest_nodes: usize) {
+        assert!(
+            self.directives.len() <= 64,
+            "fault plans are limited to 64 directives"
+        );
+        for d in &self.directives {
+            let (start, end) = d.window();
+            assert!(start >= 1, "fault windows start at slot 1 or later");
+            assert!(start < end, "empty fault window [{start}, {end})");
+            match d {
+                FaultDirective::Partition { groups, .. } => {
+                    let mut seen = vec![false; honest_nodes];
+                    for g in groups {
+                        assert!(!g.is_empty(), "empty partition group");
+                        for &n in g {
+                            assert!(n < honest_nodes, "partition node {n} out of range");
+                            assert!(!seen[n], "node {n} appears in two partition groups");
+                            seen[n] = true;
+                        }
+                    }
+                }
+                FaultDirective::Eclipse { node, .. } | FaultDirective::Crash { node, .. } => {
+                    assert!(*node < honest_nodes, "fault node {node} out of range");
+                }
+                FaultDirective::MessageLoss { p, .. } => {
+                    assert!(
+                        (0.0..=1.0).contains(p),
+                        "loss probability {p} out of [0, 1]"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The worst extra delivery delay (beyond Δ) any honest delivery can
+    /// suffer under this plan, or `None` when the plan is unbounded (a
+    /// never-recovering crash, `recover_slot = usize::MAX`).
+    ///
+    /// A delivery due inside a blocking window is parked until the window
+    /// closes, where a chained (overlapping or adjacent) window may park
+    /// it again — so the bound is the longest *merged* run of directive
+    /// windows. Windowed message loss is bounded by the same argument:
+    /// retries step one slot at a time and succeed unconditionally once
+    /// the window closes.
+    pub fn worst_case_extra_delay(&self) -> Option<usize> {
+        if self.directives.is_empty() {
+            return Some(0);
+        }
+        let mut windows: Vec<(usize, usize)> = Vec::with_capacity(self.directives.len());
+        for d in &self.directives {
+            let (start, end) = d.window();
+            if end == usize::MAX {
+                return None;
+            }
+            windows.push((start, end));
+        }
+        windows.sort_unstable();
+        let (mut run_start, mut run_end) = windows[0];
+        let mut worst = 0usize;
+        for &(start, end) in &windows[1..] {
+            if start <= run_end {
+                run_end = run_end.max(end);
+            } else {
+                worst = worst.max(run_end - run_start);
+                (run_start, run_end) = (start, end);
+            }
+        }
+        Some(worst.max(run_end - run_start))
+    }
+
+    /// The static Δ′ bound of the plan over a base delay Δ:
+    /// `Δ + worst_case_extra_delay()`, or `None` when unbounded. Every
+    /// honest delivery of a faulty execution arrives within Δ′ slots of
+    /// its broadcast — the premise of the conservatism harness.
+    pub fn worst_case_delta(&self, delta: usize) -> Option<usize> {
+        self.worst_case_extra_delay().map(|extra| delta + extra)
+    }
+}
+
+/// What the fault predicate needs to know about one delivery: engines
+/// derive this from their block store (the issuer is the source, the
+/// mint slot is the broadcast slot).
+#[derive(Debug, Clone, Copy)]
+pub struct DeliveryMeta {
+    /// Issuing node index (out-of-range for adversarial blocks).
+    pub src: usize,
+    /// Whether the block (and hence the broadcast) is honest.
+    pub honest: bool,
+    /// The slot the block was broadcast (minted) in.
+    pub broadcast_slot: usize,
+}
+
+/// Per-directive degradation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// The directive's [`FaultDirective::label`].
+    pub directive: String,
+    /// First slot of the directive's window.
+    pub start: usize,
+    /// End (exclusive) of the directive's window.
+    pub end: usize,
+    /// Number of park events this directive caused (a delivery re-parked
+    /// by the same directive counts each time).
+    pub deferrals: u64,
+    /// The slot by which every delivery this directive deferred had been
+    /// delivered — `None` when it never deferred anything, or when some
+    /// deferred delivery was dropped at the horizon.
+    pub healed_by: Option<usize>,
+}
+
+/// What fault injection did to an execution: the degradation ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationLedger {
+    /// Total park events (fresh parks and re-parks).
+    pub deferred: u64,
+    /// Parked deliveries that were eventually delivered.
+    pub delivered_late: u64,
+    /// Parked deliveries still undelivered at the horizon.
+    pub dropped: u64,
+    /// The worst observed effective Δ: max over fault-deferred honest
+    /// deliveries of (actual delivery slot − broadcast slot). 0 when no
+    /// honest delivery was deferred. Always ≤ the plan's
+    /// [`FaultPlan::worst_case_delta`] when that bound exists.
+    pub worst_effective_delta: usize,
+    /// One row per plan directive, in plan order.
+    pub windows: Vec<WindowStats>,
+}
+
+impl DegradationLedger {
+    /// Observed settlement violations per directive window: for each
+    /// ledger row, the number of violating anchors `s` (at parameter `k`)
+    /// with `start ≤ s < end`, read off an execution's
+    /// [`DivergenceIndex`].
+    pub fn per_window_violations(&self, index: &DivergenceIndex, k: usize) -> Vec<u64> {
+        self.windows
+            .iter()
+            .map(|w| {
+                let upto_end = index.count_violations(k, w.end.saturating_sub(1));
+                let before = index.count_violations(k, w.start - 1);
+                (upto_end - before) as u64
+            })
+            .collect()
+    }
+}
+
+/// A directive compiled for `O(1)` per-delivery evaluation.
+#[derive(Debug, Clone)]
+enum Compiled {
+    Partition {
+        /// Group index per node; `u8::MAX` = unrestricted.
+        group_of: Vec<u8>,
+        start: usize,
+        end: usize,
+    },
+    Eclipse {
+        node: usize,
+        start: usize,
+        end: usize,
+    },
+    Crash {
+        node: usize,
+        start: usize,
+        end: usize,
+    },
+    Loss {
+        /// Drop when the 64-bit coin falls below this threshold.
+        threshold: u64,
+        salt: u64,
+        start: usize,
+        end: usize,
+    },
+}
+
+/// A delivery parked until its blocking directives release it.
+#[derive(Debug, Clone)]
+struct Parked {
+    recipient: u32,
+    block: u32,
+    meta: DeliveryMeta,
+    /// Bitmask of plan directives that ever blocked this delivery.
+    dirs: u64,
+}
+
+/// SplitMix64 — the loss coin's mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-(slot, src, dst) loss coin.
+fn coin(salt: u64, slot: usize, src: usize, dst: usize) -> u64 {
+    mix(mix(mix(salt ^ slot as u64) ^ src as u64) ^ dst as u64)
+}
+
+/// A [`FaultPlan`] compiled against one execution: the per-(slot, src,
+/// dst) delivery predicate, the parking store, and the degradation
+/// ledger. Both engines drive one runtime per execution.
+#[derive(Debug)]
+pub struct FaultRuntime<'a> {
+    plan: &'a FaultPlan,
+    compiled: Vec<Compiled>,
+    slots: usize,
+    parked: BTreeMap<usize, Vec<Parked>>,
+    ledger: DegradationLedger,
+    scratch: Vec<(u32, u32)>,
+}
+
+impl<'a> FaultRuntime<'a> {
+    /// Compiles `plan` for an execution over `honest_nodes` nodes and
+    /// `slots` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`FaultPlan::validate`] rejects the plan.
+    pub fn new(plan: &'a FaultPlan, honest_nodes: usize, slots: usize) -> FaultRuntime<'a> {
+        plan.validate(honest_nodes);
+        let compiled = plan
+            .directives
+            .iter()
+            .map(|d| match d {
+                FaultDirective::Partition {
+                    groups,
+                    start,
+                    heal_slot,
+                } => {
+                    let mut group_of = vec![u8::MAX; honest_nodes];
+                    for (g, members) in groups.iter().enumerate() {
+                        for &n in members {
+                            group_of[n] = g as u8;
+                        }
+                    }
+                    Compiled::Partition {
+                        group_of,
+                        start: *start,
+                        end: *heal_slot,
+                    }
+                }
+                FaultDirective::Eclipse { node, start, until } => Compiled::Eclipse {
+                    node: *node,
+                    start: *start,
+                    end: *until,
+                },
+                FaultDirective::Crash {
+                    node,
+                    at,
+                    recover_slot,
+                } => Compiled::Crash {
+                    node: *node,
+                    start: *at,
+                    end: *recover_slot,
+                },
+                FaultDirective::MessageLoss {
+                    p,
+                    salt,
+                    start,
+                    until,
+                } => Compiled::Loss {
+                    threshold: if *p >= 1.0 {
+                        u64::MAX
+                    } else {
+                        (*p * u64::MAX as f64) as u64
+                    },
+                    salt: *salt,
+                    start: *start,
+                    end: *until,
+                },
+            })
+            .collect();
+        let windows = plan
+            .directives
+            .iter()
+            .map(|d| {
+                let (start, end) = d.window();
+                WindowStats {
+                    directive: d.label(),
+                    start,
+                    end,
+                    deferrals: 0,
+                    healed_by: None,
+                }
+            })
+            .collect();
+        FaultRuntime {
+            plan,
+            compiled,
+            slots,
+            parked: BTreeMap::new(),
+            ledger: DegradationLedger {
+                windows,
+                ..DegradationLedger::default()
+            },
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Whether the plan is empty — the engines' fast path: an empty
+    /// runtime never touches a delivery stream.
+    pub fn is_empty(&self) -> bool {
+        self.plan.is_empty()
+    }
+
+    /// The plan this runtime compiled.
+    pub fn plan(&self) -> &FaultPlan {
+        self.plan
+    }
+
+    /// Whether `node` may mint in `slot` (false while crashed).
+    pub fn can_mint(&self, slot: usize, node: usize) -> bool {
+        self.node_is_live(slot, node)
+    }
+
+    /// Whether `node` is up (not crashed) in `slot`.
+    pub fn node_is_live(&self, slot: usize, node: usize) -> bool {
+        !self.compiled.iter().any(|c| match *c {
+            Compiled::Crash {
+                node: n,
+                start,
+                end,
+            } => n == node && start <= slot && slot < end,
+            _ => false,
+        })
+    }
+
+    /// Whether `node` is live *and* not eclipsed in `slot`. Partitions
+    /// are pairwise, not a per-node property, so they do not affect this.
+    pub fn node_is_reachable(&self, slot: usize, node: usize) -> bool {
+        self.node_is_live(slot, node)
+            && !self.compiled.iter().any(|c| match *c {
+                Compiled::Eclipse {
+                    node: n,
+                    start,
+                    end,
+                } => n == node && start <= slot && slot < end,
+                _ => false,
+            })
+    }
+
+    /// The earliest slot a blocked delivery may be re-attempted, plus the
+    /// mask of directives currently blocking it; `None` when it may pass.
+    fn blocked_until(
+        &self,
+        slot: usize,
+        recipient: usize,
+        meta: &DeliveryMeta,
+    ) -> Option<(usize, u64)> {
+        let mut until = 0usize;
+        let mut dirs = 0u64;
+        for (i, c) in self.compiled.iter().enumerate() {
+            let (hit, release) = match c {
+                Compiled::Crash { node, start, end } => {
+                    (*node == recipient && *start <= slot && slot < *end, *end)
+                }
+                Compiled::Eclipse { node, start, end } => (
+                    meta.honest
+                        && (*node == recipient || *node == meta.src)
+                        && *start <= slot
+                        && slot < *end,
+                    *end,
+                ),
+                Compiled::Partition {
+                    group_of,
+                    start,
+                    end,
+                } => {
+                    let cross = meta.honest && *start <= slot && slot < *end && {
+                        let gs = group_of.get(meta.src).copied().unwrap_or(u8::MAX);
+                        let gr = group_of[recipient];
+                        gs != u8::MAX && gr != u8::MAX && gs != gr
+                    };
+                    (cross, *end)
+                }
+                Compiled::Loss {
+                    threshold,
+                    salt,
+                    start,
+                    end,
+                } => (
+                    meta.honest
+                        && *start <= slot
+                        && slot < *end
+                        && coin(*salt, slot, meta.src, recipient) < *threshold,
+                    slot + 1,
+                ),
+            };
+            if hit {
+                until = until.max(release);
+                dirs |= 1 << i;
+            }
+        }
+        (dirs != 0).then_some((until, dirs))
+    }
+
+    /// Parks a delivery until `until`, attributing the deferral.
+    fn park<S: MetricsSink>(&mut self, slot: usize, until: usize, entry: Parked, sink: &mut S) {
+        self.ledger.deferred += 1;
+        let mut bits = entry.dirs;
+        while bits != 0 {
+            let i = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            self.ledger.windows[i].deferrals += 1;
+        }
+        sink.on_fault_deferral(slot, entry.recipient as usize, until);
+        // Keys beyond the horizon are clamped to `slots + 1`: the slot
+        // loop never reaches them, and `finish` drains them as drops.
+        self.parked
+            .entry(until.min(self.slots + 1))
+            .or_default()
+            .push(entry);
+    }
+
+    /// Filters one slot's due deliveries through the plan: releases
+    /// parked deliveries whose windows closed (prepended, in park order,
+    /// ahead of the slot's fresh deliveries), parks everything a
+    /// directive currently blocks, and leaves the rest untouched. With an
+    /// empty plan this is a no-op — `due` keeps its exact contents and
+    /// order.
+    ///
+    /// `meta` derives [`DeliveryMeta`] from a block id; engines close
+    /// over their block store.
+    pub fn apply<F, S>(&mut self, slot: usize, due: &mut Vec<(u32, u32)>, meta: F, sink: &mut S)
+    where
+        F: Fn(u32) -> DeliveryMeta,
+        S: MetricsSink,
+    {
+        if self.plan.is_empty() {
+            return;
+        }
+        let mut out = std::mem::take(&mut self.scratch);
+        out.clear();
+        // 1. Released parked deliveries go first (they were broadcast
+        //    earlier than anything fresh), re-parking any that a chained
+        //    directive still blocks.
+        while let Some((&at, _)) = self.parked.first_key_value() {
+            if at > slot {
+                break;
+            }
+            let batch = self.parked.remove(&at).expect("key just observed");
+            for p in batch {
+                match self.blocked_until(slot, p.recipient as usize, &p.meta) {
+                    Some((until, dirs)) => {
+                        let dirs = p.dirs | dirs;
+                        self.park(slot, until, Parked { dirs, ..p }, sink);
+                    }
+                    None => {
+                        self.ledger.delivered_late += 1;
+                        if p.meta.honest {
+                            self.ledger.worst_effective_delta = self
+                                .ledger
+                                .worst_effective_delta
+                                .max(slot - p.meta.broadcast_slot);
+                        }
+                        let mut bits = p.dirs;
+                        while bits != 0 {
+                            let i = bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let w = &mut self.ledger.windows[i];
+                            w.healed_by = Some(w.healed_by.map_or(slot, |h| h.max(slot)));
+                        }
+                        out.push((p.recipient, p.block));
+                    }
+                }
+            }
+        }
+        // 2. Fresh deliveries keep their order; blocked ones are parked.
+        for &(recipient, block) in due.iter() {
+            let m = meta(block);
+            match self.blocked_until(slot, recipient as usize, &m) {
+                Some((until, dirs)) => {
+                    self.park(
+                        slot,
+                        until,
+                        Parked {
+                            recipient,
+                            block,
+                            meta: m,
+                            dirs,
+                        },
+                        sink,
+                    );
+                }
+                None => out.push((recipient, block)),
+            }
+        }
+        self.scratch = std::mem::replace(due, out);
+    }
+
+    /// Closes the runtime at the end of the run: deliveries still parked
+    /// (beyond the horizon) are counted as dropped and void their
+    /// directives' `healed_by`, and the ledger is returned.
+    pub fn finish(&mut self) -> DegradationLedger {
+        let parked = std::mem::take(&mut self.parked);
+        for batch in parked.into_values() {
+            for p in batch {
+                self.ledger.dropped += 1;
+                let mut bits = p.dirs;
+                while bits != 0 {
+                    let i = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.ledger.windows[i].healed_by = None;
+                }
+            }
+        }
+        std::mem::take(&mut self.ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta_honest(src: usize, broadcast_slot: usize) -> DeliveryMeta {
+        DeliveryMeta {
+            src,
+            honest: true,
+            broadcast_slot,
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::new();
+        let mut rt = FaultRuntime::new(&plan, 4, 100);
+        assert!(rt.is_empty());
+        let mut due = vec![(0u32, 5u32), (1, 6)];
+        let orig = due.clone();
+        rt.apply(7, &mut due, |_| meta_honest(0, 7), &mut ());
+        assert_eq!(due, orig);
+        let ledger = rt.finish();
+        assert_eq!(ledger, DegradationLedger::default());
+        assert_eq!(plan.worst_case_extra_delay(), Some(0));
+        assert_eq!(plan.worst_case_delta(3), Some(3));
+    }
+
+    #[test]
+    fn partition_parks_cross_group_until_heal() {
+        let plan = FaultPlan::new().with(FaultDirective::Partition {
+            groups: vec![vec![0, 1], vec![2, 3]],
+            start: 10,
+            heal_slot: 13,
+        });
+        let mut rt = FaultRuntime::new(&plan, 4, 100);
+        // src 0 → dst 2 crosses; src 0 → dst 1 does not.
+        let mut due = vec![(2u32, 7u32), (1, 7)];
+        rt.apply(10, &mut due, |_| meta_honest(0, 10), &mut ());
+        assert_eq!(due, vec![(1, 7)]);
+        // Nothing moves at slots 11–12.
+        let mut empty = Vec::new();
+        rt.apply(11, &mut empty, |_| meta_honest(0, 11), &mut ());
+        rt.apply(12, &mut empty, |_| meta_honest(0, 12), &mut ());
+        assert!(empty.is_empty());
+        // Heal slot: the parked delivery lands ahead of fresh ones.
+        let mut due = vec![(3u32, 9u32)];
+        rt.apply(
+            13,
+            &mut due,
+            |b| meta_honest(if b == 7 { 0 } else { 2 }, 10),
+            &mut (),
+        );
+        assert_eq!(due, vec![(2, 7), (3, 9)]);
+        let ledger = rt.finish();
+        assert_eq!(ledger.deferred, 1);
+        assert_eq!(ledger.delivered_late, 1);
+        assert_eq!(ledger.dropped, 0);
+        assert_eq!(ledger.worst_effective_delta, 3); // 13 − 10
+        assert_eq!(ledger.windows[0].deferrals, 1);
+        assert_eq!(ledger.windows[0].healed_by, Some(13));
+        assert_eq!(plan.worst_case_extra_delay(), Some(3));
+    }
+
+    #[test]
+    fn eclipse_blocks_both_directions_but_not_adversary() {
+        let plan = FaultPlan::new().with(FaultDirective::Eclipse {
+            node: 1,
+            start: 5,
+            until: 8,
+        });
+        let mut rt = FaultRuntime::new(&plan, 3, 50);
+        let adversarial = DeliveryMeta {
+            src: usize::MAX - 1,
+            honest: false,
+            broadcast_slot: 5,
+        };
+        // Honest to the victim: parked. Honest *from* the victim: parked.
+        // Adversarial to the victim: passes.
+        let mut due = vec![(1u32, 10u32), (2, 11), (1, 12)];
+        rt.apply(
+            5,
+            &mut due,
+            |b| match b {
+                10 => meta_honest(0, 5),
+                11 => meta_honest(1, 5),
+                _ => adversarial,
+            },
+            &mut (),
+        );
+        assert_eq!(due, vec![(1, 12)]);
+        assert!(rt.node_is_live(5, 1));
+        assert!(!rt.node_is_reachable(5, 1));
+        assert!(rt.node_is_reachable(8, 1));
+        assert!(rt.node_is_reachable(4, 1));
+    }
+
+    #[test]
+    fn crash_blocks_everything_and_resyncs_on_recovery() {
+        let plan = FaultPlan::new().with(FaultDirective::Crash {
+            node: 0,
+            at: 3,
+            recover_slot: 6,
+        });
+        let mut rt = FaultRuntime::new(&plan, 2, 50);
+        assert!(!rt.can_mint(3, 0));
+        assert!(!rt.can_mint(5, 0));
+        assert!(rt.can_mint(6, 0));
+        assert!(rt.can_mint(2, 0));
+        let adversarial = DeliveryMeta {
+            src: usize::MAX - 1,
+            honest: false,
+            broadcast_slot: 3,
+        };
+        // Even adversarial deliveries cannot reach a crashed node.
+        let mut due = vec![(0u32, 4u32), (0, 5)];
+        rt.apply(
+            3,
+            &mut due,
+            |b| {
+                if b == 4 {
+                    meta_honest(1, 3)
+                } else {
+                    adversarial
+                }
+            },
+            &mut (),
+        );
+        assert!(due.is_empty());
+        let mut due = vec![(0u32, 6u32)];
+        rt.apply(4, &mut due, |_| meta_honest(1, 4), &mut ());
+        assert!(due.is_empty());
+        // Recovery: all three parked deliveries resync, in park order.
+        let mut due = Vec::new();
+        rt.apply(
+            6,
+            &mut due,
+            |b| {
+                if b == 5 {
+                    adversarial
+                } else {
+                    meta_honest(1, 3)
+                }
+            },
+            &mut (),
+        );
+        assert_eq!(due, vec![(0, 4), (0, 5), (0, 6)]);
+        let ledger = rt.finish();
+        assert_eq!(ledger.delivered_late, 3);
+        assert_eq!(ledger.worst_effective_delta, 3); // honest block 4: 6 − 3
+    }
+
+    #[test]
+    fn never_recovering_crash_drops_at_horizon() {
+        let plan = FaultPlan::new().with(FaultDirective::Crash {
+            node: 0,
+            at: 1,
+            recover_slot: usize::MAX,
+        });
+        assert_eq!(plan.worst_case_extra_delay(), None);
+        assert_eq!(plan.worst_case_delta(2), None);
+        let mut rt = FaultRuntime::new(&plan, 2, 10);
+        let mut due = vec![(0u32, 3u32)];
+        rt.apply(4, &mut due, |_| meta_honest(1, 4), &mut ());
+        assert!(due.is_empty());
+        let ledger = rt.finish();
+        assert_eq!(ledger.dropped, 1);
+        assert_eq!(ledger.delivered_late, 0);
+        assert_eq!(ledger.windows[0].healed_by, None);
+    }
+
+    #[test]
+    fn loss_retries_next_slot_and_is_window_bounded() {
+        let plan = FaultPlan::new().with(FaultDirective::MessageLoss {
+            p: 1.0, // always drop inside the window
+            salt: 42,
+            start: 5,
+            until: 8,
+        });
+        assert_eq!(plan.worst_case_extra_delay(), Some(3));
+        let mut rt = FaultRuntime::new(&plan, 2, 50);
+        let mut due = vec![(1u32, 9u32)];
+        rt.apply(5, &mut due, |_| meta_honest(0, 5), &mut ());
+        assert!(due.is_empty());
+        let mut due = Vec::new();
+        rt.apply(6, &mut due, |_| meta_honest(0, 5), &mut ());
+        assert!(due.is_empty(), "re-rolled and re-parked");
+        rt.apply(7, &mut due, |_| meta_honest(0, 5), &mut ());
+        assert!(due.is_empty());
+        // Window closed: the retry at slot 8 passes.
+        rt.apply(8, &mut due, |_| meta_honest(0, 5), &mut ());
+        assert_eq!(due, vec![(1, 9)]);
+        let ledger = rt.finish();
+        assert_eq!(ledger.deferred, 3, "one fresh park + two re-parks");
+        assert_eq!(ledger.worst_effective_delta, 3);
+    }
+
+    #[test]
+    fn chained_windows_merge_in_the_static_bound() {
+        let plan = FaultPlan::new()
+            .with(FaultDirective::Eclipse {
+                node: 0,
+                start: 10,
+                until: 14,
+            })
+            .with(FaultDirective::Crash {
+                node: 0,
+                at: 14,
+                recover_slot: 20,
+            })
+            .with(FaultDirective::Eclipse {
+                node: 1,
+                start: 30,
+                until: 32,
+            });
+        // [10,14) and [14,20) chain into [10,20): extra = 10.
+        assert_eq!(plan.worst_case_extra_delay(), Some(10));
+        // And the runtime actually re-parks across the chain.
+        let mut rt = FaultRuntime::new(&plan, 2, 50);
+        let mut due = vec![(0u32, 5u32)];
+        rt.apply(12, &mut due, |_| meta_honest(1, 12), &mut ());
+        assert!(due.is_empty());
+        for slot in 13..20 {
+            let mut d = Vec::new();
+            rt.apply(slot, &mut d, |_| meta_honest(1, slot), &mut ());
+            assert!(d.is_empty(), "slot {slot}");
+        }
+        let mut due = Vec::new();
+        rt.apply(20, &mut due, |_| meta_honest(1, 20), &mut ());
+        assert_eq!(due, vec![(0, 5)]);
+        let ledger = rt.finish();
+        assert_eq!(ledger.worst_effective_delta, 8); // 20 − 12
+        assert!(ledger.worst_effective_delta <= plan.worst_case_delta(0).unwrap());
+        // Both chained directives report the same healed-by slot.
+        assert_eq!(ledger.windows[0].healed_by, Some(20));
+        assert_eq!(ledger.windows[1].healed_by, Some(20));
+        assert_eq!(ledger.windows[2].healed_by, None);
+    }
+
+    #[test]
+    fn deferral_stream_reaches_the_sink() {
+        #[derive(Default)]
+        struct Count(Vec<(usize, usize, usize)>);
+        impl MetricsSink for Count {
+            fn on_fault_deferral(&mut self, slot: usize, recipient: usize, until: usize) {
+                self.0.push((slot, recipient, until));
+            }
+        }
+        let plan = FaultPlan::new().with(FaultDirective::Crash {
+            node: 1,
+            at: 2,
+            recover_slot: 4,
+        });
+        let mut rt = FaultRuntime::new(&plan, 2, 10);
+        let mut sink = Count::default();
+        let mut due = vec![(1u32, 3u32)];
+        rt.apply(2, &mut due, |_| meta_honest(0, 2), &mut sink);
+        assert_eq!(sink.0, vec![(2, 1, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two partition groups")]
+    fn overlapping_partition_groups_rejected() {
+        let plan = FaultPlan::new().with(FaultDirective::Partition {
+            groups: vec![vec![0, 1], vec![1, 2]],
+            start: 1,
+            heal_slot: 5,
+        });
+        let _ = FaultRuntime::new(&plan, 3, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_rejected() {
+        let plan = FaultPlan::new().with(FaultDirective::Crash {
+            node: 7,
+            at: 1,
+            recover_slot: 2,
+        });
+        let _ = FaultRuntime::new(&plan, 4, 10);
+    }
+}

@@ -28,7 +28,12 @@
 //! * an indexed **consistency-query layer** ([`consistency`]): each run
 //!   folds a [`DivergenceIndex`] over its honest views and rollbacks, so
 //!   `settlement_violation(s, k)` is an `O(1)` lookup and full sweeps
-//!   ([`Simulation::settlement_violations`]) cost `O(slots)` per `k`.
+//!   ([`Simulation::settlement_violations`]) cost `O(slots)` per `k`;
+//! * **fault injection** ([`fault`]): declarative slot-windowed network
+//!   faults — partitions, eclipses, crash–recovery with state resync,
+//!   seeded message loss — compiled into a per-(slot, src, dst) delivery
+//!   predicate both engines consult, reporting a degradation ledger
+//!   (worst effective Δ, healed-by slots, per-window deferral counts).
 //!
 //! ## Example
 //!
@@ -55,6 +60,7 @@
 
 pub mod block;
 pub mod consistency;
+pub mod fault;
 pub mod leader;
 pub mod metrics;
 pub mod network;
@@ -70,6 +76,9 @@ pub use self::simulation as reference;
 
 pub use crate::block::{Block, BlockId, BlockStore};
 pub use crate::consistency::{DivergenceFold, DivergenceIndex, DivergenceOps};
+pub use crate::fault::{
+    DegradationLedger, DeliveryMeta, FaultDirective, FaultPlan, FaultRuntime, WindowStats,
+};
 pub use crate::leader::{validate_stake_partition, LeaderSchedule, SlotLeaders};
 pub use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
 pub use crate::node::TieBreak;

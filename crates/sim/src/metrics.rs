@@ -39,6 +39,14 @@ pub trait MetricsSink {
     ) {
         let _ = (slot, distinct_tips, best_height, divergence);
     }
+
+    /// Fault injection parked a delivery for `recipient` at `slot`,
+    /// deferring it to `deferred_to` at the earliest. Fires zero or more
+    /// times per slot, before that slot's `on_slot`, and only when a
+    /// non-empty fault plan is active — fault-free runs never see it.
+    fn on_fault_deferral(&mut self, slot: usize, recipient: usize, deferred_to: usize) {
+        let _ = (slot, recipient, deferred_to);
+    }
 }
 
 /// The no-op sink: million-slot runs that only want the final [`Metrics`]
@@ -130,6 +138,11 @@ impl<A: MetricsSink, B: MetricsSink> MetricsSink for TeeSink<'_, A, B> {
     fn on_slot(&mut self, slot: usize, distinct_tips: usize, best_height: usize, div: usize) {
         self.a.on_slot(slot, distinct_tips, best_height, div);
         self.b.on_slot(slot, distinct_tips, best_height, div);
+    }
+
+    fn on_fault_deferral(&mut self, slot: usize, recipient: usize, deferred_to: usize) {
+        self.a.on_fault_deferral(slot, recipient, deferred_to);
+        self.b.on_fault_deferral(slot, recipient, deferred_to);
     }
 }
 

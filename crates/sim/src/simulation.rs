@@ -5,6 +5,7 @@ use multihonest_fork::{Fork, ForkError, VertexId};
 
 use crate::block::{BlockId, BlockStore};
 use crate::consistency::DivergenceIndex;
+use crate::fault::{DegradationLedger, DeliveryMeta, FaultPlan, FaultRuntime};
 use crate::leader::LeaderSchedule;
 use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink};
 use crate::network::Network;
@@ -55,6 +56,7 @@ struct RefSlotContext<'a> {
     store: &'a mut BlockStore,
     network: &'a mut Network,
     config: &'a SimConfig,
+    faults: &'a FaultRuntime<'a>,
     slot: usize,
     adversarial_leader: bool,
 }
@@ -97,6 +99,14 @@ impl SlotContext for RefSlotContext<'_> {
         if at_slot >= self.slot {
             self.network.schedule_adversarial(at_slot, recipient, block);
         }
+    }
+
+    fn node_is_live(&self, node: usize) -> bool {
+        self.faults.node_is_live(self.slot, node)
+    }
+
+    fn node_is_reachable(&self, node: usize) -> bool {
+        self.faults.node_is_reachable(self.slot, node)
     }
 }
 
@@ -143,11 +153,35 @@ impl Simulation {
         schedule: LeaderSchedule,
         strategy: &mut dyn AdversaryStrategy,
     ) -> Simulation {
+        let empty = FaultPlan::default();
+        Simulation::run_with_schedule_faults(config, schedule, strategy, &empty).0
+    }
+
+    /// Runs an execution over an explicit leader schedule under a
+    /// [`FaultPlan`]: crashed nodes skip their leadership slots, and
+    /// every due delivery passes through the plan's predicate (blocked
+    /// deliveries are parked until their fault window closes — see
+    /// [`crate::fault`]). The empty plan is bit-identical to
+    /// [`Simulation::run_with_schedule`]. Returns the execution together
+    /// with its [`DegradationLedger`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule length differs from `config.slots` or the
+    /// plan fails [`FaultPlan::validate`].
+    pub fn run_with_schedule_faults(
+        config: &SimConfig,
+        schedule: LeaderSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+    ) -> (Simulation, DegradationLedger) {
         assert_eq!(
             schedule.len(),
             config.slots,
             "schedule must cover the configured horizon"
         );
+        let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
+        let mut fault_due: Vec<(u32, u32)> = Vec::new();
         let mut store = BlockStore::new();
         let mut nodes: Vec<HonestNode> = (0..config.honest_nodes)
             .map(|i| HonestNode::new(i, config.tie_break))
@@ -169,6 +203,7 @@ impl Simulation {
             let minted: Vec<BlockId> = leaders
                 .honest
                 .iter()
+                .filter(|&&leader| faults.can_mint(slot, leader))
                 .map(|&leader| {
                     let b = store.mint(nodes[leader].tip(), slot, leader, true);
                     nodes[leader].receive(&store, b);
@@ -182,16 +217,40 @@ impl Simulation {
                 store: &mut store,
                 network: &mut network,
                 config,
+                faults: &faults,
                 slot,
                 adversarial_leader: leaders.adversarial,
             };
             strategy.on_slot(&mut ctx, &minted);
-            // 3. Apply this slot's deliveries in scheduled order,
+            // 3. Apply this slot's deliveries in scheduled order —
+            //    filtered through the fault plan when one is active —
             //    recording chain rollbacks (tip switches onto chains that
             //    do not extend the previous tip).
             let before: Vec<BlockId> = nodes.iter().map(HonestNode::tip).collect();
-            for (recipient, block) in network.due(slot) {
-                nodes[recipient].receive(&store, block);
+            let due = network.due(slot);
+            if faults.is_empty() {
+                for (recipient, block) in due {
+                    nodes[recipient].receive(&store, block);
+                }
+            } else {
+                fault_due.clear();
+                fault_due.extend(due.iter().map(|&(r, b)| (r as u32, b.index() as u32)));
+                faults.apply(
+                    slot,
+                    &mut fault_due,
+                    |b| {
+                        let blk = store.block(BlockId::from_index(b as usize));
+                        DeliveryMeta {
+                            src: blk.issuer,
+                            honest: blk.honest,
+                            broadcast_slot: blk.slot,
+                        }
+                    },
+                    &mut acc,
+                );
+                for &(recipient, block) in fault_due.iter() {
+                    nodes[recipient as usize].receive(&store, BlockId::from_index(block as usize));
+                }
             }
             for (node, &old) in nodes.iter().zip(&before) {
                 let new = node.tip();
@@ -205,7 +264,8 @@ impl Simulation {
             // chain arrived (axiom A0′'s consistent rule may legitimately
             // swap equal-height tips, so it is exempt).
             if config.tie_break == TieBreak::AdversarialOrder {
-                for (&leader, &b) in leaders.honest.iter().zip(&minted) {
+                for &b in &minted {
+                    let leader = store.block(b).issuer;
                     let tip = nodes[leader].tip();
                     debug_assert!(
                         tip == b || store.block(tip).height > store.block(b).height,
@@ -254,15 +314,19 @@ impl Simulation {
             honest_chain_blocks,
             divergence.max_settlement_lag(),
         );
-        Simulation {
-            config: *config,
-            schedule,
-            store,
-            tips_per_slot,
-            rollbacks,
-            divergence,
-            metrics,
-        }
+        let ledger = faults.finish();
+        (
+            Simulation {
+                config: *config,
+                schedule,
+                store,
+                tips_per_slot,
+                rollbacks,
+                divergence,
+                metrics,
+            },
+            ledger,
+        )
     }
 
     /// Assembles a simulation from recorded parts — tests use this to

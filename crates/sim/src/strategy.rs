@@ -52,6 +52,22 @@ pub trait SlotContext {
     /// current slot) are dropped — the adversary may simply never
     /// deliver.
     fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId);
+    /// Whether `node` is up this slot (a crashed node neither mints nor
+    /// receives). Always `true` when no fault plan is active — the
+    /// default keeps existing strategies and engines bit-identical in
+    /// fault-free runs.
+    fn node_is_live(&self, node: usize) -> bool {
+        let _ = node;
+        true
+    }
+    /// Whether `node` is live *and* not eclipsed this slot — strategies
+    /// can skip routing effort toward targets whose honest channels a
+    /// fault plan has cut. Pairwise partitions do not affect this.
+    /// Always `true` when no fault plan is active.
+    fn node_is_reachable(&self, node: usize) -> bool {
+        let _ = node;
+        true
+    }
 }
 
 /// Per-slot adversarial decision logic (observe → act).

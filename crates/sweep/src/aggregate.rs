@@ -39,9 +39,21 @@ pub struct CellAggregate {
     pub final_height: u64,
     /// Slots with at least one leader, summed over trials.
     pub active_slots: u64,
+    /// Fault-deferred delivery events (parks and re-parks) summed over
+    /// trials; 0 in fault-free cells.
+    pub deferred_deliveries: u64,
+    /// Fault-parked deliveries dropped at the horizon, summed over
+    /// trials; 0 for bounded fault plans.
+    pub dropped_deliveries: u64,
+    /// Worst observed effective Δ (delivery slot − broadcast slot over
+    /// fault-deferred honest deliveries) in any trial; 0 when no fault
+    /// ever deferred.
+    pub worst_effective_delta: u64,
     /// Order-invariant fingerprint: the wrapping sum of one SplitMix64
     /// word per trial (seed + headline outcomes). Any drift in any
-    /// trial's execution flips it; trial order cannot.
+    /// trial's execution flips it; trial order cannot. The degradation
+    /// counters above stay **outside** this word, so a fault-free cell's
+    /// fingerprint is unchanged from pre-fault-axis campaigns.
     pub fingerprint: u64,
 }
 
@@ -59,8 +71,21 @@ impl CellAggregate {
             honest_chain_blocks: 0,
             final_height: 0,
             active_slots: 0,
+            deferred_deliveries: 0,
+            dropped_deliveries: 0,
+            worst_effective_delta: 0,
             fingerprint: 0,
         }
+    }
+
+    /// Folds one trial's fault [`DegradationLedger`] in (call alongside
+    /// [`CellAggregate::record`] for cells with a non-empty fault plan).
+    pub fn record_faults(&mut self, ledger: &multihonest_sim::DegradationLedger) {
+        self.deferred_deliveries += ledger.deferred;
+        self.dropped_deliveries += ledger.dropped;
+        self.worst_effective_delta = self
+            .worst_effective_delta
+            .max(ledger.worst_effective_delta as u64);
     }
 
     /// Folds one finished trial in.
@@ -132,6 +157,9 @@ impl CellAggregate {
         self.honest_chain_blocks += other.honest_chain_blocks;
         self.final_height += other.final_height;
         self.active_slots += other.active_slots;
+        self.deferred_deliveries += other.deferred_deliveries;
+        self.dropped_deliveries += other.dropped_deliveries;
+        self.worst_effective_delta = self.worst_effective_delta.max(other.worst_effective_delta);
         self.fingerprint = self.fingerprint.wrapping_add(other.fingerprint);
     }
 }

@@ -1,27 +1,36 @@
-//! Campaign checkpoints: atomic JSON snapshots of completed cells.
+//! Campaign checkpoints: atomic, line-oriented snapshots of completed
+//! cells.
 //!
-//! ## Format (`multihonest-sweep-checkpoint/v1`)
+//! ## Format (`multihonest-sweep-checkpoint/v2`)
 //!
-//! ```json
-//! {
-//!   "schema": "multihonest-sweep-checkpoint/v1",
-//!   "spec_fingerprint": 1234567890,
-//!   "completed": [ { "cell": 0, "aggregate": { ...CellAggregate... } } ]
-//! }
+//! One compact-JSON object per line — a header, then one completed cell
+//! per line:
+//!
+//! ```text
+//! {"schema":"multihonest-sweep-checkpoint/v2","spec_fingerprint":1234567890}
+//! {"cell":0,"aggregate":{ ...CellAggregate... }}
+//! {"cell":3,"aggregate":{ ... }}
 //! ```
 //!
 //! Only **whole completed cells** are checkpointed: a cell's aggregate is
 //! flushed once its last trial chunk lands, so every snapshot is a valid
 //! prefix of the campaign regardless of where execution was interrupted.
-//! Writes go to a temp file in the same directory followed by a rename,
-//! so a kill mid-write leaves the previous snapshot intact. On resume the
-//! embedded [`CampaignSpec::fingerprint`] is compared; a mismatch is an
-//! error rather than a silent merge of incompatible aggregates.
+//! Writes go to a temp file in the same directory, **fsync**, then
+//! rename, so a kill mid-write leaves the previous snapshot intact and a
+//! power loss cannot publish an unsynced rename. Should a snapshot still
+//! arrive truncated (torn tail, non-atomic filesystem), loading **drops
+//! the malformed tail with a logged warning** and salvages the parseable
+//! prefix — every line is a self-contained cell, so a prefix is always a
+//! valid (smaller) checkpoint and the dropped cells are simply
+//! recomputed. A malformed *header* stays a hard error, as does a
+//! [`CampaignSpec::fingerprint`] mismatch: those are not torn writes but
+//! wrong files, and silently merging incompatible aggregates would
+//! corrupt the campaign.
 //!
 //! [`CampaignSpec::fingerprint`]: crate::CampaignSpec::fingerprint
 
 use std::fs;
-use std::io;
+use std::io::{self, Write as _};
 use std::path::Path;
 
 use serde::Serialize;
@@ -30,7 +39,7 @@ use serde::Value;
 use crate::aggregate::CellAggregate;
 
 /// Schema tag of the checkpoint format.
-pub const CHECKPOINT_SCHEMA: &str = "multihonest-sweep-checkpoint/v1";
+pub const CHECKPOINT_SCHEMA: &str = "multihonest-sweep-checkpoint/v2";
 
 /// One completed cell in a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -63,35 +72,96 @@ impl Checkpoint {
         }
     }
 
-    /// Writes the checkpoint atomically: temp file + rename.
+    /// Renders the line-oriented byte stream of the checkpoint.
+    fn render(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\":{},\"spec_fingerprint\":{}}}\n",
+            serde_json::to_string(&self.schema).expect("serializable"),
+            self.spec_fingerprint
+        );
+        for cell in &self.completed {
+            out.push_str(&serde_json::to_string(cell).expect("serializable"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the checkpoint atomically: temp file + fsync + rename. The
+    /// fsync orders the data before the rename publishes it, so a crash
+    /// cannot leave the *renamed* path holding unsynced garbage.
     pub fn write(&self, path: &Path) -> io::Result<()> {
-        let rendered = serde_json::to_string_pretty(self).expect("serializable");
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
-        fs::write(&tmp, rendered + "\n")?;
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(self.render().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
         fs::rename(&tmp, path)
     }
 
     /// Loads and validates a checkpoint. Returns `Ok(None)` when `path`
     /// does not exist (a fresh campaign), an error when the file exists
-    /// but is malformed or belongs to a different campaign spec.
+    /// but has a malformed header or belongs to a different campaign
+    /// spec. A malformed **tail** (torn write) is not an error: the
+    /// parseable prefix of cell lines is salvaged and the rest dropped
+    /// with a warning on stderr — dropped cells are recomputed on resume.
     pub fn load(path: &Path, spec_fingerprint: u64) -> io::Result<Option<Checkpoint>> {
         let text = match fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(e),
         };
-        let value = serde_json::from_str(&text)
-            .map_err(|e| bad_data(format!("checkpoint is not valid JSON: {e}")))?;
-        let checkpoint = parse_checkpoint(&value)?;
-        if checkpoint.spec_fingerprint != spec_fingerprint {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| bad_data("checkpoint is empty".to_string()))?;
+        let header = serde_json::from_str(header)
+            .map_err(|e| bad_data(format!("checkpoint header is not valid JSON: {e}")))?;
+        let schema = field(&header, "schema")?
+            .as_str()
+            .ok_or_else(|| bad_data("checkpoint schema is not a string".to_string()))?;
+        if schema != CHECKPOINT_SCHEMA {
             return Err(bad_data(format!(
-                "checkpoint belongs to a different campaign \
-                 (spec fingerprint {:#x}, expected {:#x})",
-                checkpoint.spec_fingerprint, spec_fingerprint
+                "unsupported checkpoint schema '{schema}' (expected '{CHECKPOINT_SCHEMA}')"
             )));
         }
-        Ok(Some(checkpoint))
+        let found_fingerprint = field_u64(&header, "spec_fingerprint")?;
+        if found_fingerprint != spec_fingerprint {
+            return Err(bad_data(format!(
+                "checkpoint belongs to a different campaign \
+                 (spec fingerprint {found_fingerprint:#x}, expected {spec_fingerprint:#x})"
+            )));
+        }
+        let mut completed = Vec::new();
+        for (i, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let parsed = serde_json::from_str(line)
+                .map_err(|e| bad_data(format!("cell line is not valid JSON: {e}")))
+                .and_then(|v| parse_completed_cell(&v));
+            match parsed {
+                Ok(cell) => completed.push(cell),
+                Err(e) => {
+                    // Torn tail: everything from the first malformed line
+                    // on is dropped; the prefix is a valid checkpoint.
+                    eprintln!(
+                        "warning: {}: dropping malformed checkpoint tail \
+                         from line {} ({}); {} completed cell(s) salvaged",
+                        path.display(),
+                        i + 2,
+                        e,
+                        completed.len()
+                    );
+                    break;
+                }
+            }
+        }
+        Ok(Some(Checkpoint {
+            schema: schema.to_string(),
+            spec_fingerprint: found_fingerprint,
+            completed,
+        }))
     }
 }
 
@@ -131,28 +201,6 @@ fn field_u64_array(value: &Value, key: &str) -> io::Result<Vec<u64>> {
         .collect()
 }
 
-fn parse_checkpoint(value: &Value) -> io::Result<Checkpoint> {
-    let schema = field(value, "schema")?
-        .as_str()
-        .ok_or_else(|| bad_data("checkpoint schema is not a string".to_string()))?;
-    if schema != CHECKPOINT_SCHEMA {
-        return Err(bad_data(format!(
-            "unsupported checkpoint schema '{schema}' (expected '{CHECKPOINT_SCHEMA}')"
-        )));
-    }
-    let completed = field(value, "completed")?
-        .as_array()
-        .ok_or_else(|| bad_data("checkpoint 'completed' is not an array".to_string()))?
-        .iter()
-        .map(parse_completed_cell)
-        .collect::<io::Result<Vec<CompletedCell>>>()?;
-    Ok(Checkpoint {
-        schema: schema.to_string(),
-        spec_fingerprint: field_u64(value, "spec_fingerprint")?,
-        completed,
-    })
-}
-
 fn parse_completed_cell(value: &Value) -> io::Result<CompletedCell> {
     let agg = field(value, "aggregate")?;
     let violating_executions = field_u64_array(agg, "violating_executions")?;
@@ -175,6 +223,9 @@ fn parse_completed_cell(value: &Value) -> io::Result<CompletedCell> {
             honest_chain_blocks: field_u64(agg, "honest_chain_blocks")?,
             final_height: field_u64(agg, "final_height")?,
             active_slots: field_u64(agg, "active_slots")?,
+            deferred_deliveries: field_u64(agg, "deferred_deliveries")?,
+            dropped_deliveries: field_u64(agg, "dropped_deliveries")?,
+            worst_effective_delta: field_u64(agg, "worst_effective_delta")?,
             fingerprint: field_u64(agg, "fingerprint")?,
         },
     })
@@ -196,6 +247,9 @@ mod tests {
         agg.honest_chain_blocks = 3300;
         agg.final_height = 3900;
         agg.active_slots = 11_000;
+        agg.deferred_deliveries = 23;
+        agg.dropped_deliveries = 1;
+        agg.worst_effective_delta = 7;
         agg.fingerprint = u64::MAX - 3; // exercise full u64 range
         let mut none_yet = CellAggregate::new(3);
         none_yet.trials = 40;
@@ -248,7 +302,7 @@ mod tests {
     }
 
     #[test]
-    fn malformed_json_rejected() {
+    fn malformed_header_rejected() {
         let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("malformed.json");
@@ -257,6 +311,72 @@ mod tests {
         std::fs::write(&path, "{\"schema\": \"other/v9\"}").unwrap();
         let err = Checkpoint::load(&path, 7).unwrap_err();
         assert!(err.to_string().contains("unsupported checkpoint schema"));
+        std::fs::write(&path, "").unwrap();
+        assert!(Checkpoint::load(&path, 7).is_err(), "empty file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_salvaged_at_every_truncation_point() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.json");
+        let original = sample();
+        original.write(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let first_cell_end = header_end
+            + bytes[header_end..]
+                .iter()
+                .position(|&b| b == b'\n')
+                .unwrap()
+            + 1;
+        // Any truncation inside the cell lines salvages the parseable
+        // prefix: a cell line counts once its full JSON content is
+        // present (the trailing newline is optional at EOF). Never an
+        // error.
+        for cut in header_end..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let loaded = Checkpoint::load(&path, original.spec_fingerprint)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: {e}"))
+                .expect("file exists");
+            let expect = if cut >= bytes.len() - 1 {
+                2
+            } else {
+                usize::from(cut >= first_cell_end - 1)
+            };
+            assert_eq!(loaded.completed.len(), expect, "cut at byte {cut}");
+            assert_eq!(
+                loaded.completed,
+                original.completed[..expect],
+                "salvaged prefix must be exact (cut {cut})"
+            );
+        }
+        // A clean write loads whole.
+        original.write(&path).unwrap();
+        let full = Checkpoint::load(&path, original.spec_fingerprint)
+            .unwrap()
+            .unwrap();
+        assert_eq!(full, original);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_header_is_an_error_not_a_salvage() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn-header.json");
+        let original = sample();
+        original.write(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        for cut in [1usize, header_end / 2, header_end.saturating_sub(1)] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(
+                Checkpoint::load(&path, original.spec_fingerprint).is_err(),
+                "cut at byte {cut} must not pass header validation"
+            );
+        }
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! The campaign sweep orchestrator: **10⁵–10⁷ deterministic seeded
 //! executions** of the columnar scenario engine over a
-//! (strategy × Δ × stake-profile × k) grid, with work stealing,
-//! bounded memory, and checkpointed resume.
+//! (strategy × Δ × stake-profile × fault-profile × k) grid, with work
+//! stealing, bounded memory, and checkpointed resume.
 //!
 //! The paper's headline claims (Theorem 1 / Corollary 1
 //! settlement-failure bounds under concurrent honest slot leaders) are
@@ -30,7 +30,13 @@
 //! * [`campaign_report`] — JSON + CSV with per-cell violation
 //!   frequencies, 95% Wilson intervals, and two theory columns: the
 //!   Theorem 7 closed-form bound (`multihonest_analytic`) and the exact
-//!   margin DP on the Δ-reduced condition (`multihonest_margin`).
+//!   margin DP on the Δ-reduced condition (`multihonest_margin`). For
+//!   faulty cells the theory columns are evaluated at the plan's static
+//!   Δ′ bound, and the degradation ledger (deferred / dropped / worst
+//!   effective Δ) is carried per cell.
+//! * [`check_conservatism`] — the Δ′-conservatism validation harness:
+//!   for every bounded fault plan, the empirical settlement-violation
+//!   frequency must stay under the Δ′-model prediction.
 //!
 //! Everything aggregated during a run is an integer (sums, maxes,
 //! order-invariant fingerprints); every float in the report is derived
@@ -44,15 +50,17 @@
 
 pub mod aggregate;
 pub mod checkpoint;
+pub mod conservatism;
 pub mod report;
 pub mod run;
 pub mod spec;
 
 pub use crate::aggregate::CellAggregate;
 pub use crate::checkpoint::{Checkpoint, CompletedCell, CHECKPOINT_SCHEMA};
+pub use crate::conservatism::{check_conservatism, ConservatismEstimate, ScenarioConservatism};
 pub use crate::report::{
-    campaign_report, report_csv, report_json, CampaignReport, CellReport, SettlementEstimate,
-    REPORT_SCHEMA,
+    campaign_report, leadership_condition, report_csv, report_json, CampaignReport, CellReport,
+    SettlementEstimate, REPORT_SCHEMA,
 };
 pub use crate::run::{run_campaign, CampaignOutcome, RunOptions};
-pub use crate::spec::{CampaignSpec, CellSpec, StakeProfile, SweepStrategy};
+pub use crate::spec::{CampaignSpec, CellSpec, FaultProfile, StakeProfile, SweepStrategy};

@@ -28,7 +28,7 @@ use crate::run::CampaignOutcome;
 use crate::spec::{CampaignSpec, CellSpec};
 
 /// Schema tag of the campaign report.
-pub const REPORT_SCHEMA: &str = "multihonest-sweep-campaign/v1";
+pub const REPORT_SCHEMA: &str = "multihonest-sweep-campaign/v2";
 
 /// The per-`k` settlement block of one cell.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -71,6 +71,22 @@ pub struct CellReport {
     ///
     /// [`StakeProfile::name`]: crate::StakeProfile::name
     pub profile: String,
+    /// Fault-profile axis value ([`FaultProfile::name`]).
+    ///
+    /// [`FaultProfile::name`]: crate::FaultProfile::name
+    pub fault: String,
+    /// The static Δ′ bound of the cell's fault plan over its Δ (equal to
+    /// `delta` for fault-free cells; `None` for unbounded plans). Theory
+    /// columns are evaluated at this Δ′, which is what keeps them
+    /// conservative for faulty cells.
+    pub delta_prime: Option<u64>,
+    /// Fault-deferred delivery events summed over trials.
+    pub deferred_deliveries: u64,
+    /// Fault-parked deliveries dropped at the horizon, summed over
+    /// trials.
+    pub dropped_deliveries: u64,
+    /// Worst observed effective Δ in any trial (0 = no fault deferral).
+    pub worst_effective_delta: u64,
     /// Trials folded into this cell.
     pub trials: u64,
     /// Total honest rollbacks across trials.
@@ -120,21 +136,36 @@ pub struct CampaignReport {
     pub cells: Vec<CellReport>,
 }
 
-/// The leadership condition of a cell: per-slot symbol probabilities
-/// under φ-aggregation of the cell's stake profile. `f` is exact (the
-/// φ aggregation property: `Pr[some leader] = f` whatever the split).
-fn cell_condition(
-    spec: &CampaignSpec,
-    cell: &CellSpec,
+/// The per-slot leadership condition under φ-aggregation of a stake
+/// split: `f` is exact (the φ aggregation property: `Pr[some leader] =
+/// f` whatever the split), `p_A = φ(adversarial stake)`, and `p_h` is
+/// the probability of a *unique* honest leader. Shared by the campaign
+/// report and the fault conservatism harness.
+pub fn leadership_condition(
+    active_slot_coeff: f64,
+    adversarial_stake: f64,
+    stakes: &[f64],
 ) -> Result<SemiSyncCondition, DistributionError> {
-    let f = spec.active_slot_coeff;
+    let f = active_slot_coeff;
     let phi = |alpha: f64| 1.0 - (1.0 - f).powf(alpha);
-    let q = phi(spec.adversarial_stake);
-    let stakes = spec.stakes_for(cell);
+    let q = phi(adversarial_stake);
     let prod: f64 = stakes.iter().map(|&s| 1.0 - phi(s)).product();
     let sum_unique: f64 = stakes.iter().map(|&s| phi(s) / (1.0 - phi(s))).sum::<f64>() * prod;
     let p_h = (1.0 - q) * sum_unique;
     SemiSyncCondition::new(f, q, p_h)
+}
+
+/// The leadership condition of a cell (its stake profile under
+/// [`leadership_condition`]).
+fn cell_condition(
+    spec: &CampaignSpec,
+    cell: &CellSpec,
+) -> Result<SemiSyncCondition, DistributionError> {
+    leadership_condition(
+        spec.active_slot_coeff,
+        spec.adversarial_stake,
+        &spec.stakes_for(cell),
+    )
 }
 
 /// Builds the report from a campaign outcome. Incomplete cells (an
@@ -165,12 +196,20 @@ pub fn campaign_report(spec: &CampaignSpec, outcome: &CampaignOutcome) -> Campai
 
 fn cell_report(spec: &CampaignSpec, cell: &CellSpec, agg: &CellAggregate) -> CellReport {
     let trials = agg.trials.max(1) as f64;
-    // Theory columns: shared by every k of the cell.
+    // Theory columns: shared by every k of the cell, evaluated at the
+    // fault plan's static Δ′ bound (= Δ for fault-free cells) so they
+    // stay conservative for the degraded network; absent when the plan
+    // is unbounded.
+    let delta_prime = cell
+        .fault
+        .plan(spec.honest_nodes, spec.slots)
+        .worst_case_delta(cell.delta);
     let condition = cell_condition(spec, cell);
     let exact = condition
         .as_ref()
         .ok()
-        .and_then(|c| c.reduced_condition(cell.delta).ok())
+        .zip(delta_prime)
+        .and_then(|(c, dp)| c.reduced_condition(dp).ok())
         .map(ExactSettlement::new);
     let exact_probs: Option<Vec<f64>> = exact.map(|e| e.violation_probabilities(&spec.ks));
     let settlement = spec
@@ -194,7 +233,8 @@ fn cell_report(spec: &CampaignSpec, cell: &CellSpec, agg: &CellAggregate) -> Cel
                 theorem7_bound: condition
                     .as_ref()
                     .ok()
-                    .and_then(|c| theorem7_bound(c, cell.delta, k).ok()),
+                    .zip(delta_prime)
+                    .and_then(|(c, dp)| theorem7_bound(c, dp, k).ok()),
                 exact_reduced: exact_probs.as_ref().map(|p| p[i]),
             }
         })
@@ -204,6 +244,11 @@ fn cell_report(spec: &CampaignSpec, cell: &CellSpec, agg: &CellAggregate) -> Cel
         strategy: cell.strategy.name(),
         delta: cell.delta as u64,
         profile: cell.profile.name().to_string(),
+        fault: cell.fault.name(),
+        delta_prime: delta_prime.map(|d| d as u64),
+        deferred_deliveries: agg.deferred_deliveries,
+        dropped_deliveries: agg.dropped_deliveries,
+        worst_effective_delta: agg.worst_effective_delta,
         trials: agg.trials,
         rollbacks: agg.rollbacks,
         max_slot_divergence: agg.max_slot_divergence,
@@ -232,18 +277,20 @@ pub fn report_json(report: &CampaignReport) -> String {
 /// columns when the cell's condition does not admit them.
 pub fn report_csv(report: &CampaignReport) -> String {
     let mut out = String::from(
-        "cell,strategy,delta,profile,k,trials,violating_executions,frequency,\
+        "cell,strategy,delta,profile,fault,delta_prime,k,trials,violating_executions,frequency,\
          wilson_low,wilson_high,mean_violating_anchors,theorem7_bound,exact_reduced\n",
     );
     for cell in &report.cells {
         for s in &cell.settlement {
             let opt = |v: Option<f64>| v.map(|x| x.to_string()).unwrap_or_default();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 cell.cell,
                 cell.strategy,
                 cell.delta,
                 cell.profile,
+                cell.fault,
+                cell.delta_prime.map(|d| d.to_string()).unwrap_or_default(),
                 s.k,
                 cell.trials,
                 s.violating_executions,
@@ -263,7 +310,7 @@ pub fn report_csv(report: &CampaignReport) -> String {
 mod tests {
     use super::*;
     use crate::run::{run_campaign, RunOptions};
-    use crate::spec::{StakeProfile, SweepStrategy};
+    use crate::spec::{FaultProfile, StakeProfile, SweepStrategy};
     use multihonest_sim::TieBreak;
 
     fn tiny_spec() -> CampaignSpec {
@@ -274,6 +321,7 @@ mod tests {
             ],
             deltas: vec![0, 2],
             profiles: vec![StakeProfile::Uniform],
+            faults: vec![FaultProfile::None],
             honest_nodes: 5,
             adversarial_stake: 0.3,
             active_slot_coeff: 0.25,
@@ -323,6 +371,42 @@ mod tests {
         assert_eq!(report_json(&report), report_json(&report));
         let csv = report_csv(&report);
         assert_eq!(csv.lines().count(), 1 + 4 * 2, "header + (cells × ks)");
+    }
+
+    #[test]
+    fn fault_cells_report_degradation_at_delta_prime() {
+        // A sparse spec keeps the Δ′-shifted theory columns admissible.
+        let mut spec = tiny_spec();
+        spec.active_slot_coeff = 0.05;
+        spec.strategies = vec![SweepStrategy::Honest];
+        spec.deltas = vec![1];
+        spec.faults = vec![FaultProfile::None, FaultProfile::PartitionHalves];
+        spec.slots = 200;
+        spec.trials_per_cell = 24;
+        let outcome = run_campaign(&spec, &RunOptions::default()).unwrap();
+        let report = campaign_report(&spec, &outcome);
+        assert_eq!(report.completed_cells, 2);
+        let clean = &report.cells[0];
+        let faulty = &report.cells[1];
+        assert_eq!(clean.fault, "none");
+        assert_eq!(faulty.fault, "partition-halves");
+        // Fault-free cells: Δ′ = Δ, zero degradation.
+        assert_eq!(clean.delta_prime, Some(1));
+        assert_eq!(clean.deferred_deliveries, 0);
+        assert_eq!(clean.worst_effective_delta, 0);
+        // Faulty cells: Δ′ = Δ + window length, degradation recorded and
+        // within the static bound, nothing dropped.
+        assert_eq!(faulty.delta_prime, Some(5));
+        assert!(faulty.deferred_deliveries > 0, "the partition must bite");
+        assert_eq!(faulty.dropped_deliveries, 0);
+        assert!(faulty.worst_effective_delta <= 5);
+        for s in &faulty.settlement {
+            assert!(s.theorem7_bound.is_some(), "Δ′ = 5 stays admissible");
+            assert!(s.exact_reduced.is_some());
+        }
+        let csv = report_csv(&report);
+        assert!(csv.lines().next().unwrap().contains("fault,delta_prime"));
+        assert!(csv.contains("partition-halves"));
     }
 
     #[test]

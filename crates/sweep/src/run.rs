@@ -161,6 +161,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
             let cell: &CellSpec = &cells[cell_index];
             let config = spec.config_for(cell);
             let stakes = spec.stakes_for(cell);
+            let plan = cell.fault.plan(spec.honest_nodes, spec.slots);
             let mut chunk = CellAggregate::new(num_ks);
             for trial in start..end {
                 let seed = spec.trial_seed(cell_index, trial);
@@ -172,14 +173,16 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
                     seed,
                 );
                 let mut strategy = cell.strategy.instantiate();
-                let (metrics, index) = ColumnarSimulation::run_streaming_in(
+                let (metrics, index, ledger) = ColumnarSimulation::run_streaming_faults_in(
                     &mut arena,
                     &config,
                     &schedule,
                     strategy.as_mut(),
+                    &plan,
                     &mut (),
                 );
                 chunk.record(seed, &metrics, &index, &spec.ks, spec.slots);
+                chunk.record_faults(&ledger);
             }
             executions_run.fetch_add(end - start, Ordering::Relaxed);
             slots[cell_index]

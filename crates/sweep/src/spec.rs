@@ -12,7 +12,7 @@
 
 use multihonest_scenario::{LaggedWithholding, NetworkSchedule, NodeProfile};
 use multihonest_sim::strategy::AdversaryStrategy;
-use multihonest_sim::{SimConfig, Strategy, TieBreak};
+use multihonest_sim::{FaultDirective, FaultPlan, SimConfig, Strategy, TieBreak};
 
 /// SplitMix64 finalizer — the workspace's standard stateless mixer.
 #[inline]
@@ -102,10 +102,95 @@ impl StakeProfile {
     }
 }
 
+/// A fault-injection axis value of the campaign grid: a named recipe
+/// compiled per cell into a concrete [`FaultPlan`] by
+/// [`FaultProfile::plan`]. Window positions scale with the campaign's
+/// horizon; window *lengths* stay short and fixed, so each profile's
+/// static Δ′ bound ([`FaultPlan::worst_case_delta`]) is
+/// horizon-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No injected faults — the empty plan, which the engines execute
+    /// bit-identically to the fault-free path.
+    None,
+    /// The honest nodes split into two halves for 4 slots around the
+    /// first quarter of the horizon.
+    PartitionHalves,
+    /// The middle node is eclipsed for 5 slots around mid-horizon.
+    Eclipse,
+    /// Node 1 crashes for 6 slots around the first third of the horizon
+    /// and resyncs on recovery.
+    CrashRecover,
+    /// Windowed seeded message loss at `ppm / 10⁶` drop probability for
+    /// 5 slots around the first fifth of the horizon.
+    Loss {
+        /// Drop probability in parts per million.
+        ppm: u32,
+    },
+}
+
+impl FaultProfile {
+    /// A stable display/serialization name (part of the spec
+    /// fingerprint, so renaming invalidates old checkpoints by design).
+    pub fn name(&self) -> String {
+        match *self {
+            FaultProfile::None => "none".to_string(),
+            FaultProfile::PartitionHalves => "partition-halves".to_string(),
+            FaultProfile::Eclipse => "eclipse".to_string(),
+            FaultProfile::CrashRecover => "crash-recover".to_string(),
+            FaultProfile::Loss { ppm } => format!("loss-{ppm}ppm"),
+        }
+    }
+
+    /// The concrete plan of this profile for a cell with `honest_nodes`
+    /// nodes over `slots` slots.
+    pub fn plan(&self, honest_nodes: usize, slots: usize) -> FaultPlan {
+        match *self {
+            FaultProfile::None => FaultPlan::new(),
+            FaultProfile::PartitionHalves => {
+                let start = (slots / 4).max(1);
+                FaultPlan::new().with(FaultDirective::Partition {
+                    groups: vec![
+                        (0..honest_nodes / 2).collect(),
+                        (honest_nodes / 2..honest_nodes).collect(),
+                    ],
+                    start,
+                    heal_slot: start + 4,
+                })
+            }
+            FaultProfile::Eclipse => {
+                let start = (slots / 2).max(1);
+                FaultPlan::new().with(FaultDirective::Eclipse {
+                    node: honest_nodes / 2,
+                    start,
+                    until: start + 5,
+                })
+            }
+            FaultProfile::CrashRecover => {
+                let start = (slots / 3).max(1);
+                FaultPlan::new().with(FaultDirective::Crash {
+                    node: 1 % honest_nodes,
+                    at: start,
+                    recover_slot: start + 6,
+                })
+            }
+            FaultProfile::Loss { ppm } => {
+                let start = (slots / 5).max(1);
+                FaultPlan::new().with(FaultDirective::MessageLoss {
+                    p: f64::from(ppm) / 1e6,
+                    salt: 0x10_55,
+                    start,
+                    until: start + 5,
+                })
+            }
+        }
+    }
+}
+
 /// One cell of the flattened grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CellSpec {
-    /// Row-major cell index (strategy-major, profile-minor).
+    /// Row-major cell index (strategy-major, fault-minor).
     pub index: usize,
     /// The adversary strategy of this cell.
     pub strategy: SweepStrategy,
@@ -113,6 +198,8 @@ pub struct CellSpec {
     pub delta: usize,
     /// The honest stake distribution of this cell.
     pub profile: StakeProfile,
+    /// The fault-injection profile of this cell.
+    pub fault: FaultProfile,
 }
 
 /// A full campaign: the grid axes, the shared protocol parameters, and
@@ -124,8 +211,12 @@ pub struct CampaignSpec {
     pub strategies: Vec<SweepStrategy>,
     /// Δ axis.
     pub deltas: Vec<usize>,
-    /// Stake-profile axis (innermost in cell order).
+    /// Stake-profile axis.
     pub profiles: Vec<StakeProfile>,
+    /// Fault-injection axis (innermost in cell order; `[None]` keeps
+    /// every cell's index and trial seeds identical to a fault-free
+    /// campaign).
+    pub faults: Vec<FaultProfile>,
     /// Honest node count (every cell).
     pub honest_nodes: usize,
     /// Adversarial relative stake in `[0, 1)`.
@@ -160,6 +251,7 @@ impl CampaignSpec {
             ],
             deltas: vec![0, 2, 4],
             profiles: vec![StakeProfile::Uniform, StakeProfile::Zipf],
+            faults: vec![FaultProfile::None],
             honest_nodes: 10,
             adversarial_stake: 0.3,
             active_slot_coeff: 0.25,
@@ -184,7 +276,7 @@ impl CampaignSpec {
 
     /// Number of grid cells.
     pub fn cell_count(&self) -> usize {
-        self.strategies.len() * self.deltas.len() * self.profiles.len()
+        self.strategies.len() * self.deltas.len() * self.profiles.len() * self.faults.len()
     }
 
     /// Total executions the campaign runs.
@@ -193,18 +285,22 @@ impl CampaignSpec {
     }
 
     /// The flattened grid, row-major: strategies outermost, then Δ,
-    /// then stake profiles.
+    /// then stake profiles, then fault profiles (innermost — a
+    /// single-`None` fault axis reproduces the fault-free cell order).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
         for &strategy in &self.strategies {
             for &delta in &self.deltas {
                 for &profile in &self.profiles {
-                    out.push(CellSpec {
-                        index: out.len(),
-                        strategy,
-                        delta,
-                        profile,
-                    });
+                    for &fault in &self.faults {
+                        out.push(CellSpec {
+                            index: out.len(),
+                            strategy,
+                            delta,
+                            profile,
+                            fault,
+                        });
+                    }
                 }
             }
         }
@@ -279,6 +375,13 @@ impl CampaignSpec {
             }
             fold(u64::MAX);
         }
+        fold(self.faults.len() as u64);
+        for f in &self.faults {
+            for b in f.name().bytes() {
+                fold(b as u64);
+            }
+            fold(u64::MAX);
+        }
         h
     }
 }
@@ -341,6 +444,42 @@ mod tests {
             base.fingerprint(),
             CampaignSpec::default_grid().fingerprint()
         );
+    }
+
+    #[test]
+    fn fault_axis_is_innermost_and_fingerprinted() {
+        let mut spec = CampaignSpec::quick_grid();
+        let base_fp = spec.fingerprint();
+        spec.faults = vec![FaultProfile::None, FaultProfile::PartitionHalves];
+        assert_eq!(spec.cell_count(), 48);
+        let cells = spec.cells();
+        assert_eq!(cells[0].fault, FaultProfile::None);
+        assert_eq!(cells[1].fault, FaultProfile::PartitionHalves);
+        assert_eq!(cells[0].profile, cells[1].profile, "fault flips fastest");
+        assert_ne!(base_fp, spec.fingerprint(), "fault axis is fingerprinted");
+    }
+
+    #[test]
+    fn fault_profiles_compile_to_valid_bounded_plans() {
+        let profiles = [
+            FaultProfile::None,
+            FaultProfile::PartitionHalves,
+            FaultProfile::Eclipse,
+            FaultProfile::CrashRecover,
+            FaultProfile::Loss { ppm: 250_000 },
+        ];
+        for p in profiles {
+            for (nodes, slots) in [(2usize, 40usize), (10, 300), (6, 1_000)] {
+                let plan = p.plan(nodes, slots);
+                plan.validate(nodes);
+                assert_eq!(plan.is_empty(), p == FaultProfile::None, "{}", p.name());
+                let extra = plan
+                    .worst_case_extra_delay()
+                    .unwrap_or_else(|| panic!("{}: profile plans must be bounded", p.name()));
+                assert!(extra <= 6, "{}: extra {extra}", p.name());
+            }
+        }
+        assert_eq!(FaultProfile::Loss { ppm: 250_000 }.name(), "loss-250000ppm");
     }
 
     #[test]

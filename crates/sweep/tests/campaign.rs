@@ -8,8 +8,8 @@ use std::path::PathBuf;
 
 use multihonest_sim::TieBreak;
 use multihonest_sweep::{
-    campaign_report, report_csv, report_json, run_campaign, CampaignSpec, Checkpoint, RunOptions,
-    StakeProfile, SweepStrategy,
+    campaign_report, report_csv, report_json, run_campaign, CampaignSpec, Checkpoint, FaultProfile,
+    RunOptions, StakeProfile, SweepStrategy,
 };
 
 /// A 6-cell grid small enough for CI but wide enough to exercise every
@@ -31,6 +31,7 @@ fn test_spec() -> CampaignSpec {
         trials_per_cell: 70, // not a multiple of the chunk size
         ks: vec![4, 12],
         seed: 0xC0FFEE,
+        faults: vec![FaultProfile::None],
     }
 }
 
@@ -178,6 +179,128 @@ fn checkpoint_from_a_different_spec_is_rejected() {
     std::fs::remove_file(&path).unwrap();
 }
 
+/// The fault axis rides the same determinism contract as every other
+/// grid dimension: a faulty campaign is thread-count invariant and
+/// resumes byte-identically through an interrupt.
+#[test]
+fn faulty_campaign_is_deterministic_and_resumable() {
+    let mut spec = test_spec();
+    spec.strategies = vec![SweepStrategy::Honest, SweepStrategy::Balance];
+    spec.deltas = vec![1];
+    spec.profiles = vec![StakeProfile::Uniform];
+    spec.faults = vec![FaultProfile::None, FaultProfile::PartitionHalves];
+    spec.trials_per_cell = 40;
+
+    let straight = run_campaign(&spec, &RunOptions::default()).unwrap();
+    assert!(straight.is_complete());
+    let report = campaign_report(&spec, &straight);
+    let oracle = report_json(&report);
+
+    // Faulty cells degrade; their fault-free twins do not.
+    for cell in &report.cells {
+        if cell.fault == "none" {
+            assert_eq!(cell.deferred_deliveries, 0, "{}", cell.cell);
+            assert_eq!(cell.worst_effective_delta, 0, "{}", cell.cell);
+        } else {
+            assert!(cell.deferred_deliveries > 0, "{}", cell.cell);
+            assert!(
+                cell.worst_effective_delta <= cell.delta_prime.unwrap(),
+                "{}: effective Δ escaped the static bound",
+                cell.cell
+            );
+        }
+        assert_eq!(cell.dropped_deliveries, 0, "bounded plans drop nothing");
+    }
+
+    let threaded = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(report_json(&campaign_report(&spec, &threaded)), oracle);
+
+    let path = scratch("faulty-resume.json");
+    let _ = std::fs::remove_file(&path);
+    let first = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: Some(2),
+        },
+    )
+    .unwrap();
+    assert!(!first.is_complete());
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 3,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: None,
+        },
+    )
+    .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(report_json(&campaign_report(&spec, &resumed)), oracle);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The torn-write regression, end to end: truncating the checkpoint
+/// mid-cell-line must not poison the campaign — the salvaged prefix
+/// resumes and the final report is byte-identical to an uninterrupted
+/// run.
+#[test]
+fn torn_checkpoint_tail_resumes_byte_identically() {
+    let spec = test_spec();
+    let straight = run_campaign(&spec, &RunOptions::default()).unwrap();
+    let oracle = report_json(&campaign_report(&spec, &straight));
+
+    let path = scratch("torn-tail.json");
+    let _ = std::fs::remove_file(&path);
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: Some(3),
+        },
+    )
+    .unwrap();
+
+    // Tear the file mid-way through its final cell line.
+    let bytes = std::fs::read(&path).unwrap();
+    let cells_in_file = bytes.iter().filter(|&&b| b == b'\n').count() - 1;
+    assert!(cells_in_file >= 3, "interrupt flushed the completed cells");
+    let last_line_start = bytes[..bytes.len() - 1]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .expect("multi-line checkpoint")
+        + 1;
+    let cut = last_line_start + (bytes.len() - last_line_start) / 2;
+    std::fs::write(&path, &bytes[..cut]).unwrap();
+
+    let resumed = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            checkpoint: Some(path.clone()),
+            stop_after_cells: None,
+        },
+    )
+    .unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(
+        resumed.resumed_cells,
+        cells_in_file - 1,
+        "the torn cell must be recomputed, not trusted"
+    );
+    assert_eq!(report_json(&campaign_report(&spec, &resumed)), oracle);
+    std::fs::remove_file(&path).unwrap();
+}
+
 /// The regression the stake-validation bugfix protects: a zipf stake
 /// profile over 10⁴ honest nodes must pass `validate_stake_partition`
 /// (the old absolute-tolerance naive sum was one refactor away from
@@ -196,6 +319,7 @@ fn zipf_ten_thousand_nodes_campaign_runs() {
         trials_per_cell: 2,
         ks: vec![4],
         seed: 99,
+        faults: vec![FaultProfile::None],
     };
     let stakes = spec.stakes_for(&spec.cells()[0]);
     assert_eq!(stakes.len(), 10_000);

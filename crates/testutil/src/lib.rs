@@ -354,11 +354,114 @@ pub mod golden {
         }
     }
 
+    /// Asserts the **empty fault plan is invisible**: every
+    /// [`SCENARIO_FINGERPRINT_PINS`] execution routed through the
+    /// fault-injection entry point with an empty [`FaultPlan`] reproduces
+    /// the very same frozen fingerprint, and the degradation ledger stays
+    /// all-zero. This is the bit-identity contract the fault layer must
+    /// never break.
+    ///
+    /// [`FaultPlan`]: multihonest::sim::FaultPlan
+    pub fn assert_empty_plan_is_invisible() {
+        use multihonest::scenario::{execution_fingerprint, scenario_library, ColumnarSimulation};
+        use multihonest::sim::FaultPlan;
+        let empty = FaultPlan::new();
+        for &(name, seed, slots, pinned) in SCENARIO_FINGERPRINT_PINS {
+            let lib = scenario_library(slots);
+            let sc = lib
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("unknown scenario pin {name:?}"));
+            let mut strategy = sc.strategy();
+            let schedule = sc.schedule(seed);
+            let (sim, ledger) = ColumnarSimulation::run_with_schedule_faults(
+                &sc.config,
+                &schedule,
+                strategy.as_mut(),
+                &empty,
+            );
+            assert_eq!(
+                execution_fingerprint(&sim),
+                pinned,
+                "empty fault plan perturbed scenario {name:?} seed {seed} slots {slots}"
+            );
+            assert_eq!(ledger.deferred, 0, "{name}: empty plan deferred");
+            assert_eq!(ledger.dropped, 0, "{name}: empty plan dropped");
+            assert_eq!(ledger.worst_effective_delta, 0, "{name}");
+            assert!(ledger.windows.is_empty(), "{name}: empty plan has windows");
+        }
+    }
+
+    /// Frozen **fault-injection execution fingerprints**:
+    /// `(fault scenario name, seed, slots, fingerprint, deferred)` over
+    /// the fault library ([`fault_library`]) through the traced
+    /// fault-injection entry point. Any drift in the delivery predicate,
+    /// the parking/release order, the loss coin or the resync rule flips
+    /// the fingerprint; the deferral count pins the ledger itself.
+    ///
+    /// [`fault_library`]: multihonest::scenario::fault_library
+    pub const FAULT_SCENARIO_PINS: &[(&str, u64, usize, u64, u64)] = &[
+        ("partition-halves", 1, 400, 0x1f32_851a_41ed_edd0, 10),
+        ("eclipse-victim", 1, 400, 0xc0de_341f_553c_827f, 1),
+        ("crash-recover", 2, 400, 0x4344_9c31_8dc6_3430, 2),
+        ("crash-at-genesis", 12, 400, 0x5104_8e90_9223_ce20, 1),
+        ("lossy-window", 7, 400, 0x9b02_681c_c6c7_1ca3, 10),
+        ("compound-chain", 1, 400, 0x5aaa_3648_9903_6e4d, 10),
+        ("partition-withholding", 10, 400, 0x2a26_00ef_7a76_9eb9, 5),
+    ];
+
+    /// Asserts every [`FAULT_SCENARIO_PINS`] entry: the fault-injection
+    /// layer reproduces each frozen faulty execution exactly, on both
+    /// engines.
+    pub fn assert_fault_scenario_pins() {
+        use multihonest::scenario::{execution_fingerprint, fault_library, ColumnarSimulation};
+        for &(name, seed, slots, pinned, deferred) in FAULT_SCENARIO_PINS {
+            let lib = fault_library(slots);
+            let sc = lib
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("unknown fault scenario pin {name:?}"));
+            let mut strategy = sc.config.strategy.instantiate();
+            let schedule = sc.schedule(seed);
+            let (sim, ledger) = ColumnarSimulation::run_with_schedule_faults(
+                &sc.config,
+                &schedule,
+                strategy.as_mut(),
+                &sc.plan,
+            );
+            assert_eq!(
+                execution_fingerprint(&sim),
+                pinned,
+                "faulty execution drifted on scenario {name:?} seed {seed} slots {slots}"
+            );
+            assert_eq!(
+                ledger.deferred, deferred,
+                "degradation ledger drifted on scenario {name:?}"
+            );
+
+            let mut ref_strategy = sc.config.strategy.instantiate();
+            let ref_schedule = sc.reference_schedule(seed);
+            let (_, ref_ledger) = multihonest::sim::Simulation::run_with_schedule_faults(
+                &sc.config,
+                ref_schedule,
+                ref_strategy.as_mut(),
+                &sc.plan,
+            );
+            assert_eq!(
+                ref_ledger, ledger,
+                "reference engine ledger diverged on scenario {name:?}"
+            );
+        }
+    }
+
     /// The frozen campaign-pin spec: a 4-cell sweep small enough for
     /// tier-1 but crossing both stake profiles, a withholding strategy
-    /// and a non-zero Δ.
+    /// and a non-zero Δ. The fault axis is the degenerate `[None]`, which
+    /// keeps cell indices and trial seeds identical to the pre-fault-axis
+    /// grid — [`CAMPAIGN_AGGREGATE_PINS`] froze before the axis existed
+    /// and must keep reproducing.
     pub fn campaign_pin_spec() -> multihonest::sweep::CampaignSpec {
-        use multihonest::sweep::{CampaignSpec, StakeProfile, SweepStrategy};
+        use multihonest::sweep::{CampaignSpec, FaultProfile, StakeProfile, SweepStrategy};
         CampaignSpec {
             strategies: vec![
                 SweepStrategy::Honest,
@@ -374,6 +477,7 @@ pub mod golden {
             trials_per_cell: 8,
             ks: vec![8, 24],
             seed: 77,
+            faults: vec![FaultProfile::None],
         }
     }
 
@@ -384,7 +488,7 @@ pub mod golden {
     /// anchors and headline metrics, so any drift in seed sharding, the
     /// columnar engine, the arena reset path or the settlement index
     /// flips it — whatever the thread count used to run the campaign.
-    pub const CAMPAIGN_SPEC_PIN: u64 = 0xea7d_88fe_47ff_7413;
+    pub const CAMPAIGN_SPEC_PIN: u64 = 0x579f_a6fc_7629_60c6;
     /// See [`CAMPAIGN_SPEC_PIN`].
     pub const CAMPAIGN_AGGREGATE_PINS: &[(u64, u64)] = &[
         (0, 0x31d1_5ec1_1d19_b71b),

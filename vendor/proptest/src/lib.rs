@@ -2,9 +2,10 @@
 //!
 //! crates.io is unreachable in this build environment, so this crate
 //! re-implements the subset of the proptest API the workspace tests use:
-//! the [`Strategy`] trait with `prop_map`, [`Just`], integer-range and
-//! `prop::collection::vec` strategies, [`any`], `prop_oneof!`, and the
-//! `proptest!` test-harness macro with `ProptestConfig::with_cases`.
+//! the [`Strategy`] trait with `prop_map`, [`Just`], integer-range,
+//! tuple and `prop::collection::vec` strategies, [`any`], `prop_oneof!`,
+//! and the `proptest!` test-harness macro with
+//! `ProptestConfig::with_cases`.
 //!
 //! Differences from upstream, deliberate for an offline deterministic
 //! harness: no shrinking (a failing case panics with its case index and
@@ -170,6 +171,36 @@ pub mod strategy {
         fn sample(&self, rng: &mut StdRng) -> f64 {
             rng.gen_range(self.clone())
         }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut StdRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            // [0, 1] inclusive of both endpoints, unlike Range<f64>.
+            let unit = rng.gen::<u64>() as f64 / u64::MAX as f64;
+            lo + unit * (hi - lo)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident $idx:tt),+);)*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A 0, B 1);
+        (A 0, B 1, C 2);
+        (A 0, B 1, C 2, D 3);
+        (A 0, B 1, C 2, D 3, E 4);
     }
 }
 
