@@ -7,7 +7,7 @@
 //! post-slot augmentations — belongs to the [`GameAdversary`].
 
 use multihonest_chars::{CharString, Symbol};
-use multihonest_fork::{Fork, VertexId};
+use multihonest_fork::{Fork, StreamValidator, VertexId};
 use rand::Rng;
 
 /// The adversary interface of the settlement game.
@@ -138,15 +138,22 @@ impl SettlementGame {
     ///
     /// # Panics
     ///
-    /// Panics if the adversary breaks the game rules (returns a non-maximal
-    /// parent, a zero multiplicity, or leaves the fork invalid after an
-    /// augmentation — the latter is checked in debug builds only, as full
-    /// validation is `O(V²)`).
+    /// Panics if the adversary breaks the game rules: a non-maximal
+    /// parent, a zero multiplicity, or a fork-axiom violation after an
+    /// augmentation. Validity is checked **online** through a
+    /// [`StreamValidator`] — `O(log n)` per vertex instead of the
+    /// `O(V²)` full revalidation this used to cost — so the check is on
+    /// in release builds too, and fires at the exact slot whose
+    /// augmentation broke the fork.
     pub fn play<A: GameAdversary>(&self, adversary: &mut A) -> Fork {
         // The fork's string grows slot by slot so that the validity
-        // invariant (checked in debug builds after every augmentation)
-        // always refers to the prefix processed so far.
+        // invariant (checked online after every augmentation) always
+        // refers to the prefix processed so far.
         let mut fork = Fork::trivial();
+        // Synchronous play: the stream validator checks (F3)/(F4) at Δ=0.
+        let mut validator = StreamValidator::new(0);
+        // Vertices already fed to the validator (the root needs none).
+        let mut observed = 1usize;
         // The maximum-depth frontier, maintained incrementally: forks only
         // ever gain vertices, so folding in each new vertex once (`synced`
         // is the watermark) keeps `frontier` equal to the endpoints of all
@@ -159,6 +166,7 @@ impl SettlementGame {
         let mut synced = 1usize;
         for (slot, sym) in self.w.iter_slots() {
             fork.push_symbol(sym);
+            validator.push_symbol(sym.into());
             match sym {
                 Symbol::UniqueHonest | Symbol::MultiHonest => {
                     let count = if sym == Symbol::UniqueHonest {
@@ -196,10 +204,19 @@ impl SettlementGame {
                 Symbol::Adversarial => {}
             }
             adversary.augment(&mut fork, slot);
-            debug_assert!(
-                fork.validate().is_ok(),
-                "adversary corrupted the fork at slot {slot}"
-            );
+            // Stream this slot's delta (challenger vertices + whatever the
+            // augmentation added, possibly at earlier labels) through the
+            // validator.
+            for v in fork.vertices().skip(observed) {
+                validator.observe(fork.label(v), fork.depth(v));
+            }
+            observed = fork.vertex_count();
+            if let Err(e) = validator.status() {
+                panic!("adversary corrupted the fork at slot {slot}: {e}");
+            }
+        }
+        if let Err(e) = validator.finish() {
+            panic!("adversary left the fork incomplete: {e}");
         }
         fork
     }
@@ -288,6 +305,32 @@ mod tests {
             }
         }
         let _ = SettlementGame::new(w("hh")).play(&mut Cheater);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupted the fork at slot 2")]
+    fn corrupting_augmentation_is_caught_online() {
+        // An augmentation that re-labels honest slot 1 with a second vertex
+        // breaks (F3)'s uniqueness; the stream validator must flag it at
+        // the exact slot of the offending augmentation, not at game end.
+        struct Corruptor;
+        impl GameAdversary for Corruptor {
+            fn choose_honest_parent(
+                &mut self,
+                _f: &Fork,
+                _s: usize,
+                _i: usize,
+                c: &[VertexId],
+            ) -> VertexId {
+                c[0]
+            }
+            fn augment(&mut self, fork: &mut Fork, slot: usize) {
+                if slot == 2 {
+                    fork.push_vertex(VertexId::ROOT, 1);
+                }
+            }
+        }
+        let _ = SettlementGame::new(w("hAh")).play(&mut Corruptor);
     }
 
     /// The pre-frontier engine, verbatim: full vertex scan per honest

@@ -62,7 +62,7 @@ pub mod walk;
 
 pub use crate::dist::{BernoulliCondition, DistributionError, SemiSyncCondition};
 pub use crate::interval::PrefixCounts;
-pub use crate::reduction::{ReducedString, Reduction};
+pub use crate::reduction::{ReducedString, Reduction, StreamingReduction};
 pub use crate::string::{CharString, ParseCharStringError, SemiString};
 pub use crate::symbol::{SemiSymbol, Symbol};
 pub use crate::walk::Walk;

@@ -91,6 +91,19 @@ impl Reduction {
         self.rule
     }
 
+    /// A streaming evaluator of this reduction: feed symbols one at a
+    /// time, receive reduced symbols (with their original slots) as soon
+    /// as their Δ-windows resolve. Emission-for-emission identical to
+    /// [`Reduction::apply`] on the same string.
+    pub fn streaming(&self) -> StreamingReduction {
+        StreamingReduction {
+            delta: self.delta,
+            rule: self.rule,
+            slot: 0,
+            pending: Vec::new(),
+        }
+    }
+
     /// Applies `ρ_Δ` to `w`.
     pub fn apply(&self, w: &SemiString) -> ReducedString {
         let n = w.len();
@@ -197,6 +210,132 @@ impl ReducedString {
     }
 }
 
+/// Streaming `ρ_Δ`: the per-symbol fold behind [`Reduction::streaming`].
+///
+/// An honest symbol's fate depends on the `Δ` slots after it, so the fold
+/// buffers at most one *unresolved* honest slot (plus, under
+/// [`SurvivalRule::NoHonestWithin`], any adversarial slots inside its
+/// window, whose emission must wait to preserve slot order) and emits
+/// each reduced symbol exactly when the batch map would have decided it:
+///
+/// * a second honest symbol inside the window demotes the front under
+///   both rules (it is neither `⊥` nor outside `{⊥, A}`-freedom);
+/// * an `A` inside the window demotes under `EmptyRun` only;
+/// * once slot `s + Δ` has been consumed without a demotion, the front
+///   survives;
+/// * [`StreamingReduction::finish`] demotes any still-unresolved honest
+///   slot — its window extends past the end of the string, exactly the
+///   `slot + Δ ≤ n` condition of the batch map.
+///
+/// Emission lag is therefore at most `Δ` slots.
+///
+/// # Examples
+///
+/// ```
+/// use multihonest_chars::{Reduction, SemiString, Symbol};
+///
+/// let w: SemiString = "h.hA.h".parse()?;
+/// let mut stream = Reduction::new(1).streaming();
+/// let mut out = Vec::new();
+/// for (_, sym) in w.iter_slots() {
+///     stream.push(sym, &mut out);
+/// }
+/// stream.finish(&mut out);
+/// let slots: Vec<usize> = out.iter().map(|&(t, _)| t).collect();
+/// assert_eq!(slots, [1, 3, 4, 6]);
+/// assert_eq!(out[0].1, Symbol::UniqueHonest);
+/// # Ok::<(), multihonest_chars::ParseCharStringError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingReduction {
+    delta: usize,
+    rule: SurvivalRule,
+    /// Slots consumed so far.
+    slot: usize,
+    /// Undecided emissions in slot order: when non-empty, the front is an
+    /// unresolved honest slot; the rest are buffered `A` slots inside its
+    /// window (only under [`SurvivalRule::NoHonestWithin`]).
+    pending: Vec<(usize, SemiSymbol)>,
+}
+
+impl StreamingReduction {
+    /// The delay bound `Δ`.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The survival rule in force.
+    pub fn rule(&self) -> SurvivalRule {
+        self.rule
+    }
+
+    /// Slots consumed so far.
+    pub fn slots_seen(&self) -> usize {
+        self.slot
+    }
+
+    /// Consumes the next slot's symbol, appending every reduced symbol
+    /// this resolves to `out` as `(original slot, reduced symbol)` pairs,
+    /// in slot order.
+    pub fn push(&mut self, s: SemiSymbol, out: &mut Vec<(usize, Symbol)>) {
+        self.slot += 1;
+        let t = self.slot;
+        match s {
+            SemiSymbol::Empty => {}
+            SemiSymbol::Adversarial => {
+                if self.rule == SurvivalRule::EmptyRun {
+                    // A non-⊥ symbol in the window demotes the front.
+                    self.flush(false, out);
+                }
+                if self.pending.is_empty() {
+                    out.push((t, Symbol::Adversarial));
+                } else {
+                    self.pending.push((t, s));
+                }
+            }
+            SemiSymbol::UniqueHonest | SemiSymbol::MultiHonest => {
+                // A later honest symbol inside the window demotes the
+                // front under both rules.
+                self.flush(false, out);
+                if self.delta == 0 {
+                    out.push((t, s.to_symbol().expect("honest symbol")));
+                } else {
+                    self.pending.push((t, s));
+                }
+            }
+        }
+        if let Some(&(front, _)) = self.pending.first() {
+            if t >= front + self.delta {
+                // The full window has been consumed without a demotion.
+                self.flush(true, out);
+            }
+        }
+    }
+
+    /// Ends the stream: an unresolved honest slot has no complete
+    /// Δ-window inside the string and is demoted, as in the batch map.
+    pub fn finish(mut self, out: &mut Vec<(usize, Symbol)>) {
+        self.flush(false, out);
+    }
+
+    /// Emits the pending run: the front honest slot as itself when it
+    /// `survived`, demoted to `A` otherwise; buffered window slots follow
+    /// unchanged.
+    fn flush(&mut self, survived: bool, out: &mut Vec<(usize, Symbol)>) {
+        for (i, (t, sym)) in self.pending.drain(..).enumerate() {
+            let reduced = if i == 0 && survived {
+                sym.to_symbol().expect("front of the pending run is honest")
+            } else if i == 0 {
+                Symbol::Adversarial
+            } else {
+                debug_assert_eq!(sym, SemiSymbol::Adversarial);
+                Symbol::Adversarial
+            };
+            out.push((t, reduced));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +421,81 @@ mod tests {
         let r = Reduction::new(2).apply(&w);
         assert_eq!(r.stable_prefix().len(), r.len().saturating_sub(2));
         assert!(r.stable_prefix().is_prefix_of(r.reduced()));
+    }
+
+    /// Streaming/batch equivalence on one string × rule × Δ.
+    fn assert_streaming_matches_batch(w: &SemiString, rule: SurvivalRule, delta: usize) {
+        let reduction = Reduction::with_rule(delta, rule);
+        let batch = reduction.apply(w);
+        let want: Vec<(usize, Symbol)> = (1..=batch.len())
+            .map(|j| (batch.original_slot(j), batch.reduced().get(j)))
+            .collect();
+        let mut stream = reduction.streaming();
+        let mut out = Vec::new();
+        for (_, sym) in w.iter_slots() {
+            stream.push(sym, &mut out);
+            let seen = stream.slots_seen();
+            // Streamed output is always a prefix of the batch output, and
+            // the emission lag is bounded by Δ: every original slot whose
+            // window is complete has been decided.
+            assert_eq!(out, want[..out.len()], "prefix mismatch on {w} at {seen}");
+            let decided = want.iter().filter(|&&(t, _)| t + delta <= seen).count();
+            assert!(
+                out.len() >= decided,
+                "lag exceeded Δ on {w} rule {rule:?} Δ={delta} at slot {seen}"
+            );
+        }
+        stream.finish(&mut out);
+        assert_eq!(
+            out, want,
+            "streaming ≠ batch on {w} rule {rule:?} Δ={delta}"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_crafted_strings() {
+        for s in [
+            "",
+            ".",
+            "h",
+            "H",
+            "A",
+            "h.hA.h",
+            "h..HA.h",
+            "hh",
+            "h.H...",
+            "hA.h.A",
+            "h..A.H",
+            "h.hA.hhA",
+            "....",
+            "AAAA",
+            "hhhh",
+            "HHHH",
+            "hAhAhA",
+            "h...h...h",
+            "Ah.A..hH.",
+        ] {
+            let w = semi(s);
+            for rule in [SurvivalRule::EmptyRun, SurvivalRule::NoHonestWithin] {
+                for delta in 0..=4 {
+                    assert_streaming_matches_batch(&w, rule, delta);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_batch_on_random_strings() {
+        let cond = SemiSyncCondition::new(0.05, 0.01, 0.02).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xda7a);
+        for _ in 0..40 {
+            let w = cond.sample(&mut rng, 200);
+            for rule in [SurvivalRule::EmptyRun, SurvivalRule::NoHonestWithin] {
+                for delta in [0, 1, 2, 3, 7] {
+                    assert_streaming_matches_batch(&w, rule, delta);
+                }
+            }
+        }
     }
 
     #[test]

@@ -81,6 +81,72 @@ impl Bucket {
 
 static EMPTY: &[VertexId] = &[];
 
+/// Incrementally maintained relative-margin state for one tracked cut `x`.
+///
+/// `µ_x(F) = max min(reach(t₁), reach(t₂))` over tine pairs whose meet has
+/// label `≤ x` (self-pairs qualify iff `ℓ(t) ≤ x`). In `σ`-space that is
+/// `W_x + #A − height` where `W_x = max min(σ(t₁), σ(t₂))` over the same
+/// pairs — and `W_x` only depends on insertion-time constants, so it is
+/// **monotone** under growth and maintainable by considering, at each
+/// insert, only pairs containing the new vertex.
+///
+/// The partner search is `O(log n)` through a partition of the fork by the
+/// cut: vertices labelled `≤ x` form a subtree `T_x`, and every other
+/// vertex belongs to exactly one *gateway* subtree — rooted at its
+/// shallowest ancestor labelled `> x`. A pair of outside vertices meets at
+/// label `≤ x` **iff their gateways differ** (the first `> x` crossing on
+/// the path to a vertex is shared exactly when the meet is below the cut),
+/// and a pair involving a `T_x` vertex always qualifies. So the tracker
+/// keeps the best `σ` inside `T_x` and the top two gateway-distinct `σ`
+/// entries outside it; the best qualifying partner of any new vertex is
+/// read off those three entries.
+#[derive(Debug, Clone)]
+struct CutTracker {
+    cut: usize,
+    /// `W_x`: best min-σ over qualifying pairs seen so far.
+    w_best: i64,
+    /// A pair attaining `w_best` (`(ROOT, ROOT)` initially: the root
+    /// self-pairs at every cut with `σ(root) = 0`).
+    witness: (VertexId, VertexId),
+    /// Best `σ` among vertices labelled `≤ cut`, with its vertex.
+    best_in_cut: (i64, VertexId),
+    /// Top two `(gateway, σ, vertex)` entries with distinct gateways
+    /// among vertices labelled `> cut`.
+    top_out: [Option<(VertexId, i64, VertexId)>; 2],
+}
+
+impl CutTracker {
+    fn new(cut: usize) -> CutTracker {
+        CutTracker {
+            cut,
+            w_best: 0,
+            witness: (VertexId::ROOT, VertexId::ROOT),
+            best_in_cut: (0, VertexId::ROOT),
+            top_out: [None, None],
+        }
+    }
+
+    /// Folds an outside vertex into the top-two gateway table.
+    fn bump(&mut self, g: VertexId, s: i64, v: VertexId) {
+        match self.top_out[0] {
+            None => self.top_out[0] = Some((g, s, v)),
+            Some((g0, s0, _)) if g0 == g => {
+                if s > s0 {
+                    self.top_out[0] = Some((g, s, v));
+                }
+            }
+            Some((_, s0, _)) if s > s0 => {
+                self.top_out[1] = self.top_out[0];
+                self.top_out[0] = Some((g, s, v));
+            }
+            Some(_) => match self.top_out[1] {
+                Some((_, s1, _)) if s <= s1 => {}
+                _ => self.top_out[1] = Some((g, s, v)),
+            },
+        }
+    }
+}
+
 /// Incrementally maintained reach state over a growing [`Fork`].
 ///
 /// The engine owns the fork; grow both together through
@@ -118,6 +184,8 @@ pub struct ReachEngine {
     buckets_neg: Vec<Bucket>,
     /// Maximum `σ` over all vertices (monotone: vertices never leave).
     sigma_max: i64,
+    /// Incremental relative-margin state, one entry per tracked cut.
+    trackers: Vec<CutTracker>,
 }
 
 impl ReachEngine {
@@ -142,6 +210,7 @@ impl ReachEngine {
             buckets_pos: Vec::new(),
             buckets_neg: Vec::new(),
             sigma_max: i64::MIN,
+            trackers: Vec::new(),
         };
         for v in engine.fork.vertices().collect::<Vec<_>>() {
             engine.index_vertex(v);
@@ -176,7 +245,99 @@ impl ReachEngine {
     pub fn push_vertex(&mut self, parent: VertexId, label: usize) -> VertexId {
         let v = self.fork.push_vertex(parent, label);
         self.index_vertex(v);
+        let (fork, sigma) = (&self.fork, &self.sigma);
+        for t in &mut self.trackers {
+            Self::tracker_update(fork, sigma, t, v);
+        }
         v
+    }
+
+    /// Starts (or re-confirms) incremental maintenance of `µ_cut`,
+    /// replaying already-present vertices once; subsequent
+    /// [`push_vertex`](Self::push_vertex) calls keep it current in
+    /// `O(log n)` each. [`margin`](Self::margin) /
+    /// [`margin_witness`](Self::margin_witness) then answer in `O(1)`.
+    pub fn track_cut(&mut self, cut: usize) {
+        if self.trackers.iter().any(|t| t.cut == cut) {
+            return;
+        }
+        let mut tracker = CutTracker::new(cut);
+        for v in self.fork.vertices().skip(1) {
+            Self::tracker_update(&self.fork, &self.sigma, &mut tracker, v);
+        }
+        self.trackers.push(tracker);
+    }
+
+    /// The cuts currently maintained incrementally.
+    pub fn tracked_cuts(&self) -> impl Iterator<Item = usize> + '_ {
+        self.trackers.iter().map(|t| t.cut)
+    }
+
+    /// `µ_cut(F)` for a tracked cut (`None` if the cut is not tracked).
+    ///
+    /// Matches [`ReachAnalysis::relative_margin`] exactly — for cuts
+    /// beyond the current string every pair qualifies, so the value
+    /// saturates at `ρ(F)`.
+    ///
+    /// [`ReachAnalysis::relative_margin`]:
+    /// crate::ReachAnalysis::relative_margin
+    pub fn margin(&self, cut: usize) -> Option<i64> {
+        let t = self.trackers.iter().find(|t| t.cut == cut)?;
+        Some(t.w_best + self.a_total() - self.fork.height() as i64)
+    }
+
+    /// A concrete witness pair for [`margin`](Self::margin): two tine
+    /// endpoints meeting at label `≤ cut` whose min-reach equals `µ_cut`
+    /// (equal endpoints encode a qualifying self-pair). `None` if the cut
+    /// is not tracked.
+    pub fn margin_witness(&self, cut: usize) -> Option<(VertexId, VertexId)> {
+        let t = self.trackers.iter().find(|t| t.cut == cut)?;
+        Some(t.witness)
+    }
+
+    /// Folds the new vertex `v` into one tracker: the best qualifying
+    /// pair containing `v` is read off the tracker's partition tables
+    /// (see [`CutTracker`]), and `v` then joins the tables itself.
+    fn tracker_update(fork: &Fork, sigma: &[i64], t: &mut CutTracker, v: VertexId) {
+        let sv = sigma[v.index()];
+        if fork.label(v) <= t.cut {
+            // Inside the cut subtree: v qualifies with everything, and its
+            // self-pair min(σ, σ) = σ dominates every pair containing it.
+            if sv > t.best_in_cut.0 {
+                t.best_in_cut = (sv, v);
+            }
+            if sv > t.w_best {
+                t.w_best = sv;
+                t.witness = (v, v);
+            }
+            return;
+        }
+        // Outside: find v's gateway (shallowest ancestor labelled > cut).
+        let p = fork.truncate_to_label(v, t.cut);
+        let g = fork.ancestor_at_depth(v, fork.depth(p) + 1);
+        let mut cand = (sv.min(t.best_in_cut.0), t.best_in_cut.1);
+        match t.top_out[0] {
+            Some((g0, s0, u0)) if g0 != g => {
+                let c = sv.min(s0);
+                if c > cand.0 {
+                    cand = (c, u0);
+                }
+            }
+            Some(_) => {
+                if let Some((_, s1, u1)) = t.top_out[1] {
+                    let c = sv.min(s1);
+                    if c > cand.0 {
+                        cand = (c, u1);
+                    }
+                }
+            }
+            None => {}
+        }
+        if cand.0 > t.w_best {
+            t.w_best = cand.0;
+            t.witness = (cand.1, v);
+        }
+        t.bump(g, sv, v);
     }
 
     fn index_vertex(&mut self, v: VertexId) {
@@ -352,7 +513,9 @@ impl ReachEngine {
             // Every row attains ℓ(lca(S)): for any r,
             // min_z ℓ(r ∩ z) = ℓ(lca(r, lca(S \ {r}))) = ℓ(lca(S)).
             let r1 = zb.members[0];
-            let z1 = self.first_witness(&zb.members, r1, best, true);
+            let z1 = self
+                .first_witness_at_most(&zb.members, r1, best, true)
+                .expect("the minimising row must contain a witness");
             (r1, z1)
         } else {
             let r_len = self
@@ -373,12 +536,13 @@ impl ReachEngine {
             let r_lca = rb.lca_all.expect("caught-up non-empty bucket");
             let best = self.meet_label(r_lca, z_lca);
             // First row whose minimum — ℓ(lca(r, lca(Z))) — attains it.
-            let r1 = *rb
-                .members
-                .iter()
-                .find(|&&r| self.meet_label(r, z_lca) == best)
+            // `best` is the minimum over rows, so "≤ best" is "= best".
+            let r1 = self
+                .first_witness_at_most(&rb.members, z_lca, best, false)
                 .expect("some row attains the overall minimum meet label");
-            let z1 = self.first_witness(&zb.members, r1, best, false);
+            let z1 = self
+                .first_witness_at_most(&zb.members, r1, best, false)
+                .expect("the minimising row must contain a witness");
             (r1, z1)
         }
     }
@@ -402,24 +566,25 @@ impl ReachEngine {
         (r1, z1)
     }
 
-    /// First `z` (ascending id, `z ≠ r1` when the sets coincide) with
-    /// `ℓ(r1 ∩ z) = best`.
-    fn first_witness(
+    /// The single witness-resolution scan shared by the diverging-pair
+    /// query (both the same-bucket and cross-bucket cases, and the row
+    /// selection itself): the first member (ascending id, skipping
+    /// `anchor` itself when `skip_anchor`) whose meet with `anchor` has
+    /// label `≤ bound`, or `None` when no member does. Callers that pass
+    /// a bound known to be the row minimum get the "first member
+    /// *attaining* the minimum" semantics, with the oracle's tie-break.
+    fn first_witness_at_most(
         &self,
-        zs: &[VertexId],
-        r1: VertexId,
-        best: usize,
-        same_set: bool,
-    ) -> VertexId {
-        for &z in zs {
-            if same_set && z == r1 {
-                continue;
-            }
-            if self.meet_label(r1, z) == best {
-                return z;
-            }
-        }
-        unreachable!("the minimising row must contain a witness")
+        members: &[VertexId],
+        anchor: VertexId,
+        bound: usize,
+        skip_anchor: bool,
+    ) -> Option<VertexId> {
+        members
+            .iter()
+            .copied()
+            .filter(|&m| !(skip_anchor && m == anchor))
+            .find(|&m| self.meet_label(anchor, m) <= bound)
     }
 }
 
@@ -475,6 +640,7 @@ mod tests {
             );
         }
         let zero = ra.tines_with_reach(0);
+        let margins = ra.relative_margins();
         if !zero.is_empty() {
             let max_reach = ra.tines_with_reach(ra.rho());
             assert_eq!(
@@ -484,12 +650,35 @@ mod tests {
                 eng.fork().string()
             );
         }
+        // Tracked relative margins: value equals the definitional pair
+        // scan, witness qualifies and attains it (reach values were
+        // asserted equal above, so the engine's own are usable here).
+        let n = eng.fork().string().len();
+        for cut in eng.tracked_cuts().collect::<Vec<_>>() {
+            let got = eng.margin(cut).expect("tracked");
+            let want = margins[cut.min(n)];
+            assert_eq!(got, want, "µ_{cut} for {}", eng.fork().string());
+            let (a, b) = eng.margin_witness(cut).expect("tracked");
+            let meet = eng.fork().last_common_vertex(a, b);
+            assert!(
+                eng.fork().label(meet) <= cut,
+                "witness for µ_{cut} does not qualify"
+            );
+            assert_eq!(
+                eng.reach(a).min(eng.reach(b)),
+                want,
+                "witness for µ_{cut} does not attain the margin"
+            );
+        }
     }
 
     #[test]
     fn trivial_and_tiny_forks() {
         for s in ["", "A", "h", "H", "AA", "hA", "Ah"] {
             let mut eng = ReachEngine::new(Fork::new(w(s)));
+            for cut in 0..=3 {
+                eng.track_cut(cut);
+            }
             assert_matches_analysis(&mut eng);
         }
     }
@@ -499,6 +688,11 @@ mod tests {
         // Grow a fork symbol by symbol with a deterministic policy that
         // keeps it closed, checking the engine after every mutation batch.
         let mut eng = ReachEngine::new(Fork::trivial());
+        // Track several cuts from the very start: every vertex below
+        // exercises the incremental partner search.
+        for cut in [0, 1, 2, 4, 8, 20] {
+            eng.track_cut(cut);
+        }
         let syms = [
             Symbol::UniqueHonest,
             Symbol::Adversarial,
@@ -538,7 +732,46 @@ mod tests {
             let s = cond.sample(&mut rng, 18);
             let f = close(&random_fork(&s, &mut rng, GenerateConfig::default()));
             let mut eng = ReachEngine::new(f);
+            // Mixed tracking origins: some cuts replayed over the full
+            // fork, all checked against the definitional margins.
+            for cut in [0, 3, 9, 18] {
+                eng.track_cut(cut);
+            }
             assert_matches_analysis(&mut eng);
+        }
+    }
+
+    #[test]
+    fn tracked_margins_match_while_growing_randomly() {
+        // The growth path (incremental partner search) against the
+        // definitional analysis at every closed prefix: grow random closed
+        // forks vertex by vertex on a fresh engine with cuts tracked from
+        // the start, then compare against a from-scratch engine that
+        // replays the same fork (track_cut's replay path).
+        let cond = BernoulliCondition::new(0.15, 0.35).unwrap();
+        let mut rng = StdRng::seed_from_u64(517);
+        for round in 0..25 {
+            let s = cond.sample(&mut rng, 14);
+            let f = close(&random_fork(&s, &mut rng, GenerateConfig::default()));
+            let mut eng = ReachEngine::new(Fork::new(f.string().clone()));
+            for cut in [0, 2, 5, 11, 14] {
+                eng.track_cut(cut);
+            }
+            for v in f.vertices().skip(1) {
+                eng.push_vertex(f.parent(v).expect("non-root"), f.label(v));
+            }
+            assert_matches_analysis(&mut eng);
+            let mut replayed = ReachEngine::new(eng.fork().clone());
+            for cut in [0, 2, 5, 11, 14] {
+                replayed.track_cut(cut);
+            }
+            for cut in [0, 2, 5, 11, 14] {
+                assert_eq!(
+                    eng.margin(cut),
+                    replayed.margin(cut),
+                    "growth vs replay split at cut {cut} round {round}"
+                );
+            }
         }
     }
 

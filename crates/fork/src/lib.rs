@@ -44,9 +44,11 @@ pub mod fork;
 pub mod generate;
 pub mod pinch;
 pub mod reach;
+pub mod stream;
 pub mod validate;
 
 pub use crate::engine::ReachEngine;
 pub use crate::fork::{Fork, VertexId};
 pub use crate::reach::ReachAnalysis;
+pub use crate::stream::{ForkFold, StreamValidator, StreamedFork};
 pub use crate::validate::ForkError;

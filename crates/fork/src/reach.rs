@@ -253,19 +253,22 @@ impl<'a> ReachAnalysis<'a> {
 
     /// A witness pair for `µ_x(F)` at the given cut: two tine endpoints,
     /// disjoint over the suffix, whose min-reach equals the relative
-    /// margin.
-    pub fn margin_witness(&self, cut: usize) -> (VertexId, VertexId) {
-        let target = self.relative_margin(cut);
+    /// margin. Returns `None` when the cut is empty — `cut > |w|`, where
+    /// no relative margin (and hence no witness pair) is defined.
+    pub fn margin_witness(&self, cut: usize) -> Option<(VertexId, VertexId)> {
+        let target = *self.relative_margins().get(cut)?;
         let ids: Vec<VertexId> = self.fork.vertices().collect();
         for (i, &a) in ids.iter().enumerate() {
             for &b in &ids[i..] {
                 let lca = self.fork.last_common_vertex(a, b);
                 if self.fork.label(lca) <= cut && self.reach(a).min(self.reach(b)) == target {
-                    return (a, b);
+                    return Some((a, b));
                 }
             }
         }
-        unreachable!("margin value must be witnessed by some pair")
+        // Defensively unreachable for in-range cuts: the margin value is by
+        // definition attained by some qualifying pair.
+        None
     }
 }
 
@@ -346,8 +349,28 @@ mod tests {
         // At cut 0 the best root-meeting pair involves the root tine itself
         // (reach = reserve(root) − gap = 2 − 2 = 0).
         assert_eq!(r.relative_margin(0), 0);
-        let (p, q) = r.margin_witness(1);
+        let (p, q) = r.margin_witness(1).expect("in-range cut has a witness");
         assert_eq!(r.reach(p).min(r.reach(q)), 1);
+    }
+
+    #[test]
+    fn margin_witness_on_empty_cut_is_none() {
+        // Regression: cuts beyond |w| used to take an `unreachable!` panic
+        // path (via an out-of-bounds margin lookup); they are simply
+        // witness-free.
+        let mut f = Fork::new(w("hA"));
+        let a = f.push_vertex(VertexId::ROOT, 1);
+        let _ = f.push_vertex(a, 2);
+        let f = crate::generate::close(&f);
+        let r = ReachAnalysis::new(&f);
+        for cut in 0..=f.string().len() {
+            let (p, q) = r.margin_witness(cut).expect("in-range cut");
+            let lca = f.last_common_vertex(p, q);
+            assert!(f.label(lca) <= cut);
+            assert_eq!(r.reach(p).min(r.reach(q)), r.relative_margin(cut));
+        }
+        assert_eq!(r.margin_witness(f.string().len() + 1), None);
+        assert_eq!(r.margin_witness(usize::MAX), None);
     }
 
     #[test]

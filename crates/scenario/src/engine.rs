@@ -136,6 +136,32 @@ impl SlotContext for ColumnarSlotContext<'_> {
     }
 }
 
+/// A per-slot observer threaded through the columnar engine loop — the
+/// attachment point of the streaming fork pipeline
+/// ([`crate::pipeline::ForkPipeline`]) and any other consumer that wants
+/// the block arena slot by slot instead of post-hoc.
+///
+/// [`on_slot_end`](SlotHook::on_slot_end) fires once per slot, after the
+/// slot's minting, adversarial moves, deliveries and metrics fold: the
+/// store contains every block minted up to and including `slot`, and the
+/// hook may emit derived observations through the sink (which is why the
+/// sink is passed in rather than captured — the engine and the hook share
+/// it without a double borrow).
+///
+/// The trait is generic over the sink so hook implementations can call
+/// statically-dispatched sink methods; `()` is the no-op hook every
+/// plain entry point uses, costing nothing in the loop.
+pub trait SlotHook<S: MetricsSink> {
+    /// Observes the end of `slot` (1-based).
+    fn on_slot_end(&mut self, slot: usize, store: &ColumnarStore, sink: &mut S);
+}
+
+/// The no-op hook: plain runs pay nothing per slot.
+impl<S: MetricsSink> SlotHook<S> for () {
+    #[inline]
+    fn on_slot_end(&mut self, _slot: usize, _store: &ColumnarStore, _sink: &mut S) {}
+}
+
 /// The longest-chain rule of one columnar honest node, bit-compatible
 /// with the reference `HonestNode::receive`.
 #[inline]
@@ -252,6 +278,7 @@ impl ColumnarSimulation {
             strategy,
             true,
             &mut (),
+            &mut (),
             &mut faults,
         );
         (
@@ -333,7 +360,46 @@ impl ColumnarSimulation {
         sink: &mut S,
     ) -> (Metrics, DivergenceIndex, DegradationLedger) {
         let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
-        let out = execute(arena, config, schedule, strategy, false, sink, &mut faults);
+        let out = execute(
+            arena,
+            config,
+            schedule,
+            strategy,
+            false,
+            sink,
+            &mut (),
+            &mut faults,
+        );
+        (out.metrics, out.divergence, faults.finish())
+    }
+
+    /// A streaming execution with a [`SlotHook`] attached: identical to
+    /// [`run_streaming_faults_in`](Self::run_streaming_faults_in) except
+    /// that `hook` observes the block arena at the end of every slot —
+    /// the entry point of the streaming fork pipeline (see
+    /// [`crate::pipeline`]). The hook cannot perturb the execution (it
+    /// sees the store read-only), so a hooked run stays trace-identical
+    /// to its unhooked sibling.
+    pub fn run_streaming_hooked<S: MetricsSink, H: SlotHook<S>>(
+        arena: &mut ExecutionArena,
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+        sink: &mut S,
+        hook: &mut H,
+    ) -> (Metrics, DivergenceIndex, DegradationLedger) {
+        let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
+        let out = execute(
+            arena,
+            config,
+            schedule,
+            strategy,
+            false,
+            sink,
+            hook,
+            &mut faults,
+        );
         (out.metrics, out.divergence, faults.finish())
     }
 
@@ -464,13 +530,18 @@ struct ExecOutput {
 }
 
 /// The engine loop shared by the trace-retaining and streaming modes.
-fn execute<S: MetricsSink>(
+// Private fan-in of every public entry point: each parameter is one
+// caller-facing knob, and bundling them into a struct would only move
+// the argument list one call up.
+#[allow(clippy::too_many_arguments)]
+fn execute<S: MetricsSink, H: SlotHook<S>>(
     arena: &mut ExecutionArena,
     config: &SimConfig,
     schedule: &ColumnarSchedule,
     strategy: &mut dyn AdversaryStrategy,
     keep_trace: bool,
     sink: &mut S,
+    hook: &mut H,
     faults: &mut FaultRuntime<'_>,
 ) -> ExecOutput {
     assert_eq!(
@@ -600,6 +671,7 @@ fn execute<S: MetricsSink>(
             tips_flat.extend_from_slice(uniq);
             tips_end.push(tips_flat.len() as u32);
         }
+        hook.on_slot_end(slot, store, sink);
     }
 
     // Final metrics: best tip over node views, later nodes winning height

@@ -55,13 +55,18 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod pipeline;
 pub mod report;
 pub mod ring;
 pub mod scenario;
 pub mod schedule;
 pub mod store;
 
-pub use crate::engine::{ColumnarSimulation, ExecutionArena};
+pub use crate::engine::{ColumnarSimulation, ExecutionArena, SlotHook};
+pub use crate::pipeline::{
+    run_streaming_validated, run_streaming_validated_faults_in, ForkPipeline, PipelineOutput,
+    ValidatedExecution,
+};
 pub use crate::report::{scenario_bench_report, ScenarioBenchReport, ScenarioRow};
 pub use crate::ring::DeliveryRing;
 pub use crate::scenario::{

@@ -47,6 +47,15 @@ pub trait MetricsSink {
     fn on_fault_deferral(&mut self, slot: usize, recipient: usize, deferred_to: usize) {
         let _ = (slot, recipient, deferred_to);
     }
+
+    /// A margin observation from a streaming margin channel (e.g. the
+    /// columnar fork pipeline): at the execution slot `slot`, the reach
+    /// `ρ` and relative margin `µ` of the Δ-reduced characteristic string
+    /// consumed so far. Fires once per *reduced* symbol, at most `Δ` slots
+    /// after the symbol's originating slot (the reduction's emission lag).
+    fn on_margin(&mut self, slot: usize, rho: i64, margin: i64) {
+        let _ = (slot, rho, margin);
+    }
 }
 
 /// The no-op sink: million-slot runs that only want the final [`Metrics`]
@@ -143,6 +152,11 @@ impl<A: MetricsSink, B: MetricsSink> MetricsSink for TeeSink<'_, A, B> {
     fn on_fault_deferral(&mut self, slot: usize, recipient: usize, deferred_to: usize) {
         self.a.on_fault_deferral(slot, recipient, deferred_to);
         self.b.on_fault_deferral(slot, recipient, deferred_to);
+    }
+
+    fn on_margin(&mut self, slot: usize, rho: i64, margin: i64) {
+        self.a.on_margin(slot, rho, margin);
+        self.b.on_margin(slot, rho, margin);
     }
 }
 

@@ -1,7 +1,7 @@
 //! The slot-driven execution engine.
 
-use multihonest_chars::{CharString, SemiString, Symbol};
-use multihonest_fork::{Fork, ForkError, VertexId};
+use multihonest_chars::SemiString;
+use multihonest_fork::{Fork, ForkError, ForkFold, VertexId};
 
 use crate::block::{BlockId, BlockStore};
 use crate::consistency::DivergenceIndex;
@@ -482,28 +482,36 @@ impl Simulation {
 
     /// Extracts the execution's fork: every minted block becomes a vertex
     /// labelled with its slot.
+    ///
+    /// Extraction streams through a [`ForkFold`]: slot symbols and minted
+    /// blocks interleave in one pass (blocks sit in the store in mint
+    /// order, which is non-decreasing in slot), so the Δ-axiom verdict is
+    /// computed **online** while the fork materialises and is ready in
+    /// [`ExtractedFork::streaming_validation`] with no second pass. The
+    /// batch oracle [`ExtractedFork::validate_against_axioms`] is retained
+    /// for equivalence testing.
     pub fn fork(&self) -> ExtractedFork {
         let semi = self.characteristic_string();
-        // Map ⊥ slots to A for the fork's synchronous string: no vertex
-        // carries those labels, and A imposes no multiplicity constraint.
-        let mapped: CharString = semi
-            .symbols()
-            .iter()
-            .map(|s| s.to_symbol().unwrap_or(Symbol::Adversarial))
-            .collect();
-        let mut fork = Fork::new(mapped);
+        let mut fold = ForkFold::new(self.config.delta);
         let mut vertex_of: Vec<VertexId> = vec![VertexId::ROOT; self.store.len()];
-        for block in self.store.iter() {
-            if block.id == BlockId::GENESIS {
-                continue;
+        let mut blocks = self.store.iter().peekable();
+        // Genesis is the fork's root, not a vertex.
+        let genesis = blocks.next();
+        debug_assert!(genesis.is_some_and(|b| b.id == BlockId::GENESIS));
+        for (slot, sym) in semi.iter_slots() {
+            fold.push_symbol(sym);
+            while let Some(block) = blocks.next_if(|b| b.slot == slot) {
+                let parent = vertex_of[block.parent.expect("non-genesis").index()];
+                vertex_of[block.id.index()] = fold.push_vertex(parent, block.slot);
             }
-            let parent = vertex_of[block.parent.expect("non-genesis").index()];
-            vertex_of[block.id.index()] = fork.push_vertex(parent, block.slot);
         }
+        debug_assert!(blocks.next().is_none(), "store is in slot order");
+        let streamed = fold.finish();
         ExtractedFork {
-            fork,
+            fork: streamed.fork,
             semi,
             delta: self.config.delta,
+            streaming: streamed.validation,
         }
     }
 }
@@ -514,6 +522,7 @@ pub struct ExtractedFork {
     fork: Fork,
     semi: SemiString,
     delta: usize,
+    streaming: Result<(), ForkError>,
 }
 
 impl ExtractedFork {
@@ -527,8 +536,17 @@ impl ExtractedFork {
         &self.semi
     }
 
+    /// The verdict computed online during extraction: equivalent to
+    /// [`validate_against_axioms`](Self::validate_against_axioms) at the
+    /// `is_ok` level (the streaming parity contract — the *first* reported
+    /// violation may differ), for free instead of a full second pass.
+    pub fn streaming_validation(&self) -> Result<(), ForkError> {
+        self.streaming.clone()
+    }
+
     /// Validates the fork against the paper's axioms: (F1)–(F4) for
-    /// `Δ = 0`, (F1)–(F3) + (F4Δ) otherwise.
+    /// `Δ = 0`, (F1)–(F3) + (F4Δ) otherwise — the batch oracle, retained
+    /// as the equivalence reference for the streaming verdict.
     ///
     /// # Errors
     ///
@@ -600,6 +618,13 @@ mod tests {
                     fork.validate_against_axioms(),
                     Ok(()),
                     "strategy {strategy} delta {delta}"
+                );
+                // The verdict computed online during extraction must agree
+                // with the batch oracle just asserted.
+                assert_eq!(
+                    fork.streaming_validation(),
+                    Ok(()),
+                    "streaming verdict diverged for {strategy} delta {delta}"
                 );
             }
         }

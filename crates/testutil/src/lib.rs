@@ -454,6 +454,77 @@ pub mod golden {
         }
     }
 
+    /// Frozen **streaming-pipeline fingerprints**: `(scenario name,
+    /// seed, slots, fingerprint)` over the scenario library, computed by
+    /// [`streaming_validation_fingerprint`] — a SplitMix fold over the
+    /// full margin channel (every `(slot, ρ, µ)` event the pipeline
+    /// emits), the streamed fork's vertex count, the online Δ-axiom
+    /// verdict and the final `(ρ, µ)`. The first entry pins a
+    /// **10⁵-slot** withholding execution validated and margin-tracked
+    /// entirely online: any drift in the [`ForkFold`] event order, the
+    /// Fenwick (F4Δ) checks, the streaming reduction `ρ_Δ` or the margin
+    /// recurrence flips it.
+    ///
+    /// [`ForkFold`]: multihonest::fork::ForkFold
+    /// [`streaming_validation_fingerprint`]: streaming_validation_fingerprint
+    pub const STREAMING_VALIDATION_PINS: &[(&str, u64, usize, u64)] = &[
+        ("private-withholding", 1, 100_000, 0x87ed_c81c_9b2b_7eb9),
+        ("balance-attack", 2, 20_000, 0x6ac6_5663_45d6_1b5e),
+        ("withholding-lag16", 1, 20_000, 0x7313_596e_80c2_d096),
+    ];
+
+    /// Runs the named scenario preset through the streaming fork pipeline
+    /// ([`run_streaming_validated`]) and folds its outputs into one word
+    /// (see [`STREAMING_VALIDATION_PINS`]).
+    ///
+    /// [`run_streaming_validated`]: multihonest::scenario::run_streaming_validated
+    pub fn streaming_validation_fingerprint(name: &str, seed: u64, slots: usize) -> u64 {
+        use multihonest::scenario::{run_streaming_validated, scenario_library};
+        use multihonest::sim::MetricsSink;
+        #[inline]
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = h ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        struct FpSink(u64);
+        impl MetricsSink for FpSink {
+            fn on_margin(&mut self, slot: usize, rho: i64, margin: i64) {
+                self.0 = mix(mix(mix(self.0, slot as u64), rho as u64), margin as u64);
+            }
+        }
+        let lib = scenario_library(slots);
+        let sc = lib
+            .iter()
+            .find(|s| s.name == name)
+            .unwrap_or_else(|| panic!("unknown streaming pin scenario {name:?}"));
+        let mut strategy = sc.strategy();
+        let schedule = sc.schedule(seed);
+        let mut sink = FpSink(0);
+        let out = run_streaming_validated(&sc.config, &schedule, strategy.as_mut(), &mut sink);
+        let mut h = sink.0;
+        h = mix(h, out.pipeline.fork.vertex_count() as u64);
+        h = mix(h, u64::from(out.pipeline.validation.is_ok()));
+        h = mix(h, out.pipeline.rho as u64);
+        h = mix(h, out.pipeline.margin as u64);
+        h = mix(h, out.metrics.final_height as u64);
+        h
+    }
+
+    /// Asserts every [`STREAMING_VALIDATION_PINS`] entry: the streaming
+    /// fork pipeline reproduces each frozen online-validated execution
+    /// exactly.
+    pub fn assert_streaming_validation_pins() {
+        for &(name, seed, slots, pinned) in STREAMING_VALIDATION_PINS {
+            assert_eq!(
+                streaming_validation_fingerprint(name, seed, slots),
+                pinned,
+                "streaming pipeline drifted on scenario {name:?} seed {seed} slots {slots}"
+            );
+        }
+    }
+
     /// The frozen campaign-pin spec: a 4-cell sweep small enough for
     /// tier-1 but crossing both stake profiles, a withholding strategy
     /// and a non-zero Δ. The fault axis is the degenerate `[None]`, which

@@ -1,0 +1,124 @@
+//! The streaming-pipeline law suite: the online `ForkFold` verdict must
+//! equal the batch `validate_delta` oracle (at the `is_ok` level — the
+//! streaming parity contract) over random strategy × Δ × fault
+//! executions on **both** engines, the streamed columnar fork must be
+//! bit-identical to the reference engine's extraction, and the frozen
+//! 10⁵-slot streaming-validation fingerprints in `testutil` must
+//! reproduce exactly.
+
+use multihonest::fork::validate::validate_delta;
+use multihonest::prelude::*;
+use multihonest::scenario::{run_streaming_validated_faults_in, ColumnarSchedule, ExecutionArena};
+use multihonest::sim::{FaultDirective, FaultPlan};
+// `Strategy` would be ambiguous between the prelude's enum and
+// proptest's trait under two glob imports — pin the enum explicitly.
+use multihonest::sim::Strategy;
+use multihonest_testutil::golden;
+use proptest::prelude::*;
+
+#[test]
+fn streaming_validation_pins_reproduce() {
+    golden::assert_streaming_validation_pins();
+}
+
+/// The fault plan of one proptest case: `0` is the empty plan, the rest
+/// cycle through the directive kinds with proptest-chosen windows.
+fn plan_for(kind: usize, start: usize, len: usize) -> FaultPlan {
+    let start = start.max(1);
+    match kind {
+        0 => FaultPlan::default(),
+        1 => FaultPlan::new().with(FaultDirective::Partition {
+            groups: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            start,
+            heal_slot: start + len,
+        }),
+        2 => FaultPlan::new().with(FaultDirective::Crash {
+            node: 1,
+            at: start,
+            recover_slot: start + len,
+        }),
+        _ => FaultPlan::new().with(FaultDirective::MessageLoss {
+            p: 0.5,
+            salt: 0xF00D,
+            start,
+            until: start + len,
+        }),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// streaming `ForkFold` ≡ batch `validate_delta` on random
+    /// strategy × Δ × fault executions, on both engines — and the two
+    /// engines stream the same fork.
+    #[test]
+    fn streaming_verdict_matches_batch_oracle(
+        strategy_idx in 0usize..3,
+        delta in 0usize..4,
+        slots in 60usize..300,
+        seed in 0u64..1_000,
+        fault_kind in 0usize..4,
+        fault_start in 1usize..200,
+        fault_len in 1usize..12,
+    ) {
+        let config = SimConfig {
+            honest_nodes: 6,
+            adversarial_stake: 0.3,
+            active_slot_coeff: 0.3,
+            delta,
+            slots,
+            tie_break: TieBreak::AdversarialOrder,
+            strategy: Strategy::ALL[strategy_idx],
+        };
+        let plan = plan_for(fault_kind, fault_start.min(slots - 1), fault_len);
+
+        // Columnar engine: one pass builds, validates and margin-tracks
+        // the fork online.
+        let schedule = ColumnarSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            seed,
+        );
+        let mut arena = ExecutionArena::new();
+        let mut s1 = config.strategy.instantiate();
+        let out = run_streaming_validated_faults_in(
+            &mut arena, &config, &schedule, s1.as_mut(), &plan, &mut (),
+        );
+        let batch = validate_delta(
+            &out.pipeline.fork,
+            &out.pipeline.characteristic_string,
+            delta,
+        );
+        prop_assert_eq!(
+            out.pipeline.validation.is_ok(),
+            batch.is_ok(),
+            "columnar streaming/batch parity broke: streaming {:?}, batch {:?}",
+            out.pipeline.validation,
+            batch
+        );
+
+        // Reference engine: extraction streams through the same ForkFold;
+        // its verdict must agree with its own batch oracle, and its fork
+        // with the columnar pipeline's.
+        let rs = multihonest::sim::LeaderSchedule::sample(
+            config.honest_nodes,
+            config.adversarial_stake,
+            config.active_slot_coeff,
+            config.slots,
+            seed,
+        );
+        let mut s2 = config.strategy.instantiate();
+        let (refr, _) =
+            Simulation::run_with_schedule_faults(&config, rs, s2.as_mut(), &plan);
+        let extracted = refr.fork();
+        prop_assert_eq!(
+            extracted.streaming_validation().is_ok(),
+            extracted.validate_against_axioms().is_ok(),
+            "reference streaming/batch parity broke"
+        );
+        prop_assert_eq!(&out.pipeline.fork, extracted.fork(), "forks diverged across engines");
+    }
+}

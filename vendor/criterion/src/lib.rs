@@ -12,9 +12,12 @@
 //! (1.5 × IQR beyond the quartiles) are rejected as outliers — scheduler
 //! preemptions, not the code under test — and the report prints
 //! per-iteration **min, median, mean and standard deviation** over the
-//! surviving samples, plus how many samples were rejected, so regressions
-//! stand out against run-to-run noise instead of hiding inside it. No
-//! plots or HTML reports — enough to keep the perf trajectory honest.
+//! surviving samples, plus a **95% confidence interval on the mean**
+//! (normal approximation: `mean ± 1.96·s/√n` over the survivors) and how
+//! many samples were rejected, so regressions stand out against
+//! run-to-run noise instead of hiding inside it: two runs whose CIs do
+//! not overlap differ by more than the box's jitter. No plots or HTML
+//! reports — enough to keep the perf trajectory honest.
 
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -66,6 +69,10 @@ struct Stats {
     mean: Duration,
     /// Standard deviation of the surviving samples.
     stddev: Duration,
+    /// Lower bound of the 95% confidence interval on the mean.
+    ci_low: Duration,
+    /// Upper bound of the 95% confidence interval on the mean.
+    ci_high: Duration,
     /// Samples rejected by the Tukey fences (beyond 1.5 × IQR).
     outliers: usize,
 }
@@ -92,11 +99,18 @@ impl Stats {
         );
         let mean = kept.iter().sum::<f64>() / kept.len() as f64;
         let var = kept.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / kept.len() as f64;
+        // 95% CI on the mean, normal approximation over the survivors.
+        // Sample counts are small but the batch means it summarizes are
+        // already averages, so the CLT does most of the work; upstream
+        // criterion bootstraps here, which offline simplicity forgoes.
+        let half = 1.96 * var.sqrt() / (kept.len() as f64).sqrt();
         Stats {
             min: Duration::from_secs_f64(kept[0]),
             median: Duration::from_secs_f64(kept[kept.len() / 2]),
             mean: Duration::from_secs_f64(mean),
             stddev: Duration::from_secs_f64(var.sqrt()),
+            ci_low: Duration::from_secs_f64((mean - half).max(0.0)),
+            ci_high: Duration::from_secs_f64(mean + half),
             outliers: n - kept.len(),
         }
     }
@@ -202,8 +216,15 @@ impl BenchmarkGroup<'_> {
 
     fn report(&self, id: &str, stats: Stats) {
         let mut line = format!(
-            "{}/{}: min {:?} median {:?} mean {:?} stddev {:?}",
-            self.name, id, stats.min, stats.median, stats.mean, stats.stddev
+            "{}/{}: min {:?} median {:?} mean {:?} stddev {:?} 95% CI [{:?}, {:?}]",
+            self.name,
+            id,
+            stats.min,
+            stats.median,
+            stats.mean,
+            stats.stddev,
+            stats.ci_low,
+            stats.ci_high
         );
         if stats.outliers > 0 {
             let _ = write!(line, " [{} outlier(s) rejected]", stats.outliers);
@@ -345,5 +366,46 @@ mod tests {
         let two = [Duration::from_micros(1), Duration::from_micros(1000)];
         let stats = Stats::from_sorted(&two);
         assert_eq!(stats.outliers, 0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_mean_and_tightens_with_samples() {
+        // The CI straddles the mean, shrinks as √n grows, and collapses
+        // to a point when every sample is identical.
+        let wide: Vec<Duration> = (0..8)
+            .map(|i| Duration::from_micros(100 + 10 * i))
+            .collect();
+        let narrow: Vec<Duration> = (0..128)
+            .map(|i| Duration::from_micros(100 + 10 * (i % 8)))
+            .collect();
+        let ws = Stats::from_sorted(&wide);
+        let ns = Stats::from_sorted(&narrow);
+        assert!(ws.ci_low <= ws.mean && ws.mean <= ws.ci_high, "{ws:?}");
+        assert!(
+            ws.ci_low < ws.ci_high,
+            "spread samples give a real interval"
+        );
+        // Same spread, 16× the samples → 4× tighter interval.
+        let ww = ws.ci_high.as_secs_f64() - ws.ci_low.as_secs_f64();
+        let nw = ns.ci_high.as_secs_f64() - ns.ci_low.as_secs_f64();
+        assert!(
+            nw < ww / 3.0,
+            "CI must tighten with sample count: {nw} vs {ww}"
+        );
+
+        let constant = vec![Duration::from_micros(250); 10];
+        let cs = Stats::from_sorted(&constant);
+        assert_eq!(cs.ci_low, cs.mean);
+        assert_eq!(cs.ci_high, cs.mean);
+
+        // The negative tail of the approximation clamps at zero rather
+        // than reporting a negative duration.
+        let jittery = [
+            Duration::from_nanos(0),
+            Duration::from_nanos(1),
+            Duration::from_nanos(400),
+        ];
+        let js = Stats::from_sorted(&jittery);
+        assert!(js.ci_low >= Duration::ZERO);
     }
 }
