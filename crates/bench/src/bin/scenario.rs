@@ -9,10 +9,16 @@
 //! # timing baseline for the perf trajectory (writes BENCH_scenario.json):
 //! cargo run -p multihonest-bench --release --bin scenario -- bench-report
 //! cargo run -p multihonest-bench --release --bin scenario -- bench-report --quick --out /tmp/b.json
+//! # bounded-memory long-horizon run (eviction + optional WAL resume):
+//! cargo run -p multihonest-bench --release --bin scenario -- horizon --slots 100000000 --wal /tmp/run.wal
 //! ```
 
+use multihonest::sim::{SimConfig, Strategy, TieBreak};
 use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
-use multihonest_scenario::{scenario_bench_report, ScenarioBenchReport};
+use multihonest_scenario::report::profile_headline;
+use multihonest_scenario::{
+    run_horizon, scenario_bench_report, HorizonOptions, LeaderProbs, ScenarioBenchReport,
+};
 
 fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
     let ks: Vec<usize> = vec![5, 20, 80];
@@ -23,13 +29,87 @@ fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
     }
 }
 
-const USAGE: &str =
-    "scenario [bench-report] [--quick] [--seed <u64>] [--threads <n>] [--out <path>]";
+const USAGE: &str = "scenario [bench-report | horizon] [--quick] [--profile] [--seed <u64>] \
+     [--threads <n>] [--out <path>] [--slots <n>] [--segment <n>] [--wal <path>]";
+
+/// The `horizon` subcommand: one bounded-memory long-horizon execution
+/// of the canonical private-withholding shape, with settled-prefix
+/// eviction and (optionally) WAL checkpointing — interrupt it and rerun
+/// the same command line to resume.
+fn run_horizon_cmd(args: &[String], seed: u64) {
+    let slots: usize = or_usage(parsed_flag(args, "--slots"), USAGE).unwrap_or(100_000_000);
+    let segment: usize = or_usage(parsed_flag(args, "--segment"), USAGE).unwrap_or(1 << 20);
+    let wal = or_usage(flag_value(args, "--wal"), USAGE).map(std::path::PathBuf::from);
+    let config = SimConfig {
+        honest_nodes: 10,
+        adversarial_stake: 0.3,
+        active_slot_coeff: 0.25,
+        delta: 2,
+        slots,
+        tie_break: TieBreak::AdversarialOrder,
+        strategy: Strategy::PrivateWithholding,
+    };
+    let share = (1.0 - config.adversarial_stake) / config.honest_nodes as f64;
+    let probs = LeaderProbs::weighted(
+        &vec![share; config.honest_nodes],
+        config.adversarial_stake,
+        config.active_slot_coeff,
+    );
+    let opts = HorizonOptions {
+        segment_slots: segment,
+        ks: vec![16, 32, 64, 128],
+        max_live_blocks: 0,
+        wal,
+    };
+    let start = std::time::Instant::now();
+    let report = match run_horizon(&config, &probs, seed, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: horizon run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    if let Some(at) = report.resumed_at {
+        println!("resumed from WAL checkpoint at slot {at}");
+    }
+    println!(
+        "horizon: {} slots in {seconds:.1}s ({:.2} Mslots/s wall, seed {seed}, segment {segment})",
+        slots,
+        slots as f64 / seconds.max(f64::MIN_POSITIVE) / 1e6
+    );
+    println!(
+        "eviction: {} compactions, peak live blocks {} ({:.1} blocks/Mslot retained)",
+        report.compactions,
+        report.peak_live_blocks,
+        report.peak_live_blocks as f64 / (slots as f64 / 1e6)
+    );
+    println!(
+        "chain: height {}, {} blocks ({:.4} quality), {} rollbacks, max settlement lag {:?}",
+        report.metrics.final_height,
+        report.metrics.chain_blocks,
+        report.metrics.chain_quality(),
+        report.metrics.rollback_count,
+        report.metrics.max_settlement_lag
+    );
+    for (i, &k) in opts.ks.iter().enumerate() {
+        println!(
+            "settlement: k={k:<4} violating anchors {:<12} first {:?}",
+            report.violating_anchors[i], report.first_violation[i]
+        );
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    if args.iter().any(|a| a == "horizon") {
+        let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(9);
+        run_horizon_cmd(&args, seed);
+        return;
+    }
     let report_mode = args.iter().any(|a| a == "bench-report");
+    let profile = args.iter().any(|a| a == "--profile");
     let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(9);
     let threads = or_usage(parsed_flag(&args, "--threads"), USAGE)
         .unwrap_or_else(multihonest_bench::default_threads);
@@ -58,6 +138,11 @@ fn main() {
             report.million_slots_per_second / 1e6,
             out_path
         );
+        if profile {
+            // Re-run the headline with per-phase counters (instrumented:
+            // slower than the plain headline timed above).
+            eprintln!("{}", profile_headline(report.million_slots, seed));
+        }
         return;
     }
 

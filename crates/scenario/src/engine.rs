@@ -32,41 +32,93 @@ use multihonest_sim::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink
 use multihonest_sim::strategy::{AdversaryStrategy, SlotContext};
 use multihonest_sim::{BlockId, SimConfig, TieBreak};
 
+use crate::profile::{Phase, PhaseProfiler};
 use crate::ring::DeliveryRing;
 use crate::schedule::ColumnarSchedule;
 use crate::store::{ColumnarStore, ADVERSARY};
 
-/// A growable bitset over block ids — the columnar engine's per-node
-/// known-set (the reference engine uses a `HashSet<BlockId>`).
+/// Version tag of the columnar slot kernel's **observable execution
+/// semantics**. Campaign checkpoints and horizon WALs fingerprint it:
+/// artifacts produced by one kernel generation must never be silently
+/// merged with executions of another. Bump on any change that could
+/// alter an execution's outputs (traces, metrics, divergence indices) —
+/// pure performance work that stays bit-identical keeps the version.
+pub const ENGINE_KERNEL_VERSION: u32 = 1;
+
+/// The transposed known-set of all honest nodes at once: one mask word
+/// row per **block**, bit `r` set when node `r` knows the block (the
+/// reference engine keeps a `HashSet<BlockId>` per node; an earlier
+/// columnar revision kept one bitset-over-blocks per node).
+///
+/// The transposed layout is what makes the known-set merge of the slot
+/// kernel word-at-a-time and cache-local: every delivery of the same
+/// block — and every chain walk under it — touches the *same* mask row
+/// regardless of recipient, so a broadcast that used to stride across
+/// `n` separate bitsets now hammers one hot cache line, and the
+/// ancestor scan's early exit ("node already knows this suffix") is a
+/// single AND per step.
+///
+/// Rows are `words_per_block` `u64`s (1 for up to 64 honest nodes — every
+/// preset scenario; larger node counts grow the stride, not the code
+/// path). Rows are materialized lazily on first insert, so withheld
+/// private chains cost nothing until they are released.
 #[derive(Debug, Clone, Default)]
-struct BlockSet {
+pub(crate) struct KnownMatrix {
+    words_per_block: usize,
     words: Vec<u64>,
 }
 
-impl BlockSet {
-    /// Inserts `b`; returns `true` when it was newly inserted.
-    #[inline]
-    fn insert(&mut self, b: u32) -> bool {
-        let (word, bit) = (b as usize / 64, b as usize % 64);
-        if word >= self.words.len() {
-            self.words.resize(word + 1, 0);
+impl KnownMatrix {
+    /// Re-shapes for a fresh execution over `nodes` honest nodes: every
+    /// mask cleared, allocation kept, genesis known to everyone.
+    fn reset(&mut self, nodes: usize) {
+        self.words_per_block = nodes.div_ceil(64).max(1);
+        self.words.clear();
+        // Genesis (block 0) is known to every node from slot 0.
+        self.words.resize(self.words_per_block, 0);
+        for node in 0..nodes {
+            self.words[node / 64] |= 1u64 << (node % 64);
         }
-        let mask = 1u64 << bit;
-        let fresh = self.words[word] & mask == 0;
-        self.words[word] |= mask;
+    }
+
+    /// Marks `b` known to `node`; returns `true` when it was fresh.
+    #[inline]
+    fn insert(&mut self, b: u32, node: usize) -> bool {
+        let row = b as usize * self.words_per_block;
+        let idx = row + node / 64;
+        if idx >= self.words.len() {
+            self.words.resize(row + self.words_per_block, 0);
+        }
+        let mask = 1u64 << (node % 64);
+        let fresh = self.words[idx] & mask == 0;
+        self.words[idx] |= mask;
         fresh
     }
 
-    /// Empties the set, keeping its allocation (re-inserts re-zero it).
+    /// Marks `b` known to every node `0..nodes` at once — word-at-a-time
+    /// form of `nodes` separate [`KnownMatrix::insert`] calls, used by the
+    /// engine's broadcast-collapse fast path.
     #[inline]
-    fn clear(&mut self) {
-        self.words.clear();
+    fn insert_all(&mut self, b: u32, nodes: usize) {
+        let row = b as usize * self.words_per_block;
+        if row + self.words_per_block > self.words.len() {
+            self.words.resize(row + self.words_per_block, 0);
+        }
+        let (full, rem) = (nodes / 64, nodes % 64);
+        for w in &mut self.words[row..row + full] {
+            *w = u64::MAX;
+        }
+        if rem > 0 {
+            self.words[row + full] |= (1u64 << rem) - 1;
+        }
     }
 
     #[cfg(test)]
-    fn contains(&self, b: u32) -> bool {
-        let (word, bit) = (b as usize / 64, b as usize % 64);
-        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    fn contains(&self, b: u32, node: usize) -> bool {
+        let idx = b as usize * self.words_per_block + node / 64;
+        self.words
+            .get(idx)
+            .is_some_and(|w| w & (1u64 << (node % 64)) != 0)
     }
 }
 
@@ -127,6 +179,24 @@ impl SlotContext for ColumnarSlotContext<'_> {
             .schedule_adversarial(self.slot, at_slot, recipient, block.index() as u32);
     }
 
+    fn deliver_honest_to_all(&mut self, requested_slot: usize, block: BlockId) {
+        self.ring.schedule_honest_all(
+            self.slot,
+            requested_slot,
+            self.honest_nodes,
+            block.index() as u32,
+        );
+    }
+
+    fn deliver_adversarial_to_all(&mut self, at_slot: usize, block: BlockId) {
+        self.ring.schedule_adversarial_all(
+            self.slot,
+            at_slot,
+            self.honest_nodes,
+            block.index() as u32,
+        );
+    }
+
     fn node_is_live(&self, node: usize) -> bool {
         self.faults.node_is_live(self.slot, node)
     }
@@ -168,17 +238,18 @@ impl<S: MetricsSink> SlotHook<S> for () {
 fn receive(
     store: &ColumnarStore,
     tie_break: TieBreak,
-    known: &mut BlockSet,
+    known: &mut KnownMatrix,
+    node: usize,
     tip: &mut u32,
     block: u32,
 ) {
-    if !known.insert(block) {
+    if !known.insert(block, node) {
         return;
     }
     // Receiving a chain means knowing every block on it.
     let mut cur = store.parent(block);
     while let Some(b) = cur {
-        if !known.insert(b) {
+        if !known.insert(b, node) {
             break;
         }
         cur = store.parent(b);
@@ -280,6 +351,7 @@ impl ColumnarSimulation {
             &mut (),
             &mut (),
             &mut faults,
+            &mut (),
         );
         (
             ColumnarSimulation {
@@ -369,8 +441,39 @@ impl ColumnarSimulation {
             sink,
             &mut (),
             &mut faults,
+            &mut (),
         );
         (out.metrics, out.divergence, faults.finish())
+    }
+
+    /// A streaming execution with a [`PhaseProfiler`] attached: identical
+    /// traces to [`run_streaming_in`](Self::run_streaming_in), with the
+    /// kernel charging wall-clock time to per-phase counters at every
+    /// phase boundary — the engine behind `scenario bench-report
+    /// --profile`. Plain entry points thread the no-op `()` profiler
+    /// through the same generic parameter and pay nothing.
+    pub fn run_streaming_profiled<S: MetricsSink, P: PhaseProfiler>(
+        arena: &mut ExecutionArena,
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        sink: &mut S,
+        prof: &mut P,
+    ) -> (Metrics, DivergenceIndex) {
+        let empty = FaultPlan::default();
+        let mut faults = FaultRuntime::new(&empty, config.honest_nodes, config.slots);
+        let out = execute(
+            arena,
+            config,
+            schedule,
+            strategy,
+            false,
+            sink,
+            &mut (),
+            &mut faults,
+            prof,
+        );
+        (out.metrics, out.divergence)
     }
 
     /// A streaming execution with a [`SlotHook`] attached: identical to
@@ -399,6 +502,7 @@ impl ColumnarSimulation {
             sink,
             hook,
             &mut faults,
+            &mut (),
         );
         (out.metrics, out.divergence, faults.finish())
     }
@@ -466,14 +570,14 @@ impl ColumnarSimulation {
 /// see [`ColumnarSimulation::run_streaming_in`].
 #[derive(Debug)]
 pub struct ExecutionArena {
-    store: ColumnarStore,
-    ring: DeliveryRing,
-    tips: Vec<u32>,
-    known: Vec<BlockSet>,
-    minted: Vec<BlockId>,
-    before: Vec<u32>,
-    due: Vec<(u32, u32)>,
-    uniq: Vec<u32>,
+    pub(crate) store: ColumnarStore,
+    pub(crate) ring: DeliveryRing,
+    pub(crate) tips: Vec<u32>,
+    pub(crate) known: KnownMatrix,
+    pub(crate) minted: Vec<BlockId>,
+    pub(crate) before: Vec<u32>,
+    pub(crate) due: Vec<(u32, u32)>,
+    pub(crate) uniq: Vec<u32>,
 }
 
 impl Default for ExecutionArena {
@@ -489,7 +593,7 @@ impl ExecutionArena {
             store: ColumnarStore::new(),
             ring: DeliveryRing::new(0, 0, 0),
             tips: Vec::new(),
-            known: Vec::new(),
+            known: KnownMatrix::default(),
             minted: Vec::new(),
             before: Vec::new(),
             due: Vec::new(),
@@ -498,24 +602,64 @@ impl ExecutionArena {
     }
 
     /// Resets every component for a fresh execution, keeping allocations.
-    fn reset(&mut self, config: &SimConfig, lookahead: usize, expected_blocks: usize) {
+    pub(crate) fn reset(&mut self, config: &SimConfig, lookahead: usize, expected_blocks: usize) {
         let n = config.honest_nodes;
         self.store.reset();
         self.store.reserve(expected_blocks);
         self.ring.reset(config.delta, lookahead, config.slots);
         self.tips.clear();
         self.tips.resize(n, 0);
-        self.known.truncate(n);
-        for k in &mut self.known {
-            k.clear();
-        }
-        self.known.resize_with(n, BlockSet::default);
-        for k in &mut self.known {
-            k.insert(0); // genesis
-        }
+        self.known.reset(n);
+        self.minted.clear();
         self.before.clear();
         self.before.resize(n, 0);
+        self.due.clear();
+        self.uniq.clear();
         self.uniq.reserve(n);
+        self.debug_audit(n);
+    }
+
+    /// Compacts the arena around the **unanimous tip** `root`: the store
+    /// resets to a single root block carrying the tip's absolute slot,
+    /// height, issuer and honesty (so minting and height accounting
+    /// continue seamlessly above it), the known-matrix re-seeds with the
+    /// root known to everyone (true of a unanimous tip by definition),
+    /// and every node's view plus the cached `uniq` scratch move to the
+    /// root's new id 0. The horizon driver calls this at fully settled
+    /// points; the required preconditions — all tips equal `root`, the
+    /// delivery ring idle — are debug-asserted.
+    pub(crate) fn compact_to_root(&mut self, n: usize, root: u32) {
+        debug_assert!(
+            self.tips.iter().all(|&t| t == root),
+            "compaction requires a unanimous tip"
+        );
+        debug_assert!(self.ring.is_idle(), "compaction requires an idle ring");
+        let (slot, height) = (self.store.slot(root), self.store.height(root));
+        let (issuer, honest) = (self.store.issuer(root), self.store.is_honest(root));
+        self.store.reset_to_root(slot, height, issuer, honest);
+        self.known.reset(n);
+        self.tips.fill(0);
+        self.uniq.clear();
+        self.uniq.push(0);
+    }
+
+    /// Debug-asserts that every column and ring buffer is length-reset —
+    /// no stale tail state from a previous (possibly longer) execution
+    /// can leak into this one. Compiled out of release builds.
+    pub(crate) fn debug_audit(&self, n: usize) {
+        debug_assert_eq!(self.store.len(), 1, "store must hold only genesis");
+        debug_assert!(self.ring.is_idle(), "ring buckets must be drained");
+        debug_assert_eq!(self.tips.len(), n, "one tip per honest node");
+        debug_assert!(self.tips.iter().all(|&t| t == 0), "tips must be genesis");
+        debug_assert_eq!(
+            self.known.words.len(),
+            self.known.words_per_block,
+            "known matrix must cover exactly genesis"
+        );
+        debug_assert!(self.minted.is_empty(), "minted scratch must be empty");
+        debug_assert_eq!(self.before.len(), n, "one before-tip per node");
+        debug_assert!(self.due.is_empty(), "due scratch must be empty");
+        debug_assert!(self.uniq.is_empty(), "uniq scratch must be empty");
     }
 }
 
@@ -529,12 +673,60 @@ struct ExecOutput {
     metrics: Metrics,
 }
 
-/// The engine loop shared by the trace-retaining and streaming modes.
+/// The cross-segment mutable state of one execution that is **not** the
+/// arena: the online divergence fold, the metrics accumulator, the
+/// rollback record, the trace columns of trace-retaining mode, and the
+/// cached end-of-slot observation the quiet path replays. [`execute`]
+/// owns one per run; the horizon driver keeps one alive across segments
+/// and compacts its fold at settled points.
+pub(crate) struct EngineCore {
+    pub(crate) fold: DivergenceFold,
+    pub(crate) acc: MetricsAccumulator,
+    pub(crate) rollbacks: Vec<(u32, u32, u32)>,
+    pub(crate) tips_flat: Vec<u32>,
+    pub(crate) tips_end: Vec<u32>,
+    /// Distinct-tip count of the cached end-of-slot observation.
+    pub(crate) cached_tips: usize,
+    /// Best height of the cached observation.
+    pub(crate) cached_height: usize,
+    /// Slot divergence of the cached observation.
+    pub(crate) cached_div: usize,
+    /// The unanimous tip block behind `cached_tips == 1` — what the
+    /// single-mint fold fast case forks from.
+    pub(crate) cached_tip_block: u32,
+}
+
+impl EngineCore {
+    /// State for a fresh full-horizon execution: a fold over `1..=slots`
+    /// and every cache at its slot-0 value (all nodes on genesis).
+    pub(crate) fn new(slots: usize, keep_trace: bool) -> EngineCore {
+        EngineCore::with_fold(DivergenceFold::new(slots), keep_trace, slots)
+    }
+
+    /// State over a caller-built fold (the horizon driver passes a
+    /// windowed one).
+    pub(crate) fn with_fold(fold: DivergenceFold, keep_trace: bool, slots: usize) -> EngineCore {
+        let mut tips_end = Vec::with_capacity(if keep_trace { slots + 1 } else { 1 });
+        tips_end.push(0);
+        EngineCore {
+            fold,
+            acc: MetricsAccumulator::new(),
+            rollbacks: Vec::new(),
+            tips_flat: Vec::new(),
+            tips_end,
+            cached_tips: 1,
+            cached_height: 0,
+            cached_div: 0,
+            cached_tip_block: 0,
+        }
+    }
+}
+
 // Private fan-in of every public entry point: each parameter is one
 // caller-facing knob, and bundling them into a struct would only move
 // the argument list one call up.
 #[allow(clippy::too_many_arguments)]
-fn execute<S: MetricsSink, H: SlotHook<S>>(
+fn execute<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
     arena: &mut ExecutionArena,
     config: &SimConfig,
     schedule: &ColumnarSchedule,
@@ -543,17 +735,84 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
     sink: &mut S,
     hook: &mut H,
     faults: &mut FaultRuntime<'_>,
+    prof: &mut P,
 ) -> ExecOutput {
     assert_eq!(
         schedule.len(),
         config.slots,
         "schedule must cover the configured horizon"
     );
-    let n = config.honest_nodes;
-    assert!(n > 0, "need at least one honest node");
     // Expected blocks ≈ one per leader flag; reserve with headroom.
     let expected = schedule.active_slots() + schedule.len() / 8 + 16;
     arena.reset(config, strategy.lookahead(config.delta), expected);
+    // The cached end-of-slot observation the quiet path replays: at slot
+    // 0 every node sits on genesis — one distinct tip, height 0, no
+    // divergence — and `uniq` mirrors it for the trace writer.
+    arena.uniq.push(0);
+    let mut core = EngineCore::new(config.slots, keep_trace);
+    run_slots(
+        arena,
+        &mut core,
+        config,
+        schedule,
+        0,
+        1,
+        config.slots,
+        strategy,
+        keep_trace,
+        sink,
+        hook,
+        faults,
+        prof,
+    );
+    finish_full(arena, core, schedule)
+}
+
+/// The engine loop shared by the trace-retaining and streaming modes.
+///
+/// The loop is a **two-path slot kernel**. A slot is *quiet* when its
+/// honest mint list and (post-fault) due-delivery list are both empty:
+/// honest tips can only move through [`receive`], which is called
+/// exactly from those two places, so on a quiet slot every tip — and
+/// therefore the distinct-tip set, best height, slot divergence and
+/// rollback record — is provably unchanged from the previous slot. The
+/// quiet path replays the cached fold observation in O(1) and skips the
+/// before-copy, the rollback scan, the uniq sort and the pairwise LCA
+/// loop entirely. Under sparse leader schedules (`f` well below 1) the
+/// quiet path covers the majority of slots, which is where the columnar
+/// engine's throughput comes from; the busy path additionally
+/// fast-cases the unanimous-tip slot (all nodes agree: no sort, no
+/// pairwise walk). Both paths feed the same sinks in the same order, so
+/// the split is invisible to every observer — bit-identical traces,
+/// metrics, fold state and hook observations.
+///
+/// `run_slots` executes slots `first_slot..=last_slot` of an execution
+/// whose mutable state lives in `arena` + `core`, making the loop
+/// **re-enterable**: [`execute`] calls it once over the full horizon,
+/// while the segmented horizon driver calls it per schedule segment with
+/// compaction in between. `schedule` covers the absolute slots
+/// `(sched_base, sched_base + schedule.len()]`; slot numbers stay
+/// absolute throughout (strategies, the ring, the fold and every sink
+/// see the global slot clock), so a segmented run is
+/// observation-identical to a monolithic one.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
+    arena: &mut ExecutionArena,
+    core: &mut EngineCore,
+    config: &SimConfig,
+    schedule: &ColumnarSchedule,
+    sched_base: usize,
+    first_slot: usize,
+    last_slot: usize,
+    strategy: &mut dyn AdversaryStrategy,
+    keep_trace: bool,
+    sink: &mut S,
+    hook: &mut H,
+    faults: &mut FaultRuntime<'_>,
+    prof: &mut P,
+) {
+    let n = config.honest_nodes;
+    assert!(n > 0, "need at least one honest node");
     let ExecutionArena {
         store,
         ring,
@@ -564,26 +823,71 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
         due,
         uniq,
     } = arena;
-    let mut fold = DivergenceFold::new(config.slots);
-    let mut acc = MetricsAccumulator::new();
-    let mut rollbacks: Vec<(u32, u32, u32)> = Vec::new();
-    let mut tips_flat: Vec<u32> = Vec::new();
-    let mut tips_end: Vec<u32> = Vec::with_capacity(if keep_trace { config.slots + 1 } else { 1 });
-    tips_end.push(0);
+    let EngineCore {
+        fold,
+        acc,
+        rollbacks,
+        tips_flat,
+        tips_end,
+        cached_tips,
+        cached_height,
+        cached_div,
+        cached_tip_block,
+    } = core;
+    let have_faults = !faults.is_empty();
+    // A passive strategy on a leaderless slot provably does nothing, so
+    // such a slot with an empty delivery bucket needs no context, no
+    // strategy dispatch and no drain at all — the short-circuit below.
+    // Fault plans act every slot (deferred re-injection), so they opt
+    // the execution out of the short-circuit wholesale.
+    let passive = !have_faults && strategy.passive_without_leaders();
 
-    for slot in 1..=config.slots {
+    for slot in first_slot..=last_slot {
+        prof.slot_start();
         // 1. Honest leaders mint on their current tips and adopt their
         //    own block at mint time (no rushed same-height injection can
         //    win the first-seen tie against a minter).
-        minted.clear();
-        for &leader in schedule.leaders(slot) {
-            let l = leader as usize;
-            if !faults.can_mint(slot, l) {
-                continue;
+        let leaders = schedule.leaders(slot - sched_base);
+        if passive
+            && leaders.is_empty()
+            && !schedule.adversarial(slot - sched_base)
+            && ring.bucket_is_empty(slot)
+        {
+            // Fully quiet slot: nothing minted, nothing due, strategy
+            // provably inert — replay the cached observation and move on.
+            fold.observe_tips_unchanged(slot);
+            TeeSink {
+                a: &mut *acc,
+                b: &mut *sink,
             }
-            let b = store.mint(tips[l], slot, leader, true);
-            receive(store, config.tie_break, &mut known[l], &mut tips[l], b);
-            minted.push(BlockId::from_index(b as usize));
+            .on_slot(slot, *cached_tips, *cached_height, *cached_div);
+            if keep_trace {
+                tips_flat.extend_from_slice(uniq);
+                tips_end.push(tips_flat.len() as u32);
+            }
+            prof.lap(Phase::Fold);
+            hook.on_slot_end(slot, store, sink);
+            prof.lap(Phase::Hook);
+            continue;
+        }
+        minted.clear();
+        if !leaders.is_empty() {
+            for &leader in leaders {
+                let l = leader as usize;
+                if have_faults && !faults.can_mint(slot, l) {
+                    continue;
+                }
+                // Mint-time adoption, specialised: the fresh block's
+                // parent is the minter's own (known) tip and its height
+                // strictly exceeds it, so `receive` reduces to one
+                // known-bit insert and the tip store.
+                let b = store.mint(tips[l], slot, leader, true);
+                let fresh = known.insert(b, l);
+                debug_assert!(fresh, "a minted block is new to its minter");
+                tips[l] = b;
+                minted.push(BlockId::from_index(b as usize));
+            }
+            prof.lap(Phase::Mint);
         }
         // 2. The rushing adversary observes the minted blocks and acts —
         //    through the same trait the reference engine drives.
@@ -594,17 +898,17 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
             honest_nodes: n,
             faults: &*faults,
             slot,
-            adversarial_leader: schedule.adversarial(slot),
+            adversarial_leader: schedule.adversarial(slot - sched_base),
         };
         strategy.on_slot(&mut ctx, minted);
-        // 3. Apply this slot's deliveries in scheduled order — filtered
-        //    through the fault plan when one is active — recording chain
-        //    rollbacks.
-        before.copy_from_slice(tips);
+        prof.lap(Phase::Strategy);
+        // 3. Drain this slot's deliveries — filtered through the fault
+        //    plan when one is active (which may also re-inject previously
+        //    deferred deliveries, so the plan runs even on empty drains).
         ring.drain_into(slot, due);
-        if !faults.is_empty() {
+        if have_faults {
             let mut tee = TeeSink {
-                a: &mut acc,
+                a: &mut *acc,
                 b: &mut *sink,
             };
             faults.apply(
@@ -618,22 +922,129 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
                 &mut tee,
             );
         }
-        for &(recipient, block) in due.iter() {
-            let r = recipient as usize;
-            receive(store, config.tie_break, &mut known[r], &mut tips[r], block);
+        prof.lap(Phase::Drain);
+        let quiet = due.is_empty() && minted.is_empty();
+        if quiet {
+            // Quiet slot: no receive() ran, so every tip is unchanged.
+            // Replay the cached observation and keep the fold's run open.
+            fold.observe_tips_unchanged(slot);
+            TeeSink {
+                a: &mut *acc,
+                b: &mut *sink,
+            }
+            .on_slot(slot, *cached_tips, *cached_height, *cached_div);
+            if keep_trace {
+                tips_flat.extend_from_slice(uniq);
+                tips_end.push(tips_flat.len() as u32);
+            }
+            prof.lap(Phase::Fold);
+            hook.on_slot_end(slot, store, sink);
+            prof.lap(Phase::Hook);
+            continue;
         }
-        for i in 0..n {
-            let (old, new) = (before[i], tips[i]);
-            if new != old && store.last_common_block(old, new) != old {
-                if keep_trace {
-                    rollbacks.push((slot as u32, old, new));
+        // 4. Apply due deliveries in scheduled order, recording chain
+        //    rollbacks (only deliveries can cause them: minting extends
+        //    the minter's own chain).
+        //
+        // `collapsed` records the broadcast-collapse fast path: a
+        // broadcast of `b` onto the distinct tip set `{parent(b), b}`
+        // provably leaves every node unanimous on `b` with no rollbacks,
+        // so both the per-node merge and the fold are replaced by
+        // structural updates.
+        let mut collapsed = None;
+        if !due.is_empty() {
+            let b = due[0].1;
+            // Broadcast fast path: the dominant due-list shape is one
+            // block reaching every node in ascending recipient order
+            // (what the batched `deliver_*_to_all` scheduling produces).
+            // With a single delivered block, per-node receives are
+            // independent, so apply + rollback-check fuse into one pass:
+            // a node sitting on the block's parent extends its chain —
+            // one known-bit and the tip store, no heights, no ancestry —
+            // and only cross-branch nodes take the general `receive`.
+            let broadcast = due.len() == n
+                && due
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &(r, blk))| r as usize == i && blk == b);
+            if broadcast {
+                let pb = store.parent(b).expect("a delivered block is never genesis");
+                // Collapse fast path: when the previous distinct tips are
+                // exactly `{pb, b}` and no new block was minted this slot,
+                // every node either sits on `pb` (and adopts the strictly
+                // taller child `b` — the direct extension above, no
+                // heights, no rollback) or already sits on `b` (the
+                // minter; a receive would dedup out). The whole merge is
+                // one word-at-a-time known-row fill and a tip fill, and
+                // the resulting views are unanimous on `b`.
+                if minted.is_empty() && (*cached_tips) == 2 && uniq[0] == pb && uniq[1] == b {
+                    known.insert_all(b, n);
+                    tips.fill(b);
+                    collapsed = Some(b);
+                } else {
+                    for (r, tip) in tips.iter_mut().enumerate() {
+                        let old = *tip;
+                        if old == pb {
+                            // Direct extension: the parent is the node's own
+                            // (known) tip, the child strictly taller — adopt.
+                            known.insert(b, r);
+                            *tip = b;
+                            continue;
+                        }
+                        if old == b {
+                            continue; // the minter; a receive would dedup out
+                        }
+                        receive(store, config.tie_break, known, r, tip, b);
+                        let new = *tip;
+                        if new != old
+                            && store.parent(new) != Some(old)
+                            && !store.is_ancestor(old, new)
+                        {
+                            if keep_trace {
+                                rollbacks.push((slot as u32, old, new));
+                            }
+                            fold.observe_rollback(store, slot, old, new);
+                            TeeSink {
+                                a: &mut *acc,
+                                b: &mut *sink,
+                            }
+                            .on_rollback(
+                                slot,
+                                store.height(old),
+                                store.height(new),
+                            );
+                        }
+                    }
                 }
-                fold.observe_rollback(store, slot, old, new);
-                TeeSink {
-                    a: &mut acc,
-                    b: &mut *sink,
+            } else {
+                before.copy_from_slice(tips);
+                for &(recipient, block) in due.iter() {
+                    let r = recipient as usize;
+                    receive(store, config.tie_break, known, r, &mut tips[r], block);
                 }
-                .on_rollback(slot, store.height(old), store.height(new));
+                for i in 0..n {
+                    let (old, new) = (before[i], tips[i]);
+                    // Adoption only ever raises height, and the dominant
+                    // case is adopting a direct child of the old tip — one
+                    // parent load rules the rollback out before any
+                    // ancestry descent.
+                    if new != old && store.parent(new) != Some(old) && !store.is_ancestor(old, new)
+                    {
+                        if keep_trace {
+                            rollbacks.push((slot as u32, old, new));
+                        }
+                        fold.observe_rollback(store, slot, old, new);
+                        TeeSink {
+                            a: &mut *acc,
+                            b: &mut *sink,
+                        }
+                        .on_rollback(
+                            slot,
+                            store.height(old),
+                            store.height(new),
+                        );
+                    }
+                }
             }
         }
         if config.tie_break == TieBreak::AdversarialOrder {
@@ -646,24 +1057,95 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
                 );
             }
         }
-        // 4. Fold the distinct honest views.
+        prof.lap(Phase::Merge);
+        // 5. Fold the distinct honest views.
+        //
+        // Broadcast-collapse fast case: the merge above proved the views
+        // unanimous on `nb` structurally. The best height is unchanged
+        // (it was already `height(nb)`, the taller of `{parent, nb}`),
+        // the slot divergence of a unanimous set is zero, and the fold
+        // sees the (cheap) single-tip set.
+        if let Some(nb) = collapsed {
+            uniq.clear();
+            uniq.push(nb);
+            (*cached_tips) = 1;
+            (*cached_tip_block) = nb;
+            (*cached_div) = 0;
+            debug_assert_eq!((*cached_height), store.height(nb));
+            fold.observe_tips(store, slot, uniq);
+            TeeSink {
+                a: &mut *acc,
+                b: &mut *sink,
+            }
+            .on_slot(slot, 1, *cached_height, 0);
+            if keep_trace {
+                tips_flat.extend_from_slice(uniq);
+                tips_end.push(tips_flat.len() as u32);
+            }
+            prof.lap(Phase::Fold);
+            hook.on_slot_end(slot, store, sink);
+            prof.lap(Phase::Hook);
+            continue;
+        }
+        // Single-mint fast case first: one fresh honest block on the
+        // previous slot's unanimous tip (no deliveries) splits the views
+        // into exactly `{parent, child}` — already id-sorted, meeting at
+        // the parent, zero slot divergence, best height one up. Every
+        // fold quantity is structural; no sort, no LCA, no chain walk.
+        if due.is_empty() && minted.len() == 1 && (*cached_tips) == 1 && n > 1 {
+            let child = minted[0].index() as u32;
+            let parent = *cached_tip_block;
+            debug_assert_eq!(store.parent(child), Some(parent));
+            uniq.clear();
+            uniq.push(parent);
+            uniq.push(child);
+            (*cached_tips) = 2;
+            (*cached_height) += 1;
+            (*cached_div) = 0;
+            fold.observe_fresh_child(slot, parent, child, slot);
+            TeeSink {
+                a: &mut *acc,
+                b: &mut *sink,
+            }
+            .on_slot(slot, 2, *cached_height, 0);
+            if keep_trace {
+                tips_flat.extend_from_slice(uniq);
+                tips_end.push(tips_flat.len() as u32);
+            }
+            prof.lap(Phase::Fold);
+            hook.on_slot_end(slot, store, sink);
+            prof.lap(Phase::Hook);
+            continue;
+        }
+        // The unanimous case (every node on one tip — the common case
+        // between forks) needs no sort and no pairwise divergence walk.
+        let first = tips[0];
         uniq.clear();
-        uniq.extend_from_slice(tips);
-        uniq.sort_unstable();
-        uniq.dedup();
         let mut div = 0usize;
         let mut best_height = 0usize;
-        for (i, &a) in uniq.iter().enumerate() {
-            best_height = best_height.max(store.height(a));
-            for &b in &uniq[i + 1..] {
-                let lca = store.last_common_block(a, b);
-                let first = store.slot(a).min(store.slot(b));
-                div = div.max(first.saturating_sub(store.slot(lca)));
+        if tips.iter().all(|&t| t == first) {
+            uniq.push(first);
+            (*cached_tip_block) = first;
+            best_height = store.height(first);
+        } else {
+            uniq.extend_from_slice(tips);
+            uniq.sort_unstable();
+            uniq.dedup();
+            for (i, &a) in uniq.iter().enumerate() {
+                best_height = best_height.max(store.height(a));
+                for &b in &uniq[i + 1..] {
+                    let lca = store.last_common_block(a, b);
+                    let first = store.slot(a).min(store.slot(b));
+                    div = div.max(first.saturating_sub(store.slot(lca)));
+                }
             }
         }
         fold.observe_tips(store, slot, uniq);
+        (*cached_tips) = uniq.len();
+        (*cached_height) = best_height;
+        (*cached_div) = div;
         TeeSink {
-            a: &mut acc,
+            a: &mut *acc,
             b: &mut *sink,
         }
         .on_slot(slot, uniq.len(), best_height, div);
@@ -671,10 +1153,32 @@ fn execute<S: MetricsSink, H: SlotHook<S>>(
             tips_flat.extend_from_slice(uniq);
             tips_end.push(tips_flat.len() as u32);
         }
+        prof.lap(Phase::Fold);
         hook.on_slot_end(slot, store, sink);
+        prof.lap(Phase::Hook);
     }
+}
 
-    // Final metrics: best tip over node views, later nodes winning height
+/// Folds the end-of-run state of a **full** (unsegmented) execution into
+/// its output: best-tip chain walk down to genesis plus the fold's final
+/// index. The horizon driver has its own finish (evicted-prefix counters
+/// plus a windowed fold drain).
+fn finish_full(
+    arena: &mut ExecutionArena,
+    core: EngineCore,
+    schedule: &ColumnarSchedule,
+) -> ExecOutput {
+    let EngineCore {
+        fold,
+        acc,
+        rollbacks,
+        tips_flat,
+        tips_end,
+        ..
+    } = core;
+    let store = &arena.store;
+    let tips = &arena.tips;
+    // Best tip over node views, later nodes winning height
     // ties (matching the reference's `max_by_key`).
     let mut best_tip = tips[0];
     for &t in tips.iter() {
@@ -944,12 +1448,21 @@ mod tests {
     }
 
     #[test]
-    fn block_set_semantics() {
-        let mut s = BlockSet::default();
-        assert!(s.insert(0));
-        assert!(!s.insert(0));
-        assert!(s.insert(1000));
-        assert!(s.contains(1000));
-        assert!(!s.contains(999));
+    fn known_matrix_semantics() {
+        let mut s = KnownMatrix::default();
+        s.reset(70); // two words per block
+        assert!(!s.insert(0, 3), "genesis pre-seeded for every node");
+        assert!(!s.insert(0, 69), "pre-seeding covers the second word");
+        assert!(s.insert(1000, 5));
+        assert!(!s.insert(1000, 5));
+        assert!(s.insert(1000, 68), "per-node bits are independent");
+        assert!(s.contains(1000, 5));
+        assert!(s.contains(1000, 68));
+        assert!(!s.contains(1000, 6));
+        assert!(!s.contains(999, 5));
+        s.reset(4);
+        assert!(!s.contains(1000, 5), "reset clears every mask");
+        assert!(s.contains(0, 3), "genesis re-seeded");
+        assert!(!s.contains(0, 4), "only configured nodes are seeded");
     }
 }

@@ -21,7 +21,7 @@
 //! | `Vec<Block>` of structs | flat slot/parent/height/issuer columns over the shared `AncestorIndex` ([`ColumnarStore`]) |
 //! | one `Vec<usize>` of leaders per slot | one flat leader column + offsets ([`ColumnarSchedule`]) |
 //! | `O(slots)` live delivery queues | a reused ring of `lookahead + 1` buckets ([`DeliveryRing`]) |
-//! | `HashSet<BlockId>` known-sets | growable per-node bitsets |
+//! | `HashSet<BlockId>` known-sets | one transposed known-by mask row per block (all nodes in one word) |
 //! | post-hoc index build over retained traces | online [`DivergenceFold`](multihonest_sim::DivergenceFold) + streaming [`MetricsSink`](multihonest_sim::MetricsSink) |
 //!
 //! A 10⁶-slot withholding execution completes in single-digit seconds
@@ -54,26 +54,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod engine;
+pub mod horizon;
 pub mod pipeline;
+pub mod profile;
 pub mod report;
 pub mod ring;
 pub mod scenario;
 pub mod schedule;
 pub mod store;
 
-pub use crate::engine::{ColumnarSimulation, ExecutionArena, SlotHook};
+pub use crate::batch::{BatchExecution, TrialOutput};
+pub use crate::engine::{ColumnarSimulation, ExecutionArena, SlotHook, ENGINE_KERNEL_VERSION};
+pub use crate::horizon::{run_horizon, HorizonOptions, HorizonReport};
 pub use crate::pipeline::{
     run_streaming_validated, run_streaming_validated_faults_in, ForkPipeline, PipelineOutput,
     ValidatedExecution,
 };
+pub use crate::profile::{Phase, PhaseProfiler, PhaseTimes};
 pub use crate::report::{scenario_bench_report, ScenarioBenchReport, ScenarioRow};
 pub use crate::ring::DeliveryRing;
 pub use crate::scenario::{
     fault_library, scenario_library, FaultScenario, LaggedWithholding, NetworkSchedule,
     NodeProfile, Scenario, ScheduledHonest,
 };
-pub use crate::schedule::ColumnarSchedule;
+pub use crate::schedule::{ColumnarSchedule, LeaderProbs};
 pub use crate::store::ColumnarStore;
 
 /// A 64-bit fingerprint of a columnar execution: a SplitMix-style fold

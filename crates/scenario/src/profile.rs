@@ -1,0 +1,208 @@
+//! Per-phase timing instrumentation for the columnar slot kernel.
+//!
+//! The engine loop is generic over a [`PhaseProfiler`]; every plain entry
+//! point passes the no-op `()` implementation, which compiles to nothing
+//! — the hot loop pays zero instructions for the instrumentation hooks.
+//! `scenario bench-report --profile` threads a [`PhaseTimes`] through
+//! instead ([`ColumnarSimulation::run_streaming_profiled`]) and prints
+//! the per-phase breakdown next to the headline Mslots/s figure.
+//!
+//! Timestamps are taken at phase *boundaries* (one `Instant::now` per
+//! executed phase per slot), so a profiled run is slower than a plain one
+//! — the breakdown is for finding where the time goes, not for quoting
+//! absolute throughput.
+//!
+//! [`ColumnarSimulation::run_streaming_profiled`]:
+//!     crate::ColumnarSimulation::run_streaming_profiled
+
+use std::time::Instant;
+
+/// The phases of one slot of the columnar kernel, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Honest leaders minting and adopting their own blocks.
+    Mint,
+    /// The adversarial strategy's `on_slot` (observation + scheduling).
+    Strategy,
+    /// Draining the delivery ring and applying the fault predicate.
+    Drain,
+    /// Applying due deliveries to node views (known-set merges, adoption,
+    /// rollback detection).
+    Merge,
+    /// Distinct-tip fold: uniq/divergence computation, the streaming
+    /// `DivergenceFold`, and the metrics sink.
+    Fold,
+    /// The attached `SlotHook` (e.g. the streaming fork pipeline).
+    Hook,
+}
+
+impl Phase {
+    /// All phases, in execution order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Mint,
+        Phase::Strategy,
+        Phase::Drain,
+        Phase::Merge,
+        Phase::Fold,
+        Phase::Hook,
+    ];
+
+    /// A short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Mint => "mint",
+            Phase::Strategy => "strategy",
+            Phase::Drain => "drain",
+            Phase::Merge => "merge",
+            Phase::Fold => "fold",
+            Phase::Hook => "hook",
+        }
+    }
+
+    /// The phase's index into [`Phase::ALL`]-ordered arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        match self {
+            Phase::Mint => 0,
+            Phase::Strategy => 1,
+            Phase::Drain => 2,
+            Phase::Merge => 3,
+            Phase::Fold => 4,
+            Phase::Hook => 5,
+        }
+    }
+}
+
+/// The engine-loop instrumentation surface. The no-op `()` implementation
+/// is what every plain entry point uses; it inlines to nothing.
+pub trait PhaseProfiler {
+    /// Marks the start of a slot.
+    #[inline]
+    fn slot_start(&mut self) {}
+
+    /// Charges the time since the previous mark to `phase` and re-marks.
+    /// Phases skipped by the kernel's fast paths are simply never
+    /// charged.
+    #[inline]
+    fn lap(&mut self, phase: Phase) {
+        let _ = phase;
+    }
+}
+
+/// The zero-cost profiler of the plain entry points.
+impl PhaseProfiler for () {}
+
+/// Accumulated wall-clock time per kernel phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimes {
+    nanos: [u64; 6],
+    slots: u64,
+    last: Option<Instant>,
+}
+
+impl PhaseTimes {
+    /// A fresh, empty profile.
+    pub fn new() -> PhaseTimes {
+        PhaseTimes::default()
+    }
+
+    /// Slots observed so far.
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Nanoseconds charged to `phase` so far.
+    pub fn phase_nanos(&self, phase: Phase) -> u64 {
+        self.nanos[phase.idx()]
+    }
+
+    /// Total nanoseconds across all phases.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// The per-phase breakdown as `(label, seconds, share)` rows, shares
+    /// summing to 1 (empty profile reports zero shares).
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_nanos();
+        Phase::ALL
+            .iter()
+            .map(|&p| {
+                let ns = self.phase_nanos(p);
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    ns as f64 / total as f64
+                };
+                (p.label(), ns as f64 / 1e9, share)
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Display for PhaseTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "phase breakdown over {} slots:", self.slots)?;
+        for (label, secs, share) in self.rows() {
+            writeln!(f, "  {label:<8} {secs:>9.4} s  {:>5.1}%", share * 100.0)?;
+        }
+        let total = self.total_nanos() as f64 / 1e9;
+        let mslots = if total > 0.0 {
+            self.slots as f64 / total / 1e6
+        } else {
+            0.0
+        };
+        write!(
+            f,
+            "  total    {total:>9.4} s  ({mslots:.2} Mslots/s instrumented)"
+        )
+    }
+}
+
+impl PhaseProfiler for PhaseTimes {
+    #[inline]
+    fn slot_start(&mut self) {
+        self.slots += 1;
+        self.last = Some(Instant::now());
+    }
+
+    #[inline]
+    fn lap(&mut self, phase: Phase) {
+        let now = Instant::now();
+        if let Some(last) = self.last {
+            self.nanos[phase.idx()] += now.duration_since(last).as_nanos() as u64;
+        }
+        self.last = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_and_report() {
+        let mut p = PhaseTimes::new();
+        p.slot_start();
+        p.lap(Phase::Mint);
+        p.lap(Phase::Fold);
+        p.slot_start();
+        p.lap(Phase::Merge);
+        assert_eq!(p.slots(), 2);
+        let rows = p.rows();
+        assert_eq!(rows.len(), 6);
+        let shares: f64 = rows.iter().map(|r| r.2).sum();
+        assert!(shares == 0.0 || (shares - 1.0).abs() < 1e-9);
+        let text = p.to_string();
+        assert!(text.contains("mint") && text.contains("Mslots/s"));
+    }
+
+    #[test]
+    fn labels_are_unique_and_ordered() {
+        let labels: Vec<_> = Phase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["mint", "strategy", "drain", "merge", "fold", "hook"]
+        );
+    }
+}

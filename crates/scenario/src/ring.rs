@@ -53,6 +53,22 @@ impl DeliveryRing {
         self.buckets.resize(lookahead.max(delta) + 1, Vec::new());
     }
 
+    /// Whether every bucket is empty — nothing scheduled and not yet
+    /// drained. Used by the arena's reuse audit between executions.
+    pub fn is_idle(&self) -> bool {
+        self.buckets.iter().all(|b| b.is_empty())
+    }
+
+    /// Whether nothing is due at the end of `slot` — the engine's fully
+    /// quiet-slot precheck, one load instead of a drain of an empty
+    /// bucket. (Skipping the drain of an empty bucket is sound: buckets
+    /// only ever hold *future* deliveries within the window, so an empty
+    /// bucket needs no clearing before its index comes around again.)
+    #[inline]
+    pub fn bucket_is_empty(&self, slot: usize) -> bool {
+        self.buckets[slot % self.buckets.len()].is_empty()
+    }
+
     /// Schedules an honest broadcast from `broadcast_slot` to `recipient`
     /// at the end of `requested_slot`, clamped into
     /// `[broadcast_slot, broadcast_slot + Δ]` and the horizon — identical
@@ -69,6 +85,51 @@ impl DeliveryRing {
         debug_assert!(at - broadcast_slot < self.window());
         let w = self.window();
         self.buckets[at % w].push((recipient as u32, block));
+    }
+
+    /// Batch form of [`DeliveryRing::schedule_honest`]: the same clamp,
+    /// recipients `0..nodes` ascending, one bucket append — what the
+    /// columnar engine's `deliver_honest_to_all` override lands on
+    /// instead of `nodes` separate dispatches.
+    pub fn schedule_honest_all(
+        &mut self,
+        broadcast_slot: usize,
+        requested_slot: usize,
+        nodes: usize,
+        block: u32,
+    ) {
+        let latest = (broadcast_slot + self.delta).min(self.slots);
+        let at = requested_slot.clamp(broadcast_slot, latest);
+        debug_assert!(at - broadcast_slot < self.window());
+        let w = self.window();
+        self.buckets[at % w].extend((0..nodes as u32).map(|r| (r, block)));
+    }
+
+    /// Batch form of [`DeliveryRing::schedule_adversarial`]: identical
+    /// window/horizon semantics, recipients `0..nodes` ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at_slot` lies beyond the ring's window, like the
+    /// per-recipient form.
+    pub fn schedule_adversarial_all(
+        &mut self,
+        now: usize,
+        at_slot: usize,
+        nodes: usize,
+        block: u32,
+    ) {
+        if at_slot < now || at_slot > self.slots {
+            return;
+        }
+        assert!(
+            at_slot - now < self.window(),
+            "delivery at slot {at_slot} exceeds the ring window ({} from {now}); \
+             raise the strategy's lookahead",
+            self.window()
+        );
+        let w = self.window();
+        self.buckets[at_slot % w].extend((0..nodes as u32).map(|r| (r, block)));
     }
 
     /// Schedules an adversarial delivery at `at_slot` (which must be at

@@ -201,6 +201,10 @@ impl AdversaryStrategy for LaggedWithholding {
         "lagged-withholding"
     }
 
+    fn passive_without_leaders(&self) -> bool {
+        true // acts only on minted blocks and adversarial slot wins
+    }
+
     fn lookahead(&self, delta: usize) -> usize {
         delta + self.release_lag
     }
@@ -262,6 +266,10 @@ impl ScheduledHonest {
 impl AdversaryStrategy for ScheduledHonest {
     fn name(&self) -> &'static str {
         "scheduled-honest"
+    }
+
+    fn passive_without_leaders(&self) -> bool {
+        true // acts only on minted blocks and adversarial slot wins
     }
 
     fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {

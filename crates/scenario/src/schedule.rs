@@ -13,6 +13,86 @@ use multihonest_chars::{SemiString, SemiSymbol};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// The cached per-node slot-leader election probabilities of one
+/// campaign cell: `φ(stake) = 1 − (1 − f)^stake` per honest node plus
+/// the adversarial aggregate — everything about a stake distribution
+/// that schedule sampling actually consumes.
+///
+/// Sampling a schedule is seed-specific, but the `φ` table is not: a
+/// batch of trials over one cell shares stakes, adversarial share and
+/// activity coefficient across every seed. Building a [`LeaderProbs`]
+/// once and driving [`ColumnarSchedule::resample_from_probs`] with it
+/// hoists the `powf` table, its allocation and the stake-partition
+/// validation out of the per-seed loop — the shared-sampling half of
+/// [`BatchExecution`](crate::BatchExecution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderProbs {
+    /// `φ(stake_i)` per honest node, node order.
+    p_honest: Vec<f64>,
+    /// `φ(adversarial stake)`.
+    p_adv: f64,
+}
+
+impl LeaderProbs {
+    /// Probabilities for **heterogeneous** honest stakes — the cached
+    /// form of the table [`ColumnarSchedule::resample_weighted`] builds
+    /// per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters leave their documented ranges, a stake
+    /// is negative, or the stakes do not sum (with the adversary) to 1 —
+    /// the same validation as the sampling entry points.
+    pub fn weighted(
+        honest_stakes: &[f64],
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+    ) -> LeaderProbs {
+        assert!(!honest_stakes.is_empty(), "need at least one honest node");
+        assert!(
+            (0.0..1.0).contains(&adversarial_stake),
+            "adversarial stake in [0, 1)"
+        );
+        assert!(
+            active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
+            "active slot coefficient in (0, 1)"
+        );
+        // Kahan-compensated, size-scaled validation shared with the
+        // reference schedule (the two copies had drifted; see the helper).
+        multihonest_sim::validate_stake_partition(honest_stakes, adversarial_stake);
+        let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
+        LeaderProbs {
+            p_honest: honest_stakes.iter().map(|&s| phi(s)).collect(),
+            p_adv: phi(adversarial_stake),
+        }
+    }
+
+    /// Probabilities with honest stake split equally — the cached form
+    /// of [`ColumnarSchedule::sample`]'s table.
+    ///
+    /// # Panics
+    ///
+    /// Panics as [`LeaderProbs::weighted`] does.
+    pub fn uniform(
+        honest_nodes: usize,
+        adversarial_stake: f64,
+        active_slot_coeff: f64,
+    ) -> LeaderProbs {
+        assert!(honest_nodes > 0, "need at least one honest node");
+        let share = (1.0 - adversarial_stake) / honest_nodes as f64;
+        LeaderProbs::weighted(
+            &vec![share; honest_nodes],
+            adversarial_stake,
+            active_slot_coeff,
+        )
+    }
+
+    /// The number of honest nodes the table covers.
+    pub fn honest_nodes(&self) -> usize {
+        self.p_honest.len()
+    }
+}
+
 /// A full leader schedule in Structure-of-Arrays layout.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnarSchedule {
@@ -116,25 +196,34 @@ impl ColumnarSchedule {
         slots: usize,
         seed: u64,
     ) {
-        assert!(!honest_stakes.is_empty(), "need at least one honest node");
-        assert!(
-            (0.0..1.0).contains(&adversarial_stake),
-            "adversarial stake in [0, 1)"
-        );
-        assert!(
-            active_slot_coeff > 0.0 && active_slot_coeff < 1.0,
-            "active slot coefficient in (0, 1)"
-        );
-        // Kahan-compensated, size-scaled validation shared with the
-        // reference schedule (the two copies had drifted; see the helper).
-        multihonest_sim::validate_stake_partition(honest_stakes, adversarial_stake);
+        let probs = LeaderProbs::weighted(honest_stakes, adversarial_stake, active_slot_coeff);
+        self.resample_from_probs(&probs, slots, seed);
+    }
+
+    /// Resamples `self` in place from a pre-built probability table —
+    /// the seed-loop body of batched sampling, with the `φ` table, its
+    /// allocation and the stake validation hoisted into the caller's
+    /// [`LeaderProbs`]. Draw-for-draw identical to
+    /// [`ColumnarSchedule::resample_weighted`] over the stakes the table
+    /// was built from.
+    pub fn resample_from_probs(&mut self, probs: &LeaderProbs, slots: usize, seed: u64) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let phi = |alpha: f64| 1.0 - (1.0 - active_slot_coeff).powf(alpha);
-        let p_honest: Vec<f64> = honest_stakes.iter().map(|&s| phi(s)).collect();
-        let p_adv = phi(adversarial_stake);
+        self.resample_segment(probs, slots, &mut rng);
+    }
+
+    /// Resamples `self` as the next `slots`-slot **segment** of a longer
+    /// draw sequence: the caller owns the `StdRng` and threads it across
+    /// calls. Because every slot consumes exactly `nodes + 1` draws
+    /// regardless of outcome, consecutive segments reproduce draw-for-draw
+    /// the schedule a single [`ColumnarSchedule::resample_from_probs`]
+    /// over the concatenated horizon would produce — the property that
+    /// lets the bounded-memory horizon driver sample 10⁸ slots one window
+    /// at a time (and re-derive its RNG position on resume by replaying
+    /// whole segments).
+    pub fn resample_segment(&mut self, probs: &LeaderProbs, slots: usize, rng: &mut StdRng) {
         // Expected leaders ≈ slots × Σ p_i; reserve with headroom so the
         // flat column settles after at most one growth step.
-        let expected = (slots as f64 * p_honest.iter().sum::<f64>() * 1.1) as usize + 16;
+        let expected = (slots as f64 * probs.p_honest.iter().sum::<f64>() * 1.1) as usize + 16;
         self.honest.clear();
         self.honest.reserve(expected);
         self.start.clear();
@@ -143,13 +232,13 @@ impl ColumnarSchedule {
         self.adversarial.reserve(slots);
         self.start.push(0);
         for _ in 0..slots {
-            for (node, &p) in p_honest.iter().enumerate() {
+            for (node, &p) in probs.p_honest.iter().enumerate() {
                 if rng.gen::<f64>() < p {
                     self.honest.push(node as u32);
                 }
             }
             self.start.push(self.honest.len() as u32);
-            self.adversarial.push(rng.gen::<f64>() < p_adv);
+            self.adversarial.push(rng.gen::<f64>() < probs.p_adv);
         }
     }
 

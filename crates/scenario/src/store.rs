@@ -90,6 +90,23 @@ impl ColumnarStore {
         self.honest.push(true);
     }
 
+    /// Resets the store to hold a single **compacted root** block with
+    /// the given absolute coordinates — the store-side half of horizon
+    /// compaction. The root takes over id 0 (self-parenting, like
+    /// genesis), so every id-0-relative invariant keeps holding, while
+    /// its slot and height stay absolute: minting still asserts
+    /// `slot > parent_slot` and heights keep accumulating, so a
+    /// compacted execution is indistinguishable from the uncompacted one
+    /// above the root. Keeps allocations, like
+    /// [`reset`](ColumnarStore::reset).
+    pub fn reset_to_root(&mut self, slot: usize, height: usize, issuer: u32, honest: bool) {
+        self.reset();
+        self.slot[0] = slot as u32;
+        self.height[0] = height as u32;
+        self.issuer[0] = issuer;
+        self.honest[0] = honest;
+    }
+
     /// Mints a block on `parent` at `slot` by `issuer` and returns its id.
     ///
     /// # Panics
@@ -158,6 +175,14 @@ impl ColumnarStore {
     #[inline]
     pub fn last_common_block(&self, a: u32, b: u32) -> u32 {
         self.anc.lca(a as usize, b as usize) as u32
+    }
+
+    /// Whether `a` lies on the chain ending at `b` (inclusive) —
+    /// equivalent to `last_common_block(a, b) == a` but one directed
+    /// skew-binary descent instead of a full meet computation.
+    #[inline]
+    pub fn is_ancestor(&self, a: u32, b: u32) -> bool {
+        self.anc.is_ancestor_or_equal(a as usize, b as usize)
     }
 
     /// The block at `slot` on the chain ending at `tip`, if any,

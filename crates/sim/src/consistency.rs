@@ -94,6 +94,11 @@ impl DivergenceOps for BlockStore {
 #[derive(Debug, Clone)]
 pub struct DivergenceFold {
     slots: usize,
+    /// Anchors `≤ base` have been drained out of the window (segmented
+    /// executions advance it at compaction points); `earliest[i]` /
+    /// `latest[i]` describe anchor `base + i + 1`. Full-horizon folds
+    /// keep `base = 0` forever.
+    base: usize,
     earliest: Vec<usize>,
     latest: Vec<usize>,
     /// Anchors diverging under the currently open run of identical tip
@@ -114,6 +119,7 @@ impl DivergenceFold {
     pub fn new(slots: usize) -> DivergenceFold {
         DivergenceFold {
             slots,
+            base: 0,
             earliest: vec![0; slots],
             latest: vec![0; slots],
             current: Vec::new(),
@@ -121,6 +127,106 @@ impl DivergenceFold {
             epoch: 0,
             prev: Vec::new(),
             prev_slot: 0,
+        }
+    }
+
+    /// A **windowed** fold over the same anchor domain `1..=slots`, but
+    /// with lazily grown arrays: memory tracks the span since the last
+    /// [`DivergenceFold::advance_base`] instead of the full horizon —
+    /// the shape the segmented horizon driver needs at 10⁸ slots, where
+    /// eager `O(slots)` arrays alone would be ≈ 1.6 GB.
+    pub fn windowed(slots: usize) -> DivergenceFold {
+        DivergenceFold {
+            slots,
+            base: 0,
+            earliest: Vec::new(),
+            latest: Vec::new(),
+            current: Vec::new(),
+            mark: Vec::new(),
+            epoch: 0,
+            prev: Vec::new(),
+            prev_slot: 0,
+        }
+    }
+
+    /// A windowed fold resumed at a compaction point: anchors `≤ base`
+    /// were drained by the run being resumed, the observation clock
+    /// stands at `base`, and the last observation was unanimous on the
+    /// (rebased) root block `0`.
+    pub fn resume_at(slots: usize, base: usize) -> DivergenceFold {
+        let mut fold = DivergenceFold::windowed(slots);
+        fold.base = base;
+        fold.prev_slot = base;
+        fold.prev.push(0);
+        fold
+    }
+
+    /// Grows the window to cover anchor `s` (no-op for full-size folds).
+    #[inline]
+    fn ensure_anchor(&mut self, s: usize) {
+        let need = s - self.base;
+        if self.latest.len() < need {
+            self.latest.resize(need, 0);
+            self.earliest.resize(need, 0);
+        }
+    }
+
+    /// Drains every settled anchor `base < s ≤ new_base` out of the
+    /// window — calling `drain(s, earliest, latest)` for each anchor
+    /// with a diverging observation — and advances the base. The caller
+    /// must be at a **fully settled** observation point: the clock
+    /// stands exactly at `new_base` and the last observation was
+    /// unanimous (so no run is open and no future observation can touch
+    /// a drained anchor — post-compaction blocks all carry slots
+    /// `> new_base`).
+    pub fn advance_base<F: FnMut(usize, usize, usize)>(&mut self, new_base: usize, mut drain: F) {
+        debug_assert!(
+            self.current.is_empty(),
+            "compaction requires a closed (unanimous) run"
+        );
+        debug_assert_eq!(
+            self.prev_slot, new_base,
+            "compaction point must be the current observation slot"
+        );
+        debug_assert!(new_base >= self.base, "base can only advance");
+        // Every recorded anchor is a block slot ≤ the observation clock,
+        // so the whole window drains; nothing shifts.
+        debug_assert!(self.latest.len() <= new_base - self.base);
+        for i in 0..self.latest.len() {
+            if self.latest[i] != 0 {
+                drain(self.base + i + 1, self.earliest[i], self.latest[i]);
+            }
+        }
+        self.earliest.clear();
+        self.latest.clear();
+        self.base = new_base;
+    }
+
+    /// Re-points the previous unanimous observation at the rebased root
+    /// block `0` — the fold-side half of a store compaction, where the
+    /// unanimous tip becomes the new root id. Requires the last
+    /// observation to have been unanimous (or the never-materialized
+    /// genesis-unanimous state).
+    pub fn rebase_unanimous_root(&mut self) {
+        debug_assert!(self.current.is_empty(), "open run at a rebase point");
+        debug_assert!(self.prev.len() <= 1, "rebase requires unanimous tips");
+        self.prev.clear();
+        self.prev.push(0);
+    }
+
+    /// Closes the final run and drains every remaining anchor of the
+    /// window — the windowed analogue of [`DivergenceFold::finish`],
+    /// for drivers that aggregate instead of materialising a
+    /// [`DivergenceIndex`].
+    pub fn finish_windowed<F: FnMut(usize, usize, usize)>(mut self, mut drain: F) {
+        for &s in &self.current {
+            let i = s - 1 - self.base;
+            self.latest[i] = self.latest[i].max(self.slots);
+        }
+        for i in 0..self.latest.len() {
+            if self.latest[i] != 0 {
+                drain(self.base + i + 1, self.earliest[i], self.latest[i]);
+            }
         }
     }
 
@@ -134,10 +240,11 @@ impl DivergenceFold {
         }
         // Close the previous run: its anchors were last seen at t − 1.
         for &s in &self.current {
-            self.latest[s - 1] = self.latest[s - 1].max(t - 1);
+            self.latest[s - 1 - self.base] = self.latest[s - 1 - self.base].max(t - 1);
         }
         self.current.clear();
         if tips.len() > 1 {
+            self.ensure_anchor(t);
             if self.mark.len() < store.block_count() {
                 self.mark.resize(store.block_count(), 0);
             }
@@ -156,13 +263,67 @@ impl DivergenceFold {
                 }
             }
             for &s in &self.current {
-                if self.earliest[s - 1] == 0 {
-                    self.earliest[s - 1] = t;
+                if self.earliest[s - 1 - self.base] == 0 {
+                    self.earliest[s - 1 - self.base] = t;
                 }
             }
         }
         self.prev.clear();
         self.prev.extend_from_slice(tips);
+        self.prev_slot = t;
+    }
+
+    /// Advances the fold to slot `t` **without** re-presenting the tip
+    /// set, asserting the caller's knowledge that the distinct honest
+    /// tips at `t` equal those at `t − 1`. Equivalent to — and
+    /// bit-identical with — calling [`DivergenceFold::observe_tips`]
+    /// with an unchanged set (the open run simply stays open), but
+    /// skips the set comparison entirely: the columnar engine's
+    /// quiet-slot fast path proves "no mint, no delivery ⇒ tips
+    /// unchanged" structurally and pays one store here instead.
+    #[inline]
+    pub fn observe_tips_unchanged(&mut self, t: usize) {
+        debug_assert_eq!(t, self.prev_slot + 1, "tips must arrive in slot order");
+        self.prev_slot = t;
+    }
+
+    /// Observes the tip set `{parent, child}` at slot `t`, where `child`
+    /// is a **fresh block minted on the previous slot's unanimous tip**
+    /// `parent` — the columnar engine's single-mint fast case.
+    /// Bit-identical to [`DivergenceFold::observe_tips`] with that pair,
+    /// with every derived quantity precomputed by the caller's structural
+    /// knowledge: the meet of the pair *is* `parent` (no LCA), the only
+    /// chain suffix above it *is* `child` (no walk, no visited marks),
+    /// and the previous run — unanimous on `parent` — carries no
+    /// diverging anchors (its close loop is empty).
+    ///
+    /// Callers must guarantee: the previous observation was the unanimous
+    /// `[parent]`, `child`'s parent is `parent`, and `child` was minted at
+    /// slot `child_slot = t ≥ 1`.
+    #[inline]
+    pub fn observe_fresh_child(&mut self, t: usize, parent: u32, child: u32, child_slot: usize) {
+        debug_assert_eq!(t, self.prev_slot + 1, "tips must arrive in slot order");
+        // An empty `prev` with `parent == 0` is the never-materialized
+        // genesis-unanimous state: every slot so far was quiet, so the
+        // tips were never re-presented. Structurally identical to
+        // `prev == [0]`.
+        debug_assert!(
+            (self.prev.is_empty() && parent == 0) || self.prev.as_slice() == [parent],
+            "previous tips must be unanimous on parent"
+        );
+        // Close the (unanimous, anchor-free) previous run.
+        for &s in &self.current {
+            self.latest[s - 1 - self.base] = self.latest[s - 1 - self.base].max(t - 1);
+        }
+        self.current.clear();
+        self.ensure_anchor(t);
+        self.current.push(child_slot);
+        if self.earliest[child_slot - 1 - self.base] == 0 {
+            self.earliest[child_slot - 1 - self.base] = t;
+        }
+        self.prev.clear();
+        self.prev.push(parent);
+        self.prev.push(child);
         self.prev_slot = t;
     }
 
@@ -173,23 +334,35 @@ impl DivergenceFold {
     pub fn observe_rollback<S: DivergenceOps>(&mut self, store: &S, t: usize, old: u32, new: u32) {
         let meet = store.lca(old, new);
         let meet_slot = store.slot_of(meet);
+        self.ensure_anchor(t.min(self.slots));
         for tip in [old, new] {
             let mut cur = tip;
             while store.slot_of(cur) > meet_slot {
                 let s = store.slot_of(cur);
                 if s <= self.slots {
-                    if self.earliest[s - 1] == 0 || t < self.earliest[s - 1] {
-                        self.earliest[s - 1] = t;
+                    debug_assert!(s > self.base, "rollback anchor below the drained base");
+                    let i = s - 1 - self.base;
+                    if self.earliest[i] == 0 || t < self.earliest[i] {
+                        self.earliest[i] = t;
                     }
-                    self.latest[s - 1] = self.latest[s - 1].max(t);
+                    self.latest[i] = self.latest[i].max(t);
                 }
                 cur = store.parent_of(cur);
             }
         }
     }
 
-    /// Closes the final run and produces the queryable index.
+    /// Closes the final run and produces the queryable index. Only
+    /// full-horizon folds (base never advanced) can produce one —
+    /// segmented drivers drain through
+    /// [`DivergenceFold::finish_windowed`] instead.
     pub fn finish(mut self) -> DivergenceIndex {
+        assert_eq!(
+            self.base, 0,
+            "a base-advanced fold cannot build a full index"
+        );
+        self.earliest.resize(self.slots, 0);
+        self.latest.resize(self.slots, 0);
         for &s in &self.current {
             self.latest[s - 1] = self.latest[s - 1].max(self.slots);
         }

@@ -85,6 +85,23 @@ impl MetricsAccumulator {
         self.max_divergence
     }
 
+    /// The raw fold state `(slots, max_divergence, rollbacks)` — what an
+    /// execution checkpoint must persist to resume the fold mid-run.
+    pub fn state(&self) -> (usize, usize, usize) {
+        (self.slots, self.max_divergence, self.rollbacks)
+    }
+
+    /// Rebuilds an accumulator from
+    /// [`state`](MetricsAccumulator::state), continuing the fold exactly
+    /// where the checkpointed run left off.
+    pub fn restore(slots: usize, max_divergence: usize, rollbacks: usize) -> MetricsAccumulator {
+        MetricsAccumulator {
+            slots,
+            max_divergence,
+            rollbacks,
+        }
+    }
+
     /// Completes the fold with the end-of-run facts that are not per-slot
     /// observations: active-slot count (a schedule property), the final
     /// chain shape read off the best tip, and the maximum settlement lag

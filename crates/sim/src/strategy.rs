@@ -52,6 +52,24 @@ pub trait SlotContext {
     /// current slot) are dropped — the adversary may simply never
     /// deliver.
     fn deliver_adversarial(&mut self, at_slot: usize, recipient: usize, block: BlockId);
+    /// [`SlotContext::deliver_honest`] to **every** honest node
+    /// (`0..honest_nodes`, ascending) at the same requested slot. The
+    /// default is exactly that loop; an engine may override it with one
+    /// batched queue append — same deliveries, same order.
+    fn deliver_honest_to_all(&mut self, requested_slot: usize, block: BlockId) {
+        for r in 0..self.honest_nodes() {
+            self.deliver_honest(requested_slot, r, block);
+        }
+    }
+    /// [`SlotContext::deliver_adversarial`] to every honest node at
+    /// `at_slot` — the batched counterpart of the broadcast reveal, with
+    /// the same loop default and override latitude as
+    /// [`SlotContext::deliver_honest_to_all`].
+    fn deliver_adversarial_to_all(&mut self, at_slot: usize, block: BlockId) {
+        for r in 0..self.honest_nodes() {
+            self.deliver_adversarial(at_slot, r, block);
+        }
+    }
     /// Whether `node` is up this slot (a crashed node neither mints nor
     /// receives). Always `true` when no fault plan is active — the
     /// default keeps existing strategies and engines bit-identical in
@@ -88,9 +106,54 @@ pub trait AdversaryStrategy {
         delta
     }
 
+    /// Whether [`on_slot`](AdversaryStrategy::on_slot) is a no-op on a
+    /// slot with **no leaders at all** — no honest mints and no
+    /// adversarial stake win. Every built-in strategy only ever acts on
+    /// minted blocks or an adversarial slot win (a withholding release,
+    /// in particular, is decided in the same `on_slot` that minted the
+    /// overtaking private block, so it can never first become due on a
+    /// leaderless slot), and engines may then skip the dispatch entirely
+    /// on such slots. The default says `false` — a custom strategy with
+    /// time-based behaviour (say, releasing at a fixed slot) stays
+    /// correct without overriding anything.
+    fn passive_without_leaders(&self) -> bool {
+        false
+    }
+
     /// One slot of adversarial activity; see the trait docs for the
     /// calling convention.
     fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]);
+
+    /// Horizon-compaction handshake. The segmented driver calls this at a
+    /// **fully settled** point — every honest node on the unanimous tip
+    /// `tip`, no delivery in flight — asking whether the block arena may
+    /// be compacted to a single root. An implementation returns `true`
+    /// only if every block reference it might still *read* equals `tip`
+    /// (references that are provably overwritten before their next read
+    /// may differ), and must then rebase all of them to `root`, the id
+    /// `tip` will carry after compaction. Returning `false` — the default,
+    /// so custom strategies are never compacted under them — vetoes
+    /// compaction at this point; the driver simply tries again later.
+    fn compact_to_root(&mut self, tip: BlockId, root: BlockId) -> bool {
+        let _ = (tip, root);
+        false
+    }
+
+    /// The scalar state a resumed execution needs, captured **after** a
+    /// [`compact_to_root`](AdversaryStrategy::compact_to_root) that
+    /// returned `true` (so every block reference is the root and only
+    /// scalars remain). The default empty vector pairs with the default
+    /// compaction veto.
+    fn checkpoint_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores a freshly constructed strategy from
+    /// [`checkpoint_state`](AdversaryStrategy::checkpoint_state), in an
+    /// arena whose compacted root carries id 0 (= `BlockId::GENESIS`).
+    fn restore_state(&mut self, state: &[u64]) {
+        let _ = state;
+    }
 }
 
 /// Raises `best` to `candidate` when the candidate's chain is strictly
@@ -104,9 +167,15 @@ fn raise_best(ctx: &dyn SlotContext, best: &mut BlockId, candidate: BlockId) {
 /// Strategy `Honest`: adversarial leaders behave exactly like honest
 /// ones — extend the public longest chain, broadcast immediately, deliver
 /// honest broadcasts at once. The baseline for growth/quality statistics.
+///
+/// Block heights are immutable once minted, so the strategy caches the
+/// height alongside each held tip instead of re-querying the context
+/// every slot — identical decisions, a fraction of the dyn-dispatch
+/// traffic on the engines' hot loops.
 #[derive(Debug, Clone)]
 pub struct HonestStrategy {
     public_best: BlockId,
+    public_height: usize,
 }
 
 impl HonestStrategy {
@@ -114,6 +183,7 @@ impl HonestStrategy {
     pub fn new() -> HonestStrategy {
         HonestStrategy {
             public_best: BlockId::GENESIS,
+            public_height: 0,
         }
     }
 }
@@ -129,34 +199,64 @@ impl AdversaryStrategy for HonestStrategy {
         "honest"
     }
 
+    fn passive_without_leaders(&self) -> bool {
+        true // acts only on minted blocks and adversarial slot wins
+    }
+
     fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {
-        let slot = ctx.slot();
         // Adversarial leaders extend the best pre-slot public block (a
         // chain may not contain two blocks of the same slot, axiom A2).
         if ctx.adversarial_leader() {
+            let slot = ctx.slot();
             let b = ctx.mint_adversarial(self.public_best);
-            for r in 0..ctx.honest_nodes() {
-                ctx.deliver_adversarial(slot, r, b);
-            }
-            raise_best(ctx, &mut self.public_best, b);
+            ctx.deliver_adversarial_to_all(slot, b);
+            // The new block sits one above the previous public best.
+            self.public_best = b;
+            self.public_height += 1;
         }
         // Honest broadcasts: delivered to everyone immediately.
         for &b in minted {
-            raise_best(ctx, &mut self.public_best, b);
-            for r in 0..ctx.honest_nodes() {
-                ctx.deliver_honest(slot, r, b);
+            let slot = ctx.slot();
+            let h = ctx.height_of(b);
+            if h > self.public_height {
+                self.public_best = b;
+                self.public_height = h;
             }
+            ctx.deliver_honest_to_all(slot, b);
         }
+    }
+
+    fn compact_to_root(&mut self, tip: BlockId, root: BlockId) -> bool {
+        if self.public_best != tip {
+            return false;
+        }
+        self.public_best = root;
+        true
+    }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        vec![self.public_height as u64]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.public_best = BlockId::GENESIS; // the compacted root's id
+        self.public_height = state[0] as usize;
     }
 }
 
 /// Strategy `PrivateWithholding`: grow a private chain, release when it
 /// overtakes the public one — the classic settlement attack, rolling back
 /// every honest block since the fork point.
+/// Block heights never change after minting, so the strategy tracks the
+/// heights of its two held tips locally — bit-identical decisions with a
+/// single dyn-context call on slots where nothing happens, which is what
+/// the columnar engine's quiet-slot fast path leans on.
 #[derive(Debug, Clone)]
 pub struct WithholdingStrategy {
     private_tip: BlockId,
     public_best: BlockId,
+    private_height: usize,
+    public_height: usize,
 }
 
 impl WithholdingStrategy {
@@ -165,6 +265,8 @@ impl WithholdingStrategy {
         WithholdingStrategy {
             private_tip: BlockId::GENESIS,
             public_best: BlockId::GENESIS,
+            private_height: 0,
+            public_height: 0,
         }
     }
 }
@@ -180,39 +282,80 @@ impl AdversaryStrategy for WithholdingStrategy {
         "private-withholding"
     }
 
+    fn passive_without_leaders(&self) -> bool {
+        true // acts only on minted blocks and adversarial slot wins
+    }
+
     fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {
-        let slot = ctx.slot();
-        let delta = ctx.delta();
         // Adversarial minting first, on pre-slot blocks only (axiom A2
         // forbids extending a block of the same slot).
         if ctx.adversarial_leader() {
             // Restart the private branch from the public tip once it has
             // fallen irrecoverably behind (it was overtaken and the gap
             // keeps growing).
-            if ctx.height_of(self.private_tip) + 2 < ctx.height_of(self.public_best) {
+            if self.private_height + 2 < self.public_height {
                 self.private_tip = self.public_best;
+                self.private_height = self.public_height;
             }
             self.private_tip = ctx.mint_adversarial(self.private_tip);
+            self.private_height += 1;
         }
         // Honest broadcasts flow normally (delayed to the edge of the Δ
         // window — the adversary always slows honest progress; the minter
         // already adopted its own block at mint time, so the Δ delay only
         // bites the *other* honest nodes).
         for &b in minted {
-            raise_best(ctx, &mut self.public_best, b);
-            for r in 0..ctx.honest_nodes() {
-                ctx.deliver_honest(slot + delta, r, b);
+            let slot = ctx.slot();
+            let delta = ctx.delta();
+            let h = ctx.height_of(b);
+            if h > self.public_height {
+                self.public_best = b;
+                self.public_height = h;
             }
+            ctx.deliver_honest_to_all(slot + delta, b);
         }
         // Release when strictly longer than everything public (the rushing
         // adversary has already seen this slot's honest blocks).
-        if ctx.height_of(self.private_tip) > ctx.height_of(self.public_best) {
+        if self.private_height > self.public_height {
+            let slot = ctx.slot();
             let released = self.private_tip;
-            for r in 0..ctx.honest_nodes() {
-                ctx.deliver_adversarial(slot, r, released);
-            }
-            raise_best(ctx, &mut self.public_best, released);
+            ctx.deliver_adversarial_to_all(slot, released);
+            self.public_best = released;
+            self.public_height = self.private_height;
         }
+    }
+
+    fn compact_to_root(&mut self, tip: BlockId, root: BlockId) -> bool {
+        // The private tip is readable only while the branch is not
+        // irrecoverably behind; a stale branch is restarted from the
+        // public tip before its next read, so its reference may differ
+        // from `tip` without vetoing compaction.
+        let private_stale = self.private_height + 2 < self.public_height;
+        if self.public_best != tip || (!private_stale && self.private_tip != tip) {
+            return false;
+        }
+        self.public_best = root;
+        // When stale this is a dead store (the restart overwrites it
+        // before any read); rebased anyway so no pre-compaction id
+        // lingers. `private_height` is deliberately left alone: the
+        // branch must *stay* stale so the restart fires at the next
+        // adversarial slot from the public height of *that* moment,
+        // exactly as in an uncompacted run — folding the restart in here
+        // would pin the branch to today's public height even though
+        // honest mints may raise it before the next adversarial slot.
+        self.private_tip = root;
+        true
+    }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        vec![self.private_height as u64, self.public_height as u64]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) {
+        self.private_tip = BlockId::GENESIS; // the compacted root's id
+        self.public_best = BlockId::GENESIS;
+        self.private_height = state[0] as usize;
+        self.public_height = state[1] as usize;
     }
 }
 
@@ -248,6 +391,10 @@ impl Default for BalanceStrategy {
 impl AdversaryStrategy for BalanceStrategy {
     fn name(&self) -> &'static str {
         "balance-attack"
+    }
+
+    fn passive_without_leaders(&self) -> bool {
+        true // acts only on minted blocks and adversarial slot wins
     }
 
     fn on_slot(&mut self, ctx: &mut dyn SlotContext, minted: &[BlockId]) {

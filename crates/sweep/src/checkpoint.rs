@@ -1,16 +1,24 @@
 //! Campaign checkpoints: atomic, line-oriented snapshots of completed
 //! cells.
 //!
-//! ## Format (`multihonest-sweep-checkpoint/v2`)
+//! ## Format (`multihonest-sweep-checkpoint/v3`)
 //!
 //! One compact-JSON object per line — a header, then one completed cell
 //! per line:
 //!
 //! ```text
-//! {"schema":"multihonest-sweep-checkpoint/v2","spec_fingerprint":1234567890}
+//! {"schema":"multihonest-sweep-checkpoint/v3","spec_fingerprint":1234567890,"kernel_version":1}
 //! {"cell":0,"aggregate":{ ...CellAggregate... }}
 //! {"cell":3,"aggregate":{ ... }}
 //! ```
+//!
+//! `kernel_version` pins the execution engine revision
+//! ([`ENGINE_KERNEL_VERSION`]) the snapshot's aggregates were computed
+//! with. A campaign resumed under a different kernel would silently mix
+//! aggregates from two different samplers into one grid, so a mismatch
+//! is rejected with the same hard error as a wrong spec fingerprint.
+//! (v2 snapshots carried no kernel tag and are likewise rejected — the
+//! cells they hold cannot be attributed to a kernel.)
 //!
 //! Only **whole completed cells** are checkpointed: a cell's aggregate is
 //! flushed once its last trial chunk lands, so every snapshot is a valid
@@ -33,13 +41,14 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::Path;
 
+use multihonest_scenario::ENGINE_KERNEL_VERSION;
 use serde::Serialize;
 use serde::Value;
 
 use crate::aggregate::CellAggregate;
 
 /// Schema tag of the checkpoint format.
-pub const CHECKPOINT_SCHEMA: &str = "multihonest-sweep-checkpoint/v2";
+pub const CHECKPOINT_SCHEMA: &str = "multihonest-sweep-checkpoint/v3";
 
 /// One completed cell in a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -58,16 +67,21 @@ pub struct Checkpoint {
     /// [`CampaignSpec::fingerprint`](crate::CampaignSpec::fingerprint)
     /// of the campaign this snapshot belongs to.
     pub spec_fingerprint: u64,
+    /// [`ENGINE_KERNEL_VERSION`] of the engine that computed the
+    /// aggregates.
+    pub kernel_version: u32,
     /// Completed cells, sorted by cell index.
     pub completed: Vec<CompletedCell>,
 }
 
 impl Checkpoint {
-    /// A checkpoint with no completed cells.
+    /// A checkpoint with no completed cells, stamped with the running
+    /// engine's [`ENGINE_KERNEL_VERSION`].
     pub fn empty(spec_fingerprint: u64) -> Checkpoint {
         Checkpoint {
             schema: CHECKPOINT_SCHEMA.to_string(),
             spec_fingerprint,
+            kernel_version: ENGINE_KERNEL_VERSION,
             completed: Vec::new(),
         }
     }
@@ -75,9 +89,10 @@ impl Checkpoint {
     /// Renders the line-oriented byte stream of the checkpoint.
     fn render(&self) -> String {
         let mut out = format!(
-            "{{\"schema\":{},\"spec_fingerprint\":{}}}\n",
+            "{{\"schema\":{},\"spec_fingerprint\":{},\"kernel_version\":{}}}\n",
             serde_json::to_string(&self.schema).expect("serializable"),
-            self.spec_fingerprint
+            self.spec_fingerprint,
+            self.kernel_version
         );
         for cell in &self.completed {
             out.push_str(&serde_json::to_string(cell).expect("serializable"));
@@ -132,6 +147,15 @@ impl Checkpoint {
                  (spec fingerprint {found_fingerprint:#x}, expected {spec_fingerprint:#x})"
             )));
         }
+        let found_kernel = field_u64(&header, "kernel_version")?;
+        if found_kernel != u64::from(ENGINE_KERNEL_VERSION) {
+            return Err(bad_data(format!(
+                "checkpoint was computed by engine kernel v{found_kernel}, but this \
+                 build runs kernel v{ENGINE_KERNEL_VERSION}; resuming would mix \
+                 aggregates from two different samplers — delete the checkpoint \
+                 (or rerun under the matching build) to proceed"
+            )));
+        }
         let mut completed = Vec::new();
         for (i, line) in lines.enumerate() {
             if line.trim().is_empty() {
@@ -160,6 +184,7 @@ impl Checkpoint {
         Ok(Some(Checkpoint {
             schema: schema.to_string(),
             spec_fingerprint: found_fingerprint,
+            kernel_version: found_kernel as u32,
             completed,
         }))
     }
@@ -257,6 +282,7 @@ mod tests {
         Checkpoint {
             schema: CHECKPOINT_SCHEMA.to_string(),
             spec_fingerprint: 0xDEAD_BEEF_DEAD_BEEF,
+            kernel_version: ENGINE_KERNEL_VERSION,
             completed: vec![
                 CompletedCell {
                     cell: 0,
@@ -298,6 +324,32 @@ mod tests {
         sample().write(&path).unwrap();
         let err = Checkpoint::load(&path, 1).unwrap_err();
         assert!(err.to_string().contains("different campaign"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_kernel_version_rejected() {
+        let dir = std::env::temp_dir().join("multihonest-sweep-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale-kernel.json");
+        let mut stale = sample();
+        stale.kernel_version = ENGINE_KERNEL_VERSION + 1;
+        stale.write(&path).unwrap();
+        let err = Checkpoint::load(&path, stale.spec_fingerprint).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("engine kernel"), "{err}");
+        // A v2 header (no kernel tag at all) is rejected for the missing
+        // field, not silently accepted.
+        std::fs::write(
+            &path,
+            format!(
+                "{{\"schema\":\"{CHECKPOINT_SCHEMA}\",\"spec_fingerprint\":{}}}\n",
+                stale.spec_fingerprint
+            ),
+        )
+        .unwrap();
+        let err = Checkpoint::load(&path, stale.spec_fingerprint).unwrap_err();
+        assert!(err.to_string().contains("kernel_version"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

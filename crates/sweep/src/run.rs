@@ -9,11 +9,14 @@
 //! every per-cell fold is commutative ([`CellAggregate`]), so 1, 4 and 8
 //! threads produce bit-identical aggregates.
 //!
-//! Each worker owns one [`ExecutionArena`] and one reusable
-//! [`ColumnarSchedule`]; a trial is "resample schedule in place → fresh
-//! strategy → streaming run in the arena", leaving memory bounded by
-//! `O(threads · arena + cells · aggregate)` — independent of the trial
-//! count.
+//! Each worker owns one [`BatchExecution`] (arena + schedule buffer) and
+//! drives a whole trial chunk through it at once: the `φ(stake)` table
+//! is built once per chunk ([`LeaderProbs`]), the schedule is resampled
+//! in place per seed, and every execution streams through the reused
+//! arena. Memory stays bounded by `O(threads · arena + cells ·
+//! aggregate)` — independent of the trial count — and by the batch law
+//! (see `multihonest_scenario::batch`) the aggregates are identical to
+//! one-trial-at-a-time execution.
 //!
 //! When a checkpoint path is set, the worker that lands a cell's **last**
 //! chunk flushes a [`Checkpoint`] of all completed cells (atomic
@@ -28,7 +31,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use multihonest_scenario::{ColumnarSchedule, ColumnarSimulation, ExecutionArena};
+use multihonest_scenario::{BatchExecution, LeaderProbs};
 
 use crate::aggregate::CellAggregate;
 use crate::checkpoint::{Checkpoint, CompletedCell};
@@ -148,8 +151,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
     let flush_error: Mutex<Option<io::Error>> = Mutex::new(None);
 
     let worker = || {
-        let mut arena = ExecutionArena::new();
-        let mut schedule = ColumnarSchedule::empty();
+        let mut batch = BatchExecution::new();
         loop {
             if stop.load(Ordering::Acquire) {
                 break;
@@ -162,28 +164,26 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
             let config = spec.config_for(cell);
             let stakes = spec.stakes_for(cell);
             let plan = cell.fault.plan(spec.honest_nodes, spec.slots);
+            let probs =
+                LeaderProbs::weighted(&stakes, spec.adversarial_stake, spec.active_slot_coeff);
             let mut chunk = CellAggregate::new(num_ks);
-            for trial in start..end {
-                let seed = spec.trial_seed(cell_index, trial);
-                schedule.resample_weighted(
-                    &stakes,
-                    spec.adversarial_stake,
-                    spec.active_slot_coeff,
-                    spec.slots,
-                    seed,
-                );
-                let mut strategy = cell.strategy.instantiate();
-                let (metrics, index, ledger) = ColumnarSimulation::run_streaming_faults_in(
-                    &mut arena,
-                    &config,
-                    &schedule,
-                    strategy.as_mut(),
-                    &plan,
-                    &mut (),
-                );
-                chunk.record(seed, &metrics, &index, &spec.ks, spec.slots);
-                chunk.record_faults(&ledger);
-            }
+            batch.run(
+                &config,
+                &probs,
+                &plan,
+                (start..end).map(|trial| spec.trial_seed(cell_index, trial)),
+                |_| cell.strategy.instantiate(),
+                |out| {
+                    chunk.record(
+                        out.seed,
+                        &out.metrics,
+                        &out.divergence,
+                        &spec.ks,
+                        spec.slots,
+                    );
+                    chunk.record_faults(&out.ledger);
+                },
+            );
             executions_run.fetch_add(end - start, Ordering::Relaxed);
             slots[cell_index]
                 .agg
@@ -202,19 +202,16 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
             }
             if let Some(path) = &opts.checkpoint {
                 let _serialize_writes = flush_lock.lock().expect("poisoned");
-                let snapshot = Checkpoint {
-                    schema: crate::checkpoint::CHECKPOINT_SCHEMA.to_string(),
-                    spec_fingerprint: fingerprint,
-                    completed: slots
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, s)| s.remaining.load(Ordering::Acquire) == 0)
-                        .map(|(i, s)| CompletedCell {
-                            cell: i as u64,
-                            aggregate: s.agg.lock().expect("poisoned").clone(),
-                        })
-                        .collect(),
-                };
+                let mut snapshot = Checkpoint::empty(fingerprint);
+                snapshot.completed = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.remaining.load(Ordering::Acquire) == 0)
+                    .map(|(i, s)| CompletedCell {
+                        cell: i as u64,
+                        aggregate: s.agg.lock().expect("poisoned").clone(),
+                    })
+                    .collect();
                 if let Err(e) = snapshot.write(path) {
                     *flush_error.lock().expect("poisoned") = Some(e);
                     stop.store(true, Ordering::Release);
