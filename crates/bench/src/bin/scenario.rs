@@ -13,11 +13,13 @@
 //! cargo run -p multihonest-bench --release --bin scenario -- horizon --slots 100000000 --wal /tmp/run.wal
 //! ```
 
+use multihonest::obs::{Heartbeat, ObsRecorder};
 use multihonest::sim::{SimConfig, Strategy, TieBreak};
-use multihonest_bench::cli::{flag_value, or_usage, parsed_flag};
+use multihonest_bench::cli::{flag_value, or_usage, parsed_flag, reject_unknown_flags};
 use multihonest_scenario::report::profile_headline;
 use multihonest_scenario::{
-    run_horizon, scenario_bench_report, HorizonOptions, LeaderProbs, ScenarioBenchReport,
+    run_horizon, run_horizon_observed, scenario_bench_report, HorizonOptions, LeaderProbs,
+    ScenarioBenchReport,
 };
 
 fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
@@ -30,7 +32,22 @@ fn build_report(quick: bool, seed: u64, threads: usize) -> ScenarioBenchReport {
 }
 
 const USAGE: &str = "scenario [bench-report | horizon] [--quick] [--profile] [--seed <u64>] \
-     [--threads <n>] [--out <path>] [--slots <n>] [--segment <n>] [--wal <path>]";
+     [--threads <n>] [--out <path>] [--slots <n>] [--segment <n>] [--wal <path>] \
+     [--trace <path>] [--events <path>] [--heartbeat <secs>]";
+
+const KNOWN_FLAGS: [&str; 11] = [
+    "--quick",
+    "--profile",
+    "--seed",
+    "--threads",
+    "--out",
+    "--slots",
+    "--segment",
+    "--wal",
+    "--trace",
+    "--events",
+    "--heartbeat",
+];
 
 /// The `horizon` subcommand: one bounded-memory long-horizon execution
 /// of the canonical private-withholding shape, with settled-prefix
@@ -40,6 +57,9 @@ fn run_horizon_cmd(args: &[String], seed: u64) {
     let slots: usize = or_usage(parsed_flag(args, "--slots"), USAGE).unwrap_or(100_000_000);
     let segment: usize = or_usage(parsed_flag(args, "--segment"), USAGE).unwrap_or(1 << 20);
     let wal = or_usage(flag_value(args, "--wal"), USAGE).map(std::path::PathBuf::from);
+    let trace_path = or_usage(flag_value(args, "--trace"), USAGE).map(std::path::PathBuf::from);
+    let events_path = or_usage(flag_value(args, "--events"), USAGE).map(std::path::PathBuf::from);
+    let heartbeat_secs: Option<u64> = or_usage(parsed_flag(args, "--heartbeat"), USAGE);
     let config = SimConfig {
         honest_nodes: 10,
         adversarial_stake: 0.3,
@@ -61,8 +81,18 @@ fn run_horizon_cmd(args: &[String], seed: u64) {
         max_live_blocks: 0,
         wal,
     };
+    // Observability is opt-in: without --trace/--events/--heartbeat the
+    // run takes the plain path with the no-op `()` recorder.
+    let observing = trace_path.is_some() || events_path.is_some() || heartbeat_secs.is_some();
+    let mut rec = ObsRecorder::new();
+    let mut hb = heartbeat_secs.map(Heartbeat::new);
     let start = std::time::Instant::now();
-    let report = match run_horizon(&config, &probs, seed, &opts) {
+    let run = if observing {
+        run_horizon_observed(&config, &probs, seed, &opts, &mut rec, hb.as_mut())
+    } else {
+        run_horizon(&config, &probs, seed, &opts)
+    };
+    let report = match run {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: horizon run failed: {e}");
@@ -70,6 +100,18 @@ fn run_horizon_cmd(args: &[String], seed: u64) {
         }
     };
     let seconds = start.elapsed().as_secs_f64();
+    if let Some(path) = &trace_path {
+        std::fs::write(path, rec.chrome_trace_json()).expect("write Chrome trace");
+        eprintln!(
+            "trace: {} span events -> {} (load in chrome://tracing or Perfetto)",
+            rec.events().len(),
+            path.display()
+        );
+    }
+    if let Some(path) = &events_path {
+        std::fs::write(path, rec.jsonl()).expect("write JSONL event stream");
+        eprintln!("events: -> {}", path.display());
+    }
     if let Some(at) = report.resumed_at {
         println!("resumed from WAL checkpoint at slot {at}");
     }
@@ -102,6 +144,7 @@ fn run_horizon_cmd(args: &[String], seed: u64) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    or_usage(reject_unknown_flags(&args, &KNOWN_FLAGS), USAGE);
     let quick = args.iter().any(|a| a == "--quick");
     if args.iter().any(|a| a == "horizon") {
         let seed: u64 = or_usage(parsed_flag(&args, "--seed"), USAGE).unwrap_or(9);

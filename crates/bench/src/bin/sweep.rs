@@ -21,17 +21,19 @@
 
 use std::path::PathBuf;
 
+use multihonest::obs::{Heartbeat, ObsRecorder};
 use multihonest_bench::cli::{flag_value, or_usage, parsed_flag, reject_unknown_flags};
 use multihonest_bench::{default_threads, sweep_bench_report};
 use multihonest_sweep::{
-    campaign_report, report_csv, report_json, run_campaign, CampaignSpec, RunOptions,
+    campaign_report, report_csv, report_json, run_campaign, run_campaign_observed, CampaignSpec,
+    RunOptions,
 };
 
 const USAGE: &str = "sweep [bench-report] [--quick] [--seed <u64>] [--threads <n>] \
                      [--out <path>] [--csv <path>] [--checkpoint <path>] \
-                     [--stop-after-cells <n>]";
+                     [--stop-after-cells <n>] [--trace <path>] [--heartbeat <secs>]";
 
-const KNOWN_FLAGS: [&str; 7] = [
+const KNOWN_FLAGS: [&str; 9] = [
     "--quick",
     "--seed",
     "--threads",
@@ -39,6 +41,8 @@ const KNOWN_FLAGS: [&str; 7] = [
     "--csv",
     "--checkpoint",
     "--stop-after-cells",
+    "--trace",
+    "--heartbeat",
 ];
 
 fn main() {
@@ -95,18 +99,40 @@ fn main() {
         return;
     }
 
+    let trace_path = or_usage(flag_value(&args, "--trace"), USAGE).map(PathBuf::from);
+    let heartbeat_secs: Option<u64> = or_usage(parsed_flag(&args, "--heartbeat"), USAGE);
+
     let opts = RunOptions {
         threads,
         checkpoint: checkpoint.clone(),
         stop_after_cells,
     };
-    let outcome = match run_campaign(&spec, &opts) {
+    // Observability is opt-in: without --trace/--heartbeat the campaign
+    // takes the plain path (no per-worker shards, no span events).
+    let observing = trace_path.is_some() || heartbeat_secs.is_some();
+    let mut rec = ObsRecorder::new();
+    let mut hb = heartbeat_secs.map(Heartbeat::new);
+    let run = if observing {
+        run_campaign_observed(&spec, &opts, Some(&mut rec), hb.as_mut())
+    } else {
+        run_campaign(&spec, &opts)
+    };
+    let outcome = match run {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    if let Some(path) = &trace_path {
+        std::fs::write(path, rec.chrome_trace_json()).expect("write Chrome trace");
+        eprintln!(
+            "trace: {} span events from {} workers -> {} (load in chrome://tracing or Perfetto)",
+            rec.events().len(),
+            threads,
+            path.display()
+        );
+    }
 
     if !outcome.is_complete() {
         // Interrupted (only reachable via --stop-after-cells or a flush

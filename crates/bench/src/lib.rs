@@ -11,6 +11,8 @@ use multihonest::chars::{BernoulliCondition, SemiSyncCondition};
 use multihonest::margin::ExactSettlement;
 use multihonest::prelude::*;
 
+pub mod regress;
+
 /// One regenerated cell of paper Table 1.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct Table1Cell {

@@ -14,11 +14,14 @@ fn arb_token() -> impl Strategy<Value = String> {
         Just("--seed".to_string()),
         Just("--threads".to_string()),
         Just("--out".to_string()),
+        Just("--trace".to_string()),
+        Just("--heartbeat".to_string()),
         Just("--quick".to_string()),
         Just("--json".to_string()),
         Just("bench-report".to_string()),
         Just("abc".to_string()),
         Just("out.json".to_string()),
+        Just("trace.json".to_string()),
         (0u64..10_000).prop_map(|n| n.to_string()),
     ]
 }
@@ -27,7 +30,7 @@ fn arb_args() -> impl Strategy<Value = Vec<String>> {
     prop::collection::vec(arb_token(), 0..=8)
 }
 
-const VALUE_FLAGS: [&str; 3] = ["--seed", "--threads", "--out"];
+const VALUE_FLAGS: [&str; 5] = ["--seed", "--threads", "--out", "--trace", "--heartbeat"];
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(400))]
@@ -36,7 +39,7 @@ proptest! {
     /// is never `--`-prefixed, and an error is returned exactly when the
     /// token after the flag's first occurrence is missing or a flag.
     #[test]
-    fn values_are_never_flags(args in arb_args(), which in 0usize..3) {
+    fn values_are_never_flags(args in arb_args(), which in 0usize..5) {
         let flag = VALUE_FLAGS[which];
         let parsed = flag_value(&args, flag);
         match args.iter().position(|a| a == flag) {
@@ -56,7 +59,7 @@ proptest! {
     fn planted_flag_round_trips(
         base in arb_args(),
         at in 0usize..9,
-        which in 0usize..3,
+        which in 0usize..5,
         value in 0u64..1_000_000,
     ) {
         let flag = VALUE_FLAGS[which];
@@ -69,7 +72,7 @@ proptest! {
 
     /// `parsed_flag` agrees with `flag_value` + `str::parse` everywhere.
     #[test]
-    fn parsed_flag_matches_manual_parse(args in arb_args(), which in 0usize..3) {
+    fn parsed_flag_matches_manual_parse(args in arb_args(), which in 0usize..5) {
         let flag = VALUE_FLAGS[which];
         let manual = match flag_value(&args, flag) {
             Err(_) => None,

@@ -48,6 +48,7 @@
 //! | [`sim`] | executable PoS protocol with Δ-network and attacks | 2, 8 |
 //! | [`scenario`] | columnar million-slot engine + scenario library | 2, 8 |
 //! | [`sweep`] | campaign orchestrator: seeded grids, checkpoints, reports | 6.6, 8 |
+//! | [`obs`] | zero-cost spans, metrics registry, Chrome-trace export | — |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -59,6 +60,7 @@ pub use multihonest_chars as chars;
 pub use multihonest_core as core;
 pub use multihonest_fork as fork;
 pub use multihonest_margin as margin;
+pub use multihonest_obs as obs;
 pub use multihonest_scenario as scenario;
 pub use multihonest_sim as sim;
 pub use multihonest_sweep as sweep;

@@ -1,0 +1,102 @@
+//! Periodic progress heartbeats for long-running drivers.
+
+use std::time::{Duration, Instant};
+
+/// An interval gate for progress lines: long loops call
+/// [`due`](Heartbeat::due) at convenient points (segment boundaries,
+/// work-unit completions) and emit a line only when the configured
+/// interval has elapsed since the last emission.
+#[derive(Debug)]
+pub struct Heartbeat {
+    every: Duration,
+    started: Instant,
+    last_emit: Option<Instant>,
+}
+
+impl Heartbeat {
+    /// A heartbeat firing at most every `every_secs` seconds
+    /// (`0` fires on every call — useful in tests and smokes).
+    pub fn new(every_secs: u64) -> Heartbeat {
+        Heartbeat {
+            every: Duration::from_secs(every_secs),
+            started: Instant::now(),
+            last_emit: None,
+        }
+    }
+
+    /// Seconds since the heartbeat was created.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// When the interval has elapsed, arms the next interval and returns
+    /// the total elapsed seconds (for rate / ETA math); otherwise `None`.
+    pub fn due(&mut self) -> Option<f64> {
+        let now = Instant::now();
+        let since = now.duration_since(self.last_emit.unwrap_or(self.started));
+        if since >= self.every {
+            self.last_emit = Some(now);
+            Some(now.duration_since(self.started).as_secs_f64())
+        } else {
+            None
+        }
+    }
+}
+
+/// Formats the standard progress line:
+/// `heartbeat[label]: done/total unit (pct%), rate, ETA Ns`.
+/// Rates at or above 10⁶/s print in `M<unit>/s`.
+pub fn heartbeat_line(label: &str, done: u64, total: u64, unit: &str, elapsed_secs: f64) -> String {
+    let pct = if total > 0 {
+        done as f64 / total as f64 * 100.0
+    } else {
+        0.0
+    };
+    let rate = if elapsed_secs > 0.0 {
+        done as f64 / elapsed_secs
+    } else {
+        0.0
+    };
+    let rate_str = if rate >= 1e6 {
+        format!("{:.2} M{unit}/s", rate / 1e6)
+    } else {
+        format!("{rate:.0} {unit}/s")
+    };
+    let eta = if rate > 0.0 && total > done {
+        (total - done) as f64 / rate
+    } else {
+        0.0
+    };
+    format!("heartbeat[{label}]: {done}/{total} {unit} ({pct:.1}%), {rate_str}, ETA {eta:.0}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_interval_fires_every_call() {
+        let mut hb = Heartbeat::new(0);
+        assert!(hb.due().is_some());
+        assert!(hb.due().is_some());
+    }
+
+    #[test]
+    fn long_interval_gates() {
+        let mut hb = Heartbeat::new(3600);
+        assert!(hb.due().is_none(), "an hour has not elapsed");
+        assert!(hb.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn line_format_is_stable() {
+        let line = heartbeat_line("horizon", 2_000_000, 10_000_000, "slots", 0.5);
+        assert!(line.starts_with("heartbeat[horizon]: 2000000/10000000 slots (20.0%)"));
+        assert!(line.contains("Mslots/s"));
+        assert!(line.contains("ETA 2s"));
+        let slow = heartbeat_line("sweep", 5, 100, "cells", 10.0);
+        assert!(slow.contains("0 cells/s") || slow.contains("1 cells/s"));
+        let zero = heartbeat_line("x", 0, 0, "u", 0.0);
+        assert!(zero.contains("(0.0%)") && zero.contains("ETA 0s"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The metrics registry: counters, gauges, and power-of-two log-bucketed
+//! histograms, all mergeable across per-worker shards.
+
+use std::collections::BTreeMap;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket
+/// `b ≥ 1` holds values in `[2^(b−1), 2^b − 1]`, so 65 buckets cover the
+/// full `u64` range exactly.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed (power-of-two) histogram with exact count/sum/min/max.
+///
+/// Recording is one `leading_zeros` and one array increment; quantiles
+/// are bucket-upper-bound estimates (within 2× of the true value, which
+/// is plenty for latency telemetry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index of `value`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Histogram::bucket_of(value)] += 1;
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn bucket_counts(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// A bucket-upper-bound estimate of the `q`-quantile (`0 ≤ q ≤ 1`);
+    /// 0 when empty. Exact `max` is returned for the top of the range.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if b == 0 {
+                    0
+                } else {
+                    // Upper bound of bucket b, clamped to the true max.
+                    ((1u128 << b) - 1).min(self.max as u128) as u64
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one: the merged histogram is
+    /// identical to one that recorded both observation streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// A gauge value: the most recent set plus the high-water mark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gauge {
+    /// The last value set (for shard merges: the last merged-in shard's
+    /// value — merge order defines it).
+    pub last: i64,
+    /// The largest value ever set across all merged shards.
+    pub max: i64,
+}
+
+/// Named counters, gauges and histograms. Names are `&'static str`
+/// (every call site names its metric with a literal), so the registry
+/// costs one `BTreeMap` lookup per update and merges are key unions.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Adds `delta` to the counter `name`.
+    #[inline]
+    pub fn counter_add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value`, tracking its high-water mark.
+    #[inline]
+    pub fn gauge_set(&mut self, name: &'static str, value: i64) {
+        let g = self.gauges.entry(name).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The counter `name`'s value (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<Gauge> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram `name`, if ever observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, name-ordered.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&n, &v)| (n, v))
+    }
+
+    /// All gauges, name-ordered.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, Gauge)> + '_ {
+        self.gauges.iter().map(|(&n, &g)| (n, g))
+    }
+
+    /// All histograms, name-ordered.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&n, h)| (n, h))
+    }
+
+    /// Folds a shard into this registry: counters add, histograms merge
+    /// observation-exactly, gauges keep the max high-water mark and take
+    /// the merged-in shard's `last`.
+    pub fn merge(&mut self, other: &Registry) {
+        for (&name, &v) in other.counters.iter() {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &og) in other.gauges.iter() {
+            let g = self.gauges.entry(name).or_default();
+            g.last = og.last;
+            g.max = g.max.max(og.max);
+        }
+        for (&name, oh) in other.histograms.iter() {
+            self.histograms.entry(name).or_default().merge(oh);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        assert!((h.mean() - 1106.0 / 6.0).abs() < 1e-9);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(0.5) >= 2);
+        assert_eq!(h.quantile(1.0), 1000, "top quantile clamps to true max");
+        let empty = Histogram::new();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.min(), None);
+    }
+
+    #[test]
+    fn histogram_merge_equals_single_stream() {
+        let values = [0u64, 5, 9, 12, 1 << 20, 7, 7, 3];
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn registry_semantics_and_merge() {
+        let mut r = Registry::new();
+        assert!(r.is_empty());
+        r.counter_add("c", 2);
+        r.counter_add("c", 3);
+        r.gauge_set("g", 10);
+        r.gauge_set("g", 4);
+        r.observe("h", 7);
+        assert_eq!(r.counter("c"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.gauge("g"), Some(Gauge { last: 4, max: 10 }));
+        assert_eq!(r.histogram("h").unwrap().count(), 1);
+
+        let mut shard = Registry::new();
+        shard.counter_add("c", 1);
+        shard.counter_add("d", 9);
+        shard.gauge_set("g", 7);
+        shard.observe("h", 1);
+        r.merge(&shard);
+        assert_eq!(r.counter("c"), 6);
+        assert_eq!(r.counter("d"), 9);
+        assert_eq!(r.gauge("g"), Some(Gauge { last: 7, max: 10 }));
+        assert_eq!(r.histogram("h").unwrap().count(), 2);
+        let names: Vec<_> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["c", "d"], "counters iterate name-ordered");
+    }
+}

@@ -32,7 +32,9 @@ use multihonest_sim::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink
 use multihonest_sim::strategy::{AdversaryStrategy, SlotContext};
 use multihonest_sim::{BlockId, SimConfig, TieBreak};
 
-use crate::profile::{Phase, PhaseProfiler};
+use multihonest_obs::Recorder;
+
+use crate::profile::Phase;
 use crate::ring::DeliveryRing;
 use crate::schedule::ColumnarSchedule;
 use crate::store::{ColumnarStore, ADVERSARY};
@@ -340,19 +342,47 @@ impl ColumnarSimulation {
         strategy: &mut dyn AdversaryStrategy,
         plan: &FaultPlan,
     ) -> (ColumnarSimulation, DegradationLedger) {
+        ColumnarSimulation::run_with_schedule_faults_recorded(
+            config,
+            schedule,
+            strategy,
+            plan,
+            &mut (),
+            &mut (),
+        )
+    }
+
+    /// The fully-instrumented trace-retaining entry point: identical to
+    /// [`run_with_schedule_faults`](Self::run_with_schedule_faults) with
+    /// a [`MetricsSink`] and an obs [`Recorder`] attached. The recorder
+    /// only observes (spans, laps, registry updates), so an instrumented
+    /// run reproduces the plain run's fingerprints bit-for-bit — the
+    /// bit-identity law `tests/observability.rs` pins. Sink and recorder
+    /// are separate generic parameters so callers can pass an obs-backed
+    /// sink and a recorder without a double borrow.
+    pub fn run_with_schedule_faults_recorded<S: MetricsSink, R: Recorder>(
+        config: &SimConfig,
+        schedule: &ColumnarSchedule,
+        strategy: &mut dyn AdversaryStrategy,
+        plan: &FaultPlan,
+        sink: &mut S,
+        rec: &mut R,
+    ) -> (ColumnarSimulation, DegradationLedger) {
         let mut arena = ExecutionArena::new();
         let mut faults = FaultRuntime::new(plan, config.honest_nodes, config.slots);
+        rec.span_begin("scenario.execute");
         let out = execute(
             &mut arena,
             config,
             schedule,
             strategy,
             true,
-            &mut (),
+            sink,
             &mut (),
             &mut faults,
-            &mut (),
+            rec,
         );
+        rec.span_end("scenario.execute");
         (
             ColumnarSimulation {
                 config: *config,
@@ -446,13 +476,13 @@ impl ColumnarSimulation {
         (out.metrics, out.divergence, faults.finish())
     }
 
-    /// A streaming execution with a [`PhaseProfiler`] attached: identical
+    /// A streaming execution with an obs [`Recorder`] attached: identical
     /// traces to [`run_streaming_in`](Self::run_streaming_in), with the
-    /// kernel charging wall-clock time to per-phase counters at every
-    /// phase boundary — the engine behind `scenario bench-report
-    /// --profile`. Plain entry points thread the no-op `()` profiler
+    /// kernel charging wall-clock laps under [`Phase::label`] names at
+    /// every phase boundary — the engine behind `scenario bench-report
+    /// --profile`. Plain entry points thread the no-op `()` recorder
     /// through the same generic parameter and pay nothing.
-    pub fn run_streaming_profiled<S: MetricsSink, P: PhaseProfiler>(
+    pub fn run_streaming_profiled<S: MetricsSink, P: Recorder>(
         arena: &mut ExecutionArena,
         config: &SimConfig,
         schedule: &ColumnarSchedule,
@@ -726,7 +756,7 @@ impl EngineCore {
 // caller-facing knob, and bundling them into a struct would only move
 // the argument list one call up.
 #[allow(clippy::too_many_arguments)]
-fn execute<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
+fn execute<S: MetricsSink, H: SlotHook<S>, P: Recorder>(
     arena: &mut ExecutionArena,
     config: &SimConfig,
     schedule: &ColumnarSchedule,
@@ -796,7 +826,7 @@ fn execute<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
 /// see the global slot clock), so a segmented run is
 /// observation-identical to a monolithic one.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
+pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: Recorder>(
     arena: &mut ExecutionArena,
     core: &mut EngineCore,
     config: &SimConfig,
@@ -843,7 +873,7 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
     let passive = !have_faults && strategy.passive_without_leaders();
 
     for slot in first_slot..=last_slot {
-        prof.slot_start();
+        prof.lap_start();
         // 1. Honest leaders mint on their current tips and adopt their
         //    own block at mint time (no rushed same-height injection can
         //    win the first-seen tie against a minter).
@@ -865,9 +895,9 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 tips_flat.extend_from_slice(uniq);
                 tips_end.push(tips_flat.len() as u32);
             }
-            prof.lap(Phase::Fold);
+            prof.lap(Phase::Fold.label());
             hook.on_slot_end(slot, store, sink);
-            prof.lap(Phase::Hook);
+            prof.lap(Phase::Hook.label());
             continue;
         }
         minted.clear();
@@ -887,7 +917,7 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 tips[l] = b;
                 minted.push(BlockId::from_index(b as usize));
             }
-            prof.lap(Phase::Mint);
+            prof.lap(Phase::Mint.label());
         }
         // 2. The rushing adversary observes the minted blocks and acts —
         //    through the same trait the reference engine drives.
@@ -901,7 +931,7 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
             adversarial_leader: schedule.adversarial(slot - sched_base),
         };
         strategy.on_slot(&mut ctx, minted);
-        prof.lap(Phase::Strategy);
+        prof.lap(Phase::Strategy.label());
         // 3. Drain this slot's deliveries — filtered through the fault
         //    plan when one is active (which may also re-inject previously
         //    deferred deliveries, so the plan runs even on empty drains).
@@ -922,7 +952,7 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 &mut tee,
             );
         }
-        prof.lap(Phase::Drain);
+        prof.lap(Phase::Drain.label());
         let quiet = due.is_empty() && minted.is_empty();
         if quiet {
             // Quiet slot: no receive() ran, so every tip is unchanged.
@@ -937,9 +967,9 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 tips_flat.extend_from_slice(uniq);
                 tips_end.push(tips_flat.len() as u32);
             }
-            prof.lap(Phase::Fold);
+            prof.lap(Phase::Fold.label());
             hook.on_slot_end(slot, store, sink);
-            prof.lap(Phase::Hook);
+            prof.lap(Phase::Hook.label());
             continue;
         }
         // 4. Apply due deliveries in scheduled order, recording chain
@@ -1057,7 +1087,7 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 );
             }
         }
-        prof.lap(Phase::Merge);
+        prof.lap(Phase::Merge.label());
         // 5. Fold the distinct honest views.
         //
         // Broadcast-collapse fast case: the merge above proved the views
@@ -1082,9 +1112,9 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 tips_flat.extend_from_slice(uniq);
                 tips_end.push(tips_flat.len() as u32);
             }
-            prof.lap(Phase::Fold);
+            prof.lap(Phase::Fold.label());
             hook.on_slot_end(slot, store, sink);
-            prof.lap(Phase::Hook);
+            prof.lap(Phase::Hook.label());
             continue;
         }
         // Single-mint fast case first: one fresh honest block on the
@@ -1112,9 +1142,9 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
                 tips_flat.extend_from_slice(uniq);
                 tips_end.push(tips_flat.len() as u32);
             }
-            prof.lap(Phase::Fold);
+            prof.lap(Phase::Fold.label());
             hook.on_slot_end(slot, store, sink);
-            prof.lap(Phase::Hook);
+            prof.lap(Phase::Hook.label());
             continue;
         }
         // The unanimous case (every node on one tip — the common case
@@ -1153,9 +1183,9 @@ pub(crate) fn run_slots<S: MetricsSink, H: SlotHook<S>, P: PhaseProfiler>(
             tips_flat.extend_from_slice(uniq);
             tips_end.push(tips_flat.len() as u32);
         }
-        prof.lap(Phase::Fold);
+        prof.lap(Phase::Fold.label());
         hook.on_slot_end(slot, store, sink);
-        prof.lap(Phase::Hook);
+        prof.lap(Phase::Hook.label());
     }
 }
 

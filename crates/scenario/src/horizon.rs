@@ -52,6 +52,7 @@ use std::path::{Path, PathBuf};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use multihonest_obs::{heartbeat_line, Heartbeat, Recorder};
 use multihonest_sim::consistency::DivergenceFold;
 use multihonest_sim::fault::{FaultPlan, FaultRuntime};
 use multihonest_sim::metrics::{Metrics, MetricsAccumulator};
@@ -391,6 +392,23 @@ pub fn run_horizon(
     seed: u64,
     opts: &HorizonOptions,
 ) -> io::Result<HorizonReport> {
+    run_horizon_observed(config, probs, seed, opts, &mut (), None)
+}
+
+/// [`run_horizon`] with an obs [`Recorder`] and an optional stderr
+/// [`Heartbeat`] attached: segment / compaction / WAL-append spans,
+/// live-arena and peak-RSS gauges, and a periodic progress line. The
+/// recorder only observes, so an instrumented run produces a report
+/// bit-identical to [`run_horizon`]'s (the plain entry point delegates
+/// here with the `()` recorder, paying nothing).
+pub fn run_horizon_observed<R: Recorder>(
+    config: &SimConfig,
+    probs: &LeaderProbs,
+    seed: u64,
+    opts: &HorizonOptions,
+    rec: &mut R,
+    mut heartbeat: Option<&mut Heartbeat>,
+) -> io::Result<HorizonReport> {
     assert!(opts.segment_slots > 0, "segment_slots must be positive");
     assert_eq!(
         probs.honest_nodes(),
@@ -481,6 +499,7 @@ pub fn run_horizon(
 
     while done < total {
         let last = (done + seg).min(total);
+        rec.span_begin("horizon.segment");
         schedule.resample_segment(probs, last - done, &mut rng);
         active_slots += schedule.active_slots();
         run_slots(
@@ -498,8 +517,30 @@ pub fn run_horizon(
             &mut faults,
             &mut (),
         );
+        rec.span_end("horizon.segment");
         done = last;
         peak_live = peak_live.max(arena.store.len());
+        rec.gauge("horizon.live_blocks", arena.store.len() as i64);
+        rec.gauge("horizon.peak_live_blocks", peak_live as i64);
+        if let Some(rss) = multihonest_obs::peak_rss_bytes() {
+            rec.gauge("process.peak_rss_bytes", rss.min(i64::MAX as u64) as i64);
+        }
+        if let Some(hb) = heartbeat.as_deref_mut() {
+            if let Some(elapsed) = hb.due() {
+                // Rate over this run only: exclude any resumed prefix.
+                let base = resumed_at.unwrap_or(0);
+                eprintln!(
+                    "{}",
+                    heartbeat_line(
+                        "horizon",
+                        (done - base) as u64,
+                        (total - base) as u64,
+                        "slots",
+                        elapsed
+                    )
+                );
+            }
+        }
 
         // Compaction attempt: only meaningful mid-run (the final state
         // is drained by the finish below) and only at a fully settled
@@ -511,6 +552,7 @@ pub fn run_horizon(
                 && strategy.compact_to_root(BlockId::from_index(tip as usize), BlockId::GENESIS)
             {
                 debug_assert_eq!(core.cached_div, 0, "unanimous tips imply zero divergence");
+                rec.span_begin("horizon.compaction");
                 core.fold.advance_base(done, |s, e, l| agg.drain(s, e, l));
                 core.fold.rebase_unanimous_root();
                 let mut cur = tip;
@@ -522,9 +564,12 @@ pub fn run_horizon(
                 arena.compact_to_root(n, tip);
                 core.cached_tip_block = 0;
                 compactions += 1;
+                rec.span_end("horizon.compaction");
+                rec.counter("horizon.compactions", 1);
                 if let Some(w) = &mut wal {
+                    rec.span_begin("horizon.wal_append");
                     let (acc_slots, acc_max_div, acc_rollbacks) = core.acc.state();
-                    w.append(&WalRecord {
+                    let appended = w.append(&WalRecord {
                         slot: done as u64,
                         root_slot: arena.store.slot(0) as u64,
                         root_height: arena.store.height(0) as u64,
@@ -546,7 +591,10 @@ pub fn run_horizon(
                             .map(|f| f.map_or(u64::MAX, |s| s as u64))
                             .collect(),
                         strategy: strategy.checkpoint_state(),
-                    })?;
+                    });
+                    rec.span_end("horizon.wal_append");
+                    rec.counter("horizon.wal_appends", 1);
+                    appended?;
                 }
             }
         }

@@ -67,12 +67,12 @@ pub mod store;
 
 pub use crate::batch::{BatchExecution, TrialOutput};
 pub use crate::engine::{ColumnarSimulation, ExecutionArena, SlotHook, ENGINE_KERNEL_VERSION};
-pub use crate::horizon::{run_horizon, HorizonOptions, HorizonReport};
+pub use crate::horizon::{run_horizon, run_horizon_observed, HorizonOptions, HorizonReport};
 pub use crate::pipeline::{
     run_streaming_validated, run_streaming_validated_faults_in, ForkPipeline, PipelineOutput,
     ValidatedExecution,
 };
-pub use crate::profile::{Phase, PhaseProfiler, PhaseTimes};
+pub use crate::profile::{Phase, PhaseTimes};
 pub use crate::report::{scenario_bench_report, ScenarioBenchReport, ScenarioRow};
 pub use crate::ring::DeliveryRing;
 pub use crate::scenario::{
@@ -81,6 +81,7 @@ pub use crate::scenario::{
 };
 pub use crate::schedule::{ColumnarSchedule, LeaderProbs};
 pub use crate::store::ColumnarStore;
+pub use multihonest_obs::Recorder;
 
 /// A 64-bit fingerprint of a columnar execution: a SplitMix-style fold
 /// over the tip trace, rollback record and headline metrics. Testutil

@@ -1,11 +1,17 @@
-//! Per-phase timing instrumentation for the columnar slot kernel.
+//! Per-phase timing instrumentation for the columnar slot kernel,
+//! unified onto the [`multihonest_obs::Recorder`] surface.
 //!
-//! The engine loop is generic over a [`PhaseProfiler`]; every plain entry
+//! The engine loop is generic over a [`Recorder`]; every plain entry
 //! point passes the no-op `()` implementation, which compiles to nothing
 //! — the hot loop pays zero instructions for the instrumentation hooks.
 //! `scenario bench-report --profile` threads a [`PhaseTimes`] through
 //! instead ([`ColumnarSimulation::run_streaming_profiled`]) and prints
 //! the per-phase breakdown next to the headline Mslots/s figure.
+//!
+//! [`PhaseTimes`] is a thin adapter over [`multihonest_obs::LapTimes`]:
+//! the kernel charges laps under [`Phase::label`] names, and the adapter
+//! renders the fixed six-phase breakdown exactly as the pre-obs profiler
+//! did (byte-compatible `--profile` output).
 //!
 //! Timestamps are taken at phase *boundaries* (one `Instant::now` per
 //! executed phase per slot), so a profiled run is slower than a plain one
@@ -15,7 +21,7 @@
 //! [`ColumnarSimulation::run_streaming_profiled`]:
 //!     crate::ColumnarSimulation::run_streaming_profiled
 
-use std::time::Instant;
+use multihonest_obs::{LapTimes, Recorder};
 
 /// The phases of one slot of the columnar kernel, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +53,8 @@ impl Phase {
         Phase::Hook,
     ];
 
-    /// A short stable label for reports.
+    /// A short stable label for reports — also the lap label the kernel
+    /// charges through the obs [`Recorder`].
     pub fn label(self) -> &'static str {
         match self {
             Phase::Mint => "mint",
@@ -73,31 +80,11 @@ impl Phase {
     }
 }
 
-/// The engine-loop instrumentation surface. The no-op `()` implementation
-/// is what every plain entry point uses; it inlines to nothing.
-pub trait PhaseProfiler {
-    /// Marks the start of a slot.
-    #[inline]
-    fn slot_start(&mut self) {}
-
-    /// Charges the time since the previous mark to `phase` and re-marks.
-    /// Phases skipped by the kernel's fast paths are simply never
-    /// charged.
-    #[inline]
-    fn lap(&mut self, phase: Phase) {
-        let _ = phase;
-    }
-}
-
-/// The zero-cost profiler of the plain entry points.
-impl PhaseProfiler for () {}
-
-/// Accumulated wall-clock time per kernel phase.
+/// Accumulated wall-clock time per kernel phase — the `--profile`
+/// renderer over an obs lap profile.
 #[derive(Debug, Clone, Default)]
 pub struct PhaseTimes {
-    nanos: [u64; 6],
-    slots: u64,
-    last: Option<Instant>,
+    laps: LapTimes,
 }
 
 impl PhaseTimes {
@@ -108,17 +95,22 @@ impl PhaseTimes {
 
     /// Slots observed so far.
     pub fn slots(&self) -> u64 {
-        self.slots
+        self.laps.starts()
     }
 
     /// Nanoseconds charged to `phase` so far.
     pub fn phase_nanos(&self, phase: Phase) -> u64 {
-        self.nanos[phase.idx()]
+        self.laps.nanos(phase.label())
     }
 
     /// Total nanoseconds across all phases.
     pub fn total_nanos(&self) -> u64 {
-        self.nanos.iter().sum()
+        Phase::ALL.iter().map(|&p| self.phase_nanos(p)).sum()
+    }
+
+    /// The underlying obs lap profile.
+    pub fn laps(&self) -> &LapTimes {
+        &self.laps
     }
 
     /// The per-phase breakdown as `(label, seconds, share)` rows, shares
@@ -142,13 +134,13 @@ impl PhaseTimes {
 
 impl std::fmt::Display for PhaseTimes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "phase breakdown over {} slots:", self.slots)?;
+        writeln!(f, "phase breakdown over {} slots:", self.slots())?;
         for (label, secs, share) in self.rows() {
             writeln!(f, "  {label:<8} {secs:>9.4} s  {:>5.1}%", share * 100.0)?;
         }
         let total = self.total_nanos() as f64 / 1e9;
         let mslots = if total > 0.0 {
-            self.slots as f64 / total / 1e6
+            self.slots() as f64 / total / 1e6
         } else {
             0.0
         };
@@ -159,20 +151,15 @@ impl std::fmt::Display for PhaseTimes {
     }
 }
 
-impl PhaseProfiler for PhaseTimes {
+impl Recorder for PhaseTimes {
     #[inline]
-    fn slot_start(&mut self) {
-        self.slots += 1;
-        self.last = Some(Instant::now());
+    fn lap_start(&mut self) {
+        self.laps.lap_start();
     }
 
     #[inline]
-    fn lap(&mut self, phase: Phase) {
-        let now = Instant::now();
-        if let Some(last) = self.last {
-            self.nanos[phase.idx()] += now.duration_since(last).as_nanos() as u64;
-        }
-        self.last = Some(now);
+    fn lap(&mut self, label: &'static str) {
+        self.laps.lap(label);
     }
 }
 
@@ -183,11 +170,11 @@ mod tests {
     #[test]
     fn phases_accumulate_and_report() {
         let mut p = PhaseTimes::new();
-        p.slot_start();
-        p.lap(Phase::Mint);
-        p.lap(Phase::Fold);
-        p.slot_start();
-        p.lap(Phase::Merge);
+        p.lap_start();
+        p.lap(Phase::Mint.label());
+        p.lap(Phase::Fold.label());
+        p.lap_start();
+        p.lap(Phase::Merge.label());
         assert_eq!(p.slots(), 2);
         let rows = p.rows();
         assert_eq!(rows.len(), 6);
@@ -204,5 +191,21 @@ mod tests {
             labels,
             ["mint", "strategy", "drain", "merge", "fold", "hook"]
         );
+    }
+
+    #[test]
+    fn display_format_is_byte_stable() {
+        // The exact empty-profile rendering `--profile` consumers see;
+        // pins the byte-compatibility contract of the obs unification.
+        let p = PhaseTimes::new();
+        let expect = "phase breakdown over 0 slots:\n\
+                      \x20 mint        0.0000 s    0.0%\n\
+                      \x20 strategy    0.0000 s    0.0%\n\
+                      \x20 drain       0.0000 s    0.0%\n\
+                      \x20 merge       0.0000 s    0.0%\n\
+                      \x20 fold        0.0000 s    0.0%\n\
+                      \x20 hook        0.0000 s    0.0%\n\
+                      \x20 total       0.0000 s  (0.00 Mslots/s instrumented)";
+        assert_eq!(p.to_string(), expect);
     }
 }

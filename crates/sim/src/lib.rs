@@ -65,6 +65,7 @@ pub mod leader;
 pub mod metrics;
 pub mod network;
 pub mod node;
+pub mod obs;
 pub mod simulation;
 pub mod strategy;
 
@@ -82,6 +83,7 @@ pub use crate::fault::{
 pub use crate::leader::{validate_stake_partition, LeaderSchedule, SlotLeaders};
 pub use crate::metrics::{Metrics, MetricsAccumulator, MetricsSink, TeeSink};
 pub use crate::node::TieBreak;
+pub use crate::obs::{record_ledger, ObsSink};
 pub use crate::simulation::{ExtractedFork, SimConfig, Simulation};
 pub use crate::strategy::{
     AdversaryStrategy, BalanceStrategy, HonestStrategy, SlotContext, Strategy, WithholdingStrategy,

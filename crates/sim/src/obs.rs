@@ -1,0 +1,166 @@
+//! The obs-backed [`MetricsSink`] adapter: per-slot simulation events —
+//! rollbacks, fault deferrals, margin observations — land in a
+//! [`Recorder`]'s counters, gauges and histograms without touching
+//! engine code.
+//!
+//! [`ObsSink`] is an observer, never a participant: it derives registry
+//! updates from the sink callbacks both engines already emit, so wiring
+//! it in (alone or [`TeeSink`](crate::TeeSink)-ed with an accumulator)
+//! keeps every execution bit-identical to its uninstrumented sibling.
+
+use multihonest_obs::Recorder;
+
+use crate::fault::DegradationLedger;
+use crate::metrics::MetricsSink;
+
+/// A [`MetricsSink`] that mirrors simulation events into an obs
+/// [`Recorder`]'s registry.
+///
+/// Metric names:
+///
+/// * `sim.rollbacks` (counter) and `sim.rollback_depth` (histogram of
+///   `old_height − new_height`) — one per chain rollback;
+/// * `sim.best_height` (gauge) — the best height at the latest slot;
+/// * `sim.divergence` (histogram) — nonzero slot divergences;
+/// * `faults.deferrals` (counter) and `faults.deferral_lag_slots`
+///   (histogram of `deferred_to − slot`) — one per fault deferral;
+/// * `fork.margin_events` (counter), `fork.rho` / `fork.margin`
+///   (gauges), and `fork.validation_lag_slots` (histogram) — one per
+///   Δ-reduced margin observation. The validation lag is the distance
+///   between the current engine slot and the (Δ-delayed) reduced slot
+///   the observation settles — how far the streaming validator runs
+///   behind the execution front.
+#[derive(Debug)]
+pub struct ObsSink<'a, R: Recorder> {
+    rec: &'a mut R,
+    last_slot: usize,
+}
+
+impl<'a, R: Recorder> ObsSink<'a, R> {
+    /// An adapter recording into `rec`.
+    pub fn new(rec: &'a mut R) -> ObsSink<'a, R> {
+        ObsSink { rec, last_slot: 0 }
+    }
+
+    /// The latest slot observed through [`MetricsSink::on_slot`].
+    pub fn last_slot(&self) -> usize {
+        self.last_slot
+    }
+}
+
+impl<R: Recorder> MetricsSink for ObsSink<'_, R> {
+    #[inline]
+    fn on_rollback(&mut self, _slot: usize, old_height: usize, new_height: usize) {
+        self.rec.counter("sim.rollbacks", 1);
+        self.rec.observe(
+            "sim.rollback_depth",
+            old_height.saturating_sub(new_height) as u64,
+        );
+    }
+
+    #[inline]
+    fn on_slot(
+        &mut self,
+        slot: usize,
+        _distinct_tips: usize,
+        best_height: usize,
+        divergence: usize,
+    ) {
+        self.last_slot = slot;
+        self.rec.gauge("sim.best_height", best_height as i64);
+        if divergence > 0 {
+            self.rec.observe("sim.divergence", divergence as u64);
+        }
+    }
+
+    #[inline]
+    fn on_fault_deferral(&mut self, slot: usize, _recipient: usize, deferred_to: usize) {
+        self.rec.counter("faults.deferrals", 1);
+        self.rec.observe(
+            "faults.deferral_lag_slots",
+            deferred_to.saturating_sub(slot) as u64,
+        );
+    }
+
+    #[inline]
+    fn on_margin(&mut self, slot: usize, rho: i64, margin: i64) {
+        self.rec.counter("fork.margin_events", 1);
+        self.rec.gauge("fork.rho", rho);
+        self.rec.gauge("fork.margin", margin);
+        // The hook fires after the current slot's on_slot, so last_slot
+        // is the execution front and `slot` the settled reduced slot.
+        self.rec.observe(
+            "fork.validation_lag_slots",
+            self.last_slot.saturating_sub(slot) as u64,
+        );
+    }
+}
+
+/// Mirrors a finished [`DegradationLedger`] into registry counters:
+/// `faults.deferred`, `faults.delivered_late`, `faults.dropped`
+/// (counters) and `faults.worst_effective_delta` (gauge).
+pub fn record_ledger<R: Recorder>(rec: &mut R, ledger: &DegradationLedger) {
+    rec.counter("faults.deferred", ledger.deferred);
+    rec.counter("faults.delivered_late", ledger.delivered_late);
+    rec.counter("faults.dropped", ledger.dropped);
+    rec.gauge(
+        "faults.worst_effective_delta",
+        ledger.worst_effective_delta as i64,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multihonest_obs::ObsRecorder;
+
+    #[test]
+    fn sink_events_land_in_the_registry() {
+        let mut rec = ObsRecorder::new();
+        {
+            let mut sink = ObsSink::new(&mut rec);
+            sink.on_slot(10, 2, 5, 0);
+            sink.on_slot(11, 1, 6, 3);
+            sink.on_rollback(11, 6, 4);
+            sink.on_fault_deferral(11, 0, 14);
+            sink.on_margin(9, -1, 2);
+            assert_eq!(sink.last_slot(), 11);
+        }
+        let r = rec.registry();
+        assert_eq!(r.counter("sim.rollbacks"), 1);
+        assert_eq!(r.histogram("sim.rollback_depth").unwrap().max(), Some(2));
+        assert_eq!(r.gauge("sim.best_height").unwrap().last, 6);
+        assert_eq!(r.histogram("sim.divergence").unwrap().count(), 1);
+        assert_eq!(r.counter("faults.deferrals"), 1);
+        assert_eq!(
+            r.histogram("faults.deferral_lag_slots").unwrap().max(),
+            Some(3)
+        );
+        assert_eq!(r.counter("fork.margin_events"), 1);
+        assert_eq!(r.gauge("fork.rho").unwrap().last, -1);
+        assert_eq!(r.gauge("fork.margin").unwrap().last, 2);
+        assert_eq!(
+            r.histogram("fork.validation_lag_slots").unwrap().max(),
+            Some(2),
+            "lag = last_slot 11 − reduced slot 9"
+        );
+    }
+
+    #[test]
+    fn ledger_mirrors_into_counters() {
+        let mut rec = ObsRecorder::new();
+        let ledger = DegradationLedger {
+            deferred: 7,
+            delivered_late: 5,
+            dropped: 2,
+            worst_effective_delta: 9,
+            windows: Vec::new(),
+        };
+        record_ledger(&mut rec, &ledger);
+        let r = rec.registry();
+        assert_eq!(r.counter("faults.deferred"), 7);
+        assert_eq!(r.counter("faults.delivered_late"), 5);
+        assert_eq!(r.counter("faults.dropped"), 2);
+        assert_eq!(r.gauge("faults.worst_effective_delta").unwrap().last, 9);
+    }
+}

@@ -62,5 +62,5 @@ pub use crate::report::{
     campaign_report, leadership_condition, report_csv, report_json, CampaignReport, CellReport,
     SettlementEstimate, REPORT_SCHEMA,
 };
-pub use crate::run::{run_campaign, CampaignOutcome, RunOptions};
+pub use crate::run::{run_campaign, run_campaign_observed, CampaignOutcome, RunOptions};
 pub use crate::spec::{CampaignSpec, CellSpec, FaultProfile, StakeProfile, SweepStrategy};

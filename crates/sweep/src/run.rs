@@ -30,7 +30,9 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use multihonest_obs::{Heartbeat, ObsRecorder};
 use multihonest_scenario::{BatchExecution, LeaderProbs};
 
 use crate::aggregate::CellAggregate;
@@ -90,6 +92,25 @@ struct CellSlot {
 /// Fails when the checkpoint file exists but is malformed, belongs to a
 /// different spec, or cannot be written.
 pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<CampaignOutcome> {
+    run_campaign_observed(spec, opts, None, None)
+}
+
+/// [`run_campaign`] with observability attached: each worker records
+/// into an [`ObsRecorder`] shard (shared epoch, per-worker `tid`) —
+/// per-unit `sweep.unit` spans, a `sweep.queue_depth` gauge, a
+/// `sweep.checkpoint_write_us` histogram — and the shards merge into
+/// `obs` when the run finishes. `heartbeat` gates a periodic stderr
+/// progress line (cells done, executions, slots-per-second, ETA).
+///
+/// Recording is observation-only: aggregates, checkpoints and outcome
+/// counters are bit-identical to [`run_campaign`]'s (which delegates
+/// here with both hooks disabled).
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    opts: &RunOptions,
+    obs: Option<&mut ObsRecorder>,
+    heartbeat: Option<&mut Heartbeat>,
+) -> io::Result<CampaignOutcome> {
     let cells = spec.cells();
     let num_ks = spec.ks.len();
     let fingerprint = spec.fingerprint();
@@ -150,7 +171,20 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
     let flush_lock = Mutex::new(());
     let flush_error: Mutex<Option<io::Error>> = Mutex::new(None);
 
+    // Observability plumbing: workers record into per-thread shards
+    // (same epoch, distinct tids) collected here and merged at the end;
+    // the heartbeat is shared behind a try_lock so contention never
+    // blocks a worker.
+    let total_units = units.len();
+    let total_execs: u64 = units.iter().map(|&(_, s, e)| e - s).sum();
+    let shard_proto: Option<ObsRecorder> = obs.as_ref().map(|o| o.shard(0));
+    let shards: Mutex<Vec<ObsRecorder>> = Mutex::new(Vec::new());
+    let hb: Option<Mutex<&mut Heartbeat>> = heartbeat.map(Mutex::new);
+    let worker_id = AtomicUsize::new(0);
+
     let worker = || {
+        let tid = worker_id.fetch_add(1, Ordering::Relaxed);
+        let mut rec = shard_proto.as_ref().map(|p| p.shard(tid as u32 + 1));
         let mut batch = BatchExecution::new();
         loop {
             if stop.load(Ordering::Acquire) {
@@ -160,6 +194,14 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
             let Some(&(cell_index, start, end)) = units.get(u) else {
                 break;
             };
+            if let Some(r) = rec.as_mut() {
+                use multihonest_obs::Recorder as _;
+                r.gauge(
+                    "sweep.queue_depth",
+                    total_units.saturating_sub(u + 1) as i64,
+                );
+                r.span_begin("sweep.unit");
+            }
             let cell: &CellSpec = &cells[cell_index];
             let config = spec.config_for(cell);
             let stakes = spec.stakes_for(cell);
@@ -185,6 +227,31 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
                 },
             );
             executions_run.fetch_add(end - start, Ordering::Relaxed);
+            if let Some(r) = rec.as_mut() {
+                use multihonest_obs::Recorder as _;
+                r.span_end("sweep.unit");
+                r.counter("sweep.executions", end - start);
+            }
+            if let Some(hb) = hb.as_ref() {
+                if let Ok(mut h) = hb.try_lock() {
+                    if let Some(elapsed) = h.due() {
+                        let execs = executions_run.load(Ordering::Relaxed);
+                        let cells_done = resumed_cells + completed_this_run.load(Ordering::Relaxed);
+                        let slot_rate = execs as f64 * spec.slots as f64 / elapsed;
+                        let eta = if execs > 0 {
+                            (total_execs.saturating_sub(execs)) as f64 * elapsed / execs as f64
+                        } else {
+                            0.0
+                        };
+                        eprintln!(
+                            "heartbeat[sweep]: cells {cells_done}/{}, {execs}/{total_execs} exec, \
+                             {:.2} Mslots/s, ETA {eta:.0}s",
+                            cells.len(),
+                            slot_rate / 1e6
+                        );
+                    }
+                }
+            }
             slots[cell_index]
                 .agg
                 .lock()
@@ -202,6 +269,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
             }
             if let Some(path) = &opts.checkpoint {
                 let _serialize_writes = flush_lock.lock().expect("poisoned");
+                let write_start = rec.is_some().then(Instant::now);
                 let mut snapshot = Checkpoint::empty(fingerprint);
                 snapshot.completed = slots
                     .iter()
@@ -212,11 +280,19 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
                         aggregate: s.agg.lock().expect("poisoned").clone(),
                     })
                     .collect();
-                if let Err(e) = snapshot.write(path) {
+                let written = snapshot.write(path);
+                if let (Some(r), Some(t0)) = (rec.as_mut(), write_start) {
+                    use multihonest_obs::Recorder as _;
+                    r.observe("sweep.checkpoint_write_us", t0.elapsed().as_micros() as u64);
+                }
+                if let Err(e) = written {
                     *flush_error.lock().expect("poisoned") = Some(e);
                     stop.store(true, Ordering::Release);
                 }
             }
+        }
+        if let Some(r) = rec {
+            shards.lock().expect("poisoned").push(r);
         }
     };
 
@@ -229,6 +305,16 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> io::Result<Campai
                 scope.spawn(worker);
             }
         });
+    }
+
+    if let Some(o) = obs {
+        let mut collected = shards.into_inner().expect("poisoned");
+        // Merge in tid order so the combined timeline is deterministic
+        // for a given work partition.
+        collected.sort_by_key(|s| s.tid());
+        for shard in collected {
+            o.merge(shard);
+        }
     }
 
     if let Some(e) = flush_error.lock().expect("poisoned").take() {
